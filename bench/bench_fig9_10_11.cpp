@@ -1,0 +1,107 @@
+// Reproduces Figs. 9, 10 and 11: the rover's power-aware schedules (power
+// views) for the best, typical and worst environmental cases.
+//
+// Paper narrative checked here:
+//   Fig. 9  (best, Pmax 24.9 W)  — two unrolled iterations; heating tasks
+//           pre-run on free solar power; operations overlap; ~50 s each.
+//   Fig. 10 (typical, Pmax 22 W) — partial parallelism; some heats
+//           serialized; 60 s.
+//   Fig. 11 (worst, Pmax 19 W)   — budget forces full serialization; 75 s
+//           (identical to the hand-crafted JPL schedule).
+//
+// Then google-benchmark times the unrolled scheduling runs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gantt/ascii_gantt.hpp"
+#include "rover/rover_model.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "validate/validator.hpp"
+
+using namespace paws;
+using namespace paws::rover;
+
+namespace {
+
+void printCase(RoverCase c, int iterations) {
+  const Problem p = makeRoverProblem(c, iterations);
+  PowerAwareScheduler scheduler(p);
+  const ScheduleResult r = scheduler.schedule();
+  std::printf("--- %s case: Pmax=%.1fW Pmin=%.1fW, %d iteration(s) ---\n",
+              toString(c), p.maxPower().watts(), p.minPower().watts(),
+              iterations);
+  if (!r.ok()) {
+    std::printf("scheduling failed: %s\n\n", r.message.c_str());
+    return;
+  }
+  const Schedule& s = *r.schedule;
+  const bool valid = ScheduleValidator(p).validate(s).powerValid();
+  std::printf("tau=%llds (%.1fs/iteration)  Ec=%.1fJ  rho=%.1f%%  %s\n",
+              static_cast<long long>(s.finish().ticks()),
+              static_cast<double>(s.finish().ticks()) / iterations,
+              s.energyCost(p.minPower()).joules(),
+              100.0 * s.utilization(p.minPower()),
+              valid ? "valid" : "INVALID");
+  AsciiGanttOptions opt;
+  opt.ticksPerColumn = iterations > 1 ? 2 : 1;
+  std::printf("%s\n", renderPowerView(s, opt).c_str());
+}
+
+void printFigures() {
+  printCase(RoverCase::kBest, 2);     // Fig. 9 shows two iterations
+  printCase(RoverCase::kTypical, 1);  // Fig. 10
+  printCase(RoverCase::kWorst, 1);    // Fig. 11
+}
+
+// The loop-unrolling study behind Fig. 9: how the per-iteration energy
+// cost converges as more iterations are scheduled together (later
+// iterations pre-heat on free solar power).
+void printUnrollSweep() {
+  std::printf("--- best-case unroll sweep (per-iteration Ec at Pmin=14.9W) "
+              "---\n");
+  std::printf("  %8s %10s %14s %16s\n", "unroll", "tau(s)", "total Ec(J)",
+              "Ec/iteration(J)");
+  for (int iters = 1; iters <= 5; ++iters) {
+    const Problem p = makeRoverProblem(RoverCase::kBest, iters);
+    PowerAwareScheduler scheduler(p);
+    const ScheduleResult r = scheduler.schedule();
+    if (!r.ok()) {
+      std::printf("  %8d  failed: %s\n", iters, r.message.c_str());
+      continue;
+    }
+    const double ec = r.schedule->energyCost(p.minPower()).joules();
+    std::printf("  %8d %10lld %14.1f %16.1f\n", iters,
+                static_cast<long long>(r.schedule->finish().ticks()), ec,
+                ec / iters);
+  }
+  std::printf("\n");
+}
+
+void BM_RoverSchedule(benchmark::State& state) {
+  const Problem p = makeRoverProblem(static_cast<RoverCase>(state.range(0)),
+                                     static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    PowerAwareScheduler scheduler(p);
+    benchmark::DoNotOptimize(scheduler.schedule());
+  }
+}
+BENCHMARK(BM_RoverSchedule)
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({0, 3})
+    ->Args({1, 1})
+    ->Args({1, 3})
+    ->Args({2, 1})
+    ->Args({2, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigures();
+  printUnrollSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

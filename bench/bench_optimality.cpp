@@ -1,0 +1,105 @@
+// Optimality-gap ablation (Section 5.3's complexity argument, quantified):
+// the paper argues a truly optimal schedule requires examining all partial
+// orders (exponential) and settles for heuristics. Here we run the
+// exhaustive branch-and-bound oracle on small random instances and measure
+// how far the three-stage heuristic pipeline lands from the optimum, for
+// both objectives (energy cost at Pmin, then finish time).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gen/random_problem.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/power_aware_scheduler.hpp"
+
+using namespace paws;
+
+namespace {
+
+GeneratorConfig smallConfig(std::uint32_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.numTasks = 5;
+  cfg.numResources = 2;
+  cfg.maxDelay = 4;
+  cfg.witnessJitter = 2;
+  cfg.pmaxHeadroomMw = 500;
+  return cfg;
+}
+
+void printGapTable() {
+  std::printf("=== heuristic pipeline vs exhaustive optimum (5-task random "
+              "instances) ===\n");
+  std::printf("%6s %12s %12s %10s %10s %8s\n", "seed", "opt Ec(J)",
+              "heur Ec(J)", "opt tau", "heur tau", "verdict");
+  int optimalHits = 0, solved = 0;
+  double worstEcGap = 0;
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    const GeneratedProblem gp = generateRandomProblem(smallConfig(seed));
+    ExhaustiveScheduler oracle(gp.problem);
+    const ScheduleResult opt = oracle.schedule();
+    PowerAwareScheduler heuristic(gp.problem);
+    const ScheduleResult h = heuristic.schedule();
+    if (!opt.ok() || !oracle.outcome().provenOptimal) {
+      std::printf("%6u %12s (oracle incomplete)\n", seed, "-");
+      continue;
+    }
+    if (!h.ok()) {
+      std::printf("%6u %12.2f %12s %10lld %10s %8s\n", seed,
+                  opt.schedule->energyCost(gp.problem.minPower()).joules(),
+                  "-",
+                  static_cast<long long>(opt.schedule->finish().ticks()), "-",
+                  "FAILED");
+      continue;
+    }
+    ++solved;
+    const double ecOpt =
+        opt.schedule->energyCost(gp.problem.minPower()).joules();
+    const double ecHeur =
+        h.schedule->energyCost(gp.problem.minPower()).joules();
+    const bool hit = ecHeur <= ecOpt + 1e-9 &&
+                     h.schedule->finish() == opt.schedule->finish();
+    if (hit) ++optimalHits;
+    if (ecOpt > 0) {
+      worstEcGap = std::max(worstEcGap, (ecHeur - ecOpt) / ecOpt);
+    }
+    std::printf("%6u %12.2f %12.2f %10lld %10lld %8s\n", seed, ecOpt, ecHeur,
+                static_cast<long long>(opt.schedule->finish().ticks()),
+                static_cast<long long>(h.schedule->finish().ticks()),
+                hit ? "optimal" : "gap");
+  }
+  std::printf("summary: %d/%d solved, %d exactly optimal, worst relative Ec "
+              "gap %.1f%%\n\n",
+              solved, 20, optimalHits, 100.0 * worstEcGap);
+}
+
+void BM_ExhaustiveOracle(benchmark::State& state) {
+  const GeneratedProblem gp = generateRandomProblem(
+      smallConfig(static_cast<std::uint32_t>(state.range(0))));
+  for (auto _ : state) {
+    ExhaustiveScheduler oracle(gp.problem);
+    benchmark::DoNotOptimize(oracle.schedule());
+  }
+}
+BENCHMARK(BM_ExhaustiveOracle)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeuristicOnSameInstances(benchmark::State& state) {
+  const GeneratedProblem gp = generateRandomProblem(
+      smallConfig(static_cast<std::uint32_t>(state.range(0))));
+  for (auto _ : state) {
+    PowerAwareScheduler heuristic(gp.problem);
+    benchmark::DoNotOptimize(heuristic.schedule());
+  }
+}
+BENCHMARK(BM_HeuristicOnSameInstances)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printGapTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Runtime-executor robustness study (deployment methodology; no paper
+// table): run the statically scheduled rover through randomized mission
+// environments and report completion, brownout and depletion rates — the
+// paper's "adaptable to a runtime scheduler" claim under stress. Then
+// google-benchmark times the executor itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "gen/random_environment.hpp"
+#include "rover/rover_model.hpp"
+#include "runtime/executor.hpp"
+#include "sched/power_aware_scheduler.hpp"
+
+using namespace paws;
+using namespace paws::rover;
+using namespace paws::runtime;
+
+namespace {
+
+struct Fleet {
+  std::vector<Problem> problems;
+  std::vector<Schedule> schedules;
+
+  Fleet() {
+    for (const RoverCase c :
+         {RoverCase::kBest, RoverCase::kTypical, RoverCase::kWorst}) {
+      problems.push_back(makeRoverProblem(c, 1));
+    }
+    for (const Problem& p : problems) {
+      PowerAwareScheduler scheduler(p);
+      ScheduleResult r = scheduler.schedule();
+      if (r.ok()) schedules.push_back(std::move(*r.schedule));
+    }
+  }
+
+  std::vector<CaseBinding> bindings() const {
+    return {
+        {"best", Watts::fromWatts(14.9), &problems[0], schedules[0], 2},
+        {"typical", Watts::fromWatts(12.0), &problems[1], schedules[1], 2},
+        {"worst", Watts::zero(), &problems[2], schedules[2], 2},
+    };
+  }
+};
+
+const Fleet& fleet() {
+  static Fleet instance;
+  return instance;
+}
+
+void printRobustness() {
+  std::printf("=== runtime robustness over 50 random solar/battery "
+              "environments (24-step missions) ===\n");
+  int complete = 0, depleted = 0, browned = 0;
+  std::int64_t totalBrownouts = 0;
+  for (std::uint32_t seed = 1; seed <= 50; ++seed) {
+    EnvironmentConfig cfg;
+    cfg.seed = seed;
+    GeneratedEnvironment env = generateRandomEnvironment(cfg);
+    RuntimeExecutor executor(env.solar, env.battery, fleet().bindings());
+    ExecutorConfig config;
+    config.targetSteps = 24;
+    config.traceTasks = false;
+    config.maxIterations = 200;
+    const ExecutionResult r = executor.run(config);
+    complete += r.complete;
+    depleted += r.batteryDepleted;
+    browned += r.brownouts > 0;
+    totalBrownouts += r.brownouts;
+  }
+  std::printf("  missions completed : %d/50\n", complete);
+  std::printf("  battery depletions : %d/50\n", depleted);
+  std::printf("  runs with brownouts: %d/50 (%lld brownout instants "
+              "total)\n\n",
+              browned, static_cast<long long>(totalBrownouts));
+}
+
+void BM_ExecutorMission(benchmark::State& state) {
+  const SolarSource solar = missionSolarProfile();
+  const Battery battery = missionBattery();
+  RuntimeExecutor executor(solar, battery, fleet().bindings());
+  ExecutorConfig config;
+  config.targetSteps = 48;
+  config.traceTasks = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(config));
+  }
+}
+BENCHMARK(BM_ExecutorMission)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExecutorRandomEnvironment(benchmark::State& state) {
+  EnvironmentConfig cfg;
+  cfg.seed = static_cast<std::uint32_t>(state.range(0));
+  GeneratedEnvironment env = generateRandomEnvironment(cfg);
+  RuntimeExecutor executor(env.solar, env.battery, fleet().bindings());
+  ExecutorConfig config;
+  config.targetSteps = 24;
+  config.traceTasks = false;
+  config.maxIterations = 200;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(config));
+  }
+}
+BENCHMARK(BM_ExecutorRandomEnvironment)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printRobustness();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

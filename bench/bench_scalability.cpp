@@ -1,0 +1,115 @@
+// Scalability of the scheduling stack (methodology bench, no paper table):
+// runtime of longest-path recomputation, timing scheduling, and the full
+// pipeline as the problem grows, on feasible-by-construction random
+// instances. Prints a quality summary first (success rates over seeds) so
+// regressions in heuristic strength are as visible as slowdowns.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gen/random_problem.hpp"
+#include "graph/longest_path.hpp"
+#include "sched/min_power_scheduler.hpp"
+#include "sched/timing_scheduler.hpp"
+#include "validate/validator.hpp"
+
+using namespace paws;
+
+namespace {
+
+GeneratorConfig configFor(std::size_t tasks, std::uint32_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.numTasks = tasks;
+  cfg.numResources = 2 + tasks / 8;
+  cfg.pmaxHeadroomMw = 1000;
+  return cfg;
+}
+
+void printQualitySummary() {
+  std::printf("=== scheduling success over random feasible instances ===\n");
+  std::printf("%8s %10s %12s %12s\n", "tasks", "timing", "max-power",
+              "pipeline-valid");
+  for (const std::size_t tasks : {10u, 20u, 40u, 80u, 160u}) {
+    int timingOk = 0, maxOk = 0, validOk = 0;
+    const int kSeeds = 10;
+    for (std::uint32_t seed = 1; seed <= kSeeds; ++seed) {
+      const GeneratedProblem gp =
+          generateRandomProblem(configFor(tasks, seed));
+      ConstraintGraph g = gp.problem.buildGraph();
+      LongestPathEngine engine(g);
+      TimingScheduler ts(gp.problem);
+      SchedulerStats stats;
+      if (ts.run(g, engine, stats).ok) ++timingOk;
+
+      MinPowerScheduler pipeline(gp.problem);
+      const ScheduleResult r = pipeline.schedule();
+      if (r.ok()) {
+        ++maxOk;
+        if (ScheduleValidator(gp.problem).validate(*r.schedule).valid()) {
+          ++validOk;
+        }
+      }
+    }
+    std::printf("%8zu %9d/%d %11d/%d %11d/%d\n", tasks, timingOk, kSeeds,
+                maxOk, kSeeds, validOk, kSeeds);
+  }
+  std::printf("\n");
+}
+
+void BM_LongestPath(benchmark::State& state) {
+  const GeneratedProblem gp = generateRandomProblem(
+      configFor(static_cast<std::size_t>(state.range(0)), 7));
+  ConstraintGraph g = gp.problem.buildGraph();
+  LongestPathEngine engine(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.computeFull(kAnchorTask));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LongestPath)->Range(16, 1024)->Complexity();
+
+void BM_TimingScheduler(benchmark::State& state) {
+  const GeneratedProblem gp = generateRandomProblem(
+      configFor(static_cast<std::size_t>(state.range(0)), 7));
+  for (auto _ : state) {
+    ConstraintGraph g = gp.problem.buildGraph();
+    LongestPathEngine engine(g);
+    TimingScheduler ts(gp.problem);
+    SchedulerStats stats;
+    benchmark::DoNotOptimize(ts.run(g, engine, stats));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TimingScheduler)->Range(16, 512)->Complexity()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const GeneratedProblem gp = generateRandomProblem(
+      configFor(static_cast<std::size_t>(state.range(0)), 7));
+  for (auto _ : state) {
+    MinPowerScheduler pipeline(gp.problem);
+    benchmark::DoNotOptimize(pipeline.schedule());
+  }
+}
+BENCHMARK(BM_FullPipeline)->Range(16, 256)->Unit(benchmark::kMillisecond);
+
+void BM_Validator(benchmark::State& state) {
+  const GeneratedProblem gp = generateRandomProblem(
+      configFor(static_cast<std::size_t>(state.range(0)), 7));
+  const Schedule witness(&gp.problem, gp.witnessStarts);
+  const ScheduleValidator validator(gp.problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.validate(witness));
+  }
+}
+BENCHMARK(BM_Validator)->Range(16, 1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printQualitySummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Reproduces Table 4: "Comparison to schedules under a mission scenario".
+//
+// Mission: travel 48 steps while solar decays 14.9 W (0-599 s) -> 12 W
+// (600-1199 s) -> 9 W (1200 s-). The JPL baseline repeats its fixed 75 s
+// serial schedule; the power-aware rover selects, at each iteration
+// boundary, the static schedule matching the current solar level.
+//
+// Paper values:            distance  time    energy cost
+//   JPL    0-599s @14.9W      16      600        0
+//          600-1199s @12W     16      600      440
+//          1200s- @9W         16      600     3114 (= 8x388 = 3104, see
+//                                                   EXPERIMENTS.md)
+//          total              48     1800     3554
+//   PA     phases             24/20/4 600/600/150, 145.5/1470/776
+//          total              48     1350     2391.5   (33.3% / 32.7% win)
+//
+// After the table, google-benchmark measures policy construction (static
+// scheduling) and the mission simulation itself.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "rover/mission.hpp"
+#include "rover/plans.hpp"
+
+using namespace paws;
+using namespace paws::rover;
+
+namespace {
+
+void printMissionRows(const char* name, const MissionResult& r) {
+  for (const MissionPhase& ph : r.phases) {
+    std::printf("  %-12s %8.1f | %8d %8lld %12.1f\n", name, ph.solar.watts(),
+                ph.steps, static_cast<long long>(ph.time.ticks()),
+                ph.cost.joules());
+    name = "";
+  }
+  std::printf("  %-12s %8s | %8d %8lld %12.1f\n", "", "total", r.steps,
+              static_cast<long long>(r.time.ticks()), r.cost.joules());
+}
+
+void printTable4() {
+  std::printf("=== Table 4: mission scenario, 48 steps, decaying solar "
+              "power ===\n");
+  const PolicyBuild jpl = buildJplPolicy();
+  const PolicyBuild pa = buildPowerAwarePolicy();
+  if (!jpl.ok() || !pa.ok()) {
+    std::printf("policy construction failed!\n");
+    return;
+  }
+  MissionSimulator sim(missionSolarProfile(), missionBattery());
+  const MissionResult rj = sim.run(jpl.policy, 48);
+  const MissionResult rp = sim.run(pa.policy, 48);
+
+  std::printf("  %-12s %8s | %8s %8s %12s\n", "schedule", "solar(W)",
+              "steps", "time(s)", "energy(J)");
+  printMissionRows("JPL", rj);
+  printMissionRows("power-aware", rp);
+
+  const double speedup =
+      100.0 * (1.0 - static_cast<double>(rp.time.ticks()) /
+                         static_cast<double>(rj.time.ticks()));
+  const double saving =
+      100.0 * (1.0 - static_cast<double>(rp.cost.milliwattTicks()) /
+                         static_cast<double>(rj.cost.milliwattTicks()));
+  std::printf("  improvement: %.1f%% time, %.1f%% energy  (paper: 33.3%% / "
+              "32.7%%)\n\n",
+              speedup, saving);
+}
+
+// Beyond the paper: is the Table 4 conclusion robust to WHEN the light
+// fades? Monte-Carlo over randomized solar decay profiles (phase lengths
+// uniform in [300, 900] s, always 14.9 -> 12 -> 9 W), same 48-step mission.
+void printMonteCarlo() {
+  const PolicyBuild jpl = buildJplPolicy();
+  const PolicyBuild pa = buildPowerAwarePolicy();
+  if (!jpl.ok() || !pa.ok()) return;
+
+  std::mt19937 rng(2001);
+  const int kRuns = 200;
+  int fasterAndCheaper = 0, faster = 0, cheaper = 0;
+  std::vector<double> speedups, savings;
+  for (int run = 0; run < kRuns; ++run) {
+    const std::int64_t p1 = 300 + static_cast<std::int64_t>(rng() % 601);
+    const std::int64_t p2 = 300 + static_cast<std::int64_t>(rng() % 601);
+    const SolarSource solar({{Time(0), Watts::fromWatts(14.9)},
+                             {Time(p1), Watts::fromWatts(12.0)},
+                             {Time(p1 + p2), Watts::fromWatts(9.0)}});
+    MissionSimulator sim(solar, missionBattery());
+    const MissionResult rj = sim.run(jpl.policy, 48);
+    const MissionResult rp = sim.run(pa.policy, 48);
+    const bool f = rp.time < rj.time;
+    const bool c = rp.cost < rj.cost;
+    faster += f;
+    cheaper += c;
+    fasterAndCheaper += f && c;
+    speedups.push_back(100.0 * (1.0 - static_cast<double>(rp.time.ticks()) /
+                                          static_cast<double>(rj.time.ticks())));
+    savings.push_back(
+        100.0 * (1.0 - static_cast<double>(rp.cost.milliwattTicks()) /
+                           static_cast<double>(rj.cost.milliwattTicks())));
+  }
+  std::sort(speedups.begin(), speedups.end());
+  std::sort(savings.begin(), savings.end());
+  const auto pct = [](const std::vector<double>& v, double q) {
+    return v[static_cast<std::size_t>(q * (v.size() - 1))];
+  };
+  std::printf("=== Monte-Carlo extension: 200 randomized solar-decay "
+              "timelines ===\n");
+  std::printf("  power-aware faster           : %d/%d\n", faster, kRuns);
+  std::printf("  power-aware cheaper          : %d/%d\n", cheaper, kRuns);
+  std::printf("  faster AND cheaper           : %d/%d\n", fasterAndCheaper,
+              kRuns);
+  std::printf("  speedup  %%  (p10/p50/p90)   : %.1f / %.1f / %.1f\n",
+              pct(speedups, 0.1), pct(speedups, 0.5), pct(speedups, 0.9));
+  std::printf("  saving   %%  (p10/p50/p90)   : %.1f / %.1f / %.1f\n\n",
+              pct(savings, 0.1), pct(savings, 0.5), pct(savings, 0.9));
+}
+
+void BM_BuildJplPolicy(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buildJplPolicy());
+  }
+}
+BENCHMARK(BM_BuildJplPolicy)->Unit(benchmark::kMillisecond);
+
+void BM_BuildPowerAwarePolicy(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buildPowerAwarePolicy());
+  }
+}
+BENCHMARK(BM_BuildPowerAwarePolicy)->Unit(benchmark::kMillisecond);
+
+void BM_MissionSimulation(benchmark::State& state) {
+  const PolicyBuild pa = buildPowerAwarePolicy();
+  MissionSimulator sim(missionSolarProfile(), missionBattery());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(pa.policy, 48));
+  }
+}
+BENCHMARK(BM_MissionSimulation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable4();
+  printMonteCarlo();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

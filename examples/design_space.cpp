@@ -1,0 +1,60 @@
+// Design-space exploration — the IMPACCT motivation (Section 1.3): sweep
+// the power budget and watch the performance/energy trade-off move, without
+// redesigning anything by hand. Uses the typical-case rover iteration and
+// varies the battery's max output (and hence Pmax = solar + battery).
+#include <iomanip>
+#include <iostream>
+
+#include "rover/rover_model.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "sched/serial_scheduler.hpp"
+
+using namespace paws;
+using namespace paws::rover;
+
+int main() {
+  const RoverPowerTable pw = powerTable(RoverCase::kTypical);
+  std::cout << "Typical-case rover iteration (2 steps), solar " << pw.solar
+            << ", sweeping battery budget:\n\n";
+  std::cout << "  battery  Pmax    tau(s)  Ec(Pmin)   rho      schedule\n";
+
+  const ScheduleResult serial =
+      SerialScheduler(makeRoverProblem(RoverCase::kTypical)).schedule();
+  if (!serial.ok()) {
+    std::cerr << "baseline failed\n";
+    return 1;
+  }
+
+  for (int batteryW = 0; batteryW <= 14; batteryW += 2) {
+    Problem p = makeRoverProblem(RoverCase::kTypical);
+    const Watts budget =
+        pw.solar + Watts::fromMilliwatts(static_cast<std::int64_t>(batteryW) *
+                                         1000);
+    p.setMaxPower(budget);
+
+    PowerAwareScheduler scheduler(p);
+    const ScheduleResult r = scheduler.schedule();
+    std::cout << "  " << std::setw(5) << batteryW << "W  " << std::setw(5)
+              << budget << " ";
+    if (!r.ok()) {
+      std::cout << "   --      --       --     infeasible ("
+                << toString(r.status) << ")\n";
+      continue;
+    }
+    const Schedule& s = *r.schedule;
+    std::cout << std::setw(7) << s.finish().ticks() << "  " << std::setw(8)
+              << s.energyCost(p.minPower()) << "  " << std::fixed
+              << std::setprecision(1) << std::setw(5)
+              << 100.0 * s.utilization(p.minPower()) << "%   "
+              << (s.finish() == serial.schedule->finish() ? "serial-equal"
+                                                          : "parallelized")
+              << "\n";
+  }
+
+  std::cout << "\nReading: with no battery the budget forces serialization "
+               "(the JPL design point);\nadding battery headroom buys speed "
+               "at increasing energy cost — the power-aware\nscheduler walks "
+               "this trade-off automatically from the same declarative "
+               "model.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "analysis/battery_stress.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace paws {
+
+BatteryStressReport analyzeBatteryStress(const PowerProfile& profile,
+                                         Watts freeLevel) {
+  BatteryStressReport report{};
+  const Duration span = profile.finish() - Time::zero();
+
+  Watts prevDraw = Watts::zero();
+  for (const PowerSegment& s : profile.segments()) {
+    const Watts draw =
+        s.power > freeLevel ? s.power - freeLevel : Watts::zero();
+    report.peakDraw = std::max(report.peakDraw, draw);
+    const Watts step =
+        draw > prevDraw ? draw - prevDraw : prevDraw - draw;
+    report.jitter = std::max(report.jitter, step);
+    report.drawnEnergy += draw * s.interval.length();
+    const std::uint64_t mw = static_cast<std::uint64_t>(draw.milliwatts());
+    report.squaredDrawIntegral +=
+        mw * mw * static_cast<std::uint64_t>(s.interval.length().ticks());
+    prevDraw = draw;
+  }
+  // Final drop back to zero counts as a step too.
+  report.jitter = std::max(report.jitter, prevDraw);
+
+  if (span > Duration::zero()) {
+    report.meanDraw = Watts::fromMilliwatts(
+        report.drawnEnergy.milliwattTicks() / span.ticks());
+  }
+  return report;
+}
+
+Energy peukertEffectiveEnergy(const PowerProfile& profile, Watts freeLevel,
+                              Watts ratedDraw, double k) {
+  PAWS_CHECK_MSG(ratedDraw > Watts::zero(), "rated draw must be positive");
+  PAWS_CHECK_MSG(k >= 1.0, "Peukert exponent must be >= 1");
+  double effectiveMwTicks = 0.0;
+  for (const PowerSegment& s : profile.segments()) {
+    if (s.power <= freeLevel) continue;
+    const Watts draw = s.power - freeLevel;
+    const double ratio = static_cast<double>(draw.milliwatts()) /
+                         static_cast<double>(ratedDraw.milliwatts());
+    const double penalty = std::pow(ratio, k - 1.0);
+    effectiveMwTicks += static_cast<double>(draw.milliwatts()) * penalty *
+                        static_cast<double>(s.interval.length().ticks());
+  }
+  return Energy::fromMilliwattTicks(
+      static_cast<std::int64_t>(effectiveMwTicks + 0.5));
+}
+
+}  // namespace paws

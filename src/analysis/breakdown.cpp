@@ -1,0 +1,68 @@
+#include "analysis/breakdown.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace paws {
+
+EnergyBreakdown computeEnergyBreakdown(const Schedule& schedule) {
+  const Problem& p = schedule.problem();
+  EnergyBreakdown bd;
+
+  bd.background.name = "background";
+  bd.background.energy =
+      p.backgroundPower() * (schedule.finish() - Time::zero());
+  bd.total = bd.background.energy;
+
+  std::map<ResourceId, Energy> perResource;
+  for (TaskId v : p.taskIds()) {
+    const Task& t = p.task(v);
+    const Energy e = t.energy();
+    bd.total += e;
+    perResource[t.resource] += e;
+    bd.byTask.push_back(EnergyShare{t.name, e, 0.0});
+  }
+  for (const auto& [res, energy] : perResource) {
+    bd.byResource.push_back(EnergyShare{p.resource(res).name, energy, 0.0});
+  }
+
+  const auto byEnergyDesc = [](const EnergyShare& a, const EnergyShare& b) {
+    if (a.energy != b.energy) return a.energy > b.energy;
+    return a.name < b.name;
+  };
+  std::sort(bd.byResource.begin(), bd.byResource.end(), byEnergyDesc);
+  std::sort(bd.byTask.begin(), bd.byTask.end(), byEnergyDesc);
+
+  if (bd.total > Energy::zero()) {
+    const auto frac = [&bd](EnergyShare& s) {
+      s.fraction = s.energy.ratioOf(bd.total);
+    };
+    frac(bd.background);
+    for (EnergyShare& s : bd.byResource) frac(s);
+    for (EnergyShare& s : bd.byTask) frac(s);
+  }
+  return bd;
+}
+
+std::string renderBreakdown(const EnergyBreakdown& bd) {
+  std::ostringstream os;
+  const auto row = [&os](const EnergyShare& s) {
+    os << "  " << s.name;
+    for (std::size_t k = s.name.size(); k < 16; ++k) os << ' ';
+    os << s.energy;
+    os << "  ";
+    const int bars = static_cast<int>(s.fraction * 40.0 + 0.5);
+    for (int i = 0; i < bars; ++i) os << '#';
+    os << ' ' << static_cast<int>(s.fraction * 100.0 + 0.5) << "%\n";
+  };
+  os << "energy breakdown (total " << bd.total << ")\n";
+  os << "by resource:\n";
+  row(bd.background);
+  for (const EnergyShare& s : bd.byResource) row(s);
+  os << "by task:\n";
+  for (const EnergyShare& s : bd.byTask) row(s);
+  return os.str();
+}
+
+}  // namespace paws

@@ -1,0 +1,42 @@
+// Where does the power actually go? — the paper's system-level argument.
+//
+// Section 1.2: "Amdahl's law applies to power as well as performance. That
+// is, the power saving of a given component must be scaled by its
+// percentage contribution in an entire system. Thus, it is critical to
+// identify where power is being consumed in the context of a system."
+// (For the rover, the big consumers are wheel/steering motors, the laser
+// hazard detector and the heaters — not the digital computer.)
+//
+// This module produces that accounting for a schedule: energy per
+// resource, per task, plus the background (CPU) share, each with its
+// fraction of the total — the first chart a system architect asks for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/units.hpp"
+#include "sched/schedule.hpp"
+
+namespace paws {
+
+struct EnergyShare {
+  std::string name;
+  Energy energy;
+  double fraction = 0.0;  ///< of the schedule's total energy
+};
+
+struct EnergyBreakdown {
+  Energy total;                      ///< background + all tasks
+  EnergyShare background;            ///< the always-on draw over [0, tau)
+  std::vector<EnergyShare> byResource;  ///< descending by energy
+  std::vector<EnergyShare> byTask;      ///< descending by energy
+};
+
+/// Exact energy attribution for `schedule`.
+EnergyBreakdown computeEnergyBreakdown(const Schedule& schedule);
+
+/// Renders the breakdown as an ASCII table with percentage bars.
+std::string renderBreakdown(const EnergyBreakdown& breakdown);
+
+}  // namespace paws

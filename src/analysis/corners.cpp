@@ -1,0 +1,101 @@
+#include "analysis/corners.hpp"
+
+#include "base/check.hpp"
+
+namespace paws {
+
+const char* toString(Corner corner) {
+  switch (corner) {
+    case Corner::kMin:
+      return "min";
+    case Corner::kTypical:
+      return "typical";
+    case Corner::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+CornerTable::CornerTable(const Problem& problem) : problem_(&problem) {
+  perTask_.resize(problem.numVertices());
+  for (TaskId v : problem.taskIds()) {
+    const Watts nominal = problem.task(v).power;
+    perTask_[v.index()] = PowerCorners{nominal, nominal, nominal};
+  }
+  const Watts bg = problem.backgroundPower();
+  background_ = PowerCorners{bg, bg, bg};
+}
+
+void CornerTable::set(TaskId task, PowerCorners corners) {
+  PAWS_CHECK_MSG(task.isValid() && task.index() < perTask_.size() &&
+                     task != kAnchorTask,
+                 "unknown task " << task);
+  PAWS_CHECK_MSG(corners.wellFormed(),
+                 "corners must satisfy min <= typical <= max");
+  perTask_[task.index()] = corners;
+}
+
+void CornerTable::setBackground(PowerCorners corners) {
+  PAWS_CHECK_MSG(corners.wellFormed(),
+                 "corners must satisfy min <= typical <= max");
+  background_ = corners;
+}
+
+PowerCorners CornerTable::of(TaskId task) const {
+  PAWS_CHECK(task.isValid() && task.index() < perTask_.size());
+  return perTask_[task.index()];
+}
+
+PowerProfile profileAtCorner(const Schedule& schedule,
+                             const CornerTable& corners, Corner corner) {
+  const Problem& p = corners.problem();
+  PowerProfileBuilder builder;
+  for (TaskId v : p.taskIds()) {
+    builder.add(schedule.interval(v), corners.of(v).at(corner));
+  }
+  return builder.build(corners.background().at(corner));
+}
+
+CornerReport analyzeCorners(const Schedule& schedule,
+                            const CornerTable& corners) {
+  const Problem& p = corners.problem();
+  CornerReport report;
+  for (const Corner c : {Corner::kMin, Corner::kTypical, Corner::kMax}) {
+    const PowerProfile profile = profileAtCorner(schedule, corners, c);
+    const std::size_t i = static_cast<std::size_t>(c);
+    report.cost[i] = profile.energyAbove(p.minPower());
+    report.utilization[i] = profile.utilization(p.minPower());
+    if (c == Corner::kMax) {
+      report.peakAtMax = profile.peak();
+      report.maxCornerValid = !profile.firstSpike(p.maxPower()).has_value();
+    }
+  }
+  return report;
+}
+
+Problem problemAtCorner(const CornerTable& corners, Corner corner) {
+  const Problem& src = corners.problem();
+  Problem out(src.name() + "@" + toString(corner));
+  for (ResourceId r : src.resourceIds()) {
+    out.addResource(src.resource(r).name);
+  }
+  for (TaskId v : src.taskIds()) {
+    const Task& t = src.task(v);
+    const TaskId copied =
+        out.addTask(t.name, t.delay, corners.of(v).at(corner), t.resource);
+    PAWS_CHECK(copied == v);
+  }
+  for (const TimingConstraint& c : src.constraints()) {
+    if (c.kind == TimingConstraint::Kind::kMinSeparation) {
+      out.minSeparation(c.from, c.to, c.separation);
+    } else {
+      out.maxSeparation(c.from, c.to, c.separation);
+    }
+  }
+  out.setMaxPower(src.maxPower());
+  out.setMinPower(src.minPower());
+  out.setBackgroundPower(corners.background().at(corner));
+  return out;
+}
+
+}  // namespace paws

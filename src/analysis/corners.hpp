@@ -1,0 +1,95 @@
+// (min, typical, max) power corners — Section 4.1's named extension.
+//
+// The paper assumes a single exact power value per task "to simplify the
+// discussion" but notes the formulation extends to (min, typical, max)
+// triples. This module provides that extension without touching the
+// schedulers: a CornerTable overlays per-task corner values on a Problem,
+// and corner analysis answers the questions a designer actually asks:
+//
+//   * is this schedule power-valid even if EVERY task draws its max?
+//     (hard-constraint robustness — the guarantee must hold at the corner);
+//   * what are Ec and rho at each corner? (energy budgeting brackets);
+//   * which corner problem should I reschedule for, if the max corner
+//     breaks the budget? (`problemAtCorner` rebuilds the instance).
+#pragma once
+
+#include <vector>
+
+#include "base/units.hpp"
+#include "model/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace paws {
+
+enum class Corner : std::uint8_t { kMin, kTypical, kMax };
+
+const char* toString(Corner corner);
+
+struct PowerCorners {
+  Watts min;
+  Watts typical;
+  Watts max;
+
+  [[nodiscard]] Watts at(Corner c) const {
+    switch (c) {
+      case Corner::kMin:
+        return min;
+      case Corner::kTypical:
+        return typical;
+      case Corner::kMax:
+        return max;
+    }
+    return typical;
+  }
+  /// min <= typical <= max?
+  [[nodiscard]] bool wellFormed() const {
+    return min <= typical && typical <= max;
+  }
+};
+
+/// Per-task corner overlay. Tasks without an explicit entry use the
+/// problem's nominal power for all three corners.
+class CornerTable {
+ public:
+  explicit CornerTable(const Problem& problem);
+
+  /// Sets the corners of `task`; they must be well formed.
+  void set(TaskId task, PowerCorners corners);
+  void setBackground(PowerCorners corners);
+
+  [[nodiscard]] PowerCorners of(TaskId task) const;
+  [[nodiscard]] PowerCorners background() const { return background_; }
+
+  [[nodiscard]] const Problem& problem() const { return *problem_; }
+
+ private:
+  const Problem* problem_;
+  std::vector<PowerCorners> perTask_;  // vertex-indexed
+  PowerCorners background_;
+};
+
+/// The schedule's power profile with every task drawing its `corner` power.
+PowerProfile profileAtCorner(const Schedule& schedule,
+                             const CornerTable& corners, Corner corner);
+
+struct CornerReport {
+  /// Power-valid when every task draws its max-corner power (the only
+  /// corner at which the hard Pmax guarantee is meaningful).
+  bool maxCornerValid = false;
+  Watts peakAtMax;
+  /// Energy cost / utilization brackets across the three corners.
+  Energy cost[3];        // indexed by Corner
+  double utilization[3]; // indexed by Corner
+};
+
+/// Evaluates `schedule` across all corners against the problem's
+/// Pmax/Pmin.
+CornerReport analyzeCorners(const Schedule& schedule,
+                            const CornerTable& corners);
+
+/// Clone of the table's problem with every task's nominal power replaced by
+/// its `corner` value (for rescheduling at that corner). Task and resource
+/// ids are preserved.
+Problem problemAtCorner(const CornerTable& corners, Corner corner);
+
+}  // namespace paws

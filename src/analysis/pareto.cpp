@@ -1,0 +1,72 @@
+#include "analysis/pareto.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace paws {
+
+void markDominated(std::vector<DesignPoint>& points) {
+  for (DesignPoint& a : points) {
+    if (!a.feasible) continue;
+    a.dominated = false;
+    for (const DesignPoint& b : points) {
+      if (!b.feasible || &a == &b) continue;
+      const bool noWorse =
+          b.finish <= a.finish && b.energyCost <= a.energyCost;
+      const bool better =
+          b.finish < a.finish || b.energyCost < a.energyCost;
+      if (noWorse && better) {
+        a.dominated = true;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<DesignPoint> ParetoResult::front() const {
+  std::vector<DesignPoint> result;
+  for (const DesignPoint& p : points) {
+    if (p.feasible && !p.dominated) result.push_back(p);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.finish != b.finish) return a.finish < b.finish;
+              return a.energyCost < b.energyCost;
+            });
+  // Equal-metric duplicates from different budgets collapse to one.
+  result.erase(std::unique(result.begin(), result.end(),
+                           [](const DesignPoint& a, const DesignPoint& b) {
+                             return a.finish == b.finish &&
+                                    a.energyCost == b.energyCost;
+                           }),
+               result.end());
+  return result;
+}
+
+ParetoResult sweepPowerBudget(const Problem& problem,
+                              const ParetoSweepConfig& config) {
+  PAWS_CHECK_MSG(config.step > Watts::zero(), "sweep step must be positive");
+  PAWS_CHECK_MSG(config.from <= config.to, "sweep range is empty");
+
+  ParetoResult result;
+  for (Watts budget = config.from; budget <= config.to;
+       budget += config.step) {
+    Problem variant(problem);
+    variant.setMaxPower(budget);
+    DesignPoint point;
+    point.pmax = budget;
+    PowerAwareScheduler scheduler(variant, config.scheduling);
+    const ScheduleResult r = scheduler.schedule();
+    if (r.ok()) {
+      point.feasible = true;
+      point.finish = r.schedule->finish() - Time::zero();
+      point.energyCost = r.schedule->energyCost(problem.minPower());
+    }
+    result.points.push_back(point);
+  }
+  markDominated(result.points);
+  return result;
+}
+
+}  // namespace paws

@@ -1,0 +1,50 @@
+// Pareto-front extraction for design-space exploration.
+//
+// The IMPACCT pitch (Section 1.3) is exploring "many more points in the
+// design space". Each candidate design point yields a (finish time,
+// energy cost) pair; a designer only cares about the non-dominated subset.
+// This module sweeps the power budget, schedules each point, and returns
+// the Pareto front — the curve the design_space example and the sweep
+// command walk by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/problem.hpp"
+#include "sched/power_aware_scheduler.hpp"
+
+namespace paws {
+
+struct DesignPoint {
+  Watts pmax;          ///< the budget this point was scheduled under
+  Duration finish;     ///< achieved makespan
+  Energy energyCost;   ///< Ec at the problem's Pmin
+  bool feasible = false;
+  bool dominated = false;  ///< some feasible point is <= in both metrics
+                           ///< and < in one
+};
+
+struct ParetoSweepConfig {
+  Watts from;
+  Watts to;
+  Watts step = Watts::fromWatts(1.0);
+  PowerAwareOptions scheduling;
+};
+
+struct ParetoResult {
+  std::vector<DesignPoint> points;  ///< in sweep order (ascending pmax)
+  /// Non-dominated feasible points, ascending by finish time.
+  [[nodiscard]] std::vector<DesignPoint> front() const;
+};
+
+/// Sweeps Pmax over [from, to] and classifies every point. The problem's
+/// Pmin and task set stay fixed; only the budget moves.
+ParetoResult sweepPowerBudget(const Problem& problem,
+                              const ParetoSweepConfig& config);
+
+/// Marks dominated points in-place (exposed for testing and for callers
+/// with externally produced points).
+void markDominated(std::vector<DesignPoint>& points);
+
+}  // namespace paws

@@ -1,0 +1,62 @@
+#include "analysis/resource_usage.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace paws {
+
+ResourceUsageReport analyzeResourceUsage(const Schedule& schedule) {
+  const Problem& p = schedule.problem();
+  ResourceUsageReport report;
+  report.span = schedule.finish() - Time::zero();
+
+  std::map<ResourceId, std::vector<Interval>> windows;
+  for (TaskId v : p.taskIds()) {
+    windows[p.task(v).resource].push_back(schedule.interval(v));
+  }
+
+  for (ResourceId r : p.resourceIds()) {
+    ResourceUsage usage;
+    usage.resource = r;
+    usage.name = p.resource(r).name;
+    usage.lastCompletion = Time::zero();
+
+    auto& ivs = windows[r];
+    std::sort(ivs.begin(), ivs.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin() < b.begin();
+              });
+    Time cursor = Time::zero();
+    for (const Interval& iv : ivs) {
+      usage.busy += iv.length();
+      if (iv.begin() > cursor) {
+        usage.idle.push_back(Interval(cursor, iv.begin()));
+      }
+      cursor = std::max(cursor, iv.end());
+      usage.lastCompletion = std::max(usage.lastCompletion, iv.end());
+    }
+    if (cursor < schedule.finish()) {
+      usage.idle.push_back(Interval(cursor, schedule.finish()));
+    }
+    if (report.span > Duration::zero()) {
+      usage.utilization = static_cast<double>(usage.busy.ticks()) /
+                          static_cast<double>(report.span.ticks());
+    }
+    if (usage.lastCompletion == schedule.finish() &&
+        report.span > Duration::zero() && !report.bottleneck.isValid()) {
+      report.bottleneck = r;
+    }
+    report.usages.push_back(std::move(usage));
+  }
+
+  std::sort(report.usages.begin(), report.usages.end(),
+            [](const ResourceUsage& a, const ResourceUsage& b) {
+              if (a.utilization != b.utilization) {
+                return a.utilization > b.utilization;
+              }
+              return a.name < b.name;
+            });
+  return report;
+}
+
+}  // namespace paws

@@ -1,0 +1,33 @@
+// Per-resource timeline statistics — the scheduling-quality diagnostics a
+// designer reads next to the Gantt chart: how busy each resource is, where
+// it idles, and which resource is the makespan bottleneck.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/interval.hpp"
+#include "sched/schedule.hpp"
+
+namespace paws {
+
+struct ResourceUsage {
+  ResourceId resource;
+  std::string name;
+  Duration busy;                 ///< total task time on this resource
+  double utilization = 0.0;      ///< busy / schedule span
+  std::vector<Interval> idle;    ///< maximal idle intervals within the span
+  Time lastCompletion;           ///< when the resource's last task ends
+};
+
+struct ResourceUsageReport {
+  Duration span;                       ///< the schedule's makespan
+  std::vector<ResourceUsage> usages;   ///< descending by utilization
+  /// Resource whose last completion equals the makespan (the bottleneck);
+  /// invalid for an empty schedule.
+  ResourceId bottleneck = ResourceId::invalid();
+};
+
+ResourceUsageReport analyzeResourceUsage(const Schedule& schedule);
+
+}  // namespace paws

@@ -1,0 +1,53 @@
+// Lightweight precondition / invariant checking for the paws library.
+//
+// PAWS_CHECK is used to guard public API preconditions and internal
+// invariants that must hold regardless of build type. Violations throw
+// paws::CheckError (a std::logic_error) carrying the failing expression and
+// source location, which makes test assertions on misuse straightforward
+// (EXPECT_THROW(..., paws::CheckError)).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace paws {
+
+/// Thrown when a PAWS_CHECK precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PAWS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace paws
+
+/// Check a condition; throws paws::CheckError with the expression text on
+/// failure. Active in all build types — scheduler correctness depends on
+/// these guards and their cost is negligible next to graph relaxation.
+#define PAWS_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::paws::detail::checkFailed(#cond, __FILE__, __LINE__, "");     \
+  } while (false)
+
+/// PAWS_CHECK with a streamed message: PAWS_CHECK_MSG(x > 0, "x=" << x).
+#define PAWS_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream paws_check_os_;                                   \
+      paws_check_os_ << stream_expr;                                       \
+      ::paws::detail::checkFailed(#cond, __FILE__, __LINE__,               \
+                                  paws_check_os_.str());                   \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,17 @@
+#include "base/ids.hpp"
+
+#include <ostream>
+
+namespace paws {
+
+std::ostream& operator<<(std::ostream& os, TaskId id) {
+  if (!id.isValid()) return os << "task(invalid)";
+  return os << "task#" << id.value();
+}
+
+std::ostream& operator<<(std::ostream& os, ResourceId id) {
+  if (!id.isValid()) return os << "res(invalid)";
+  return os << "res#" << id.value();
+}
+
+}  // namespace paws

@@ -1,0 +1,61 @@
+// Strongly typed dense identifiers for tasks and resources.
+//
+// Tasks and resources live in contiguous arrays inside `Problem`; their ids
+// are array indices wrapped in distinct types so a TaskId cannot be passed
+// where a ResourceId is expected. Id 0 of the task space is reserved for the
+// scheduling *anchor* (the virtual task that starts at time 0, Section 5.1).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+namespace paws {
+
+namespace detail {
+
+/// CRTP-free tagged index. `Tag` only disambiguates the type.
+template <typename Tag>
+class DenseId {
+ public:
+  constexpr DenseId() = default;
+  constexpr explicit DenseId(std::uint32_t value) : value_(value) {}
+
+  static constexpr DenseId invalid() { return DenseId(kInvalid); }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool isValid() const { return value_ != kInvalid; }
+
+  constexpr auto operator<=>(const DenseId&) const = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t value_ = kInvalid;
+};
+
+}  // namespace detail
+
+struct TaskTag {};
+struct ResourceTag {};
+
+using TaskId = detail::DenseId<TaskTag>;
+using ResourceId = detail::DenseId<ResourceTag>;
+
+/// The virtual anchor task: always TaskId(0), zero delay, zero power,
+/// pinned at Time(0). Every problem owns one.
+inline constexpr TaskId kAnchorTask = TaskId(0);
+
+std::ostream& operator<<(std::ostream& os, TaskId id);
+std::ostream& operator<<(std::ostream& os, ResourceId id);
+
+}  // namespace paws
+
+template <typename Tag>
+struct std::hash<paws::detail::DenseId<Tag>> {
+  std::size_t operator()(paws::detail::DenseId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

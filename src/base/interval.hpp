@@ -1,0 +1,54 @@
+// Half-open time intervals [begin, end).
+//
+// Used for task activity windows, power-profile segments, and spike/gap
+// reports. Half-open intervals compose without double counting: a task
+// active on [0,5) and another on [5,10) never overlap at t=5, matching the
+// paper's convention that a task that "finishes at t" frees its power at t.
+#pragma once
+
+#include <algorithm>
+#include <iosfwd>
+
+#include "base/check.hpp"
+#include "base/time.hpp"
+
+namespace paws {
+
+/// Half-open interval [begin, end) on the schedule time line.
+class Interval {
+ public:
+  constexpr Interval() = default;
+  constexpr Interval(Time begin, Time end) : begin_(begin), end_(end) {}
+
+  [[nodiscard]] constexpr Time begin() const { return begin_; }
+  [[nodiscard]] constexpr Time end() const { return end_; }
+  [[nodiscard]] constexpr Duration length() const { return end_ - begin_; }
+  [[nodiscard]] constexpr bool empty() const { return end_ <= begin_; }
+
+  /// True when t lies inside [begin, end).
+  [[nodiscard]] constexpr bool contains(Time t) const {
+    return begin_ <= t && t < end_;
+  }
+  [[nodiscard]] constexpr bool contains(const Interval& o) const {
+    return begin_ <= o.begin_ && o.end_ <= end_;
+  }
+  /// True when the two half-open intervals share at least one point.
+  [[nodiscard]] constexpr bool overlaps(const Interval& o) const {
+    return begin_ < o.end_ && o.begin_ < end_;
+  }
+
+  /// Intersection; empty() when the intervals are disjoint.
+  [[nodiscard]] Interval intersect(const Interval& o) const {
+    return Interval(std::max(begin_, o.begin_), std::min(end_, o.end_));
+  }
+
+  constexpr bool operator==(const Interval&) const = default;
+
+ private:
+  Time begin_;
+  Time end_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+}  // namespace paws

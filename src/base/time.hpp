@@ -1,0 +1,119 @@
+// Integer time for schedules.
+//
+// The paper's schedules are non-preemptive with bounded integer execution
+// delays (seconds for the Mars rover). We model time as a signed 64-bit
+// count of *ticks*; the tick length is a convention of the problem being
+// scheduled (1 tick = 1 s for all paper experiments). Integer time keeps the
+// longest-path computations and the power-profile sweep exact.
+//
+// `Time` is a point on the schedule's time line (offset from the anchor,
+// which starts at 0); `Duration` is a signed separation between two points.
+// Both wrap int64_t with full arithmetic; they are distinct types so that
+// e.g. adding two Times is a compile error while Time + Duration is not.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace paws {
+
+class Duration;
+
+/// Signed separation between two points in schedule time, in ticks.
+/// Constraint-edge weights are Durations and may be negative (max-separation
+/// constraints are encoded as negative-weight back edges).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ticks) : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return ticks_; }
+
+  /// Largest representable separation; used as "unbounded slack".
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+  static constexpr Duration zero() { return Duration(0); }
+
+  [[nodiscard]] constexpr bool isZero() const { return ticks_ == 0; }
+  [[nodiscard]] constexpr bool isNegative() const { return ticks_ < 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(ticks_ + o.ticks_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(ticks_ - o.ticks_);
+  }
+  constexpr Duration operator-() const { return Duration(-ticks_); }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration(ticks_ * k);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ticks_ += o.ticks_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ticks_ -= o.ticks_;
+    return *this;
+  }
+
+ private:
+  std::int64_t ticks_ = 0;
+};
+
+/// A point on the schedule time line, as a tick offset from the anchor task
+/// (which executes at Time(0)).
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t ticks) : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr std::int64_t ticks() const { return ticks_; }
+
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() {
+    return Time(std::numeric_limits<std::int64_t>::max());
+  }
+  /// Sentinel for "not scheduled yet" / unreachable in longest-path runs.
+  static constexpr Time minusInfinity() {
+    return Time(std::numeric_limits<std::int64_t>::min());
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Duration d) const {
+    return Time(ticks_ + d.ticks());
+  }
+  constexpr Time operator-(Duration d) const {
+    return Time(ticks_ - d.ticks());
+  }
+  constexpr Duration operator-(Time o) const {
+    return Duration(ticks_ - o.ticks_);
+  }
+  constexpr Time& operator+=(Duration d) {
+    ticks_ += d.ticks();
+    return *this;
+  }
+
+ private:
+  std::int64_t ticks_ = 0;
+};
+
+/// Tick literals; the paper's problems use 1 tick = 1 second.
+namespace literals {
+constexpr Duration operator""_ticks(unsigned long long t) {
+  return Duration(static_cast<std::int64_t>(t));
+}
+constexpr Duration operator""_s(unsigned long long t) {
+  return Duration(static_cast<std::int64_t>(t));
+}
+}  // namespace literals
+
+std::ostream& operator<<(std::ostream& os, Time t);
+std::ostream& operator<<(std::ostream& os, Duration d);
+
+}  // namespace paws

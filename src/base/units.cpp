@@ -1,0 +1,60 @@
+#include "base/units.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "base/check.hpp"
+#include "base/interval.hpp"
+
+namespace paws {
+namespace {
+
+// Prints a value stored as integer thousandths (mW or mJ) in decimal form
+// with trailing zeros trimmed: 14900 -> "14.9", 25 -> "0.025", -500 -> "-0.5".
+void printThousandths(std::ostream& os, std::int64_t value) {
+  if (value < 0) {
+    os << '-';
+    value = -value;
+  }
+  os << value / 1000;
+  std::int64_t frac = value % 1000;
+  if (frac != 0) {
+    char digits[4] = {static_cast<char>('0' + frac / 100),
+                      static_cast<char>('0' + (frac / 10) % 10),
+                      static_cast<char>('0' + frac % 10), '\0'};
+    int len = 3;
+    while (len > 0 && digits[len - 1] == '0') digits[--len] = '\0';
+    os << '.' << digits;
+  }
+}
+
+}  // namespace
+
+double Energy::ratioOf(Energy denominator) const {
+  PAWS_CHECK_MSG(denominator.mwt_ > 0,
+                 "utilization denominator must be positive, got "
+                     << denominator.mwt_ << " mW·ticks");
+  return static_cast<double>(mwt_) / static_cast<double>(denominator.mwt_);
+}
+
+std::ostream& operator<<(std::ostream& os, Watts w) {
+  printThousandths(os, w.milliwatts());
+  return os << 'W';
+}
+
+std::ostream& operator<<(std::ostream& os, Energy e) {
+  printThousandths(os, e.milliwattTicks());
+  return os << 'J';
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.ticks(); }
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ticks();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.begin() << ", " << iv.end() << ')';
+}
+
+}  // namespace paws

@@ -1,0 +1,130 @@
+// Fixed-point power and energy units.
+//
+// Table 2 of the paper quotes power in watts with one decimal digit
+// (e.g. the solar panel delivers 14.9 W at noon). Floating point would make
+// the power-profile comparisons (spike/gap detection, utilization ratios)
+// depend on summation order; instead `Watts` stores an integral number of
+// *milliwatts*, making every profile sum, budget comparison and energy
+// integral exact. `Energy` is the product of power and integer time:
+// milliwatt-ticks, which equals millijoules when 1 tick = 1 s.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+#include "base/time.hpp"
+
+namespace paws {
+
+class Energy;
+
+/// Power as an exact count of milliwatts (signed; profile deltas during the
+/// event sweep are negative when a task retires).
+class Watts {
+ public:
+  constexpr Watts() = default;
+
+  /// Named constructors; `fromWatts(double)` rounds to the nearest mW and is
+  /// meant for literal-style inputs such as Table 2's one-decimal values.
+  static constexpr Watts fromMilliwatts(std::int64_t mw) { return Watts(mw); }
+  static constexpr Watts fromWatts(double w) {
+    return Watts(static_cast<std::int64_t>(w * 1000.0 + (w >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Watts zero() { return Watts(0); }
+  static constexpr Watts max() {
+    return Watts(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t milliwatts() const { return mw_; }
+  [[nodiscard]] constexpr double watts() const {
+    return static_cast<double>(mw_) / 1000.0;
+  }
+  [[nodiscard]] constexpr bool isZero() const { return mw_ == 0; }
+
+  constexpr auto operator<=>(const Watts&) const = default;
+
+  constexpr Watts operator+(Watts o) const { return Watts(mw_ + o.mw_); }
+  constexpr Watts operator-(Watts o) const { return Watts(mw_ - o.mw_); }
+  constexpr Watts operator-() const { return Watts(-mw_); }
+  constexpr Watts& operator+=(Watts o) {
+    mw_ += o.mw_;
+    return *this;
+  }
+  constexpr Watts& operator-=(Watts o) {
+    mw_ -= o.mw_;
+    return *this;
+  }
+
+  /// Energy spent holding this power level for `d` ticks.
+  constexpr Energy operator*(Duration d) const;
+
+ private:
+  constexpr explicit Watts(std::int64_t mw) : mw_(mw) {}
+  std::int64_t mw_ = 0;
+};
+
+/// Energy as an exact count of milliwatt-ticks (mJ at 1-second ticks).
+class Energy {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy fromMilliwattTicks(std::int64_t mwt) {
+    return Energy(mwt);
+  }
+  static constexpr Energy zero() { return Energy(0); }
+
+  [[nodiscard]] constexpr std::int64_t milliwattTicks() const { return mwt_; }
+  /// Joules under the 1 tick = 1 s convention.
+  [[nodiscard]] constexpr double joules() const {
+    return static_cast<double>(mwt_) / 1000.0;
+  }
+  [[nodiscard]] constexpr bool isZero() const { return mwt_ == 0; }
+
+  constexpr auto operator<=>(const Energy&) const = default;
+
+  constexpr Energy operator+(Energy o) const { return Energy(mwt_ + o.mwt_); }
+  constexpr Energy operator-(Energy o) const { return Energy(mwt_ - o.mwt_); }
+  constexpr Energy& operator+=(Energy o) {
+    mwt_ += o.mwt_;
+    return *this;
+  }
+
+  /// Exact ratio of two energies as a double in [0, 1] for utilization
+  /// metrics; denominator must be positive.
+  [[nodiscard]] double ratioOf(Energy denominator) const;
+
+ private:
+  constexpr explicit Energy(std::int64_t mwt) : mwt_(mwt) {}
+  std::int64_t mwt_ = 0;
+};
+
+constexpr Energy Watts::operator*(Duration d) const {
+  return Energy::fromMilliwattTicks(mw_ * d.ticks());
+}
+constexpr Energy operator*(Duration d, Watts p) { return p * d; }
+
+/// Power literals: 12.5_W, 300_mW.
+namespace literals {
+constexpr Watts operator""_W(long double w) {
+  return Watts::fromWatts(static_cast<double>(w));
+}
+constexpr Watts operator""_W(unsigned long long w) {
+  return Watts::fromMilliwatts(static_cast<std::int64_t>(w) * 1000);
+}
+constexpr Watts operator""_mW(unsigned long long mw) {
+  return Watts::fromMilliwatts(static_cast<std::int64_t>(mw));
+}
+constexpr Energy operator""_J(long double j) {
+  return Energy::fromMilliwattTicks(
+      static_cast<std::int64_t>(j * 1000.0 + 0.5));
+}
+constexpr Energy operator""_J(unsigned long long j) {
+  return Energy::fromMilliwattTicks(static_cast<std::int64_t>(j) * 1000);
+}
+}  // namespace literals
+
+std::ostream& operator<<(std::ostream& os, Watts w);
+std::ostream& operator<<(std::ostream& os, Energy e);
+
+}  // namespace paws

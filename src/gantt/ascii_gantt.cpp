@@ -1,0 +1,178 @@
+#include "gantt/ascii_gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace paws {
+
+namespace {
+
+std::size_t columnOf(Time t, std::int64_t ticksPerColumn) {
+  return static_cast<std::size_t>(t.ticks() / ticksPerColumn);
+}
+
+/// Widest resource name, for row label alignment.
+std::size_t labelWidth(const Problem& p) {
+  std::size_t w = 5;  // at least "power"
+  for (ResourceId r : p.resourceIds()) {
+    w = std::max(w, p.resource(r).name.size());
+  }
+  return w;
+}
+
+void appendAxis(std::ostringstream& os, std::size_t label, std::size_t cols,
+                std::int64_t ticksPerColumn) {
+  os << std::string(label, ' ') << " +";
+  for (std::size_t c = 0; c < cols; ++c) {
+    os << ((c % 10 == 0) ? '|' : '-');
+  }
+  os << "\n" << std::string(label, ' ') << "  ";
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (c % 10 == 0) {
+      const std::string mark = std::to_string(
+          static_cast<long long>(c) * ticksPerColumn);
+      os << mark;
+      c += mark.size() - 1;
+    } else {
+      os << ' ';
+    }
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string renderTimeView(const Schedule& schedule,
+                           const AsciiGanttOptions& options) {
+  PAWS_CHECK(options.ticksPerColumn >= 1);
+  const Problem& p = schedule.problem();
+  const std::size_t cols =
+      columnOf(schedule.finish(), options.ticksPerColumn) + 1;
+  const std::size_t label = labelWidth(p);
+
+  std::ostringstream os;
+  os << "time view (1 col = " << options.ticksPerColumn << " tick"
+     << (options.ticksPerColumn == 1 ? "" : "s") << ")\n";
+
+  for (ResourceId r : p.resourceIds()) {
+    std::string row(cols, '.');
+    for (TaskId v : p.taskIds()) {
+      const Task& task = p.task(v);
+      if (task.resource != r) continue;
+      const std::size_t from = columnOf(schedule.start(v),
+                                        options.ticksPerColumn);
+      std::size_t to = columnOf(schedule.end(v) - Duration(1),
+                                options.ticksPerColumn);
+      to = std::min(to, cols - 1);
+      for (std::size_t c = from; c <= to; ++c) row[c] = '-';
+      if (from <= to) row[from] = '[';
+      if (to > from) row[to] = ']';
+      // Slack annotation: '~' columns the bin could slip into.
+      if (v.index() < options.slacks.size()) {
+        const Duration slack = options.slacks[v.index()];
+        if (slack > Duration::zero() && slack != Duration::max()) {
+          const std::size_t slackCols = static_cast<std::size_t>(
+              slack.ticks() / options.ticksPerColumn);
+          for (std::size_t k = 1; k <= slackCols && to + k < cols; ++k) {
+            if (row[to + k] == '.') row[to + k] = '~';
+          }
+        }
+      }
+      // Inline the task name (truncated to the bin interior).
+      for (std::size_t k = 0;
+           k < task.name.size() && from + 1 + k < to; ++k) {
+        row[from + 1 + k] = task.name[k];
+      }
+      if (to == from && !task.name.empty()) row[from] = task.name[0];
+    }
+    os << p.resource(r).name
+       << std::string(label - p.resource(r).name.size(), ' ') << " |" << row
+       << "\n";
+  }
+  appendAxis(os, label, cols, options.ticksPerColumn);
+  return os.str();
+}
+
+std::string renderPowerView(const Schedule& schedule,
+                            const AsciiGanttOptions& options) {
+  PAWS_CHECK(options.ticksPerColumn >= 1);
+  PAWS_CHECK(options.wattsPerRow > Watts::zero());
+  const Problem& p = schedule.problem();
+  const PowerProfile& profile = schedule.powerProfile();
+  const std::size_t cols =
+      columnOf(schedule.finish(), options.ticksPerColumn) + 1;
+  const std::size_t label = labelWidth(p);
+
+  auto rowOf = [&](Watts w) -> std::int64_t {
+    // Row r covers ((r-1)*wattsPerRow, r*wattsPerRow]; a column reaches row
+    // r when its power exceeds (r-1)*wattsPerRow.
+    const std::int64_t unit = options.wattsPerRow.milliwatts();
+    return (w.milliwatts() + unit - 1) / unit;
+  };
+
+  const Watts top = std::max(
+      {profile.peak(),
+       p.maxPower() == Watts::max() ? Watts::zero() : p.maxPower(),
+       p.minPower()});
+  const std::int64_t rows = std::max<std::int64_t>(rowOf(top), 1);
+  const std::int64_t pmaxRow =
+      p.maxPower() == Watts::max() ? -1 : rowOf(p.maxPower());
+  const std::int64_t pminRow =
+      p.minPower() > Watts::zero() ? rowOf(p.minPower()) : -1;
+
+  // Column heights from the profile, sampled at column start. Spikes are
+  // detected on the exact power values, not the quantized rows, so even a
+  // violation smaller than one row is marked.
+  std::vector<std::int64_t> height(cols, 0);
+  std::vector<bool> spiky(cols, false);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const Time t(static_cast<std::int64_t>(c) * options.ticksPerColumn);
+    const Watts value = profile.valueAt(t);
+    height[c] = rowOf(value);
+    spiky[c] = p.maxPower() != Watts::max() && value > p.maxPower();
+  }
+
+  std::ostringstream os;
+  os << "power view (1 row = " << options.wattsPerRow << ")";
+  if (options.annotateLimits) {
+    if (pmaxRow >= 0) os << "  Pmax=" << p.maxPower();
+    if (pminRow >= 0) os << "  Pmin=" << p.minPower();
+  }
+  os << "\n";
+
+  for (std::int64_t r = rows; r >= 1; --r) {
+    std::string row(cols, ' ');
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (height[c] >= r) {
+        row[c] = spiky[c] ? '!' : '#';
+      }
+    }
+    char edge = '|';
+    std::string tag(label, ' ');
+    if (options.annotateLimits && r == pmaxRow) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (row[c] == ' ') row[c] = '=';
+      }
+      tag.replace(0, std::min<std::size_t>(4, label), "Pmax");
+    } else if (options.annotateLimits && r == pminRow) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (row[c] == ' ') row[c] = '-';
+      }
+      tag.replace(0, std::min<std::size_t>(4, label), "Pmin");
+    }
+    os << tag << " " << edge << row << "\n";
+  }
+  appendAxis(os, label, cols, options.ticksPerColumn);
+  return os.str();
+}
+
+std::string renderGantt(const Schedule& schedule,
+                        const AsciiGanttOptions& options) {
+  return renderTimeView(schedule, options) + "\n" +
+         renderPowerView(schedule, options);
+}
+
+}  // namespace paws

@@ -1,0 +1,48 @@
+// ASCII power-aware Gantt chart (Section 4.3).
+//
+// Renders a schedule in the paper's two coordinated views:
+//   * time view  — one row per execution resource, each task drawn as a
+//     bin [name---] spanning its activity window;
+//   * power view — the power profile P(t) as a bar chart over the same
+//     time axis, annotated with the Pmax budget line ('=' row) and the
+//     Pmin floor line ('-' row); columns above Pmax mark power spikes,
+//     columns below Pmin reveal power gaps.
+//
+// The renderer is deterministic and plain-ASCII so test expectations and
+// terminal output stay stable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace paws {
+
+struct AsciiGanttOptions {
+  /// Ticks represented by one character column (>= 1).
+  std::int64_t ticksPerColumn = 1;
+  /// Watts represented by one row of the power view (> 0).
+  Watts wattsPerRow = Watts::fromWatts(2.0);
+  /// Draw the Pmax / Pmin annotation lines.
+  bool annotateLimits = true;
+  /// Slack per vertex (from sched/slack.hpp), vertex-indexed; when
+  /// non-empty, each bin's slack is drawn as '~' columns after it — the
+  /// paper's "slacks can be intuitively visualized by selectively
+  /// annotating the bins".
+  std::vector<Duration> slacks;
+};
+
+/// Time view only.
+std::string renderTimeView(const Schedule& schedule,
+                           const AsciiGanttOptions& options = {});
+
+/// Power view only.
+std::string renderPowerView(const Schedule& schedule,
+                            const AsciiGanttOptions& options = {});
+
+/// The full power-aware Gantt chart: time view above power view.
+std::string renderGantt(const Schedule& schedule,
+                        const AsciiGanttOptions& options = {});
+
+}  // namespace paws

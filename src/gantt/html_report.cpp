@@ -1,0 +1,127 @@
+#include "gantt/html_report.hpp"
+
+#include <sstream>
+
+#include "analysis/analysis.hpp"
+#include "analysis/breakdown.hpp"
+#include "gantt/svg_gantt.hpp"
+
+namespace paws {
+
+namespace {
+
+std::string escapeHtml(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Inline SVG polyline of the exact Ec(Pmin) curve.
+std::string ecCurveSvg(const Schedule& s) {
+  const auto curve = ScheduleAnalysis::energyCostCurve(s);
+  if (curve.size() < 2) return {};
+  const double w = 420, h = 160, m = 30;
+  const double maxP = static_cast<double>(curve.back().pmin.milliwatts());
+  const double maxE =
+      static_cast<double>(curve.front().cost.milliwattTicks());
+  if (maxP <= 0 || maxE <= 0) return {};
+  std::ostringstream os;
+  os << "<svg width=\"" << w << "\" height=\"" << h
+     << "\" font-family=\"sans-serif\" font-size=\"10\">";
+  os << "<polyline fill=\"none\" stroke=\"#3182bd\" stroke-width=\"2\" "
+        "points=\"";
+  for (const EcBreakpoint& bp : curve) {
+    const double x =
+        m + (w - 2 * m) * static_cast<double>(bp.pmin.milliwatts()) / maxP;
+    const double y =
+        h - m -
+        (h - 2 * m) * static_cast<double>(bp.cost.milliwattTicks()) / maxE;
+    os << x << ',' << y << ' ';
+  }
+  os << "\"/>";
+  os << "<line x1=\"" << m << "\" y1=\"" << h - m << "\" x2=\"" << w - m
+     << "\" y2=\"" << h - m << "\" stroke=\"#333\"/>";
+  os << "<line x1=\"" << m << "\" y1=\"" << m << "\" x2=\"" << m
+     << "\" y2=\"" << h - m << "\" stroke=\"#333\"/>";
+  os << "<text x=\"" << w / 2 << "\" y=\"" << h - 6
+     << "\" text-anchor=\"middle\">Pmin (W)</text>";
+  os << "<text x=\"10\" y=\"" << m - 8 << "\">Ec (J)</text>";
+  os << "</svg>";
+  return os.str();
+}
+
+}  // namespace
+
+std::string renderHtmlReport(const Schedule& schedule,
+                             const HtmlReportOptions& options) {
+  const Problem& p = schedule.problem();
+  const std::string title =
+      options.title.empty() ? p.name() : options.title;
+  const ValidationReport report = ScheduleValidator(p).validate(schedule);
+  const EnergyBreakdown breakdown = computeEnergyBreakdown(schedule);
+
+  std::ostringstream os;
+  os << "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>"
+     << escapeHtml(title) << "</title><style>"
+     << "body{font-family:sans-serif;margin:2em;max-width:1100px}"
+     << "table{border-collapse:collapse}td,th{border:1px solid #ccc;"
+     << "padding:4px 10px;text-align:right}th{background:#f0f0f0}"
+     << ".ok{color:#2a7a2a}.bad{color:#b22}"
+     << "</style></head><body>";
+  os << "<h1>" << escapeHtml(title) << "</h1>";
+
+  os << "<h2>Verdict: <span class=\""
+     << (report.valid() ? "ok\">VALID" : "bad\">INVALID") << "</span></h2>";
+  if (!report.valid()) {
+    os << "<ul>";
+    for (const Violation& v : report.violations) {
+      std::ostringstream line;
+      line << v;
+      os << "<li class=\"bad\">" << escapeHtml(line.str()) << "</li>";
+    }
+    os << "</ul>";
+  }
+
+  os << "<h2>Power metrics</h2><table>"
+     << "<tr><th>finish &tau;</th><th>energy cost Ec(Pmin)</th>"
+     << "<th>utilization &rho;</th><th>peak</th><th>valid for</th></tr>"
+     << "<tr><td>" << schedule.finish().ticks() << "</td><td>"
+     << schedule.energyCost(p.minPower()) << "</td><td>"
+     << static_cast<int>(100.0 * schedule.utilization(p.minPower()) + 0.5)
+     << "%</td><td>" << schedule.powerProfile().peak() << "</td><td>Pmax &ge; "
+     << ScheduleAnalysis::minimalValidPmax(schedule) << "</td></tr></table>";
+
+  os << "<h2>Power-aware Gantt chart</h2>" << renderSvgGantt(schedule);
+
+  os << "<h2>Energy cost sensitivity</h2>" << ecCurveSvg(schedule);
+
+  os << "<h2>Energy breakdown</h2><table>"
+     << "<tr><th>consumer</th><th>energy</th><th>share</th></tr>";
+  const auto row = [&os](const EnergyShare& s) {
+    os << "<tr><td style=\"text-align:left\">" << escapeHtml(s.name)
+       << "</td><td>" << s.energy << "</td><td>"
+       << static_cast<int>(s.fraction * 100.0 + 0.5) << "%</td></tr>";
+  };
+  row(breakdown.background);
+  for (const EnergyShare& s : breakdown.byResource) row(s);
+  os << "</table>";
+
+  os << "</body></html>";
+  return os.str();
+}
+
+}  // namespace paws

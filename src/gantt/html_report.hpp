@@ -1,0 +1,25 @@
+// Self-contained HTML schedule report.
+//
+// One file, zero external assets: the SVG power-aware Gantt chart, the
+// headline power metrics, the exact Ec(Pmin) sensitivity curve, the energy
+// breakdown by resource, and the hard-constraint verdict. This is the
+// artifact a designer attaches to a review — the batch-mode stand-in for
+// the IMPACCT GUI.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "validate/validator.hpp"
+
+namespace paws {
+
+struct HtmlReportOptions {
+  std::string title;  ///< defaults to the problem name
+};
+
+/// Renders the complete report document.
+std::string renderHtmlReport(const Schedule& schedule,
+                             const HtmlReportOptions& options = {});
+
+}  // namespace paws

@@ -1,0 +1,149 @@
+#include "gantt/svg_gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace paws {
+
+namespace {
+
+const char* kPalette[] = {"#4c78a8", "#f58518", "#54a24b", "#e45756",
+                          "#72b7b2", "#b279a2", "#eeca3b", "#9d755d"};
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string renderSvgGantt(const Schedule& schedule,
+                           const SvgGanttOptions& opt) {
+  PAWS_CHECK(opt.pixelsPerTick > 0 && opt.pixelsPerWatt > 0);
+  const Problem& p = schedule.problem();
+  const PowerProfile& profile = schedule.powerProfile();
+
+  const double width =
+      opt.margin * 2 +
+      static_cast<double>(schedule.finish().ticks()) * opt.pixelsPerTick;
+
+  // Time view: each resource row is as tall as its most power-hungry task.
+  std::vector<double> rowHeight(p.numResources(), 10.0);
+  for (TaskId v : p.taskIds()) {
+    const Task& t = p.task(v);
+    rowHeight[t.resource.index()] =
+        std::max(rowHeight[t.resource.index()], t.power.watts() * opt.pixelsPerWatt);
+  }
+  double timeViewHeight = 0;
+  std::vector<double> rowTop(p.numResources(), 0.0);
+  for (std::size_t r = 0; r < p.numResources(); ++r) {
+    rowTop[r] = timeViewHeight;
+    timeViewHeight += rowHeight[r] + opt.rowGap;
+  }
+
+  const Watts topPower =
+      std::max({profile.peak(),
+                p.maxPower() == Watts::max() ? Watts::zero() : p.maxPower(),
+                p.minPower()});
+  const double powerViewHeight = topPower.watts() * opt.pixelsPerWatt + 10;
+  const double powerTop = opt.margin + timeViewHeight + 30;
+  const double powerBase = powerTop + powerViewHeight;
+  const double height = powerBase + opt.margin;
+
+  auto x = [&](Time t) {
+    return opt.margin + static_cast<double>(t.ticks()) * opt.pixelsPerTick;
+  };
+  auto py = [&](Watts w) { return powerBase - w.watts() * opt.pixelsPerWatt; };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\" "
+     << "font-size=\"10\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // --- time view ---
+  for (std::size_t r = 0; r < p.numResources(); ++r) {
+    const double y = opt.margin + rowTop[r];
+    os << "<text x=\"4\" y=\"" << y + rowHeight[r] / 2
+       << "\" dominant-baseline=\"middle\">"
+       << escape(p.resource(ResourceId(static_cast<std::uint32_t>(r))).name
+                     .empty()
+                     ? "res"
+                     : p.resource(ResourceId(static_cast<std::uint32_t>(r)))
+                           .name)
+       << "</text>\n";
+    os << "<line x1=\"" << opt.margin << "\" y1=\"" << y + rowHeight[r]
+       << "\" x2=\"" << width - opt.margin << "\" y2=\"" << y + rowHeight[r]
+       << "\" stroke=\"#ddd\"/>\n";
+  }
+  for (TaskId v : p.taskIds()) {
+    const Task& t = p.task(v);
+    const std::size_t r = t.resource.index();
+    const double h = t.power.watts() * opt.pixelsPerWatt;
+    const double y = opt.margin + rowTop[r] + (rowHeight[r] - h);
+    const double bx = x(schedule.start(v));
+    const double bw = static_cast<double>(t.delay.ticks()) * opt.pixelsPerTick;
+    os << "<rect x=\"" << bx << "\" y=\"" << y << "\" width=\"" << bw
+       << "\" height=\"" << h << "\" fill=\""
+       << kPalette[v.index() % (sizeof(kPalette) / sizeof(kPalette[0]))]
+       << "\" fill-opacity=\"0.8\" stroke=\"#333\"/>\n";
+    os << "<text x=\"" << bx + 3 << "\" y=\"" << y + h / 2
+       << "\" dominant-baseline=\"middle\" fill=\"white\">" << escape(t.name)
+       << "</text>\n";
+  }
+
+  // --- power view: stepped profile polygon ---
+  os << "<text x=\"4\" y=\"" << powerTop - 8 << "\">power profile</text>\n";
+  std::ostringstream points;
+  points << x(Time::zero()) << ',' << powerBase << ' ';
+  for (const PowerSegment& s : profile.segments()) {
+    points << x(s.interval.begin()) << ',' << py(s.power) << ' ';
+    points << x(s.interval.end()) << ',' << py(s.power) << ' ';
+  }
+  points << x(schedule.finish()) << ',' << powerBase;
+  os << "<polygon points=\"" << points.str()
+     << "\" fill=\"#9ecae1\" fill-opacity=\"0.6\" stroke=\"#3182bd\"/>\n";
+
+  auto limitLine = [&](Watts w, const char* color, const char* name) {
+    os << "<line x1=\"" << opt.margin << "\" y1=\"" << py(w) << "\" x2=\""
+       << width - opt.margin << "\" y2=\"" << py(w) << "\" stroke=\"" << color
+       << "\" stroke-dasharray=\"6,3\"/>\n";
+    os << "<text x=\"" << width - opt.margin + 2 << "\" y=\"" << py(w)
+       << "\" dominant-baseline=\"middle\" fill=\"" << color << "\">" << name
+       << "</text>\n";
+  };
+  if (p.maxPower() != Watts::max()) limitLine(p.maxPower(), "#d62728", "Pmax");
+  if (p.minPower() > Watts::zero()) limitLine(p.minPower(), "#2ca02c", "Pmin");
+
+  // Time axis.
+  os << "<line x1=\"" << opt.margin << "\" y1=\"" << powerBase << "\" x2=\""
+     << width - opt.margin << "\" y2=\"" << powerBase
+     << "\" stroke=\"#333\"/>\n";
+  for (std::int64_t t = 0; t <= schedule.finish().ticks();
+       t += std::max<std::int64_t>(1, schedule.finish().ticks() / 15)) {
+    os << "<text x=\"" << x(Time(t)) << "\" y=\"" << powerBase + 12
+       << "\" text-anchor=\"middle\">" << t << "</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace paws

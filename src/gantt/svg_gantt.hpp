@@ -1,0 +1,26 @@
+// SVG power-aware Gantt chart — the publication-quality rendering of the
+// same two views as ascii_gantt.hpp: task bins per resource row (bin height
+// scaled to power so area = energy, exactly as Section 4.3 describes) above
+// the stepped power profile with Pmax/Pmin annotation lines.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace paws {
+
+struct SvgGanttOptions {
+  double pixelsPerTick = 12.0;
+  double pixelsPerWatt = 6.0;
+  /// Vertical gap between resource rows in the time view.
+  double rowGap = 14.0;
+  /// Chart margin in pixels.
+  double margin = 40.0;
+};
+
+/// Renders the complete chart as a standalone SVG document.
+std::string renderSvgGantt(const Schedule& schedule,
+                           const SvgGanttOptions& options = {});
+
+}  // namespace paws

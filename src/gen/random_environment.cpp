@@ -1,0 +1,37 @@
+#include "gen/random_environment.hpp"
+
+#include <random>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace paws {
+
+GeneratedEnvironment generateRandomEnvironment(
+    const EnvironmentConfig& config) {
+  PAWS_CHECK(config.phases >= 1);
+  std::mt19937 rng(config.seed);
+  const auto uniform = [&rng](std::int64_t lo, std::int64_t hi) {
+    PAWS_CHECK(hi >= lo);
+    return lo + static_cast<std::int64_t>(
+                    rng() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+
+  std::vector<SolarSource::Phase> phases;
+  Time start = Time::zero();
+  for (std::size_t i = 0; i < config.phases; ++i) {
+    phases.push_back(SolarSource::Phase{
+        start,
+        Watts::fromMilliwatts(uniform(config.minSolarMw, config.maxSolarMw))});
+    start += Duration(uniform(config.minPhaseTicks, config.maxPhaseTicks));
+  }
+
+  Battery battery(
+      Watts::fromMilliwatts(uniform(config.minBatteryMw, config.maxBatteryMw)),
+      Energy::fromMilliwattTicks(
+          uniform(config.minCapacityMwt, config.maxCapacityMwt)));
+  return GeneratedEnvironment{SolarSource(std::move(phases)),
+                              std::move(battery)};
+}
+
+}  // namespace paws

@@ -1,0 +1,39 @@
+// Seeded random mission environments (solar profiles + batteries) for
+// runtime-executor property tests and robustness benches — the
+// environmental counterpart of random_problem.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "power/sources.hpp"
+
+namespace paws {
+
+struct EnvironmentConfig {
+  std::uint32_t seed = 1;
+  /// Number of solar phases (>= 1), each with a random level and span.
+  std::size_t phases = 4;
+  /// Solar level range, milliwatts.
+  std::int64_t minSolarMw = 2000;
+  std::int64_t maxSolarMw = 20000;
+  /// Phase length range, ticks.
+  std::int64_t minPhaseTicks = 50;
+  std::int64_t maxPhaseTicks = 400;
+  /// Battery output range, milliwatts.
+  std::int64_t minBatteryMw = 5000;
+  std::int64_t maxBatteryMw = 15000;
+  /// Battery capacity range, milliwatt-ticks.
+  std::int64_t minCapacityMwt = 50'000'000;
+  std::int64_t maxCapacityMwt = 500'000'000;
+};
+
+struct GeneratedEnvironment {
+  SolarSource solar;
+  Battery battery;
+};
+
+/// Deterministic per seed, like the problem generator.
+GeneratedEnvironment generateRandomEnvironment(
+    const EnvironmentConfig& config);
+
+}  // namespace paws

@@ -1,0 +1,140 @@
+#include "gen/random_problem.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+#include "power/profile.hpp"
+
+namespace paws {
+
+namespace {
+
+/// Uniform integer in [lo, hi] via modular arithmetic (bias is irrelevant
+/// for test workloads and this keeps cross-platform determinism).
+std::int64_t uniform(std::mt19937& rng, std::int64_t lo, std::int64_t hi) {
+  PAWS_CHECK(hi >= lo);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(rng() % span);
+}
+
+}  // namespace
+
+GeneratedProblem generateRandomProblem(const GeneratorConfig& config) {
+  PAWS_CHECK(config.numTasks >= 1);
+  PAWS_CHECK(config.numResources >= 1);
+  PAWS_CHECK(config.minDelay >= 1 && config.maxDelay >= config.minDelay);
+  PAWS_CHECK(config.minPowerMw >= 0 &&
+             config.maxPowerMw >= config.minPowerMw);
+
+  std::mt19937 rng(config.seed);
+  Problem p("random_seed" + std::to_string(config.seed));
+  p.setBackgroundPower(config.backgroundPower);
+
+  std::vector<ResourceId> resources;
+  resources.reserve(config.numResources);
+  for (std::size_t r = 0; r < config.numResources; ++r) {
+    resources.push_back(p.addResource("r" + std::to_string(r)));
+  }
+
+  // Tasks with random delay/power, round-robin-ish random resource mapping.
+  struct Gen {
+    TaskId id;
+    Duration delay;
+    std::size_t resource;
+  };
+  std::vector<Gen> tasks;
+  tasks.reserve(config.numTasks);
+  for (std::size_t i = 0; i < config.numTasks; ++i) {
+    const Duration delay(uniform(rng, config.minDelay, config.maxDelay));
+    const Watts power = Watts::fromMilliwatts(
+        uniform(rng, config.minPowerMw, config.maxPowerMw));
+    const std::size_t res =
+        static_cast<std::size_t>(uniform(rng, 0, static_cast<std::int64_t>(
+                                                     config.numResources - 1)));
+    const TaskId id =
+        p.addTask("t" + std::to_string(i), delay, power, resources[res]);
+    tasks.push_back(Gen{id, delay, res});
+  }
+
+  // Witness: per resource, lay its tasks end-to-end in id order with random
+  // idle, each resource lane independently offset.
+  std::vector<Time> witness(p.numVertices(), Time::zero());
+  {
+    std::vector<Time> laneCursor(config.numResources, Time::zero());
+    for (std::size_t r = 0; r < config.numResources; ++r) {
+      laneCursor[r] = Time(uniform(rng, 0, config.witnessJitter));
+    }
+    for (const Gen& t : tasks) {
+      Time& cursor = laneCursor[t.resource];
+      cursor += Duration(uniform(rng, 0, config.witnessJitter));
+      witness[t.id.index()] = cursor;
+      cursor += t.delay;
+    }
+  }
+
+  // Min separations: sample ordered pairs (u before v on the witness) and
+  // require at most their witness distance, so the witness stays valid.
+  const auto sampleCount = [](double perTask, std::size_t n) {
+    return static_cast<std::size_t>(perTask * static_cast<double>(n) + 0.5);
+  };
+
+  const std::size_t numMin = sampleCount(config.minSepPerTask, tasks.size());
+  for (std::size_t k = 0; k < numMin && tasks.size() >= 2; ++k) {
+    const std::size_t i = static_cast<std::size_t>(
+        uniform(rng, 0, static_cast<std::int64_t>(tasks.size() - 1)));
+    const std::size_t j = static_cast<std::size_t>(
+        uniform(rng, 0, static_cast<std::int64_t>(tasks.size() - 1)));
+    if (i == j) continue;
+    TaskId u = tasks[i].id;
+    TaskId v = tasks[j].id;
+    if (witness[u.index()] == witness[v.index()]) continue;
+    if (witness[u.index()] > witness[v.index()]) std::swap(u, v);
+    const Duration dist = witness[v.index()] - witness[u.index()];
+    const Duration sep(uniform(rng, 1, dist.ticks()));
+    p.minSeparation(u, v, sep);
+  }
+
+  // Max separations: witness distance plus headroom, always satisfiable.
+  const std::size_t numMax = sampleCount(config.maxSepPerTask, tasks.size());
+  for (std::size_t k = 0; k < numMax && tasks.size() >= 2; ++k) {
+    const std::size_t i = static_cast<std::size_t>(
+        uniform(rng, 0, static_cast<std::int64_t>(tasks.size() - 1)));
+    const std::size_t j = static_cast<std::size_t>(
+        uniform(rng, 0, static_cast<std::int64_t>(tasks.size() - 1)));
+    if (i == j) continue;
+    TaskId u = tasks[i].id;
+    TaskId v = tasks[j].id;
+    if (witness[u.index()] > witness[v.index()]) std::swap(u, v);
+    const Duration dist = witness[v.index()] - witness[u.index()];
+    const Duration sep =
+        dist + Duration(uniform(rng, 1, config.maxSepHeadroom));
+    p.maxSeparation(u, v, sep);
+  }
+
+  // Optional poison pill: a min/max window that cannot be satisfied makes
+  // the whole instance provably infeasible.
+  if (config.injectContradiction && tasks.size() >= 2) {
+    const TaskId u = tasks[0].id;
+    const TaskId v = tasks[1].id;
+    const Duration atLeast(uniform(rng, 10, 30));
+    p.minSeparation(u, v, atLeast);
+    p.maxSeparation(u, v, atLeast - Duration(uniform(rng, 1, 9)));
+  }
+
+  // Power limits from the witness profile.
+  if (config.powerFeasible) {
+    const PowerProfile witnessProfile = profileOf(p, witness);
+    const Watts peak = witnessProfile.peak();
+    p.setMaxPower(peak + Watts::fromMilliwatts(config.pmaxHeadroomMw));
+    if (config.pminFraction > 0.0) {
+      p.setMinPower(Watts::fromMilliwatts(static_cast<std::int64_t>(
+          static_cast<double>(peak.milliwatts()) * config.pminFraction)));
+    }
+  }
+
+  return GeneratedProblem{std::move(p), std::move(witness)};
+}
+
+}  // namespace paws

@@ -1,0 +1,68 @@
+#include "graph/constraint_graph.hpp"
+
+#include <ostream>
+
+namespace paws {
+
+const char* toString(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kUserMin:
+      return "min";
+    case EdgeKind::kUserMax:
+      return "max";
+    case EdgeKind::kRelease:
+      return "release";
+    case EdgeKind::kSerialization:
+      return "serialize";
+    case EdgeKind::kDelay:
+      return "delay";
+    case EdgeKind::kLock:
+      return "lock";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, EdgeKind kind) {
+  return os << toString(kind);
+}
+
+ConstraintGraph::ConstraintGraph(std::size_t numVertices)
+    : out_(numVertices), in_(numVertices) {}
+
+void ConstraintGraph::addVertices(std::size_t count) {
+  if (count == 0) return;
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+  ++generation_;
+}
+
+EdgeId ConstraintGraph::addEdge(TaskId from, TaskId to, Duration weight,
+                                EdgeKind kind) {
+  PAWS_CHECK_MSG(from.index() < out_.size() && to.index() < out_.size(),
+                 "edge endpoints out of range: " << from << " -> " << to);
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(ConstraintEdge{from, to, weight, kind});
+  out_[from.index()].push_back(id);
+  in_[to.index()].push_back(id);
+  return id;
+}
+
+void ConstraintGraph::rollbackTo(Checkpoint cp) {
+  PAWS_CHECK_MSG(cp <= edges_.size(),
+                 "rollback target " << cp << " beyond trail " << edges_.size());
+  if (cp < edges_.size()) ++generation_;
+  while (edges_.size() > cp) {
+    const ConstraintEdge& e = edges_.back();
+    // Edges are appended globally in order, so the newest edge is also the
+    // newest entry of both of its adjacency lists.
+    auto& outList = out_[e.from.index()];
+    auto& inList = in_[e.to.index()];
+    PAWS_CHECK(!outList.empty() && outList.back() == edges_.size() - 1);
+    PAWS_CHECK(!inList.empty() && inList.back() == edges_.size() - 1);
+    outList.pop_back();
+    inList.pop_back();
+    edges_.pop_back();
+  }
+}
+
+}  // namespace paws

@@ -1,0 +1,117 @@
+// Constraint graph G(V, E) — the scheduler's working representation.
+//
+// Vertices are tasks (index 0 is the anchor); a directed edge (u → v) with
+// weight w encodes the linear constraint
+//
+//     sigma(v) - sigma(u) >= w          (w may be negative)
+//
+// which subsumes every constraint type in the paper (Section 4.1):
+//   * "v at least w after u"  -> edge u -> v, weight  w   (min separation)
+//   * "v at most  w after u"  -> edge v -> u, weight -w   (max separation)
+//   * serialization of same-resource tasks -> edge u -> v, weight d(u)
+//   * delaying a task to time s            -> edge anchor -> v, weight s
+//   * locking a task at time s             -> the delay edge plus
+//                                             edge v -> anchor, weight -s
+//
+// The three schedulers explore by *adding* edges and backtracking, so the
+// graph maintains a trail: `checkpoint()` marks the current edge count and
+// `rollbackTo()` removes every edge added since, in LIFO order. Edges are
+// append-only between checkpoints, which keeps adjacency maintenance O(1)
+// per undone edge.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/ids.hpp"
+#include "base/time.hpp"
+
+namespace paws {
+
+/// Why an edge exists; used for diagnostics, DOT export, and for validators
+/// that must distinguish user constraints from scheduler decisions.
+enum class EdgeKind : std::uint8_t {
+  kUserMin,        ///< user min-separation constraint
+  kUserMax,        ///< user max-separation constraint (negative back edge)
+  kRelease,        ///< anchor -> v, weight 0: every task starts at/after 0
+  kSerialization,  ///< scheduler-added resource serialization
+  kDelay,          ///< scheduler-added lower bound (task delayed)
+  kLock,           ///< scheduler-added upper bound (start time pinned)
+};
+
+const char* toString(EdgeKind kind);
+std::ostream& operator<<(std::ostream& os, EdgeKind kind);
+
+/// Index of an edge within its ConstraintGraph.
+using EdgeId = std::uint32_t;
+
+/// One directed, weighted constraint edge.
+struct ConstraintEdge {
+  TaskId from;
+  TaskId to;
+  Duration weight;
+  EdgeKind kind;
+};
+
+class ConstraintGraph {
+ public:
+  /// Opaque trail position returned by checkpoint().
+  using Checkpoint = std::size_t;
+
+  /// Creates a graph over `numVertices` tasks (vertex 0 is the anchor).
+  explicit ConstraintGraph(std::size_t numVertices);
+
+  [[nodiscard]] std::size_t numVertices() const { return out_.size(); }
+  [[nodiscard]] std::size_t numEdges() const { return edges_.size(); }
+
+  /// Appends vertex slots (used by problems that grow after graph creation).
+  void addVertices(std::size_t count);
+
+  /// Adds the constraint sigma(to) - sigma(from) >= weight.
+  EdgeId addEdge(TaskId from, TaskId to, Duration weight, EdgeKind kind);
+
+  [[nodiscard]] const ConstraintEdge& edge(EdgeId id) const {
+    PAWS_CHECK(id < edges_.size());
+    return edges_[id];
+  }
+
+  /// Out-edge ids of `v` (edges whose `from` is v).
+  [[nodiscard]] std::span<const EdgeId> outEdges(TaskId v) const {
+    PAWS_CHECK(v.index() < out_.size());
+    return out_[v.index()];
+  }
+  /// In-edge ids of `v` (edges whose `to` is v).
+  [[nodiscard]] std::span<const EdgeId> inEdges(TaskId v) const {
+    PAWS_CHECK(v.index() < in_.size());
+    return in_[v.index()];
+  }
+
+  /// Marks the current trail position.
+  [[nodiscard]] Checkpoint checkpoint() const { return edges_.size(); }
+
+  /// Removes every edge added after `cp` (LIFO). `cp` must come from a
+  /// previous checkpoint() on this graph.
+  void rollbackTo(Checkpoint cp);
+
+  /// All edges, in insertion order (iteration for longest-path relaxation).
+  [[nodiscard]] std::span<const ConstraintEdge> edges() const {
+    return edges_;
+  }
+
+  /// Bumped whenever edges are removed (rollback) or vertices added, i.e.
+  /// whenever previously computed longest-path distances may be stale in the
+  /// downward direction. Edge additions alone keep the generation: they can
+  /// only increase distances, which incremental relaxation handles.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::vector<ConstraintEdge> edges_;
+  std::uint64_t generation_ = 0;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace paws

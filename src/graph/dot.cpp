@@ -1,0 +1,75 @@
+#include "graph/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace paws {
+
+namespace {
+
+const char* edgeStyle(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kUserMin:
+      return "solid";
+    case EdgeKind::kUserMax:
+      return "dashed";
+    case EdgeKind::kRelease:
+      return "invis";
+    default:
+      return "dotted";
+  }
+}
+
+const char* edgeColor(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kUserMin:
+      return "black";
+    case EdgeKind::kUserMax:
+      return "firebrick";
+    case EdgeKind::kRelease:
+      return "gray";
+    case EdgeKind::kSerialization:
+      return "royalblue";
+    case EdgeKind::kDelay:
+      return "darkorange";
+    case EdgeKind::kLock:
+      return "purple";
+  }
+  return "black";
+}
+
+}  // namespace
+
+void writeDot(std::ostream& os, const ConstraintGraph& graph,
+              const DotOptions& options) {
+  os << "digraph constraints {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < graph.numVertices(); ++i) {
+    os << "  v" << i << " [label=\"";
+    if (i < options.vertexLabels.size() && !options.vertexLabels[i].empty()) {
+      os << options.vertexLabels[i];
+    } else if (i == 0) {
+      os << "anchor";
+    } else {
+      os << 'v' << i;
+    }
+    os << "\"];\n";
+  }
+  for (const ConstraintEdge& e : graph.edges()) {
+    const bool decision = e.kind == EdgeKind::kSerialization ||
+                          e.kind == EdgeKind::kDelay || e.kind == EdgeKind::kLock;
+    if (decision && !options.includeDecisionEdges) continue;
+    if (e.kind == EdgeKind::kRelease) continue;  // Pure noise in renders.
+    os << "  v" << e.from.index() << " -> v" << e.to.index() << " [label=\""
+       << e.weight.ticks() << "\", style=" << edgeStyle(e.kind)
+       << ", color=" << edgeColor(e.kind) << "];\n";
+  }
+  os << "}\n";
+}
+
+std::string toDot(const ConstraintGraph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  writeDot(os, graph, options);
+  return os.str();
+}
+
+}  // namespace paws

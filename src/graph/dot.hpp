@@ -1,0 +1,28 @@
+// Graphviz (DOT) export of constraint graphs for debugging and papers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/constraint_graph.hpp"
+
+namespace paws {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+  /// Labels per vertex (index-aligned); falls back to "v<i>" when absent.
+  std::vector<std::string> vertexLabels;
+  /// Include scheduler decision edges (serialization/delay/lock)?
+  bool includeDecisionEdges = true;
+};
+
+/// Writes `graph` in DOT syntax to `os`. User min edges are solid, user max
+/// edges dashed, scheduler decisions dotted and colored by kind.
+void writeDot(std::ostream& os, const ConstraintGraph& graph,
+              const DotOptions& options = {});
+
+/// Convenience wrapper returning the DOT text.
+std::string toDot(const ConstraintGraph& graph, const DotOptions& options = {});
+
+}  // namespace paws

@@ -1,0 +1,75 @@
+// SINGLE-SOURCE-LONGEST-PATH over the constraint graph (Fig. 3 of the
+// paper calls this as the first step of every TimingScheduler invocation).
+//
+// Under the edge semantics sigma(to) - sigma(from) >= weight, the tightest
+// (earliest) start-time assignment satisfying all constraints is the longest
+// path distance from the anchor. A *positive cycle* means the constraint
+// system is infeasible — the schedulers backtrack on it, so besides the
+// verdict we also extract one offending cycle for diagnostics.
+//
+// The engine is stateful to support the schedulers' add-edge / recompute /
+// rollback loop efficiently: after edge *additions* distances can only grow,
+// so relaxation restarts from the new edges against the previous solution
+// (work-list Bellman–Ford). A graph generation bump (rollback, new
+// vertices) forces a full recompute.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/time.hpp"
+#include "graph/constraint_graph.hpp"
+
+namespace paws {
+
+/// Outcome of a longest-path run.
+struct LongestPathResult {
+  /// False iff a positive cycle was found (constraints infeasible).
+  bool feasible = true;
+  /// Longest-path distance per vertex; Time::minusInfinity() when the vertex
+  /// is unreachable from the source. Valid only when `feasible`.
+  std::vector<Time> dist;
+  /// When infeasible: the vertices of one positive cycle, in edge order.
+  std::vector<TaskId> cycle;
+  /// When infeasible: the edges forming that cycle.
+  std::vector<EdgeId> cycleEdges;
+};
+
+class LongestPathEngine {
+ public:
+  /// Binds the engine to `graph`; the graph must outlive the engine.
+  explicit LongestPathEngine(const ConstraintGraph& graph);
+
+  /// (Re)computes longest paths from `source`. Automatically picks
+  /// incremental relaxation when only edges were added since the previous
+  /// feasible run from the same source; otherwise runs from scratch.
+  const LongestPathResult& compute(TaskId source);
+
+  /// Forces a from-scratch computation (used by tests and after external
+  /// graph surgery the engine cannot observe).
+  const LongestPathResult& computeFull(TaskId source);
+
+  [[nodiscard]] const LongestPathResult& result() const { return result_; }
+
+ private:
+  const LongestPathResult& run(TaskId source, bool incremental);
+  void extractPositiveCycle(TaskId overRelaxed);
+
+  const ConstraintGraph& graph_;
+  LongestPathResult result_;
+
+  // Scratch state reused across runs.
+  std::vector<EdgeId> parentEdge_;
+  std::vector<std::uint32_t> relaxCount_;
+  std::vector<bool> inQueue_;
+  std::vector<TaskId> queue_;
+
+  // Validity tracking for incremental mode.
+  bool hasValidRun_ = false;
+  TaskId lastSource_;
+  std::uint64_t lastGeneration_ = 0;
+  std::size_t lastEdgeCount_ = 0;
+};
+
+}  // namespace paws

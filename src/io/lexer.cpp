@@ -1,0 +1,120 @@
+#include "io/lexer.hpp"
+
+#include <cctype>
+
+namespace paws::io {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+LexResult lex(std::string_view source) {
+  LexResult result;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  const auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+
+    const int tline = line, tcol = column;
+    if (c == '{') {
+      result.tokens.push_back(Token{TokenKind::kLBrace, "{", tline, tcol});
+      advance();
+      continue;
+    }
+    if (c == '}') {
+      result.tokens.push_back(Token{TokenKind::kRBrace, "}", tline, tcol});
+      advance();
+      continue;
+    }
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '>') {
+      result.tokens.push_back(Token{TokenKind::kArrow, "->", tline, tcol});
+      advance(2);
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '"') {
+          closed = true;
+          advance();
+          break;
+        }
+        if (source[i] == '\n') break;  // strings do not span lines
+        text += source[i];
+        advance();
+      }
+      if (!closed) {
+        result.errors.push_back(LexError{"unterminated string", tline, tcol});
+        continue;
+      }
+      result.tokens.push_back(
+          Token{TokenKind::kString, std::move(text), tline, tcol});
+      continue;
+    }
+    if (isDigit(c) || (c == '-' && i + 1 < source.size() &&
+                       isDigit(source[i + 1]))) {
+      std::string text(1, c);
+      advance();
+      bool seenDot = false;
+      while (i < source.size() &&
+             (isDigit(source[i]) || (source[i] == '.' && !seenDot))) {
+        seenDot = seenDot || source[i] == '.';
+        text += source[i];
+        advance();
+      }
+      result.tokens.push_back(
+          Token{TokenKind::kNumber, std::move(text), tline, tcol});
+      continue;
+    }
+    if (isIdentStart(c)) {
+      std::string text;
+      while (i < source.size() && isIdentBody(source[i])) {
+        text += source[i];
+        advance();
+      }
+      result.tokens.push_back(
+          Token{TokenKind::kIdentifier, std::move(text), tline, tcol});
+      continue;
+    }
+
+    result.errors.push_back(LexError{
+        std::string("unexpected character '") + c + "'", tline, tcol});
+    advance();
+  }
+
+  result.tokens.push_back(Token{TokenKind::kEof, "", line, column});
+  return result;
+}
+
+}  // namespace paws::io

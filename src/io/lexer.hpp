@@ -1,0 +1,48 @@
+// Lexer for the .paws problem-description format.
+//
+// Token kinds are deliberately few: identifiers/keywords, quoted strings,
+// numbers (integer or decimal, with an optional unit suffix glued on by the
+// parser), punctuation ({ } ->), and end-of-file. '#' starts a comment that
+// runs to end of line. Every token carries its 1-based line and column for
+// parser diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paws::io {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  // problem, task, resource, min, names, unit suffixes...
+  kString,      // "quoted name"
+  kNumber,      // 42, 14.9, -5
+  kLBrace,
+  kRBrace,
+  kArrow,  // ->
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // raw text (without quotes for strings)
+  int line = 1;
+  int column = 1;
+};
+
+struct LexError {
+  std::string message;
+  int line = 1;
+  int column = 1;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // always ends with kEof on success
+  std::vector<LexError> errors;
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+LexResult lex(std::string_view source);
+
+}  // namespace paws::io

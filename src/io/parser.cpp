@@ -1,0 +1,314 @@
+#include "io/parser.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/check.hpp"
+#include "io/lexer.hpp"
+
+namespace paws::io {
+
+std::string format(const ParseError& error) {
+  std::ostringstream os;
+  os << error.line << ':' << error.column << ": " << error.message;
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Errors are collected;
+/// panic recovery skips to the next plausible item start.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    ParseResult result;
+    parseFile();
+    result.errors = std::move(errors_);
+    if (result.errors.empty()) result.problem = std::move(problem_);
+    return result;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& next() {
+    const Token& t = tokens_[pos_];
+    if (tokens_[pos_].kind != TokenKind::kEof) ++pos_;
+    return t;
+  }
+  bool at(TokenKind k) const { return peek().kind == k; }
+
+  void error(const Token& t, std::string message) {
+    errors_.push_back(ParseError{std::move(message), t.line, t.column});
+  }
+
+  bool expectIdent(const char* what, std::string* out) {
+    if (!at(TokenKind::kIdentifier) && !at(TokenKind::kString)) {
+      error(peek(), std::string("expected ") + what + ", got '" +
+                        peek().text + "'");
+      return false;
+    }
+    *out = next().text;
+    return true;
+  }
+
+  bool expectKeyword(const char* kw) {
+    if (at(TokenKind::kIdentifier) && peek().text == kw) {
+      next();
+      return true;
+    }
+    error(peek(), std::string("expected '") + kw + "'");
+    return false;
+  }
+
+  bool expect(TokenKind kind, const char* what) {
+    if (at(kind)) {
+      next();
+      return true;
+    }
+    error(peek(), std::string("expected ") + what);
+    return false;
+  }
+
+  /// NUMBER with optional W/mW suffix; defaults to watts.
+  bool parsePower(Watts* out) {
+    if (!at(TokenKind::kNumber)) {
+      error(peek(), "expected a power value");
+      return false;
+    }
+    const Token num = next();
+    double value = std::strtod(num.text.c_str(), nullptr);
+    if (at(TokenKind::kIdentifier) &&
+        (peek().text == "W" || peek().text == "mW")) {
+      if (next().text == "mW") value /= 1000.0;
+    }
+    *out = Watts::fromWatts(value);
+    return true;
+  }
+
+  /// NUMBER with optional 's' suffix; must be an integer tick count.
+  bool parseTicks(std::int64_t* out) {
+    if (!at(TokenKind::kNumber)) {
+      error(peek(), "expected a time value (integer ticks)");
+      return false;
+    }
+    const Token num = next();
+    if (num.text.find('.') != std::string::npos) {
+      error(num, "time values must be integral ticks, got '" + num.text + "'");
+      return false;
+    }
+    *out = std::strtoll(num.text.c_str(), nullptr, 10);
+    if (at(TokenKind::kIdentifier) && peek().text == "s") next();
+    return true;
+  }
+
+  bool lookupTask(const Token& where, const std::string& name, TaskId* out) {
+    const auto id = problem_.findTask(name);
+    if (!id) {
+      error(where, "unknown task '" + name + "'");
+      return false;
+    }
+    *out = *id;
+    return true;
+  }
+
+  /// name "->" name; returns both ends.
+  bool parseTaskPair(TaskId* from, TaskId* to) {
+    const Token first = peek();
+    std::string a;
+    if (!expectIdent("a task name", &a)) return false;
+    if (!expect(TokenKind::kArrow, "'->'")) return false;
+    const Token second = peek();
+    std::string b;
+    if (!expectIdent("a task name", &b)) return false;
+    return lookupTask(first, a, from) && lookupTask(second, b, to);
+  }
+
+  void skipToNextItem() {
+    while (!at(TokenKind::kEof) && !at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kIdentifier)) {
+        const std::string& t = peek().text;
+        if (t == "task" || t == "resource" || t == "min" || t == "max" ||
+            t == "precedes" || t == "release" || t == "deadline" ||
+            t == "pin" || t == "pmax" || t == "pmin" || t == "background") {
+          return;
+        }
+      }
+      next();
+    }
+  }
+
+  void parseTask() {
+    std::string name;
+    if (!expectIdent("a task name", &name)) return;
+    if (!expect(TokenKind::kLBrace, "'{'")) return;
+    std::optional<ResourceId> resource;
+    std::optional<Duration> delay;
+    std::optional<Watts> power;
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
+      const Token key = peek();
+      std::string kw;
+      if (!expectIdent("a task attribute", &kw)) {
+        next();
+        continue;
+      }
+      if (kw == "resource") {
+        std::string rname;
+        if (!expectIdent("a resource name", &rname)) continue;
+        const auto rid = problem_.findResource(rname);
+        if (!rid) {
+          error(key, "unknown resource '" + rname + "'");
+          continue;
+        }
+        resource = *rid;
+      } else if (kw == "delay") {
+        std::int64_t ticks = 0;
+        if (parseTicks(&ticks)) delay = Duration(ticks);
+      } else if (kw == "power") {
+        Watts w;
+        if (parsePower(&w)) power = w;
+      } else {
+        error(key, "unknown task attribute '" + kw + "'");
+      }
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    if (!resource || !delay || !power) {
+      error(peek(), "task '" + name +
+                        "' needs resource, delay and power attributes");
+      return;
+    }
+    if (delay->ticks() <= 0) {
+      error(peek(), "task '" + name + "' needs a positive delay");
+      return;
+    }
+    if (problem_.findTask(name)) {
+      error(peek(), "duplicate task '" + name + "'");
+      return;
+    }
+    problem_.addTask(name, *delay, *power, *resource);
+  }
+
+  void parseItem() {
+    const Token key = peek();
+    std::string kw;
+    if (!expectIdent("an item", &kw)) {
+      next();
+      return;
+    }
+    if (kw == "pmax") {
+      Watts w;
+      if (parsePower(&w)) problem_.setMaxPower(w);
+    } else if (kw == "pmin") {
+      Watts w;
+      if (parsePower(&w)) problem_.setMinPower(w);
+    } else if (kw == "background") {
+      Watts w;
+      if (parsePower(&w)) problem_.setBackgroundPower(w);
+    } else if (kw == "resource") {
+      std::string name;
+      if (!expectIdent("a resource name", &name)) return;
+      if (problem_.findResource(name)) {
+        error(key, "duplicate resource '" + name + "'");
+        return;
+      }
+      problem_.addResource(name);
+    } else if (kw == "task") {
+      parseTask();
+    } else if (kw == "min" || kw == "max") {
+      TaskId from, to;
+      if (!parseTaskPair(&from, &to)) {
+        skipToNextItem();
+        return;
+      }
+      std::int64_t ticks = 0;
+      if (!parseTicks(&ticks)) return;
+      if (kw == "min") {
+        problem_.minSeparation(from, to, Duration(ticks));
+      } else {
+        problem_.maxSeparation(from, to, Duration(ticks));
+      }
+    } else if (kw == "precedes") {
+      TaskId from, to;
+      if (!parseTaskPair(&from, &to)) {
+        skipToNextItem();
+        return;
+      }
+      std::int64_t lag = 0;
+      if (at(TokenKind::kNumber)) {
+        if (!parseTicks(&lag)) return;
+      }
+      problem_.precedes(from, to, Duration(lag));
+    } else if (kw == "release" || kw == "deadline" || kw == "pin") {
+      const Token where = peek();
+      std::string name;
+      if (!expectIdent("a task name", &name)) return;
+      TaskId v;
+      if (!lookupTask(where, name, &v)) {
+        skipToNextItem();
+        return;
+      }
+      std::int64_t ticks = 0;
+      if (!parseTicks(&ticks)) return;
+      if (kw == "release") {
+        problem_.release(v, Time(ticks));
+      } else if (kw == "deadline") {
+        problem_.deadline(v, Time(ticks));
+      } else {
+        problem_.pin(v, Time(ticks));
+      }
+    } else {
+      error(key, "unknown item '" + kw + "'");
+      skipToNextItem();
+    }
+  }
+
+  void parseFile() {
+    if (!expectKeyword("problem")) return;
+    std::string name;
+    if (!expectIdent("a problem name", &name)) return;
+    problem_.setName(name);
+    if (!expect(TokenKind::kLBrace, "'{'")) return;
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
+      parseItem();
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    if (!at(TokenKind::kEof)) {
+      error(peek(), "trailing content after problem body");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Problem problem_;
+  std::vector<ParseError> errors_;
+};
+
+}  // namespace
+
+ParseResult parseProblem(std::string_view source) {
+  LexResult lexed = lex(source);
+  if (!lexed.ok()) {
+    ParseResult result;
+    for (const LexError& e : lexed.errors) {
+      result.errors.push_back(ParseError{e.message, e.line, e.column});
+    }
+    return result;
+  }
+  return Parser(std::move(lexed.tokens)).run();
+}
+
+ParseResult parseProblemFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    result.errors.push_back(ParseError{"cannot open file: " + path, 1, 1});
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseProblem(buffer.str());
+}
+
+}  // namespace paws::io

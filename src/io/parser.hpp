@@ -1,0 +1,56 @@
+// Parser for the .paws problem-description format.
+//
+// Grammar (informal):
+//
+//   file      := problem
+//   problem   := "problem" (IDENT | STRING) "{" item* "}"
+//   item      := "pmax" power | "pmin" power | "background" power
+//              | "resource" name
+//              | "task" name "{" "resource" name "delay" dur
+//                               "power" power "}"
+//              | "min" name "->" name dur        # min separation
+//              | "max" name "->" name dur        # max separation
+//              | "precedes" name "->" name [dur] # completion + lag
+//              | "release" name time
+//              | "deadline" name time
+//              | "pin" name time
+//   power     := NUMBER ("W" | "mW")             # default W
+//   dur/time  := NUMBER ["s"]
+//
+// Declarations are order-sensitive only in that tasks/resources must be
+// declared before they are referenced. All errors are collected with
+// line:column positions; parsing continues past recoverable mistakes so a
+// file's problems are reported in one pass.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/problem.hpp"
+
+namespace paws::io {
+
+struct ParseError {
+  std::string message;
+  int line = 1;
+  int column = 1;
+};
+
+std::string format(const ParseError& error);
+
+struct ParseResult {
+  std::optional<Problem> problem;  // set when errors is empty
+  std::vector<ParseError> errors;
+  [[nodiscard]] bool ok() const { return problem.has_value(); }
+};
+
+/// Parses a .paws document.
+ParseResult parseProblem(std::string_view source);
+
+/// Convenience: reads and parses a file; I/O failures surface as a parse
+/// error at 1:1.
+ParseResult parseProblemFile(const std::string& path);
+
+}  // namespace paws::io

@@ -1,0 +1,134 @@
+#include "io/schedule_io.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "io/lexer.hpp"
+
+namespace paws::io {
+
+ScheduleParseResult parseSchedule(std::string_view source,
+                                  const Problem& problem) {
+  ScheduleParseResult result;
+  LexResult lexed = lex(source);
+  for (const LexError& e : lexed.errors) {
+    result.errors.push_back(ParseError{e.message, e.line, e.column});
+  }
+  if (!lexed.ok()) return result;
+
+  const std::vector<Token>& ts = lexed.tokens;
+  std::size_t pos = 0;
+  const auto peek = [&]() -> const Token& { return ts[pos]; };
+  const auto next = [&]() -> const Token& {
+    const Token& t = ts[pos];
+    if (t.kind != TokenKind::kEof) ++pos;
+    return t;
+  };
+  const auto fail = [&](const Token& t, std::string message) {
+    result.errors.push_back(ParseError{std::move(message), t.line, t.column});
+  };
+
+  const auto expectName = [&](const char* what, std::string* out) {
+    if (peek().kind != TokenKind::kIdentifier &&
+        peek().kind != TokenKind::kString) {
+      fail(peek(), std::string("expected ") + what);
+      return false;
+    }
+    *out = next().text;
+    return true;
+  };
+
+  std::string kw;
+  if (!expectName("'schedule'", &kw) || kw != "schedule") {
+    if (kw != "schedule") fail(ts[0], "document must start with 'schedule'");
+    return result;
+  }
+  if (!expectName("a schedule label", &result.label)) return result;
+  if (!expectName("'of'", &kw) || kw != "of") {
+    fail(peek(), "expected 'of <problem name>'");
+    return result;
+  }
+  if (!expectName("a problem name", &result.problemName)) return result;
+  if (result.problemName != problem.name()) {
+    fail(peek(), "schedule is for problem '" + result.problemName +
+                     "', not '" + problem.name() + "'");
+    return result;
+  }
+  if (peek().kind != TokenKind::kLBrace) {
+    fail(peek(), "expected '{'");
+    return result;
+  }
+  next();
+
+  std::vector<Time> starts(problem.numVertices(), Time::zero());
+  std::vector<bool> assigned(problem.numVertices(), false);
+  assigned[kAnchorTask.index()] = true;
+
+  while (peek().kind != TokenKind::kRBrace &&
+         peek().kind != TokenKind::kEof) {
+    const Token at = peek();
+    std::string item;
+    if (!expectName("'at'", &item)) {
+      next();
+      continue;
+    }
+    if (item != "at") {
+      fail(at, "expected 'at <task> <time>'");
+      continue;
+    }
+    const Token nameTok = peek();
+    std::string taskName;
+    if (!expectName("a task name", &taskName)) continue;
+    const auto id = problem.findTask(taskName);
+    if (!id) {
+      fail(nameTok, "unknown task '" + taskName + "'");
+      continue;
+    }
+    if (peek().kind != TokenKind::kNumber) {
+      fail(peek(), "expected a start time");
+      continue;
+    }
+    const Token num = next();
+    if (num.text.find('.') != std::string::npos) {
+      fail(num, "start times are integral ticks");
+      continue;
+    }
+    if (peek().kind == TokenKind::kIdentifier && peek().text == "s") next();
+    if (assigned[id->index()]) {
+      fail(nameTok, "task '" + taskName + "' assigned twice");
+      continue;
+    }
+    assigned[id->index()] = true;
+    starts[id->index()] = Time(std::strtoll(num.text.c_str(), nullptr, 10));
+  }
+  if (peek().kind == TokenKind::kRBrace) next();
+
+  for (TaskId v : problem.taskIds()) {
+    if (!assigned[v.index()]) {
+      fail(ts.back(), "task '" + problem.task(v).name + "' has no start");
+    }
+  }
+  if (!result.errors.empty()) return result;
+  result.schedule = Schedule(&problem, std::move(starts));
+  return result;
+}
+
+void writeSchedule(std::ostream& os, const Schedule& schedule,
+                   std::string_view label) {
+  const Problem& p = schedule.problem();
+  os << "schedule \"" << label << "\" of \"" << p.name() << "\" {\n";
+  for (TaskId v : p.taskIds()) {
+    os << "  at " << p.task(v).name << " " << schedule.start(v).ticks()
+       << "\n";
+  }
+  os << "}\n";
+}
+
+std::string scheduleToText(const Schedule& schedule, std::string_view label) {
+  std::ostringstream os;
+  writeSchedule(os, schedule, label);
+  return os.str();
+}
+
+}  // namespace paws::io

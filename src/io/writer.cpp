@@ -1,0 +1,148 @@
+#include "io/writer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace paws::io {
+
+namespace {
+
+/// Watts in .paws syntax: integral milliwatt-exact decimal plus "W".
+void writeWatts(std::ostream& os, Watts w) {
+  os << w;  // operator<< already prints e.g. "14.9W" / "0.025W"
+}
+
+}  // namespace
+
+void writeProblem(std::ostream& os, const Problem& problem) {
+  os << "problem \"" << problem.name() << "\" {\n";
+  if (problem.maxPower() != Watts::max()) {
+    os << "  pmax ";
+    writeWatts(os, problem.maxPower());
+    os << "\n";
+  }
+  if (problem.minPower() > Watts::zero()) {
+    os << "  pmin ";
+    writeWatts(os, problem.minPower());
+    os << "\n";
+  }
+  if (problem.backgroundPower() > Watts::zero()) {
+    os << "  background ";
+    writeWatts(os, problem.backgroundPower());
+    os << "\n";
+  }
+  os << "\n";
+  for (ResourceId r : problem.resourceIds()) {
+    os << "  resource " << problem.resource(r).name << "\n";
+  }
+  os << "\n";
+  for (TaskId v : problem.taskIds()) {
+    const Task& t = problem.task(v);
+    os << "  task " << t.name << " { resource "
+       << problem.resource(t.resource).name << "  delay " << t.delay.ticks()
+       << "  power ";
+    writeWatts(os, t.power);
+    os << " }\n";
+  }
+  os << "\n";
+  for (const TimingConstraint& c : problem.constraints()) {
+    const char* kw =
+        c.kind == TimingConstraint::Kind::kMinSeparation ? "min" : "max";
+    const std::string& from = c.from == kAnchorTask
+                                  ? "anchor"
+                                  : problem.task(c.from).name;
+    if (c.from == kAnchorTask) {
+      // Anchor-relative constraints round-trip through release/deadline.
+      if (c.kind == TimingConstraint::Kind::kMinSeparation) {
+        os << "  release " << problem.task(c.to).name << " "
+           << c.separation.ticks() << "\n";
+      } else {
+        os << "  deadline " << problem.task(c.to).name << " "
+           << (c.separation + problem.task(c.to).delay).ticks() << "\n";
+      }
+      continue;
+    }
+    os << "  " << kw << " " << from << " -> " << problem.task(c.to).name
+       << " " << c.separation.ticks() << "\n";
+  }
+  os << "}\n";
+}
+
+std::string problemToText(const Problem& problem) {
+  std::ostringstream os;
+  writeProblem(os, problem);
+  return os.str();
+}
+
+void writeScheduleCsv(std::ostream& os, const Schedule& schedule) {
+  const Problem& p = schedule.problem();
+  std::vector<TaskId> order = p.taskIds();
+  std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    if (schedule.start(a) != schedule.start(b)) {
+      return schedule.start(a) < schedule.start(b);
+    }
+    return a < b;
+  });
+  os << "task,resource,start,end,power_mw,energy_mwticks\n";
+  for (TaskId v : order) {
+    const Task& t = p.task(v);
+    os << t.name << ',' << p.resource(t.resource).name << ','
+       << schedule.start(v).ticks() << ',' << schedule.end(v).ticks() << ','
+       << t.power.milliwatts() << ',' << t.energy().milliwattTicks() << "\n";
+  }
+}
+
+std::string scheduleToCsv(const Schedule& schedule) {
+  std::ostringstream os;
+  writeScheduleCsv(os, schedule);
+  return os.str();
+}
+
+void writeProfileCsv(std::ostream& os, const PowerProfile& profile) {
+  os << "begin,end,power_mw\n";
+  for (const PowerSegment& s : profile.segments()) {
+    os << s.interval.begin().ticks() << ',' << s.interval.end().ticks()
+       << ',' << s.power.milliwatts() << "\n";
+  }
+}
+
+std::string profileToCsv(const PowerProfile& profile) {
+  std::ostringstream os;
+  writeProfileCsv(os, profile);
+  return os.str();
+}
+
+void writeChromeTrace(std::ostream& os, const Schedule& schedule) {
+  const Problem& p = schedule.problem();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (TaskId v : p.taskIds()) {
+    const Task& t = p.task(v);
+    if (!first) os << ',';
+    first = false;
+    // tid = resource row; ts/dur in microseconds (1 tick -> 1 us keeps the
+    // viewer's zoom sane for second-scale schedules).
+    os << "{\"name\":\"" << t.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << t.resource.value() + 1 << ",\"ts\":" << schedule.start(v).ticks()
+       << ",\"dur\":" << t.delay.ticks() << ",\"args\":{\"power_mw\":"
+       << t.power.milliwatts() << ",\"energy_mwticks\":"
+       << t.energy().milliwattTicks() << "}}";
+  }
+  // Resource-name metadata rows.
+  for (ResourceId r : p.resourceIds()) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << r.value() + 1 << ",\"args\":{\"name\":\""
+       << p.resource(r).name << "\"}}";
+  }
+  os << "]}";
+}
+
+std::string scheduleToChromeTrace(const Schedule& schedule) {
+  std::ostringstream os;
+  writeChromeTrace(os, schedule);
+  return os.str();
+}
+
+}  // namespace paws::io

@@ -1,0 +1,35 @@
+// Writers: Problem -> .paws text (round-trips through the parser) and
+// Schedule -> CSV for external analysis/plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace paws::io {
+
+/// Serializes `problem` in .paws syntax. parseProblem(writeProblem(p))
+/// reconstructs an equivalent problem (same tasks, resources, constraints
+/// and power limits).
+void writeProblem(std::ostream& os, const Problem& problem);
+std::string problemToText(const Problem& problem);
+
+/// CSV: task,resource,start,end,power_mw,energy_mwticks — one row per task
+/// in start order.
+void writeScheduleCsv(std::ostream& os, const Schedule& schedule);
+std::string scheduleToCsv(const Schedule& schedule);
+
+/// CSV of the power profile: begin,end,power_mw — one row per constant
+/// segment, for external plotting of the power view.
+void writeProfileCsv(std::ostream& os, const PowerProfile& profile);
+std::string profileToCsv(const PowerProfile& profile);
+
+/// Chrome-tracing JSON (chrome://tracing, Perfetto): one complete event
+/// ("ph":"X") per task, one row per resource, power in the event args —
+/// the schedule opens in any trace viewer.
+void writeChromeTrace(std::ostream& os, const Schedule& schedule);
+std::string scheduleToChromeTrace(const Schedule& schedule);
+
+}  // namespace paws::io

@@ -1,0 +1,69 @@
+#include "model/explain.hpp"
+
+#include <sstream>
+
+namespace paws {
+
+namespace {
+
+const std::string& nameOf(const Problem& p, TaskId v) {
+  static const std::string kAnchor = "<start>";
+  if (v == kAnchorTask) return kAnchor;
+  return p.task(v).name;
+}
+
+}  // namespace
+
+std::string describeEdge(const Problem& p, const ConstraintEdge& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case EdgeKind::kUserMin:
+      os << "'" << nameOf(p, e.to) << "' must start at least "
+         << e.weight.ticks() << " after '" << nameOf(p, e.from) << "'";
+      break;
+    case EdgeKind::kUserMax:
+      // maxSeparation(from=e.to, to=e.from, s=-w) was encoded as this
+      // back edge.
+      os << "'" << nameOf(p, e.from) << "' must start at most "
+         << (-e.weight).ticks() << " after '" << nameOf(p, e.to) << "'";
+      break;
+    case EdgeKind::kRelease:
+      os << "'" << nameOf(p, e.to) << "' cannot start before "
+         << e.weight.ticks();
+      break;
+    case EdgeKind::kSerialization: {
+      const Task& from = p.task(e.from);
+      os << "'" << nameOf(p, e.from) << "' runs before '" << nameOf(p, e.to)
+         << "' on resource '" << p.resource(from.resource).name
+         << "' (busy for " << e.weight.ticks() << ")";
+      break;
+    }
+    case EdgeKind::kDelay:
+      os << "'" << nameOf(p, e.to) << "' was delayed to start at/after "
+         << e.weight.ticks();
+      break;
+    case EdgeKind::kLock:
+      os << "'" << nameOf(p, e.from) << "' was locked at "
+         << (-e.weight).ticks();
+      break;
+  }
+  return os.str();
+}
+
+std::string explainCycle(const Problem& problem, const ConstraintGraph& graph,
+                         const LongestPathResult& result) {
+  if (result.feasible || result.cycleEdges.empty()) return {};
+  std::ostringstream os;
+  Duration total = Duration::zero();
+  os << "constraints contradict each other:\n";
+  for (const EdgeId eid : result.cycleEdges) {
+    const ConstraintEdge& e = graph.edge(eid);
+    total += e.weight;
+    os << "  - " << describeEdge(problem, e) << "\n";
+  }
+  os << "  => over-constrained by " << total.ticks() << " tick"
+     << (total == Duration(1) ? "" : "s");
+  return os.str();
+}
+
+}  // namespace paws

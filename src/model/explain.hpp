@@ -1,0 +1,27 @@
+// Human-readable infeasibility explanations.
+//
+// When the longest-path engine finds a positive cycle, the raw witness is a
+// list of graph edges — useless to someone editing a .paws file. This
+// module translates the cycle back into the user's vocabulary, one line per
+// edge ("'steer' must start at least 10 after 'hazard'", "'heat' was
+// delayed to start at/after 12", ...) plus the over-constraint amount: the
+// cycle's weight is exactly how many ticks the constraints contradict by.
+#pragma once
+
+#include <string>
+
+#include "graph/constraint_graph.hpp"
+#include "graph/longest_path.hpp"
+#include "model/problem.hpp"
+
+namespace paws {
+
+/// One line describing `edge` in user terms.
+std::string describeEdge(const Problem& problem, const ConstraintEdge& edge);
+
+/// Multi-line explanation of an infeasible result's witness cycle; empty
+/// when `result` is feasible or carries no witness.
+std::string explainCycle(const Problem& problem, const ConstraintGraph& graph,
+                         const LongestPathResult& result);
+
+}  // namespace paws

@@ -1,0 +1,168 @@
+// The scheduling problem: tasks, resources, timing and power constraints.
+//
+// This is the user-facing input model (Section 4 of the paper). A `Problem`
+// owns:
+//   * a set of execution resources — not just processors: heaters, motors
+//     and other power consumers are resources too (Section 4.1);
+//   * a set of non-preemptive tasks, each with execution delay d(v), exact
+//     power draw p(v) and a resource mapping r(v);
+//   * min/max timing separations between task start times (these subsume
+//     precedence, deadlines and release times);
+//   * a max power budget Pmax (hard) and a min power floor Pmin (soft);
+//   * an optional constant background draw (the rover's always-on CPU).
+//
+// Index 0 of the task table is the virtual *anchor* task that starts at
+// time 0; every other task implicitly gets a release edge anchor -> v with
+// weight 0 so schedules never start before the anchor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/time.hpp"
+#include "base/units.hpp"
+#include "graph/constraint_graph.hpp"
+
+namespace paws {
+
+/// A non-preemptive task (vertex of the constraint graph).
+struct Task {
+  std::string name;
+  Duration delay;      ///< execution delay d(v), in ticks
+  Watts power;         ///< exact power draw p(v) while executing
+  ResourceId resource; ///< r(v); invalid only for the anchor
+
+  /// Total energy spent by one execution: d(v) x p(v).
+  [[nodiscard]] Energy energy() const { return power * delay; }
+};
+
+/// An execution resource; tasks mapped to the same resource must be
+/// serialized by the scheduler.
+struct Resource {
+  std::string name;
+};
+
+/// One user timing constraint, kept in declaration order so that files can
+/// round-trip and validators can report in source terms.
+struct TimingConstraint {
+  enum class Kind : std::uint8_t {
+    kMinSeparation,  ///< sigma(to) >= sigma(from) + separation
+    kMaxSeparation,  ///< sigma(to) <= sigma(from) + separation
+  };
+  Kind kind;
+  TaskId from;
+  TaskId to;
+  Duration separation;
+};
+
+class Problem {
+ public:
+  /// Creates an empty problem; the anchor task is pre-installed as task 0.
+  explicit Problem(std::string name = "problem");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  // ----- construction -------------------------------------------------
+
+  ResourceId addResource(std::string name);
+
+  /// Adds a task; `delay` must be positive, `power` non-negative, and
+  /// `resource` must exist.
+  TaskId addTask(std::string name, Duration delay, Watts power,
+                 ResourceId resource);
+
+  /// sigma(to) >= sigma(from) + separation ("to at least `separation` after
+  /// from", start-to-start — the paper's min timing constraint).
+  void minSeparation(TaskId from, TaskId to, Duration separation);
+
+  /// sigma(to) <= sigma(from) + separation ("to at most `separation` after
+  /// from" — the paper's max timing constraint).
+  void maxSeparation(TaskId from, TaskId to, Duration separation);
+
+  /// Completion-to-start precedence with optional lag:
+  /// sigma(to) >= sigma(from) + d(from) + lag.
+  void precedes(TaskId from, TaskId to, Duration lag = Duration::zero());
+
+  /// sigma(v) >= t.
+  void release(TaskId v, Time t);
+
+  /// sigma(v) + d(v) <= t.
+  void deadline(TaskId v, Time t);
+
+  /// Pins sigma(v) = t (a user-level lock: the interactive "drag & lock"
+  /// operation of the power-aware Gantt chart, Section 4.3).
+  void pin(TaskId v, Time t);
+
+  /// Hard system-wide power budget Pmax (Section 4.2).
+  void setMaxPower(Watts pmax) { pmax_ = pmax; }
+  /// Soft min power floor Pmin (free-power level; Section 4.2).
+  void setMinPower(Watts pmin) { pmin_ = pmin; }
+  /// Constant always-on draw added to the profile over [0, finish) —
+  /// models the rover's CPU which is "constant" in Table 2.
+  void setBackgroundPower(Watts w) { background_ = w; }
+
+  // ----- queries -------------------------------------------------------
+
+  /// Number of task slots *including* the anchor (= graph vertex count).
+  [[nodiscard]] std::size_t numVertices() const { return tasks_.size(); }
+  /// Number of real tasks (excluding the anchor).
+  [[nodiscard]] std::size_t numTasks() const { return tasks_.size() - 1; }
+  [[nodiscard]] std::size_t numResources() const { return resources_.size(); }
+
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] const Resource& resource(ResourceId id) const;
+
+  /// Ids of all real tasks (anchor excluded), in creation order.
+  [[nodiscard]] std::vector<TaskId> taskIds() const;
+  /// All resource ids in creation order.
+  [[nodiscard]] std::vector<ResourceId> resourceIds() const;
+
+  [[nodiscard]] std::optional<TaskId> findTask(std::string_view name) const;
+  [[nodiscard]] std::optional<ResourceId> findResource(
+      std::string_view name) const;
+
+  [[nodiscard]] const std::vector<TimingConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  [[nodiscard]] Watts maxPower() const { return pmax_; }
+  [[nodiscard]] Watts minPower() const { return pmin_; }
+  [[nodiscard]] Watts backgroundPower() const { return background_; }
+
+  /// Sum of all task energies plus nothing for background (background
+  /// depends on the schedule makespan).
+  [[nodiscard]] Energy totalTaskEnergy() const;
+
+  /// Structural diagnostics (empty when the problem is well-formed):
+  /// tasks with non-positive delay, constraints touching the anchor twice,
+  /// duplicate names, min>max separation pairs, etc.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  // ----- graph construction -------------------------------------------
+
+  /// Builds the constraint graph over numVertices() vertices: release
+  /// edges anchor->v (weight 0) for every task, then one edge per user
+  /// constraint under the encoding of graph/constraint_graph.hpp.
+  [[nodiscard]] ConstraintGraph buildGraph() const;
+
+ private:
+  void checkTask(TaskId id) const;
+
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<Resource> resources_;
+  std::vector<TimingConstraint> constraints_;
+  std::unordered_map<std::string, TaskId> taskByName_;
+  std::unordered_map<std::string, ResourceId> resourceByName_;
+  Watts pmax_ = Watts::max();
+  Watts pmin_ = Watts::zero();
+  Watts background_ = Watts::zero();
+};
+
+}  // namespace paws

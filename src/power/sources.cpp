@@ -1,0 +1,55 @@
+#include "power/sources.hpp"
+
+#include <algorithm>
+
+namespace paws {
+
+SolarSource::SolarSource(Watts constant) {
+  phases_.push_back(Phase{Time::zero(), constant});
+}
+
+SolarSource::SolarSource(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  PAWS_CHECK_MSG(!phases_.empty(), "solar source needs at least one phase");
+  PAWS_CHECK_MSG(phases_.front().start == Time::zero(),
+                 "first solar phase must start at mission time 0");
+  for (std::size_t i = 1; i < phases_.size(); ++i) {
+    PAWS_CHECK_MSG(phases_[i - 1].start < phases_[i].start,
+                   "solar phase starts must be strictly increasing");
+  }
+}
+
+Watts SolarSource::levelAt(Time t) const {
+  PAWS_CHECK_MSG(t >= Time::zero(), "mission time must be non-negative");
+  auto it = std::upper_bound(
+      phases_.begin(), phases_.end(), t,
+      [](Time t, const Phase& p) { return t < p.start; });
+  // `it` is the first phase starting strictly after t; its predecessor rules.
+  return std::prev(it)->level;
+}
+
+std::optional<Time> SolarSource::nextChangeAfter(Time t) const {
+  auto it = std::upper_bound(
+      phases_.begin(), phases_.end(), t,
+      [](Time t, const Phase& p) { return t < p.start; });
+  if (it == phases_.end()) return std::nullopt;
+  return it->start;
+}
+
+Battery::Battery(Watts maxOutput, Energy capacity)
+    : maxOutput_(maxOutput), capacity_(capacity) {
+  PAWS_CHECK_MSG(maxOutput >= Watts::zero(), "battery output must be >= 0");
+  PAWS_CHECK_MSG(capacity >= Energy::zero(), "battery capacity must be >= 0");
+}
+
+bool Battery::draw(Energy energy) {
+  PAWS_CHECK_MSG(energy >= Energy::zero(), "cannot draw negative energy");
+  drawn_ += energy;
+  if (drawn_ > capacity_) {
+    drawn_ = capacity_;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace paws

@@ -1,0 +1,96 @@
+// Energy sources: free (solar) and costly (non-rechargeable battery).
+//
+// The paper's power constraints are derived from the platform's sources
+// (Section 3): Pmax = available solar power + maximum battery output, and
+// Pmin = the solar level, so that consumption below Pmin is free while
+// consumption above it drains mission lifetime. `SolarSource` models the
+// time-varying free level (piecewise constant over mission time, like the
+// 14.9 -> 12 -> 9 W scenario of Table 4); `Battery` models the costly
+// source with a max output and a finite, non-rechargeable capacity.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/time.hpp"
+#include "base/units.hpp"
+
+namespace paws {
+
+/// Piecewise-constant free power over mission time. The last level extends
+/// to infinity (a mission phase list never "runs out" of definition).
+class SolarSource {
+ public:
+  /// Constant solar output.
+  explicit SolarSource(Watts constant);
+
+  /// Phased output: `phases[i]` holds from its start time until the next
+  /// phase's start; starts must be strictly increasing and begin at 0.
+  struct Phase {
+    Time start;
+    Watts level;
+  };
+  explicit SolarSource(std::vector<Phase> phases);
+
+  /// Free power available at mission time t (t >= 0).
+  [[nodiscard]] Watts levelAt(Time t) const;
+
+  /// Mission time when the level next changes strictly after t, if any.
+  [[nodiscard]] std::optional<Time> nextChangeAfter(Time t) const;
+
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+/// Non-rechargeable battery: bounded instantaneous output and finite
+/// capacity. `draw()` performs the accounting a mission simulator needs.
+class Battery {
+ public:
+  Battery(Watts maxOutput, Energy capacity);
+
+  [[nodiscard]] Watts maxOutput() const { return maxOutput_; }
+  [[nodiscard]] Energy capacity() const { return capacity_; }
+  [[nodiscard]] Energy drawn() const { return drawn_; }
+  [[nodiscard]] Energy remaining() const { return capacity_ - drawn_; }
+  [[nodiscard]] bool depleted() const { return drawn_ >= capacity_; }
+
+  /// Records `energy` drawn from the battery. Returns false (and clamps to
+  /// capacity) when the draw exceeds the remaining charge.
+  bool draw(Energy energy);
+
+  /// Resets the accounting (fresh battery).
+  void reset() { drawn_ = Energy::zero(); }
+
+ private:
+  Watts maxOutput_;
+  Energy capacity_;
+  Energy drawn_;
+};
+
+/// A platform power supply: one free source plus one costly source.
+/// Derives the scheduling constraints of Section 3 at any mission time.
+class PowerSupply {
+ public:
+  PowerSupply(SolarSource solar, Battery battery)
+      : solar_(std::move(solar)), battery_(std::move(battery)) {}
+
+  /// Hard budget at mission time t: solar level + max battery output.
+  [[nodiscard]] Watts maxPowerAt(Time t) const {
+    return solar_.levelAt(t) + battery_.maxOutput();
+  }
+  /// Soft floor at mission time t: the free (solar) level.
+  [[nodiscard]] Watts minPowerAt(Time t) const { return solar_.levelAt(t); }
+
+  [[nodiscard]] const SolarSource& solar() const { return solar_; }
+  [[nodiscard]] Battery& battery() { return battery_; }
+  [[nodiscard]] const Battery& battery() const { return battery_; }
+
+ private:
+  SolarSource solar_;
+  Battery battery_;
+};
+
+}  // namespace paws

@@ -1,0 +1,51 @@
+#include "rover/mission.hpp"
+
+#include "base/check.hpp"
+
+namespace paws::rover {
+
+MissionResult MissionSimulator::run(const SchedulePolicy& policy,
+                                    int targetSteps) const {
+  PAWS_CHECK_MSG(targetSteps > 0, "mission needs a positive step target");
+
+  MissionResult result;
+  Battery battery = battery_;  // value copy: the simulator is re-runnable
+  Time now = Time::zero();
+  std::optional<RoverCase> previousCase;
+
+  while (result.steps < targetSteps) {
+    const Watts level = solar_.levelAt(now);
+    const RoverCase c = caseForSolar(level);
+    const CasePlan& plan = policy.planFor(c);
+    PAWS_CHECK_MSG(plan.stepsPerIteration > 0, "plan must advance the rover");
+
+    const bool cold = !previousCase.has_value() || *previousCase != c;
+    const Duration span = cold ? plan.firstSpan : plan.steadySpan;
+    const Energy cost = cold ? plan.firstCost : plan.steadyCost;
+    previousCase = c;
+
+    if (!battery.draw(cost)) {
+      result.batteryDepleted = true;
+      break;
+    }
+
+    // Attribute the iteration to the phase it started in.
+    if (result.phases.empty() || result.phases.back().solar != level) {
+      result.phases.push_back(MissionPhase{level, 0, 0, Duration::zero(),
+                                           Energy::zero()});
+    }
+    MissionPhase& phase = result.phases.back();
+    ++phase.iterations;
+    phase.steps += plan.stepsPerIteration;
+    phase.time += span;
+    phase.cost += cost;
+
+    result.steps += plan.stepsPerIteration;
+    result.time += span;
+    result.cost += cost;
+    now += span;
+  }
+  return result;
+}
+
+}  // namespace paws::rover

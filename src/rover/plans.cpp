@@ -1,0 +1,105 @@
+#include "rover/plans.hpp"
+
+#include "base/check.hpp"
+#include "sched/serial_scheduler.hpp"
+
+namespace paws::rover {
+
+namespace {
+
+constexpr RoverCase kCases[] = {RoverCase::kBest, RoverCase::kTypical,
+                                RoverCase::kWorst};
+
+CasePlan planFromDerivation(const PlanDerivation& d) {
+  CasePlan plan;
+  plan.environment = d.environment;
+  plan.firstSpan = d.firstSpan;
+  plan.firstCost = d.firstCost;
+  plan.steadySpan = d.steadySpan;
+  plan.steadyCost = d.steadyCost;
+  return plan;
+}
+
+void install(PolicyBuild& build, std::size_t idx, const PlanDerivation& d) {
+  build.derivations[idx] = d;
+  switch (d.environment) {
+    case RoverCase::kBest:
+      build.policy.best = planFromDerivation(d);
+      break;
+    case RoverCase::kTypical:
+      build.policy.typical = planFromDerivation(d);
+      break;
+    case RoverCase::kWorst:
+      build.policy.worst = planFromDerivation(d);
+      break;
+  }
+}
+
+}  // namespace
+
+PolicyBuild buildJplPolicy() {
+  PolicyBuild build;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const RoverCase c = kCases[i];
+    const Problem problem = makeRoverProblem(c, /*iterations=*/1);
+    SerialScheduler serial(problem);
+    const ScheduleResult r = serial.schedule();
+
+    PlanDerivation d;
+    d.environment = c;
+    if (!r.ok()) {
+      d.message = r.message;
+      install(build, i, d);
+      continue;
+    }
+    const Schedule& s = *r.schedule;
+    d.ok = true;
+    d.scheduleSpan = s.finish() - Time::zero();
+    d.scheduleCost = s.energyCost(problem.minPower());
+    d.utilization = s.utilization(problem.minPower());
+    // The baseline repeats the same serial schedule: first == steady.
+    d.firstSpan = d.steadySpan = d.scheduleSpan;
+    d.firstCost = d.steadyCost = d.scheduleCost;
+    install(build, i, d);
+  }
+  return build;
+}
+
+PolicyBuild buildPowerAwarePolicy(const PowerAwareOptions& options) {
+  PolicyBuild build;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const RoverCase c = kCases[i];
+    std::vector<RoverIterationTasks> tasks;
+    const Problem problem = makeRoverProblem(c, /*iterations=*/3, &tasks);
+    PowerAwareScheduler scheduler(problem, options);
+    const ScheduleResult r = scheduler.schedule();
+
+    PlanDerivation d;
+    d.environment = c;
+    if (!r.ok()) {
+      d.message = r.message;
+      install(build, i, d);
+      continue;
+    }
+    const Schedule& s = *r.schedule;
+    const Watts pmin = problem.minPower();
+    const PowerProfile& profile = s.powerProfile();
+
+    // Iteration boundaries: the completion of each iteration's last drive.
+    const Time b1 = s.end(tasks[0].drive[1]);
+    const Time b2 = s.end(tasks[1].drive[1]);
+
+    d.ok = true;
+    d.scheduleSpan = s.finish() - Time::zero();
+    d.scheduleCost = s.energyCost(pmin);
+    d.utilization = s.utilization(pmin);
+    d.firstSpan = b1 - Time::zero();
+    d.firstCost = profile.energyAboveWithin(pmin, Interval(Time::zero(), b1));
+    d.steadySpan = b2 - b1;
+    d.steadyCost = profile.energyAboveWithin(pmin, Interval(b1, b2));
+    install(build, i, d);
+  }
+  return build;
+}
+
+}  // namespace paws::rover

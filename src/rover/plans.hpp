@@ -1,0 +1,51 @@
+// Builders that turn scheduler runs into mission CasePlans.
+//
+// The JPL policy evaluates the fixed, fully serialized baseline schedule
+// under each case's Table 2 powers. The power-aware policy runs the full
+// three-stage pipeline on a three-iteration unrolled problem, then splits
+// it at iteration boundaries: iteration 1 is the cold start, iteration 2
+// (pre-heated by 1 and pre-heating 3) is the steady state. This reproduces
+// the paper's best-case loop-unrolling optimization (Fig. 9) without any
+// manual schedule surgery — the ASAP longest-path placement already pulls
+// the next iteration's heating tasks into the current iteration's free
+// power whenever the windows and the budget allow it.
+#pragma once
+
+#include <string>
+
+#include "rover/mission.hpp"
+#include "sched/power_aware_scheduler.hpp"
+
+namespace paws::rover {
+
+/// Per-case evidence of how a plan was derived, for reports and tests.
+struct PlanDerivation {
+  RoverCase environment;
+  bool ok = false;
+  std::string message;
+  Duration firstSpan;
+  Energy firstCost;
+  Duration steadySpan;
+  Energy steadyCost;
+  /// Whole-schedule metrics of the underlying run (1 iteration for JPL,
+  /// 3 unrolled iterations for power-aware).
+  Duration scheduleSpan;
+  Energy scheduleCost;
+  double utilization = 0.0;
+};
+
+struct PolicyBuild {
+  SchedulePolicy policy;
+  PlanDerivation derivations[3];  // indexed by RoverCase order best..worst
+  [[nodiscard]] bool ok() const {
+    return derivations[0].ok && derivations[1].ok && derivations[2].ok;
+  }
+};
+
+/// The JPL baseline: one fixed serial schedule, evaluated per case.
+PolicyBuild buildJplPolicy();
+
+/// The power-aware policy: full pipeline per case on a 3-iteration unroll.
+PolicyBuild buildPowerAwarePolicy(const PowerAwareOptions& options = {});
+
+}  // namespace paws::rover

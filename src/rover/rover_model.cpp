@@ -1,0 +1,139 @@
+#include "rover/rover_model.hpp"
+
+#include <array>
+
+#include "base/check.hpp"
+
+namespace paws::rover {
+
+using namespace paws::literals;
+
+const char* toString(RoverCase c) {
+  switch (c) {
+    case RoverCase::kBest:
+      return "best";
+    case RoverCase::kTypical:
+      return "typical";
+    case RoverCase::kWorst:
+      return "worst";
+  }
+  return "?";
+}
+
+RoverPowerTable powerTable(RoverCase c) {
+  switch (c) {
+    case RoverCase::kBest:
+      return RoverPowerTable{Watts::fromWatts(14.9), 10_W,
+                             Watts::fromWatts(2.5), Watts::fromWatts(7.6),
+                             Watts::fromWatts(7.5), Watts::fromWatts(4.3),
+                             Watts::fromWatts(5.1)};
+    case RoverCase::kTypical:
+      return RoverPowerTable{12_W, 10_W, Watts::fromWatts(3.1),
+                             Watts::fromWatts(9.5), Watts::fromWatts(10.9),
+                             Watts::fromWatts(6.2), Watts::fromWatts(6.1)};
+    case RoverCase::kWorst:
+      return RoverPowerTable{9_W, 10_W, Watts::fromWatts(3.7),
+                             Watts::fromWatts(11.3), Watts::fromWatts(13.8),
+                             Watts::fromWatts(8.1), Watts::fromWatts(7.3)};
+  }
+  PAWS_CHECK(false);
+  return {};
+}
+
+RoverCase caseForSolar(Watts solar) {
+  if (solar >= Watts::fromWatts(14.9)) return RoverCase::kBest;
+  if (solar >= 12_W) return RoverCase::kTypical;
+  return RoverCase::kWorst;
+}
+
+Problem makeRoverProblem(RoverCase c, int iterations,
+                         std::vector<RoverIterationTasks>* tasksOut) {
+  PAWS_CHECK_MSG(iterations >= 1, "need at least one iteration");
+  const RoverPowerTable pw = powerTable(c);
+
+  Problem p(std::string("rover_") + toString(c));
+  p.setBackgroundPower(pw.cpu);
+  p.setMaxPower(pw.solar + pw.batteryMax);
+  p.setMinPower(pw.solar);
+
+  // Five independent heaters; steering/driving/hazard are single resources
+  // reused across iterations.
+  std::array<ResourceId, 5> heaters{};
+  for (int h = 0; h < 5; ++h) {
+    heaters[static_cast<std::size_t>(h)] =
+        p.addResource("heater" + std::to_string(h + 1));
+  }
+  const ResourceId steering = p.addResource("steering");
+  const ResourceId driving = p.addResource("driving");
+  const ResourceId hazardRes = p.addResource("hazard");
+
+  constexpr Duration kHeat{5}, kHazard{10}, kSteer{5}, kDrive{10};
+  constexpr Duration kWarmupMin{5}, kWarmupMax{50};
+
+  TaskId prevDrive = TaskId::invalid();
+  if (tasksOut) tasksOut->clear();
+
+  for (int it = 0; it < iterations; ++it) {
+    const std::string tag =
+        iterations == 1 ? std::string() : "_i" + std::to_string(it + 1);
+    RoverIterationTasks tasks{};
+
+    // Heaters 1-2 warm the steering motors, 3-5 the wheel motors.
+    for (int h = 0; h < 2; ++h) {
+      tasks.heatSteer[h] =
+          p.addTask("heat_steer" + std::to_string(h + 1) + tag, kHeat,
+                    pw.heating, heaters[static_cast<std::size_t>(h)]);
+    }
+    for (int h = 0; h < 3; ++h) {
+      tasks.heatWheel[h] =
+          p.addTask("heat_wheel" + std::to_string(h + 1) + tag, kHeat,
+                    pw.heating, heaters[static_cast<std::size_t>(2 + h)]);
+    }
+    for (int s = 0; s < 2; ++s) {
+      const std::string step = std::to_string(s + 1);
+      tasks.hazard[s] =
+          p.addTask("hazard" + step + tag, kHazard, pw.hazard, hazardRes);
+      tasks.steer[s] =
+          p.addTask("steer" + step + tag, kSteer, pw.steering, steering);
+      tasks.drive[s] =
+          p.addTask("drive" + step + tag, kDrive, pw.driving, driving);
+    }
+
+    // Table 1 chain, per step: hazard >=10 before steering, steering >=5
+    // before driving, driving >=10 before the next hazard detection.
+    for (int s = 0; s < 2; ++s) {
+      p.minSeparation(tasks.hazard[s], tasks.steer[s], kHazard);
+      p.minSeparation(tasks.steer[s], tasks.drive[s], kSteer);
+    }
+    p.minSeparation(tasks.drive[0], tasks.hazard[1], kDrive);
+    if (prevDrive.isValid()) {
+      p.minSeparation(prevDrive, tasks.hazard[0], kDrive);
+    }
+    prevDrive = tasks.drive[1];
+
+    // Warm-up windows: each heater at least 5 s, at most 50 s before the
+    // iteration's FIRST use of the motors it warms (driving afterwards
+    // keeps them warm for the remaining steps of the iteration).
+    for (const TaskId h : tasks.heatSteer) {
+      p.minSeparation(h, tasks.steer[0], kWarmupMin);
+      p.maxSeparation(h, tasks.steer[0], kWarmupMax);
+    }
+    for (const TaskId h : tasks.heatWheel) {
+      p.minSeparation(h, tasks.drive[0], kWarmupMin);
+      p.maxSeparation(h, tasks.drive[0], kWarmupMax);
+    }
+
+    if (tasksOut) tasksOut->push_back(tasks);
+  }
+  return p;
+}
+
+SolarSource missionSolarProfile() {
+  return SolarSource({{Time(0), Watts::fromWatts(14.9)},
+                      {Time(600), 12_W},
+                      {Time(1200), 9_W}});
+}
+
+Battery missionBattery(Energy capacity) { return Battery(10_W, capacity); }
+
+}  // namespace paws::rover

@@ -1,0 +1,86 @@
+// The NASA/JPL Mars Pathfinder rover model (Section 3, Tables 1-2, Fig. 8).
+//
+// Resources: five independent thermal heaters (each heats two motors: two
+// heaters cover the four steering motors, three cover the six wheel
+// motors), the steering mechanism (four motors as one mechanical resource),
+// the driving mechanism (six wheel motors as one unit), and the
+// laser-guided hazard-detection component. The CPU draws constant power and
+// is modeled as the problem's background draw.
+//
+// One *iteration* moves the rover two steps (14 cm) and contains, per step:
+// hazard detection (10 s) -> steering (5 s) -> driving (10 s), chained by
+// the Table 1 min separations; the five heating tasks (5 s each) must run
+// at least 5 s and at most 50 s before the iteration's first use of the
+// motors they warm (driving keeps them warm for the rest of the 75 s
+// iteration — the only reading consistent with the paper's 75 s serial
+// schedule being valid).
+//
+// Power consumption varies with the temperature, which tracks sunlight:
+// the paper evaluates a best case (-40 C, 14.9 W solar), typical (-60 C,
+// 12 W) and worst case (-80 C, 9 W). Pmax = solar + 10 W battery;
+// Pmin = solar (free power).
+#pragma once
+
+#include <string>
+
+#include "model/problem.hpp"
+#include "power/sources.hpp"
+
+namespace paws::rover {
+
+/// Environmental case of Table 2.
+enum class RoverCase : std::uint8_t {
+  kBest,     ///< -40 C, solar 14.9 W (noon)
+  kTypical,  ///< -60 C, solar 12 W
+  kWorst,    ///< -80 C, solar 9 W (dusk)
+};
+
+const char* toString(RoverCase c);
+
+/// Table 2, one column.
+struct RoverPowerTable {
+  Watts solar;
+  Watts batteryMax;  ///< 10 W in all cases
+  Watts cpu;
+  Watts heating;  ///< one heater warming two motors
+  Watts driving;
+  Watts steering;
+  Watts hazard;
+};
+
+/// Returns the Table 2 column for `c`.
+RoverPowerTable powerTable(RoverCase c);
+
+/// The environmental case whose solar level matches `solar` exactly
+/// (14.9 / 12 / 9 W — the only levels the mission scenario uses).
+RoverCase caseForSolar(Watts solar);
+
+/// Handles to the tasks of one iteration, for analyses and tests.
+struct RoverIterationTasks {
+  TaskId heatSteer[2];
+  TaskId heatWheel[3];
+  TaskId hazard[2];
+  TaskId steer[2];
+  TaskId drive[2];
+};
+
+/// Builds the rover scheduling problem for `iterations` chained two-step
+/// iterations under case `c`. Pmax/Pmin/background are set from Table 2.
+/// `tasksOut`, when non-null, receives the per-iteration task handles.
+Problem makeRoverProblem(RoverCase c, int iterations = 1,
+                         std::vector<RoverIterationTasks>* tasksOut = nullptr);
+
+/// Steps the rover advances per iteration (two, 7 cm each).
+inline constexpr int kStepsPerIteration = 2;
+
+/// The Table 4 mission environment: solar 14.9 W for the first 10 minutes,
+/// 12 W for the next 10, 9 W afterwards.
+SolarSource missionSolarProfile();
+
+/// The rover battery: 10 W max output. The Pathfinder primary battery
+/// stored roughly 40 Wh; the exact capacity is irrelevant to the paper's
+/// tables (it only bounds output power), so we expose it as a parameter.
+Battery missionBattery(Energy capacity = Energy::fromMilliwattTicks(
+                           static_cast<std::int64_t>(40) * 3600 * 1000));
+
+}  // namespace paws::rover

@@ -1,0 +1,171 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.hpp"
+
+namespace paws::runtime {
+
+const char* toString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kIterationStarted:
+      return "iteration-started";
+    case EventKind::kScheduleSelected:
+      return "schedule-selected";
+    case EventKind::kTaskStarted:
+      return "task-started";
+    case EventKind::kTaskFinished:
+      return "task-finished";
+    case EventKind::kBrownout:
+      return "brownout";
+    case EventKind::kBatteryDepleted:
+      return "battery-depleted";
+    case EventKind::kNoFeasibleSchedule:
+      return "no-feasible-schedule";
+    case EventKind::kMissionComplete:
+      return "mission-complete";
+  }
+  return "?";
+}
+
+RuntimeExecutor::RuntimeExecutor(SolarSource solar, Battery battery,
+                                 std::vector<CaseBinding> bindings)
+    : solar_(std::move(solar)),
+      battery_(std::move(battery)),
+      bindings_(std::move(bindings)) {
+  PAWS_CHECK_MSG(!bindings_.empty(), "executor needs at least one binding");
+  for (const CaseBinding& b : bindings_) {
+    PAWS_CHECK(b.problem != nullptr);
+    PAWS_CHECK(b.stepsPerIteration > 0);
+  }
+}
+
+const CaseBinding* RuntimeExecutor::selectBinding(Watts solarNow) const {
+  const CaseBinding* best = nullptr;
+  for (const CaseBinding& b : bindings_) {
+    if (b.solarLevel > solarNow) continue;  // scheduled for more sun
+    if (best == nullptr || b.solarLevel > best->solarLevel) best = &b;
+  }
+  return best;
+}
+
+ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
+  PAWS_CHECK(config.targetSteps > 0);
+  ExecutionResult result;
+  Battery battery = battery_;
+  Time now = Time::zero();
+
+  const auto emit = [&result](Time at, EventKind kind, std::string detail) {
+    result.trace.push_back(Event{at, kind, std::move(detail)});
+  };
+
+  for (std::uint64_t iter = 0;
+       result.steps < config.targetSteps && iter < config.maxIterations;
+       ++iter) {
+    const Watts solarNow = solar_.levelAt(now);
+    const CaseBinding* binding = selectBinding(solarNow);
+    if (binding == nullptr) {
+      std::ostringstream os;
+      os << "no schedule registered for solar " << solarNow;
+      emit(now, EventKind::kNoFeasibleSchedule, os.str());
+      result.finishedAt = now;
+      return result;
+    }
+    emit(now, EventKind::kIterationStarted,
+         "steps so far: " + std::to_string(result.steps));
+    emit(now, EventKind::kScheduleSelected, binding->label);
+
+    if (config.traceTasks) {
+      // Task start/finish events in time order.
+      struct Mark {
+        Time at;
+        bool start;
+        TaskId task;
+      };
+      std::vector<Mark> marks;
+      for (TaskId v : binding->problem->taskIds()) {
+        marks.push_back(Mark{now + (binding->schedule.start(v) - Time::zero()),
+                             true, v});
+        marks.push_back(Mark{now + (binding->schedule.end(v) - Time::zero()),
+                             false, v});
+      }
+      std::stable_sort(marks.begin(), marks.end(),
+                       [](const Mark& a, const Mark& b) { return a.at < b.at; });
+      for (const Mark& m : marks) {
+        emit(m.at, m.start ? EventKind::kTaskStarted : EventKind::kTaskFinished,
+             binding->problem->task(m.task).name);
+      }
+    }
+
+    // Integrate battery draw across the iteration's profile, subdividing
+    // segments at solar phase changes.
+    const PowerProfile& profile = binding->schedule.powerProfile();
+    bool aborted = false;
+    Time iterationEnd = now + (binding->schedule.finish() - Time::zero());
+
+    for (const PowerSegment& seg : profile.segments()) {
+      if (aborted) break;
+      Time cursor = now + (seg.interval.begin() - Time::zero());
+      const Time segEnd = now + (seg.interval.end() - Time::zero());
+      while (cursor < segEnd) {
+        const Watts solarHere = solar_.levelAt(cursor);
+        Time sliceEnd = segEnd;
+        if (const auto change = solar_.nextChangeAfter(cursor);
+            change && *change < segEnd) {
+          sliceEnd = *change;
+        }
+
+        if (seg.power > solarHere + battery.maxOutput()) {
+          ++result.brownouts;
+          std::ostringstream os;
+          os << "demand " << seg.power << " exceeds solar " << solarHere
+             << " + battery " << battery.maxOutput();
+          emit(cursor, EventKind::kBrownout, os.str());
+          if (config.abortOnBrownout) {
+            aborted = true;
+            iterationEnd = cursor;
+            break;
+          }
+        }
+
+        if (seg.power > solarHere) {
+          const Watts rate = seg.power - solarHere;
+          const Duration span = sliceEnd - cursor;
+          const Energy need = rate * span;
+          if (need > battery.remaining()) {
+            // Deplete mid-slice: afford floor(remaining / rate) ticks.
+            const std::int64_t affordable =
+                battery.remaining().milliwattTicks() / rate.milliwatts();
+            const Time deathAt = cursor + Duration(affordable);
+            battery.draw(rate * Duration(affordable));
+            result.batteryDrawn = battery.drawn();
+            result.batteryDepleted = true;
+            emit(deathAt, EventKind::kBatteryDepleted,
+                 "mid-iteration depletion");
+            result.finishedAt = deathAt;
+            return result;
+          }
+          battery.draw(need);
+        }
+        cursor = sliceEnd;
+      }
+    }
+
+    result.batteryDrawn = battery.drawn();
+    if (!aborted) {
+      result.steps += binding->stepsPerIteration;
+    }
+    now = iterationEnd;
+  }
+
+  result.finishedAt = now;
+  result.complete = result.steps >= config.targetSteps;
+  if (result.complete) {
+    emit(now, EventKind::kMissionComplete,
+         std::to_string(result.steps) + " steps");
+  }
+  return result;
+}
+
+}  // namespace paws::runtime

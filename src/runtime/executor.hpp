@@ -1,0 +1,99 @@
+// Runtime execution of statically computed schedules.
+//
+// Section 5.3: the static power-aware schedules are "adaptable to a runtime
+// scheduler that schedules tasks according to the dynamically changing
+// constraints imposed by the environment". MissionSimulator (rover/)
+// accounts at plan granularity; this executor is the faithful runtime half:
+// it replays actual schedules segment by segment against a live SolarSource
+// and Battery, producing a timestamped trace.
+//
+//   * at each iteration boundary it selects the registered case binding
+//     matching the current solar level (the runtime scheduler's only job);
+//   * battery draw is integrated exactly: for every profile segment, the
+//     draw rate is max(0, P(t) - solar(t)), with segments subdivided at
+//     solar phase changes;
+//   * a *brownout* is an instant where the executing schedule's demand
+//     exceeds solar + max battery output — it happens when the environment
+//     degrades mid-iteration (the paper's dusk transition). The executor
+//     either logs it (default; the battery is briefly over-drawn, which
+//     real missions tolerate for seconds) or aborts the iteration;
+//   * battery depletion ends the mission at the exact tick the charge runs
+//     out, mid-task if need be.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/units.hpp"
+#include "power/sources.hpp"
+#include "sched/schedule.hpp"
+
+namespace paws::runtime {
+
+enum class EventKind : std::uint8_t {
+  kIterationStarted,
+  kScheduleSelected,
+  kTaskStarted,
+  kTaskFinished,
+  kBrownout,        ///< demand exceeded solar + battery max output
+  kBatteryDepleted,
+  kNoFeasibleSchedule,
+  kMissionComplete,
+};
+
+const char* toString(EventKind kind);
+
+struct Event {
+  Time at;  ///< mission time
+  EventKind kind;
+  std::string detail;
+};
+
+/// One environmental case: the solar level it was scheduled for, the
+/// problem carrying that case's task powers, and the static schedule.
+struct CaseBinding {
+  std::string label;
+  Watts solarLevel;         ///< select when current solar >= this level
+  const Problem* problem;   ///< must outlive the executor
+  Schedule schedule;
+  int stepsPerIteration = 2;
+};
+
+struct ExecutorConfig {
+  int targetSteps = 48;
+  /// Abort the running iteration at the first brownout instant instead of
+  /// pushing through on the (over-drawn) battery.
+  bool abortOnBrownout = false;
+  std::uint64_t maxIterations = 1000000;
+  /// Record per-task start/finish events (traces get large otherwise).
+  bool traceTasks = true;
+};
+
+struct ExecutionResult {
+  int steps = 0;
+  Time finishedAt;
+  Energy batteryDrawn;
+  bool complete = false;
+  bool batteryDepleted = false;
+  int brownouts = 0;
+  std::vector<Event> trace;
+};
+
+class RuntimeExecutor {
+ public:
+  /// `bindings` must be non-empty; selection picks the binding with the
+  /// highest solarLevel not exceeding the current solar output.
+  RuntimeExecutor(SolarSource solar, Battery battery,
+                  std::vector<CaseBinding> bindings);
+
+  [[nodiscard]] ExecutionResult run(const ExecutorConfig& config) const;
+
+ private:
+  const CaseBinding* selectBinding(Watts solarNow) const;
+
+  SolarSource solar_;
+  Battery battery_;
+  std::vector<CaseBinding> bindings_;
+};
+
+}  // namespace paws::runtime

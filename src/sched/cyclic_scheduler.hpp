@@ -1,0 +1,74 @@
+// Steady-state scheduling of periodic workloads.
+//
+// The rover's mission is periodic — the same 2-step iteration repeats for
+// hours — yet the paper (and our pipeline) schedules a finite unroll and
+// eyeballs the repeating part (Fig. 9's "the second iteration can be
+// repeated with less energy cost"). CyclicScheduler turns that into a
+// constructed, verified periodic schedule:
+//
+//   1. the caller provides a problem FACTORY that builds a K-iteration
+//      unroll and reports each iteration's task handles;
+//   2. we schedule a 4-deep unroll with the full pipeline and extract the
+//      *kernel*: iteration 2's task offsets (interior, so it is both
+//      pre-heated by its predecessor and pre-heating its successor);
+//   3. we search for the minimal period P at which repeating the kernel
+//      verbatim is valid, by pinning a two-iteration expansion at offsets
+//      and offsets+P and checking every timing constraint, resource
+//      exclusivity, and the Pmax budget of the overlapped profile.
+//
+// The result is everything a runtime needs to loop the kernel forever:
+// the period, the per-period energy cost (measured on the second window of
+// the expansion, whose overlap pattern equals the looping regime), and the
+// kernel's task offsets. Assumption, checked by construction for chained
+// loop models: user constraints span at most adjacent iterations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/problem.hpp"
+#include "sched/power_aware_scheduler.hpp"
+
+namespace paws {
+
+/// A periodic steady-state schedule: task start offsets within one period.
+struct CyclicSchedule {
+  Duration period;       ///< start-to-start distance between kernels
+  Energy costPerPeriod;  ///< Ec(Pmin) per period in the looping regime
+  /// Task offsets within the kernel, by name (names come from iteration 1
+  /// of the factory's unroll, so they are stable across K), ascending.
+  std::vector<std::pair<std::string, Time>> offsets;
+};
+
+struct CyclicResult {
+  bool ok = false;
+  /// True when a valid looping period was constructed and verified.
+  bool steadyStateProven = false;
+  std::string message;
+  CyclicSchedule kernel;
+  /// Cold-start cost: Ec of everything before the first kernel instance.
+  Energy warmupCost;
+  Duration warmupSpan;
+};
+
+class CyclicScheduler {
+ public:
+  /// `buildUnroll(k, &perIterationTaskIds)` must return a problem chaining
+  /// k iterations and fill one TaskId vector per iteration (iteration
+  /// order, same task count and per-name structure each iteration). It is
+  /// invoked with k = 4 (kernel extraction) and k = 2 (period search).
+  using UnrollFactory = std::function<Problem(
+      int iterations, std::vector<std::vector<TaskId>>* perIteration)>;
+
+  explicit CyclicScheduler(UnrollFactory factory,
+                           PowerAwareOptions options = {});
+
+  CyclicResult schedule();
+
+ private:
+  UnrollFactory factory_;
+  PowerAwareOptions options_;
+};
+
+}  // namespace paws

@@ -1,0 +1,150 @@
+#include "sched/exhaustive_scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/check.hpp"
+#include "power/profile.hpp"
+
+namespace paws {
+
+ExhaustiveScheduler::ExhaustiveScheduler(const Problem& problem,
+                                         ExhaustiveOptions options)
+    : problem_(problem), options_(options) {}
+
+ScheduleResult ExhaustiveScheduler::schedule() {
+  ScheduleResult out;
+  outcome_ = {};
+  const std::size_t n = problem_.numVertices();
+
+  // Horizon default: serial span (sum of delays) plus the largest declared
+  // separation — any schedule worth considering for a small instance fits.
+  Time horizon;
+  if (options_.horizon) {
+    horizon = *options_.horizon;
+  } else {
+    Duration total = Duration::zero();
+    for (TaskId v : problem_.taskIds()) total += problem_.task(v).delay;
+    Duration maxSep = Duration::zero();
+    for (const TimingConstraint& c : problem_.constraints()) {
+      maxSep = std::max(maxSep, c.separation);
+    }
+    horizon = Time::zero() + total + maxSep;
+  }
+
+  const Watts pmin = problem_.minPower();
+  const Watts pmax = problem_.maxPower();
+
+  std::vector<Time> starts(n, Time::zero());
+  std::vector<Time> bestStarts;
+  Energy bestCost;
+  Time bestFinish;
+  bool haveBest = false;
+  bool budgetTripped = false;
+
+  // Constraints indexed per task for O(deg) pairwise checks.
+  struct Pair {
+    TaskId other;
+    Duration sep;
+    bool otherIsFrom;
+    bool isMin;
+  };
+  std::vector<std::vector<Pair>> touching(n);
+  for (const TimingConstraint& c : problem_.constraints()) {
+    const bool isMin = c.kind == TimingConstraint::Kind::kMinSeparation;
+    touching[c.from.index()].push_back(Pair{c.to, c.separation, false, isMin});
+    touching[c.to.index()].push_back(Pair{c.from, c.separation, true, isMin});
+  }
+
+  const auto leafMetrics = [&](const std::vector<Time>& s, Energy* cost,
+                               Time* finish) {
+    *cost = profileOf(problem_, s).energyAbove(pmin);
+    *finish = finishOf(problem_, s);
+  };
+
+  // DFS over tasks 1..n-1.
+  auto dfs = [&](auto&& self, std::size_t k) -> void {
+    if (budgetTripped) return;
+    if (k == n) {
+      Energy cost;
+      Time finish;
+      leafMetrics(starts, &cost, &finish);
+      const PowerProfile profile = profileOf(problem_, starts);
+      if (profile.firstSpike(pmax)) return;
+      if (!haveBest || cost < bestCost ||
+          (cost == bestCost && finish < bestFinish)) {
+        bestStarts = starts;
+        bestCost = cost;
+        bestFinish = finish;
+        haveBest = true;
+      }
+      return;
+    }
+    const TaskId v(static_cast<std::uint32_t>(k));
+    const Task& task = problem_.task(v);
+    for (Time t = Time::zero(); t + task.delay <= horizon;
+         t += Duration(1)) {
+      if (++outcome_.nodesExplored > options_.maxNodes) {
+        budgetTripped = true;
+        return;
+      }
+      starts[k] = t;
+
+      // Pairwise checks against placed tasks (anchor is placed at 0).
+      bool violated = false;
+      for (const Pair& pr : touching[k]) {
+        if (pr.other.index() >= k && pr.other != kAnchorTask) continue;
+        const Time o = starts[pr.other.index()];
+        const Duration gap = pr.otherIsFrom ? (t - o) : (o - t);
+        if (pr.isMin ? gap < pr.sep : gap > pr.sep) {
+          violated = true;
+          break;
+        }
+      }
+      if (violated) continue;
+      for (std::size_t j = 1; j < k && !violated; ++j) {
+        const TaskId u(static_cast<std::uint32_t>(j));
+        if (problem_.task(u).resource != task.resource) continue;
+        const Interval a(t, t + task.delay);
+        const Interval b(starts[j], starts[j] + problem_.task(u).delay);
+        violated = a.overlaps(b);
+      }
+      if (violated) continue;
+
+      // Monotone power prunings on the placed prefix.
+      const PowerProfile prefix = [&] {
+        PowerProfileBuilder b;
+        for (std::size_t i = 1; i <= k; ++i) {
+          const TaskId u(static_cast<std::uint32_t>(i));
+          b.add(Interval(starts[i], starts[i] + problem_.task(u).delay),
+                problem_.task(u).power);
+        }
+        return b.build(problem_.backgroundPower());
+      }();
+      if (prefix.firstSpike(pmax)) continue;
+      // The final profile dominates the prefix pointwise (tasks only add
+      // power, and the final span only extends the background), so the
+      // prefix's energy above pmin lower-bounds the final energy cost.
+      if (haveBest && prefix.energyAbove(pmin) > bestCost) continue;
+
+      self(self, k + 1);
+      if (budgetTripped) return;
+    }
+  };
+  dfs(dfs, 1);
+
+  outcome_.provenOptimal = !budgetTripped;
+  if (!haveBest) {
+    out.status = budgetTripped ? SchedStatus::kBudgetExhausted
+                               : SchedStatus::kPowerInfeasible;
+    out.message = budgetTripped
+                      ? "node budget exhausted before any valid schedule"
+                      : "no valid schedule within the horizon";
+    return out;
+  }
+  out.status = SchedStatus::kOk;
+  out.schedule = Schedule(&problem_, bestStarts);
+  return out;
+}
+
+}  // namespace paws

@@ -1,0 +1,62 @@
+// Exhaustive branch-and-bound scheduler — the optimality oracle.
+//
+// Section 5.3: "To find an 'optimal' schedule whose energy cost is
+// minimized, the algorithm should examine all valid partial orderings of
+// tasks, which will increase the complexity of computation to an
+// exponential order of tasks." The paper therefore uses heuristics; this
+// class implements the exponential search for SMALL instances so the test
+// suite and the optimality bench can measure how far the heuristics land
+// from the true optimum.
+//
+// Search space: integer start times in [0, horizon] for every task,
+// explored by DFS in task order with three sound prunings:
+//   * pairwise violation of user constraints / resource overlap against
+//     already-placed tasks;
+//   * partial power profile: placed tasks alone exceeding Pmax can never
+//     be repaired by placing more tasks (power only adds up);
+//   * partial energy cost already at/above the incumbent (Ec is monotone
+//     in the set of placed tasks).
+// Leaves are verified with the independent ScheduleValidator. The search
+// is exhaustive within the horizon, so the returned schedule minimizes
+// (energy cost at Pmin, finish time) lexicographically among all valid
+// schedules that fit the horizon.
+#pragma once
+
+#include <optional>
+
+#include "model/problem.hpp"
+#include "sched/result.hpp"
+
+namespace paws {
+
+struct ExhaustiveOptions {
+  /// Latest allowed completion. Defaults to the fully-serial span plus the
+  /// largest user separation — generous for small instances. Optimality is
+  /// relative to this horizon.
+  std::optional<Time> horizon;
+  /// Node budget; the search reports nonOptimal when it trips.
+  std::uint64_t maxNodes = 20'000'000;
+};
+
+struct ExhaustiveOutcomeStats {
+  std::uint64_t nodesExplored = 0;
+  bool provenOptimal = false;  // search completed within the node budget
+};
+
+class ExhaustiveScheduler {
+ public:
+  explicit ExhaustiveScheduler(const Problem& problem,
+                               ExhaustiveOptions options = {});
+
+  ScheduleResult schedule();
+  [[nodiscard]] const ExhaustiveOutcomeStats& outcome() const {
+    return outcome_;
+  }
+
+ private:
+  const Problem& problem_;
+  ExhaustiveOptions options_;
+  ExhaustiveOutcomeStats outcome_;
+};
+
+}  // namespace paws

@@ -1,0 +1,137 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.hpp"
+
+namespace paws {
+
+ListScheduler::ListScheduler(const Problem& problem,
+                             ListSchedulerOptions options)
+    : problem_(problem), options_(options) {}
+
+ScheduleResult ListScheduler::schedule() {
+  ScheduleResult out;
+  const std::size_t n = problem_.numVertices();
+  const Watts pmax = problem_.maxPower();
+
+  std::vector<bool> placed(n, false);
+  std::vector<Time> starts(n, Time::zero());
+  placed[kAnchorTask.index()] = true;
+
+  // Min-separation in-constraints per task (anchor releases included via
+  // the constraint list; the implicit release-at-0 needs no entry).
+  std::vector<std::vector<const TimingConstraint*>> minIn(n);
+  for (const TimingConstraint& c : problem_.constraints()) {
+    if (c.kind == TimingConstraint::Kind::kMinSeparation) {
+      minIn[c.to.index()].push_back(&c);
+    }
+  }
+
+  std::size_t remaining = problem_.numTasks();
+  Time t = Time::zero();
+  std::uint64_t iterationGuard = 4 * (remaining + 1) * (remaining + 1) + 64;
+
+  while (remaining > 0) {
+    if (iterationGuard-- == 0) {
+      out.status = SchedStatus::kBudgetExhausted;
+      out.message = "list scheduler failed to converge";
+      return out;
+    }
+
+    // Earliest legal start per unplaced task whose predecessors all placed.
+    auto enableTime = [&](TaskId v) -> std::optional<Time> {
+      Time ready = Time::zero();
+      for (const TimingConstraint* c : minIn[v.index()]) {
+        if (!placed[c->from.index()]) return std::nullopt;
+        ready = std::max(ready, starts[c->from.index()] + c->separation);
+      }
+      return ready;
+    };
+
+    // Current running set at t and its power / resource usage.
+    Watts level = problem_.backgroundPower();
+    std::vector<bool> busy(problem_.numResources(), false);
+    Time nextRetire = Time::max();
+    for (TaskId v : problem_.taskIds()) {
+      if (!placed[v.index()]) continue;
+      const Task& task = problem_.task(v);
+      const Time end = starts[v.index()] + task.delay;
+      if (starts[v.index()] <= t && t < end) {
+        level += task.power;
+        busy[task.resource.index()] = true;
+        nextRetire = std::min(nextRetire, end);
+      }
+    }
+
+    // Ready tasks, ordered by the power heuristic.
+    std::vector<std::pair<TaskId, Time>> ready;
+    Time nextEnable = Time::max();
+    for (TaskId v : problem_.taskIds()) {
+      if (placed[v.index()]) continue;
+      const std::optional<Time> e = enableTime(v);
+      if (!e) continue;
+      if (*e <= t) {
+        ready.emplace_back(v, *e);
+      } else {
+        nextEnable = std::min(nextEnable, *e);
+      }
+    }
+    std::stable_sort(ready.begin(), ready.end(),
+                     [this](const auto& a, const auto& b) {
+                       const Watts pa = problem_.task(a.first).power;
+                       const Watts pb = problem_.task(b.first).power;
+                       return options_.highPowerFirst ? pa > pb : pa < pb;
+                     });
+
+    bool startedAny = false;
+    for (const auto& [v, enable] : ready) {
+      const Task& task = problem_.task(v);
+      if (busy[task.resource.index()]) continue;
+      if (level + task.power > pmax) continue;
+      starts[v.index()] = t;
+      placed[v.index()] = true;
+      level += task.power;
+      busy[task.resource.index()] = true;
+      nextRetire = std::min(nextRetire, t + task.delay);
+      --remaining;
+      startedAny = true;
+    }
+    if (remaining == 0) break;
+
+    if (!startedAny && nextRetire == Time::max() &&
+        nextEnable == Time::max()) {
+      out.status = SchedStatus::kTimingInfeasible;
+      out.message =
+          "greedy deadlock: unplaced tasks with unplaceable predecessors";
+      return out;
+    }
+    // Advance to the next event: a task retiring or becoming enabled.
+    Time next = std::min(nextRetire, nextEnable);
+    if (startedAny) continue;  // New retire times; recompute at same t first.
+    PAWS_CHECK(next > t);
+    t = next;
+  }
+
+  // Report greedy max-separation violations (the baseline cannot see them).
+  std::ostringstream violations;
+  int count = 0;
+  for (const TimingConstraint& c : problem_.constraints()) {
+    if (c.kind != TimingConstraint::Kind::kMaxSeparation) continue;
+    if (starts[c.to.index()] > starts[c.from.index()] + c.separation) {
+      if (count++) violations << "; ";
+      violations << problem_.task(c.from).name << " -> "
+                 << problem_.task(c.to).name << " exceeds max "
+                 << c.separation.ticks();
+    }
+  }
+  out.status = SchedStatus::kOk;
+  out.schedule = Schedule(&problem_, std::move(starts));
+  if (count > 0) {
+    out.message = "max-separation violations: " + violations.str();
+  }
+  return out;
+}
+
+}  // namespace paws

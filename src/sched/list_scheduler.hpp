@@ -1,0 +1,39 @@
+// ListScheduler — a greedy, power-capped, time-driven baseline.
+//
+// A conventional list scheduler extended with a power gate: at each event
+// time it starts ready tasks (all min-separation predecessors started far
+// enough ago, resource idle) greedily as long as the instantaneous draw
+// stays within Pmax. It is the natural "what you'd build without the
+// paper" comparator for the ablation benches: it respects min separations
+// and the budget, but it neither understands max separations nor min-power
+// utilization, so it can produce max-separation violations (reported, not
+// silently ignored) and wastes free power.
+#pragma once
+
+#include "model/problem.hpp"
+#include "sched/result.hpp"
+
+namespace paws {
+
+struct ListSchedulerOptions {
+  /// Start higher-power tasks first (fills the budget greedily); when
+  /// false, lower-power first (the "cautious" variant).
+  bool highPowerFirst = true;
+};
+
+class ListScheduler {
+ public:
+  explicit ListScheduler(const Problem& problem,
+                         ListSchedulerOptions options = {});
+
+  /// Greedy schedule. Status is kOk when every task was placed; the message
+  /// lists max-separation constraints the greedy placement violated, if
+  /// any (the caller decides whether that disqualifies the baseline).
+  ScheduleResult schedule();
+
+ private:
+  const Problem& problem_;
+  ListSchedulerOptions options_;
+};
+
+}  // namespace paws

@@ -1,0 +1,196 @@
+#include "sched/min_power_scheduler.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "graph/longest_path.hpp"
+#include "sched/slack.hpp"
+
+namespace paws {
+
+namespace {
+
+std::uint32_t nextRand(std::uint32_t& state) {
+  std::uint32_t x = state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return state = x;
+}
+
+ScanOrder rotateScan(ScanOrder order) {
+  switch (order) {
+    case ScanOrder::kForward:
+      return ScanOrder::kBackward;
+    case ScanOrder::kBackward:
+      return ScanOrder::kRandom;
+    case ScanOrder::kRandom:
+      return ScanOrder::kForward;
+  }
+  return ScanOrder::kForward;
+}
+
+SlotHeuristic rotateSlot(SlotHeuristic h) {
+  switch (h) {
+    case SlotHeuristic::kStartAtGap:
+      return SlotHeuristic::kFinishAtGapEnd;
+    case SlotHeuristic::kFinishAtGapEnd:
+      return SlotHeuristic::kRandom;
+    case SlotHeuristic::kRandom:
+      return SlotHeuristic::kStartAtGap;
+  }
+  return SlotHeuristic::kStartAtGap;
+}
+
+}  // namespace
+
+MinPowerScheduler::MinPowerScheduler(const Problem& problem,
+                                     MinPowerOptions options)
+    : problem_(problem), options_(options) {}
+
+ScheduleResult MinPowerScheduler::schedule() {
+  MaxPowerScheduler maxPower(problem_, options_.maxPower);
+  MaxPowerScheduler::Detailed det = maxPower.scheduleDetailed();
+  if (!det.result.ok()) return std::move(det.result);
+  PAWS_CHECK(det.graph.has_value());
+  return improve(*det.graph, *det.result.schedule, det.result.stats);
+}
+
+ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
+                                          const Schedule& valid,
+                                          SchedulerStats stats) {
+  ScheduleResult out;
+  out.stats = stats;
+
+  const Watts pmax = problem_.maxPower();
+  const Watts pmin = problem_.minPower();
+  std::vector<Time> starts = valid.starts();
+  std::uint32_t rng = options_.randomSeed == 0 ? 1 : options_.randomSeed;
+
+  const Time spikeHorizon(options_.maxPower.ignoreSpikesBeforeTick);
+  PowerProfile profile = profileOf(problem_, starts);
+  PAWS_CHECK_MSG(!profile.firstSpike(pmax, spikeHorizon),
+                 "improve() requires a power-valid input schedule");
+  double rho = profile.utilization(pmin);
+  LongestPathEngine engine(graph);
+
+  ScanOrder scan = options_.scanOrder;
+  SlotHeuristic slot = options_.slotHeuristic;
+
+  for (std::uint32_t pass = 0;
+       pass < options_.maxPasses && rho < 1.0; ++pass) {
+    ++out.stats.scans;
+    bool improvedInPass = false;
+    bool rescan = true;
+
+    while (rescan && rho < 1.0) {
+      rescan = false;
+      std::vector<Interval> gaps = profile.gaps(pmin);
+      switch (scan) {
+        case ScanOrder::kForward:
+          break;  // gaps() is already in increasing time order
+        case ScanOrder::kBackward:
+          std::reverse(gaps.begin(), gaps.end());
+          break;
+        case ScanOrder::kRandom:
+          for (std::size_t i = gaps.size(); i > 1; --i) {
+            std::swap(gaps[i - 1], gaps[nextRand(rng) % i]);
+          }
+          break;
+      }
+
+      for (const Interval& gap : gaps) {
+        const Time t = gap.begin();
+        if (profile.valueAt(t) >= pmin) continue;  // stale after a move
+
+        const std::vector<Duration> slacks = computeSlacks(graph, starts);
+
+        // Candidates: tasks that completed before t but can be delayed,
+        // within their slack, far enough to be active at t.
+        std::vector<TaskId> candidates;
+        for (TaskId v : problem_.taskIds()) {
+          const Task& task = problem_.task(v);
+          const Time end = starts[v.index()] + task.delay;
+          if (end > t) continue;  // still running at/after t, cannot "fill"
+          const Duration neededSlack =
+              (t - starts[v.index()]) - task.delay + Duration(1);
+          if (slacks[v.index()] >= neededSlack) candidates.push_back(v);
+        }
+        // Try the largest power draw first: it fills the gap fastest.
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [this](TaskId x, TaskId y) {
+                           return problem_.task(x).power >
+                                  problem_.task(y).power;
+                         });
+
+        for (TaskId v : candidates) {
+          const Task& task = problem_.task(v);
+          const Time cur = starts[v.index()];
+          // Feasible new-start window that keeps v active at t. Unbounded
+          // slack (no outgoing constraints) must not enter the arithmetic:
+          // cur + Duration::max() would overflow.
+          const Time lo =
+              std::max(cur + Duration(1), t - task.delay + Duration(1));
+          const Time hi = slacks[v.index()] == Duration::max()
+                              ? t
+                              : std::min(t, cur + slacks[v.index()]);
+          if (lo > hi) continue;
+
+          Time target;
+          switch (slot) {
+            case SlotHeuristic::kStartAtGap:
+              target = hi;  // as close to starting at t as slack allows
+              break;
+            case SlotHeuristic::kFinishAtGapEnd:
+              target = gap.end() - task.delay;
+              target = std::clamp(target, lo, hi);
+              break;
+            case SlotHeuristic::kRandom:
+              target = lo + Duration(static_cast<std::int64_t>(
+                                nextRand(rng) %
+                                static_cast<std::uint64_t>(
+                                    (hi - lo).ticks() + 1)));
+              break;
+          }
+
+          const ConstraintGraph::Checkpoint cp = graph.checkpoint();
+          graph.addEdge(kAnchorTask, v, target - Time::zero(),
+                        EdgeKind::kDelay);
+          const LongestPathResult& lp = engine.compute(kAnchorTask);
+          ++out.stats.longestPathRuns;
+          if (!lp.feasible) {
+            graph.rollbackTo(cp);
+            continue;
+          }
+          PowerProfile newProfile = profileOf(problem_, lp.dist);
+          const bool powerValid =
+              !newProfile.firstSpike(pmax, spikeHorizon).has_value();
+          const double newRho = newProfile.utilization(pmin);
+          if (powerValid && newRho > rho) {
+            starts = lp.dist;
+            profile = std::move(newProfile);
+            rho = newRho;
+            ++out.stats.improvements;
+            improvedInPass = true;
+            rescan = true;  // gap list is stale; rebuild it
+            break;
+          }
+          graph.rollbackTo(cp);
+        }
+        if (rescan) break;
+      }
+    }
+
+    if (!improvedInPass) break;
+    if (options_.rotateHeuristics) {
+      scan = rotateScan(scan);
+      slot = rotateSlot(slot);
+    }
+  }
+
+  out.status = SchedStatus::kOk;
+  out.schedule = Schedule(&problem_, starts);
+  return out;
+}
+
+}  // namespace paws

@@ -1,0 +1,65 @@
+#include "sched/power_aware_scheduler.hpp"
+
+#include "sched/min_power_scheduler.hpp"
+
+namespace paws {
+
+namespace {
+
+/// Lexicographic quality: lower energy cost, then earlier finish, then
+/// higher utilization.
+bool betterThan(const Schedule& a, const Schedule& b, Watts pmin) {
+  const Energy ecA = a.energyCost(pmin);
+  const Energy ecB = b.energyCost(pmin);
+  if (ecA != ecB) return ecA < ecB;
+  if (a.finish() != b.finish()) return a.finish() < b.finish();
+  return a.utilization(pmin) > b.utilization(pmin);
+}
+
+}  // namespace
+
+PowerAwareScheduler::PowerAwareScheduler(const Problem& problem,
+                                         PowerAwareOptions options)
+    : problem_(problem), options_(options) {}
+
+ScheduleResult PowerAwareScheduler::schedule() {
+  const Watts pmin = problem_.minPower();
+  ScheduleResult best;
+  bool haveBest = false;
+  SchedulerStats total;
+
+  const std::uint32_t trials = std::max<std::uint32_t>(options_.trials, 1);
+  for (std::uint32_t k = 0; k < trials; ++k) {
+    MinPowerOptions opts = options_.minPower;
+    opts.randomSeed += k;
+    opts.maxPower.randomSeed += k;
+    opts.maxPower.timing.randomSeed += k;
+    // Alternate the first scan direction across trials so different partial
+    // orders get explored even without randomness.
+    if (k % 2 == 1) {
+      opts.scanOrder = opts.scanOrder == ScanOrder::kForward
+                           ? ScanOrder::kBackward
+                           : ScanOrder::kForward;
+    }
+    if (k >= 2) opts.slotHeuristic = SlotHeuristic::kFinishAtGapEnd;
+
+    MinPowerScheduler pipeline(problem_, opts);
+    ScheduleResult r = pipeline.schedule();
+    total += r.stats;
+    if (!r.ok()) {
+      if (!haveBest) {
+        best = std::move(r);  // Remember the failure diagnostics.
+      }
+      continue;
+    }
+    if (!haveBest || !best.ok() ||
+        betterThan(*r.schedule, *best.schedule, pmin)) {
+      best = std::move(r);
+      haveBest = true;
+    }
+  }
+  best.stats = total;
+  return best;
+}
+
+}  // namespace paws

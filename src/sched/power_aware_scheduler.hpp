@@ -1,0 +1,37 @@
+// PowerAwareScheduler — the complete three-stage pipeline (Section 5).
+//
+// Runs timing scheduling, then max-power spike elimination, then min-power
+// gap filling, and optionally repeats the whole pipeline over several
+// seeded trials with perturbed heuristics ("in practice, we scan the
+// schedule multiple times while altering some of the heuristics during
+// each scan and take the best results"). The best schedule is the one with
+// the lowest energy cost Ec(Pmin); ties break on finish time, then on
+// utilization.
+#pragma once
+
+#include "model/problem.hpp"
+#include "sched/options.hpp"
+#include "sched/result.hpp"
+
+namespace paws {
+
+struct PowerAwareOptions {
+  MinPowerOptions minPower;
+  /// Pipeline trials; trial k reseeds the heuristics with seed base+k and
+  /// alternates the min-power scan order.
+  std::uint32_t trials = 4;
+};
+
+class PowerAwareScheduler {
+ public:
+  explicit PowerAwareScheduler(const Problem& problem,
+                               PowerAwareOptions options = {});
+
+  ScheduleResult schedule();
+
+ private:
+  const Problem& problem_;
+  PowerAwareOptions options_;
+};
+
+}  // namespace paws

@@ -1,0 +1,47 @@
+#include "sched/repair.hpp"
+
+#include "base/check.hpp"
+
+namespace paws {
+
+ScheduleResult repairSchedule(const RepairInput& input,
+                              const PowerAwareOptions& options) {
+  PAWS_CHECK(input.updated != nullptr && input.current != nullptr);
+  const Problem& updated = *input.updated;
+  const Schedule& current = *input.current;
+  PAWS_CHECK_MSG(updated.numVertices() == current.problem().numVertices(),
+                 "updated problem must carry the same task set");
+
+  // Amend a copy: freeze the past, release the future.
+  Problem amended(updated);
+  for (TaskId v : updated.taskIds()) {
+    if (current.start(v) < input.now) {
+      amended.pin(v, current.start(v));
+    } else {
+      amended.release(v, input.now);
+    }
+  }
+
+  // Frozen history may already violate a newly tightened budget; such
+  // spikes cannot be repaired and must be tolerated, not chased.
+  PowerAwareOptions repairOptions = options;
+  repairOptions.minPower.maxPower.ignoreSpikesBeforeTick =
+      input.now.ticks();
+
+  PowerAwareScheduler scheduler(amended, repairOptions);
+  ScheduleResult result = scheduler.schedule();
+  if (result.ok()) {
+    // Rebind to the caller's updated problem (same ids; the pins/releases
+    // only constrained the solver).
+    result.schedule = Schedule(input.updated, result.schedule->starts());
+    // Postcondition: history untouched.
+    for (TaskId v : updated.taskIds()) {
+      if (current.start(v) < input.now) {
+        PAWS_CHECK(result.schedule->start(v) == current.start(v));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace paws

@@ -1,0 +1,45 @@
+// Mid-flight schedule repair.
+//
+// The runtime story (Section 5.3) selects among static schedules at
+// iteration boundaries. When the environment changes *inside* an iteration
+// — the budget drops, a constraint tightens — the right response is not a
+// cold re-run: tasks that already started cannot move. Repair locks
+// history and reschedules only the future:
+//
+//   * tasks that started strictly before `now` are pinned at their
+//     current slots (they are running or done);
+//   * every remaining task gets `release(now)` — the repaired schedule
+//     cannot reach back into the past;
+//   * the full pipeline re-runs on the amended problem, under whatever
+//     new Pmax/Pmin the caller installed in `updated`.
+//
+// The result is a complete start assignment for the ORIGINAL task set:
+// history is bit-identical, the future is re-planned. If the past itself
+// violates the new budget (a spike already in progress), repair still
+// succeeds when the future is fixable — the validator will attribute the
+// historical spike honestly.
+#pragma once
+
+#include "model/problem.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "sched/result.hpp"
+
+namespace paws {
+
+struct RepairInput {
+  /// The problem with the NEW limits/constraints in force (typically a
+  /// copy of the original with setMaxPower/setMinPower updated). Task set
+  /// and ids must match the schedule's problem.
+  const Problem* updated = nullptr;
+  /// The schedule being executed.
+  const Schedule* current = nullptr;
+  /// The instant of the change; tasks with start(v) < now are frozen.
+  Time now;
+};
+
+/// Reschedules the future of `input.current` under `input.updated`.
+/// The returned schedule is bound to `input.updated`.
+ScheduleResult repairSchedule(const RepairInput& input,
+                              const PowerAwareOptions& options = {});
+
+}  // namespace paws

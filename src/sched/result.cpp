@@ -1,0 +1,19 @@
+#include "sched/result.hpp"
+
+namespace paws {
+
+const char* toString(SchedStatus status) {
+  switch (status) {
+    case SchedStatus::kOk:
+      return "ok";
+    case SchedStatus::kTimingInfeasible:
+      return "timing-infeasible";
+    case SchedStatus::kPowerInfeasible:
+      return "power-infeasible";
+    case SchedStatus::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "?";
+}
+
+}  // namespace paws

@@ -1,0 +1,61 @@
+#include "sched/serial_scheduler.hpp"
+
+#include "base/check.hpp"
+#include "graph/longest_path.hpp"
+#include "sched/timing_scheduler.hpp"
+
+namespace paws {
+
+namespace {
+
+/// Clone of `p` with all tasks on a single resource. Task ids are assigned
+/// in insertion order, so they coincide with the original problem's ids and
+/// the resulting start vector applies to the original directly.
+Problem monoResourceClone(const Problem& p) {
+  Problem mono(p.name() + "_serial");
+  const ResourceId only = mono.addResource("serial");
+  for (TaskId v : p.taskIds()) {
+    const Task& t = p.task(v);
+    const TaskId copied = mono.addTask(t.name, t.delay, t.power, only);
+    PAWS_CHECK(copied == v);
+  }
+  for (const TimingConstraint& c : p.constraints()) {
+    switch (c.kind) {
+      case TimingConstraint::Kind::kMinSeparation:
+        mono.minSeparation(c.from, c.to, c.separation);
+        break;
+      case TimingConstraint::Kind::kMaxSeparation:
+        mono.maxSeparation(c.from, c.to, c.separation);
+        break;
+    }
+  }
+  mono.setBackgroundPower(p.backgroundPower());
+  mono.setMaxPower(p.maxPower());
+  mono.setMinPower(p.minPower());
+  return mono;
+}
+
+}  // namespace
+
+SerialScheduler::SerialScheduler(const Problem& problem, TimingOptions options)
+    : problem_(problem), options_(options) {}
+
+ScheduleResult SerialScheduler::schedule() {
+  ScheduleResult out;
+  const Problem mono = monoResourceClone(problem_);
+  ConstraintGraph graph = mono.buildGraph();
+  LongestPathEngine engine(graph);
+  TimingScheduler timing(mono, options_);
+  TimingScheduler::Output t = timing.run(graph, engine, out.stats);
+  if (!t.ok) {
+    out.status = t.budgetExhausted ? SchedStatus::kBudgetExhausted
+                                   : SchedStatus::kTimingInfeasible;
+    out.message = t.message;
+    return out;
+  }
+  out.status = SchedStatus::kOk;
+  out.schedule = Schedule(&problem_, std::move(t.starts));
+  return out;
+}
+
+}  // namespace paws

@@ -1,0 +1,36 @@
+// SerialScheduler — the JPL baseline (Section 6).
+//
+// The Mars Pathfinder mission ran a fixed, fully serialized, hand-crafted
+// schedule: at most one task executes at any instant, regardless of how
+// much solar power is available. We reproduce that design point by running
+// the timing scheduler with *every* task forced onto one virtual resource,
+// so the result is the tightest fully-serial schedule consistent with the
+// timing constraints — exactly what the paper compares against ("the
+// existing schedule is identical to our power-aware schedule in the worst
+// case with the lowest power budget").
+//
+// The baseline is power-oblivious by design: it never consults Pmax/Pmin.
+// It is "low-power" because serial execution keeps the instantaneous draw
+// at one task + background.
+#pragma once
+
+#include "model/problem.hpp"
+#include "sched/options.hpp"
+#include "sched/result.hpp"
+
+namespace paws {
+
+class SerialScheduler {
+ public:
+  explicit SerialScheduler(const Problem& problem, TimingOptions options = {});
+
+  /// Returns the earliest fully-serialized time-valid schedule, or a timing
+  /// failure when the constraints admit no serial order.
+  ScheduleResult schedule();
+
+ private:
+  const Problem& problem_;
+  TimingOptions options_;
+};
+
+}  // namespace paws

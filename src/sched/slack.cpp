@@ -1,0 +1,33 @@
+#include "sched/slack.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace paws {
+
+Duration slackOf(const ConstraintGraph& graph, const std::vector<Time>& sigma,
+                 TaskId v) {
+  PAWS_CHECK(v.index() < sigma.size());
+  Duration slack = Duration::max();
+  for (EdgeId eid : graph.outEdges(v)) {
+    const ConstraintEdge& e = graph.edge(eid);
+    // sigma(u) - sigma(v) >= w must keep holding as sigma(v) grows:
+    // sigma(v) may rise to sigma(u) - w.
+    const Duration room = (sigma[e.to.index()] - e.weight) - sigma[v.index()];
+    slack = std::min(slack, room);
+  }
+  return slack;
+}
+
+std::vector<Duration> computeSlacks(const ConstraintGraph& graph,
+                                    const std::vector<Time>& sigma) {
+  PAWS_CHECK(sigma.size() == graph.numVertices());
+  std::vector<Duration> slacks(sigma.size(), Duration::max());
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    slacks[i] = slackOf(graph, sigma, TaskId(static_cast<std::uint32_t>(i)));
+  }
+  return slacks;
+}
+
+}  // namespace paws

@@ -1,0 +1,36 @@
+// Slack analysis (Section 4.1).
+//
+// Given a time-valid assignment sigma over a constraint graph G, the slack
+// Delta_sigma(v) is the largest delay of v's start alone that keeps sigma
+// time-valid. Every constraint that upper-bounds sigma(v) relative to
+// another task appears in G as an *out*-edge of v (min separations into
+// successors, serialization before later same-resource tasks, max
+// separations encoded as back edges out of v), so
+//
+//   Delta_sigma(v) = min over out-edges (v -> u, w) of (sigma(u) - w) - sigma(v)
+//
+// and Duration::max() when v has no out-edges (delay bounded only by the
+// scheduler's own heuristics).
+//
+// The graph must already contain the serialization/decision edges the
+// current schedule was computed with — slacks on the bare user graph would
+// ignore resource exclusivity.
+#pragma once
+
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/time.hpp"
+#include "graph/constraint_graph.hpp"
+
+namespace paws {
+
+/// Slack of a single vertex under assignment `sigma` (vertex-indexed).
+Duration slackOf(const ConstraintGraph& graph, const std::vector<Time>& sigma,
+                 TaskId v);
+
+/// Slacks for all vertices (index-aligned with `sigma`).
+std::vector<Duration> computeSlacks(const ConstraintGraph& graph,
+                                    const std::vector<Time>& sigma);
+
+}  // namespace paws

@@ -1,0 +1,133 @@
+#include "sched/timing_scheduler.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "model/explain.hpp"
+
+namespace paws {
+
+namespace {
+
+/// xorshift32 — deterministic, seedable, no <random> state bloat.
+std::uint32_t nextRand(std::uint32_t& state) {
+  std::uint32_t x = state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return state = x;
+}
+
+}  // namespace
+
+TimingScheduler::TimingScheduler(const Problem& problem, TimingOptions options)
+    : problem_(problem), options_(options) {
+  tasksOnResource_.resize(problem.numResources());
+  for (TaskId v : problem.taskIds()) {
+    const ResourceId r = problem.task(v).resource;
+    tasksOnResource_[r.index()].push_back(v);
+  }
+}
+
+TimingScheduler::Output TimingScheduler::run(ConstraintGraph& graph,
+                                             LongestPathEngine& engine,
+                                             SchedulerStats& stats) {
+  PAWS_CHECK_MSG(graph.numVertices() == problem_.numVertices(),
+                 "graph/problem vertex count mismatch");
+  Output out;
+  visited_.assign(problem_.numVertices(), false);
+  visited_[kAnchorTask.index()] = true;  // Anchor is pre-placed at time 0.
+  backtracksLeft_ = options_.maxBacktracks;
+  budgetExhausted_ = false;
+  rngState_ = options_.randomSeed == 0 ? 1 : options_.randomSeed;
+
+  const ConstraintGraph::Checkpoint entry = graph.checkpoint();
+  const LongestPathResult& first = engine.compute(kAnchorTask);
+  ++stats.longestPathRuns;
+  if (!first.feasible) {
+    out.message = explainCycle(problem_, graph, first);
+    if (out.message.empty()) {
+      out.message = "user constraints are infeasible (positive cycle)";
+    }
+    return out;
+  }
+
+  if (visit(graph, engine, stats, 1)) {
+    const LongestPathResult& final = engine.compute(kAnchorTask);
+    ++stats.longestPathRuns;
+    PAWS_CHECK(final.feasible);
+    out.ok = true;
+    out.starts = final.dist;
+    // Defensive: every task must be reachable thanks to release edges.
+    for (Time t : out.starts) PAWS_CHECK(t != Time::minusInfinity());
+    return out;
+  }
+
+  graph.rollbackTo(entry);
+  out.budgetExhausted = budgetExhausted_;
+  out.message = budgetExhausted_
+                    ? "backtrack budget exhausted before finding an order"
+                    : "no serialization order satisfies the constraints";
+  return out;
+}
+
+bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
+                            SchedulerStats& stats, std::size_t numVisited) {
+  const std::size_t n = problem_.numVertices();
+  if (numVisited == n) return true;
+
+  // Collect candidates (unvisited vertices) in heuristic order.
+  std::vector<TaskId> candidates;
+  candidates.reserve(n - numVisited);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!visited_[i]) candidates.push_back(TaskId(static_cast<std::uint32_t>(i)));
+  }
+  switch (options_.candidateOrder) {
+    case CandidateOrder::kByLongestPath: {
+      const std::vector<Time>& dist = engine.result().dist;
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&dist](TaskId a, TaskId b) {
+                         return dist[a.index()] < dist[b.index()];
+                       });
+      break;
+    }
+    case CandidateOrder::kByIndex:
+      break;  // Already in index order.
+    case CandidateOrder::kRandom:
+      for (std::size_t i = candidates.size(); i > 1; --i) {
+        std::swap(candidates[i - 1], candidates[nextRand(rngState_) % i]);
+      }
+      break;
+  }
+
+  for (TaskId c : candidates) {
+    const ConstraintGraph::Checkpoint cp = graph.checkpoint();
+    // Serialize c before every unvisited task sharing its resource.
+    const ResourceId r = problem_.task(c).resource;
+    for (TaskId u : tasksOnResource_[r.index()]) {
+      if (u == c || visited_[u.index()]) continue;
+      graph.addEdge(c, u, problem_.task(c).delay, EdgeKind::kSerialization);
+    }
+    visited_[c.index()] = true;
+
+    const LongestPathResult& lp = engine.compute(kAnchorTask);
+    ++stats.longestPathRuns;
+    if (lp.feasible && visit(graph, engine, stats, numVisited + 1)) {
+      return true;
+    }
+
+    // Undo and try the next candidate.
+    visited_[c.index()] = false;
+    graph.rollbackTo(cp);
+    ++stats.backtracks;
+    if (backtracksLeft_ == 0) {
+      budgetExhausted_ = true;
+      return false;
+    }
+    --backtracksLeft_;
+    if (budgetExhausted_) return false;
+  }
+  return false;
+}
+
+}  // namespace paws

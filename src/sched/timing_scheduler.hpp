@@ -1,0 +1,64 @@
+// TimingScheduler — Fig. 3 of the paper.
+//
+// Finds a time-valid schedule for a constraint graph: start times satisfy
+// every min/max separation and tasks sharing a resource are serialized. The
+// algorithm explores visiting orders of the vertices; when a vertex c is
+// visited it is serialized *before* every not-yet-visited task on the same
+// resource (edge c -> u with weight d(c)), so the visiting order restricted
+// to each resource becomes its execution order. Start times are the
+// single-source longest-path distances from the anchor; a positive cycle
+// (infeasible serialization against a max constraint) triggers backtracking
+// to an alternative visiting order. The search is exhaustive up to the
+// backtrack budget, so it finds a time-valid schedule whenever one exists
+// within that budget.
+//
+// The caller owns the graph: serialization edges added by a successful run
+// REMAIN in it, because slack analysis and the two power schedulers must see
+// them. A failed run leaves the graph exactly as it was.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/time.hpp"
+#include "graph/constraint_graph.hpp"
+#include "graph/longest_path.hpp"
+#include "model/problem.hpp"
+#include "sched/options.hpp"
+#include "sched/result.hpp"
+
+namespace paws {
+
+class TimingScheduler {
+ public:
+  explicit TimingScheduler(const Problem& problem, TimingOptions options = {});
+
+  struct Output {
+    bool ok = false;
+    bool budgetExhausted = false;
+    /// Vertex-indexed start times (valid when ok).
+    std::vector<Time> starts;
+    std::string message;
+  };
+
+  /// Schedules over `graph` (the problem's graph plus any decision edges).
+  /// On success serialization edges stay in `graph`; on failure the graph is
+  /// rolled back to its entry state. `engine` must be bound to `graph`.
+  Output run(ConstraintGraph& graph, LongestPathEngine& engine,
+             SchedulerStats& stats);
+
+ private:
+  bool visit(ConstraintGraph& graph, LongestPathEngine& engine,
+             SchedulerStats& stats, std::size_t numVisited);
+
+  const Problem& problem_;
+  TimingOptions options_;
+  std::vector<bool> visited_;
+  std::vector<std::vector<TaskId>> tasksOnResource_;
+  std::uint64_t backtracksLeft_ = 0;
+  bool budgetExhausted_ = false;
+  std::uint32_t rngState_ = 1;
+};
+
+}  // namespace paws

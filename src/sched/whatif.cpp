@@ -1,0 +1,61 @@
+#include "sched/whatif.hpp"
+
+#include "base/check.hpp"
+
+namespace paws {
+
+ScheduleDiff diffSchedules(const Schedule& before, const Schedule& after) {
+  PAWS_CHECK_MSG(&before.problem() == &after.problem(),
+                 "diff requires schedules of the same problem");
+  const Problem& p = before.problem();
+  ScheduleDiff diff;
+  for (TaskId v : p.taskIds()) {
+    if (before.start(v) != after.start(v)) {
+      diff.moved.push_back(TaskMove{v, before.start(v), after.start(v)});
+    }
+  }
+  diff.finishDelta = after.finish() - before.finish();
+  diff.energyCostDelta =
+      after.energyCost(p.minPower()) - before.energyCost(p.minPower());
+  diff.utilizationDelta =
+      after.utilization(p.minPower()) - before.utilization(p.minPower());
+  return diff;
+}
+
+void WhatIfSession::lock(TaskId task, Time start) {
+  PAWS_CHECK_MSG(task.isValid() && task != kAnchorTask &&
+                     task.index() < problem_->numVertices(),
+                 "cannot lock " << task);
+  PAWS_CHECK_MSG(start >= Time::zero(), "locks must be at/after time 0");
+  locks_[task] = start;
+}
+
+void WhatIfSession::unlock(TaskId task) { locks_.erase(task); }
+
+void WhatIfSession::clearLocks() { locks_.clear(); }
+
+std::optional<Time> WhatIfSession::lockOf(TaskId task) const {
+  const auto it = locks_.find(task);
+  if (it == locks_.end()) return std::nullopt;
+  return it->second;
+}
+
+ScheduleResult WhatIfSession::reschedule(
+    const PowerAwareOptions& options) const {
+  // Clone the problem and add the locks as pin constraints; ids are
+  // assigned in insertion order so they coincide with the original's.
+  Problem pinned(*problem_);
+  for (const auto& [task, start] : locks_) {
+    pinned.pin(task, start);
+  }
+  PowerAwareScheduler scheduler(pinned, options);
+  ScheduleResult result = scheduler.schedule();
+  if (result.ok()) {
+    // Rebind onto the original problem: same tasks, same limits — only the
+    // solver saw the pins.
+    result.schedule = Schedule(problem_, result.schedule->starts());
+  }
+  return result;
+}
+
+}  // namespace paws

@@ -1,0 +1,66 @@
+// What-if exploration — the headless version of the power-aware Gantt
+// chart's interactive workflow (Section 4.3): "designers can manually
+// intervene with the automated scheduling process by dragging and locking
+// the bins to alternative time slots in the time view, while observing the
+// results in the power view".
+//
+// A WhatIfSession holds a set of user locks (task pinned to a start time),
+// re-runs the full three-stage pipeline under them, and reports a
+// structured diff against any reference schedule, so a designer (or a
+// test) can see exactly what a manual intervention bought or cost.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "model/problem.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "sched/result.hpp"
+
+namespace paws {
+
+/// One task whose start differs between two schedules.
+struct TaskMove {
+  TaskId task;
+  Time before;
+  Time after;
+};
+
+/// Structured comparison of two schedules of the same problem.
+struct ScheduleDiff {
+  std::vector<TaskMove> moved;
+  Duration finishDelta;      // after - before
+  Energy energyCostDelta;    // at the problem's Pmin
+  double utilizationDelta;   // rho(after) - rho(before)
+};
+
+ScheduleDiff diffSchedules(const Schedule& before, const Schedule& after);
+
+class WhatIfSession {
+ public:
+  explicit WhatIfSession(const Problem& problem) : problem_(&problem) {}
+
+  /// Pins `task` to start exactly at `start` in subsequent reschedules
+  /// (drag + lock). Re-locking a task overwrites its slot.
+  void lock(TaskId task, Time start);
+  /// Removes one lock / all locks.
+  void unlock(TaskId task);
+  void clearLocks();
+
+  [[nodiscard]] std::size_t numLocks() const { return locks_.size(); }
+  [[nodiscard]] std::optional<Time> lockOf(TaskId task) const;
+
+  /// Runs the full pipeline on the problem plus the current locks. The
+  /// returned schedule is bound to the ORIGINAL problem (lock constraints
+  /// only constrain the solver; they do not change tasks or limits), so it
+  /// outlives this session. Infeasible locks surface as a timing failure.
+  [[nodiscard]] ScheduleResult reschedule(
+      const PowerAwareOptions& options = {}) const;
+
+ private:
+  const Problem* problem_;
+  std::map<TaskId, Time> locks_;
+};
+
+}  // namespace paws

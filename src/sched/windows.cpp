@@ -1,0 +1,82 @@
+#include "sched/windows.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "graph/longest_path.hpp"
+
+namespace paws {
+
+std::vector<StartWindow> computeStartWindows(const Problem& problem,
+                                             const ConstraintGraph& graph,
+                                             Time horizon) {
+  const std::size_t n = graph.numVertices();
+  PAWS_CHECK(n == problem.numVertices());
+
+  // Forward pass: EST = longest path from the anchor.
+  LongestPathEngine engine(graph);
+  const LongestPathResult& forward = engine.computeFull(kAnchorTask);
+  PAWS_CHECK_MSG(forward.feasible,
+                 "window analysis requires a feasible constraint graph");
+
+  std::vector<StartWindow> windows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    windows[i].earliest = forward.dist[i] == Time::minusInfinity()
+                              ? Time::zero()
+                              : forward.dist[i];
+  }
+
+  // Backward pass: LST as the greatest fixpoint of
+  //   LST(v) = min(horizon - d(v), min over (v -> u, w) LST(u) - w).
+  // Iterate to fixpoint (work-list over reversed adjacency); convergence is
+  // guaranteed because the graph has no positive cycle: any strictly
+  // decreasing chain is bounded by the longest (negated) path.
+  std::vector<Time> lst(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskId v(static_cast<std::uint32_t>(i));
+    if (v == kAnchorTask) {
+      // The anchor is pinned at 0; its bound must propagate through
+      // deadline back-edges (v -> anchor, -s  =>  sigma(v) <= s).
+      lst[i] = Time::zero();
+      continue;
+    }
+    lst[i] = horizon - problem.task(v).delay;
+  }
+
+  std::vector<bool> inQueue(n, true);
+  std::vector<TaskId> queue;
+  queue.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queue.push_back(TaskId(static_cast<std::uint32_t>(i)));
+  }
+  std::size_t head = 0;
+  std::uint64_t guard = static_cast<std::uint64_t>(n) * graph.numEdges() + n;
+  while (head < queue.size()) {
+    PAWS_CHECK_MSG(guard-- > 0, "window fixpoint failed to converge");
+    const TaskId v = queue[head++];
+    inQueue[v.index()] = false;
+    if (head > 4096 && head * 2 > queue.size()) {
+      queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+    // Tighten predecessors through their out-edges into v's current LST.
+    for (EdgeId eid : graph.inEdges(v)) {
+      const ConstraintEdge& e = graph.edge(eid);
+      const Time bound = lst[v.index()] - e.weight;
+      if (bound < lst[e.from.index()]) {
+        lst[e.from.index()] = bound;
+        if (!inQueue[e.from.index()]) {
+          inQueue[e.from.index()] = true;
+          queue.push_back(e.from);
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    windows[i].latest = lst[i];
+  }
+  return windows;
+}
+
+}  // namespace paws

@@ -1,0 +1,45 @@
+// Feasible start-time windows [EST, LST] per task.
+//
+// The slack of Section 4.1 answers "how far can THIS task slip with every
+// other start fixed"; the window analysis here answers the global version:
+// over ALL schedules of the constraint system that finish within a horizon,
+// what is each task's earliest (EST) and latest (LST) possible start?
+//
+//   * EST(v) = longest-path distance anchor -> v (the ASAP time);
+//   * LST(v) = the greatest fixpoint of
+//         LST(v) = min( horizon - d(v),
+//                       min over out-edges (v -> u, w) of LST(u) - w )
+//     i.e. a backward longest-path over the same edges.
+//
+// Windows drive the interactive story (drag handles in the Gantt chart are
+// exactly [EST, LST]) and give tests a global invariant: every schedule
+// any of our schedulers emits must place every task inside its window for
+// the horizon it achieved.
+#pragma once
+
+#include <vector>
+
+#include "base/interval.hpp"
+#include "graph/constraint_graph.hpp"
+#include "model/problem.hpp"
+
+namespace paws {
+
+struct StartWindow {
+  Time earliest;
+  Time latest;  ///< latest start keeping completion within the horizon
+
+  [[nodiscard]] bool feasible() const { return earliest <= latest; }
+  [[nodiscard]] Duration width() const { return latest - earliest; }
+};
+
+/// Computes [EST, LST] for every vertex of `graph` (vertex-indexed; the
+/// anchor's window is [0, 0]). `graph` must be feasible (no positive
+/// cycle); use the scheduler-decorated graph to include serialization
+/// decisions, or the bare problem graph for the pre-scheduling view.
+/// Tasks whose window is infeasible under `horizon` get earliest > latest.
+std::vector<StartWindow> computeStartWindows(const Problem& problem,
+                                             const ConstraintGraph& graph,
+                                             Time horizon);
+
+}  // namespace paws

@@ -1,0 +1,96 @@
+#include "analysis/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rover/rover_model.hpp"
+#include "sched/serial_scheduler.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+Problem makeProblem() {
+  Problem p("bd");
+  const ResourceId cpu = p.addResource("cpu");
+  const ResourceId rf = p.addResource("rf");
+  p.addTask("a", 5_s, 4_W, cpu);   // 20 J
+  p.addTask("b", 5_s, 2_W, cpu);   // 10 J
+  p.addTask("tx", 10_s, 6_W, rf);  // 60 J
+  p.setBackgroundPower(1_W);
+  return p;
+}
+
+TEST(BreakdownTest, ExactAttribution) {
+  const Problem p = makeProblem();
+  // a[0,5) b[5,10) tx[0,10): finish 10, background 10 J, total 100 J.
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(0)});
+  const EnergyBreakdown bd = computeEnergyBreakdown(s);
+  EXPECT_EQ(bd.total, 100_J);
+  EXPECT_EQ(bd.background.energy, 10_J);
+  EXPECT_DOUBLE_EQ(bd.background.fraction, 0.1);
+
+  ASSERT_EQ(bd.byResource.size(), 2u);
+  EXPECT_EQ(bd.byResource[0].name, "rf");
+  EXPECT_EQ(bd.byResource[0].energy, 60_J);
+  EXPECT_DOUBLE_EQ(bd.byResource[0].fraction, 0.6);
+  EXPECT_EQ(bd.byResource[1].name, "cpu");
+  EXPECT_EQ(bd.byResource[1].energy, 30_J);
+
+  ASSERT_EQ(bd.byTask.size(), 3u);
+  EXPECT_EQ(bd.byTask[0].name, "tx");
+  EXPECT_EQ(bd.byTask[1].name, "a");
+  EXPECT_EQ(bd.byTask[2].name, "b");
+}
+
+TEST(BreakdownTest, SharesSumToOne) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(0)});
+  const EnergyBreakdown bd = computeEnergyBreakdown(s);
+  double sum = bd.background.fraction;
+  for (const EnergyShare& r : bd.byResource) sum += r.fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BreakdownTest, RoverMatchesThePapersClaim) {
+  // Section 1.2 / 3: "mechanical and thermal subsystems are the major
+  // power consumers" — heaters + driving + steering must dominate the CPU.
+  const Problem p = rover::makeRoverProblem(rover::RoverCase::kWorst);
+  const ScheduleResult r = SerialScheduler(p).schedule();
+  ASSERT_TRUE(r.ok());
+  const EnergyBreakdown bd = computeEnergyBreakdown(*r.schedule);
+  Energy mechanicalAndThermal;
+  for (const EnergyShare& s : bd.byResource) {
+    if (s.name != "hazard") mechanicalAndThermal += s.energy;
+  }
+  EXPECT_GT(mechanicalAndThermal, bd.background.energy)
+      << "motors+heaters must outdraw the CPU";
+  // Heating alone: 5 heaters x 5 s x 11.3 W = 282.5 J > CPU's 277.5 J.
+  Energy heating;
+  for (const EnergyShare& s : bd.byResource) {
+    if (s.name.rfind("heater", 0) == 0) heating += s.energy;
+  }
+  EXPECT_EQ(heating, Energy::fromMilliwattTicks(282500));
+  EXPECT_GT(heating, bd.background.energy);
+}
+
+TEST(BreakdownTest, RenderContainsBarsAndPercents) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(0)});
+  const std::string text = renderBreakdown(computeEnergyBreakdown(s));
+  EXPECT_NE(text.find("by resource:"), std::string::npos);
+  EXPECT_NE(text.find("rf"), std::string::npos);
+  EXPECT_NE(text.find("60%"), std::string::npos);
+  EXPECT_NE(text.find("####"), std::string::npos);
+}
+
+TEST(BreakdownTest, EmptyScheduleIsAllZero) {
+  Problem p("empty");
+  const Schedule s(&p, {Time(0)});
+  const EnergyBreakdown bd = computeEnergyBreakdown(s);
+  EXPECT_EQ(bd.total, Energy::zero());
+  EXPECT_TRUE(bd.byResource.empty());
+}
+
+}  // namespace
+}  // namespace paws

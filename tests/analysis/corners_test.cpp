@@ -1,0 +1,130 @@
+#include "analysis/corners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rover/rover_model.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "sched/serial_scheduler.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+Problem twoTasks() {
+  Problem p("corners");
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  p.addTask("a", 5_s, 4_W, r1);
+  p.addTask("b", 5_s, 3_W, r2);
+  p.setMaxPower(9_W);
+  p.setMinPower(5_W);
+  return p;
+}
+
+TEST(CornerTableTest, DefaultsToNominalPower) {
+  const Problem p = twoTasks();
+  const CornerTable table(p);
+  const PowerCorners c = table.of(TaskId(1));
+  EXPECT_EQ(c.min, 4_W);
+  EXPECT_EQ(c.typical, 4_W);
+  EXPECT_EQ(c.max, 4_W);
+}
+
+TEST(CornerTableTest, RejectsMalformedCorners) {
+  const Problem p = twoTasks();
+  CornerTable table(p);
+  EXPECT_THROW(table.set(TaskId(1), PowerCorners{5_W, 4_W, 6_W}), CheckError);
+  EXPECT_THROW(table.set(kAnchorTask, PowerCorners{1_W, 1_W, 1_W}),
+               CheckError);
+}
+
+TEST(CornerAnalysisTest, BracketsCostAndDetectsMaxCornerSpike) {
+  const Problem p = twoTasks();
+  CornerTable table(p);
+  table.set(TaskId(1), PowerCorners{3_W, 4_W, 6_W});
+  table.set(TaskId(2), PowerCorners{2_W, 3_W, 4_W});
+
+  // Overlapped schedule: nominal 7W fits the 9W budget...
+  const Schedule overlapped(&p, {Time(0), Time(0), Time(0)});
+  const CornerReport report = analyzeCorners(overlapped, table);
+  // ...but at the max corner 6+4 = 10 > 9: the guarantee breaks.
+  EXPECT_FALSE(report.maxCornerValid);
+  EXPECT_EQ(report.peakAtMax, 10_W);
+  // Costs bracket monotonically.
+  EXPECT_LE(report.cost[0], report.cost[1]);
+  EXPECT_LE(report.cost[1], report.cost[2]);
+
+  // The serialized schedule is robust even at the max corner.
+  const Schedule serialized(&p, {Time(0), Time(0), Time(5)});
+  const CornerReport robust = analyzeCorners(serialized, table);
+  EXPECT_TRUE(robust.maxCornerValid);
+  EXPECT_EQ(robust.peakAtMax, 6_W);
+}
+
+TEST(CornerAnalysisTest, ProfileAtCornerMatchesManualSum) {
+  const Problem p = twoTasks();
+  CornerTable table(p);
+  table.set(TaskId(1), PowerCorners{3_W, 4_W, 6_W});
+  table.setBackground(PowerCorners{Watts::zero(), 1_W, 2_W});
+  const Schedule s(&p, {Time(0), Time(0), Time(5)});
+  const PowerProfile maxProf = profileAtCorner(s, table, Corner::kMax);
+  EXPECT_EQ(maxProf.valueAt(Time(0)), 8_W);   // 6 + bg 2
+  EXPECT_EQ(maxProf.valueAt(Time(7)), 5_W);   // b 3 + bg 2
+  const PowerProfile minProf = profileAtCorner(s, table, Corner::kMin);
+  EXPECT_EQ(minProf.valueAt(Time(0)), 3_W);
+}
+
+TEST(CornerAnalysisTest, RoverTemperatureCasesAsCorners) {
+  // The rover's three environmental cases ARE a corner table: schedule for
+  // the typical case, then check the worst-case corner — the overlapped
+  // typical schedule must NOT be trusted at -80C, which is exactly why the
+  // paper schedules each case separately.
+  const Problem typical = rover::makeRoverProblem(rover::RoverCase::kTypical);
+  const rover::RoverPowerTable best = rover::powerTable(rover::RoverCase::kBest);
+  const rover::RoverPowerTable typ = rover::powerTable(rover::RoverCase::kTypical);
+  const rover::RoverPowerTable worst = rover::powerTable(rover::RoverCase::kWorst);
+
+  CornerTable table(typical);
+  for (TaskId v : typical.taskIds()) {
+    const std::string& name = typical.task(v).name;
+    auto pick = [&](const rover::RoverPowerTable& t) {
+      if (name.rfind("heat", 0) == 0) return t.heating;
+      if (name.rfind("hazard", 0) == 0) return t.hazard;
+      if (name.rfind("steer", 0) == 0) return t.steering;
+      return t.driving;
+    };
+    table.set(v, PowerCorners{pick(best), pick(typ), pick(worst)});
+  }
+  table.setBackground(PowerCorners{best.cpu, typ.cpu, worst.cpu});
+
+  PowerAwareScheduler scheduler(typical);
+  const ScheduleResult r = scheduler.schedule();
+  ASSERT_TRUE(r.ok());
+  const CornerReport report = analyzeCorners(*r.schedule, table);
+  EXPECT_FALSE(report.maxCornerValid)
+      << "typical-case parallelism exceeds the budget at -80C powers";
+  EXPECT_GT(report.peakAtMax, typical.maxPower());
+}
+
+TEST(ProblemAtCornerTest, RebuildsForRescheduling) {
+  const Problem p = twoTasks();
+  CornerTable table(p);
+  table.set(TaskId(1), PowerCorners{3_W, 4_W, 6_W});
+  const Problem maxP = problemAtCorner(table, Corner::kMax);
+  EXPECT_EQ(maxP.task(TaskId(1)).power, 6_W);
+  EXPECT_EQ(maxP.task(TaskId(2)).power, 3_W);
+  EXPECT_EQ(maxP.maxPower(), p.maxPower());
+  EXPECT_EQ(maxP.constraints().size(), p.constraints().size());
+
+  // Rescheduling at the max corner yields a schedule that IS corner-valid.
+  SerialScheduler serial(maxP);
+  const ScheduleResult r = serial.schedule();
+  ASSERT_TRUE(r.ok());
+  const CornerReport report =
+      analyzeCorners(Schedule(&p, r.schedule->starts()), table);
+  EXPECT_TRUE(report.maxCornerValid);
+}
+
+}  // namespace
+}  // namespace paws

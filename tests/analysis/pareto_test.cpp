@@ -1,0 +1,103 @@
+#include "analysis/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rover/rover_model.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+DesignPoint point(double pmax, std::int64_t finish, double ec,
+                  bool feasible = true) {
+  DesignPoint p;
+  p.pmax = Watts::fromWatts(pmax);
+  p.finish = Duration(finish);
+  p.energyCost = Energy::fromMilliwattTicks(
+      static_cast<std::int64_t>(ec * 1000.0 + 0.5));
+  p.feasible = feasible;
+  return p;
+}
+
+TEST(ParetoTest, MarkDominatedBasics) {
+  std::vector<DesignPoint> pts{
+      point(10, 75, 55),   // slow, cheap
+      point(12, 60, 147),  // fast, dear
+      point(11, 75, 60),   // dominated by the first
+      point(13, 60, 150),  // dominated by the second
+      point(14, 50, 999, /*feasible=*/false),
+  };
+  markDominated(pts);
+  EXPECT_FALSE(pts[0].dominated);
+  EXPECT_FALSE(pts[1].dominated);
+  EXPECT_TRUE(pts[2].dominated);
+  EXPECT_TRUE(pts[3].dominated);
+}
+
+TEST(ParetoTest, EqualPointsDoNotDominateEachOther) {
+  std::vector<DesignPoint> pts{point(10, 75, 55), point(11, 75, 55)};
+  markDominated(pts);
+  EXPECT_FALSE(pts[0].dominated);
+  EXPECT_FALSE(pts[1].dominated);
+  // But the front collapses them.
+  ParetoResult r;
+  r.points = pts;
+  EXPECT_EQ(r.front().size(), 1u);
+}
+
+TEST(ParetoTest, FrontIsSortedAndNonDominated) {
+  ParetoResult r;
+  r.points = {point(10, 75, 55), point(12, 60, 147), point(11, 75, 60),
+              point(15, 55, 300)};
+  markDominated(r.points);
+  const auto front = r.front();
+  ASSERT_EQ(front.size(), 3u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].finish, front[i - 1].finish);
+    EXPECT_LT(front[i].energyCost, front[i - 1].energyCost)
+        << "along a Pareto front, slower must mean cheaper";
+  }
+}
+
+TEST(ParetoTest, RoverBudgetSweepProducesAMonotoneFront) {
+  // Typical-case rover, budget 12..26 W: the classic speed/energy curve of
+  // the design_space example, now machine-checked.
+  const Problem p = rover::makeRoverProblem(rover::RoverCase::kTypical);
+  ParetoSweepConfig cfg;
+  cfg.from = 12_W;
+  cfg.to = 26_W;
+  cfg.step = 2_W;
+  const ParetoResult result = sweepPowerBudget(p, cfg);
+  ASSERT_EQ(result.points.size(), 8u);
+  EXPECT_FALSE(result.points[0].feasible) << "12 W cannot even drive";
+  // Feasible points: higher budget never slower.
+  Duration prev = Duration::max();
+  for (const DesignPoint& pt : result.points) {
+    if (!pt.feasible) continue;
+    EXPECT_LE(pt.finish, prev);
+    prev = pt.finish;
+  }
+  const auto front = result.front();
+  ASSERT_GE(front.size(), 2u) << "the trade-off must be real";
+  // The front is sorted ascending by finish: its last entry is the slow,
+  // cheap serial point (75 s / 55 J) and its first is a faster one.
+  EXPECT_EQ(front.back().energyCost, 55_J);
+  EXPECT_EQ(front.back().finish, Duration(75));
+  EXPECT_LT(front.front().finish, Duration(75));
+}
+
+TEST(ParetoTest, SweepValidatesConfig) {
+  const Problem p = rover::makeRoverProblem(rover::RoverCase::kTypical);
+  ParetoSweepConfig bad;
+  bad.from = 20_W;
+  bad.to = 10_W;
+  EXPECT_THROW((void)sweepPowerBudget(p, bad), CheckError);
+  bad.from = 10_W;
+  bad.to = 20_W;
+  bad.step = Watts::zero();
+  EXPECT_THROW((void)sweepPowerBudget(p, bad), CheckError);
+}
+
+}  // namespace
+}  // namespace paws

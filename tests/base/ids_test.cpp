@@ -1,0 +1,53 @@
+#include "base/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace paws {
+namespace {
+
+TEST(DenseIdTest, DefaultIsInvalid) {
+  TaskId t;
+  EXPECT_FALSE(t.isValid());
+  EXPECT_EQ(t, TaskId::invalid());
+  ResourceId r;
+  EXPECT_FALSE(r.isValid());
+}
+
+TEST(DenseIdTest, ValueRoundTrip) {
+  const TaskId t(7);
+  EXPECT_TRUE(t.isValid());
+  EXPECT_EQ(t.value(), 7u);
+  EXPECT_EQ(t.index(), 7u);
+}
+
+TEST(DenseIdTest, Ordering) {
+  EXPECT_LT(TaskId(1), TaskId(2));
+  EXPECT_EQ(TaskId(3), TaskId(3));
+  EXPECT_NE(TaskId(3), TaskId(4));
+}
+
+TEST(DenseIdTest, Hashing) {
+  std::unordered_set<TaskId> set;
+  set.insert(TaskId(1));
+  set.insert(TaskId(2));
+  set.insert(TaskId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(TaskId(2)));
+}
+
+TEST(DenseIdTest, AnchorIsTaskZero) {
+  EXPECT_EQ(kAnchorTask, TaskId(0));
+  EXPECT_TRUE(kAnchorTask.isValid());
+}
+
+TEST(DenseIdTest, Printing) {
+  std::ostringstream os;
+  os << TaskId(5) << ' ' << ResourceId(2) << ' ' << TaskId::invalid();
+  EXPECT_EQ(os.str(), "task#5 res#2 task(invalid)");
+}
+
+}  // namespace
+}  // namespace paws

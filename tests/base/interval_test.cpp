@@ -1,0 +1,54 @@
+#include "base/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paws {
+namespace {
+
+TEST(IntervalTest, BasicProperties) {
+  const Interval iv(Time(5), Time(15));
+  EXPECT_EQ(iv.length().ticks(), 10);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(Interval(Time(5), Time(5)).empty());
+  EXPECT_TRUE(Interval(Time(9), Time(3)).empty());
+}
+
+TEST(IntervalTest, HalfOpenContainment) {
+  const Interval iv(Time(5), Time(15));
+  EXPECT_TRUE(iv.contains(Time(5)));
+  EXPECT_TRUE(iv.contains(Time(14)));
+  EXPECT_FALSE(iv.contains(Time(15)));  // half-open
+  EXPECT_FALSE(iv.contains(Time(4)));
+}
+
+TEST(IntervalTest, IntervalContainment) {
+  const Interval outer(Time(0), Time(20));
+  EXPECT_TRUE(outer.contains(Interval(Time(5), Time(10))));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Interval(Time(15), Time(25))));
+}
+
+TEST(IntervalTest, AdjacentIntervalsDoNotOverlap) {
+  // A task on [0,5) and another on [5,10) never draw power simultaneously.
+  EXPECT_FALSE(Interval(Time(0), Time(5)).overlaps(Interval(Time(5), Time(10))));
+  EXPECT_TRUE(Interval(Time(0), Time(6)).overlaps(Interval(Time(5), Time(10))));
+  EXPECT_TRUE(Interval(Time(5), Time(10)).overlaps(Interval(Time(0), Time(6))));
+}
+
+TEST(IntervalTest, Intersection) {
+  const Interval a(Time(0), Time(10));
+  const Interval b(Time(6), Time(20));
+  EXPECT_EQ(a.intersect(b), Interval(Time(6), Time(10)));
+  EXPECT_TRUE(a.intersect(Interval(Time(10), Time(20))).empty());
+}
+
+TEST(IntervalTest, Printing) {
+  std::ostringstream os;
+  os << Interval(Time(3), Time(8));
+  EXPECT_EQ(os.str(), "[3, 8)");
+}
+
+}  // namespace
+}  // namespace paws

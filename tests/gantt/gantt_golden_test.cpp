@@ -1,0 +1,64 @@
+// Golden-output tests for the ASCII renderer: exact expected text for a
+// tiny fixed schedule. Renderer changes that alter layout must update these
+// strings consciously.
+#include <gtest/gtest.h>
+
+#include "gantt/ascii_gantt.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+Problem goldenProblem() {
+  Problem p("golden");
+  const ResourceId cpu = p.addResource("cpu");
+  const ResourceId rf = p.addResource("rf");
+  p.addTask("run", 6_s, 4_W, cpu);
+  p.addTask("tx", 4_s, 6_W, rf);
+  p.setMaxPower(8_W);
+  p.setMinPower(4_W);
+  return p;
+}
+
+TEST(GanttGoldenTest, TimeView) {
+  const Problem p = goldenProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(6)});
+  const std::string expected =
+      "time view (1 col = 1 tick)\n"
+      "cpu   |[run-].....\n"
+      "rf    |......[tx].\n"
+      "      +|---------|\n"
+      "       0         10\n";
+  EXPECT_EQ(renderTimeView(s), expected);
+}
+
+TEST(GanttGoldenTest, PowerView) {
+  const Problem p = goldenProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(6)});
+  // Heights: [0,6) at 4W -> 2 rows; [6,10) at 6W -> 3 rows. Pmax (8W) is
+  // row 4 (all '='), Pmin (4W) is row 2 (filled, '-' only past the end).
+  const std::string expected =
+      "power view (1 row = 2W)  Pmax=8W  Pmin=4W\n"
+      "Pmax  |===========\n"
+      "      |      #### \n"
+      "Pmin  |##########-\n"
+      "      |########## \n"
+      "      +|---------|\n"
+      "       0         10\n";
+  EXPECT_EQ(renderPowerView(s), expected);
+}
+
+TEST(GanttGoldenTest, PowerViewWithSpike) {
+  const Problem p = goldenProblem();
+  // Overlap: 10 W > Pmax 8 W during [0,4).
+  const Schedule s(&p, {Time(0), Time(0), Time(0)});
+  const std::string view = renderPowerView(s);
+  // The spike columns use '!' all the way up.
+  EXPECT_NE(view.find("!!!!"), std::string::npos);
+  // Non-spike columns (t in [4,6)) stay '#'.
+  EXPECT_NE(view.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paws

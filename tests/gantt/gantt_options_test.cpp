@@ -1,0 +1,117 @@
+// Renderer option coverage: scaling, limits toggling, slack annotation,
+// SVG geometry options.
+#include <gtest/gtest.h>
+
+#include "gantt/ascii_gantt.hpp"
+#include "gantt/svg_gantt.hpp"
+#include "graph/longest_path.hpp"
+#include "model/paper_example.hpp"
+#include "sched/slack.hpp"
+#include "sched/timing_scheduler.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+Problem wideProblem() {
+  Problem p("wide");
+  const ResourceId r1 = p.addResource("alpha");
+  const ResourceId r2 = p.addResource("beta");
+  p.addTask("longrunner", 40_s, 3_W, r1);
+  p.addTask("short", 5_s, 6_W, r2);
+  p.setMaxPower(10_W);
+  p.setMinPower(4_W);
+  return p;
+}
+
+TEST(GanttOptionsTest, WattsPerRowControlsPowerViewHeight) {
+  const Problem p = wideProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(0)});
+  AsciiGanttOptions fine;
+  fine.wattsPerRow = Watts::fromWatts(1.0);
+  AsciiGanttOptions coarse;
+  coarse.wattsPerRow = Watts::fromWatts(5.0);
+  const auto lines = [](const std::string& text) {
+    return std::count(text.begin(), text.end(), '\n');
+  };
+  EXPECT_GT(lines(renderPowerView(s, fine)),
+            lines(renderPowerView(s, coarse)));
+}
+
+TEST(GanttOptionsTest, AnnotateLimitsToggle) {
+  const Problem p = wideProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(0)});
+  AsciiGanttOptions off;
+  off.annotateLimits = false;
+  const std::string view = renderPowerView(s, off);
+  EXPECT_EQ(view.find("Pmax="), std::string::npos);
+  // No '=' budget line in the body (the header "1 row = 2W" contains one).
+  EXPECT_EQ(view.find('=', view.find('\n')), std::string::npos);
+}
+
+TEST(GanttOptionsTest, SlackAnnotationRespectsScaling) {
+  const Problem p = makePaperExampleProblem();
+  ConstraintGraph g = p.buildGraph();
+  LongestPathEngine engine(g);
+  TimingScheduler ts(p);
+  SchedulerStats stats;
+  const auto out = ts.run(g, engine, stats);
+  ASSERT_TRUE(out.ok);
+  const Schedule s(&p, out.starts);
+  AsciiGanttOptions opt;
+  opt.slacks = computeSlacks(g, out.starts);
+  opt.ticksPerColumn = 5;
+  const std::string view = renderTimeView(s, opt);
+  // h has slack 15 -> 3 scaled columns of '~' (if room remains).
+  EXPECT_NE(view.find('~'), std::string::npos);
+  // Zero/unbounded slack draws nothing extra; bins still render.
+  EXPECT_NE(view.find('['), std::string::npos);
+}
+
+TEST(GanttOptionsTest, LongTaskNamesAreTruncatedIntoTheBin) {
+  const Problem p = wideProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(0)});
+  const std::string view = renderTimeView(s);
+  EXPECT_NE(view.find("longrunner"), std::string::npos)
+      << "40 columns fit the whole name";
+  // The 5-wide bin only has room for "sho".
+  EXPECT_NE(view.find("[sho]"), std::string::npos);
+}
+
+TEST(GanttOptionsTest, SvgGeometryScales) {
+  const Problem p = wideProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(0)});
+  SvgGanttOptions small;
+  small.pixelsPerTick = 4.0;
+  SvgGanttOptions large;
+  large.pixelsPerTick = 20.0;
+  const std::string a = renderSvgGantt(s, small);
+  const std::string b = renderSvgGantt(s, large);
+  const auto width = [](const std::string& svg) {
+    const auto at = svg.find("width=\"");
+    return std::stod(svg.substr(at + 7));
+  };
+  EXPECT_LT(width(a), width(b));
+}
+
+TEST(GanttOptionsTest, SvgRejectsNonPositiveScales) {
+  const Problem p = wideProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(0)});
+  SvgGanttOptions bad;
+  bad.pixelsPerTick = 0.0;
+  EXPECT_THROW((void)renderSvgGantt(s, bad), CheckError);
+}
+
+TEST(GanttOptionsTest, UnboundedPmaxDrawsNoBudgetLine) {
+  Problem p("nolimits");
+  const ResourceId r1 = p.addResource("r1");
+  p.addTask("t", 5_s, 3_W, r1);
+  const Schedule s(&p, {Time(0), Time(0)});
+  const std::string view = renderPowerView(s);
+  EXPECT_EQ(view.find("Pmax"), std::string::npos);
+  EXPECT_EQ(view.find('!'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,71 @@
+#include "gen/random_problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "validate/validator.hpp"
+
+namespace paws {
+namespace {
+
+TEST(GeneratorTest, RespectsShapeParameters) {
+  GeneratorConfig cfg;
+  cfg.seed = 3;
+  cfg.numTasks = 25;
+  cfg.numResources = 5;
+  const GeneratedProblem gp = generateRandomProblem(cfg);
+  EXPECT_EQ(gp.problem.numTasks(), 25u);
+  EXPECT_EQ(gp.problem.numResources(), 5u);
+  for (TaskId v : gp.problem.taskIds()) {
+    const Task& t = gp.problem.task(v);
+    EXPECT_GE(t.delay.ticks(), cfg.minDelay);
+    EXPECT_LE(t.delay.ticks(), cfg.maxDelay);
+    EXPECT_GE(t.power.milliwatts(), cfg.minPowerMw);
+    EXPECT_LE(t.power.milliwatts(), cfg.maxPowerMw);
+  }
+}
+
+TEST(GeneratorTest, IsDeterministicPerSeed) {
+  GeneratorConfig cfg;
+  cfg.seed = 11;
+  const GeneratedProblem a = generateRandomProblem(cfg);
+  const GeneratedProblem b = generateRandomProblem(cfg);
+  EXPECT_EQ(a.problem.numTasks(), b.problem.numTasks());
+  EXPECT_EQ(a.problem.constraints().size(), b.problem.constraints().size());
+  EXPECT_EQ(a.witnessStarts, b.witnessStarts);
+  for (TaskId v : a.problem.taskIds()) {
+    EXPECT_EQ(a.problem.task(v).power, b.problem.task(v).power);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(generateRandomProblem(a).witnessStarts,
+            generateRandomProblem(b).witnessStarts);
+}
+
+TEST(GeneratorTest, WitnessScheduleIsFullyValid) {
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    GeneratorConfig cfg;
+    cfg.seed = seed;
+    const GeneratedProblem gp = generateRandomProblem(cfg);
+    const Schedule witness(&gp.problem, gp.witnessStarts);
+    const auto report = ScheduleValidator(gp.problem).validate(witness);
+    EXPECT_TRUE(report.valid())
+        << "seed " << seed << ": "
+        << (report.violations.empty() ? "" : report.violations[0].detail);
+  }
+}
+
+TEST(GeneratorTest, ProblemPassesStructuralValidation) {
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    GeneratorConfig cfg;
+    cfg.seed = seed;
+    const GeneratedProblem gp = generateRandomProblem(cfg);
+    EXPECT_TRUE(gp.problem.validate().empty()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace paws

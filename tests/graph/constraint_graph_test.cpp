@@ -1,0 +1,109 @@
+#include "graph/constraint_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+
+namespace paws {
+namespace {
+
+TEST(ConstraintGraphTest, EmptyGraph) {
+  ConstraintGraph g(4);
+  EXPECT_EQ(g.numVertices(), 4u);
+  EXPECT_EQ(g.numEdges(), 0u);
+  EXPECT_TRUE(g.outEdges(TaskId(2)).empty());
+}
+
+TEST(ConstraintGraphTest, AddEdgeAndAdjacency) {
+  ConstraintGraph g(3);
+  const EdgeId e0 = g.addEdge(TaskId(0), TaskId(1), Duration(5),
+                              EdgeKind::kUserMin);
+  const EdgeId e1 = g.addEdge(TaskId(1), TaskId(2), Duration(-3),
+                              EdgeKind::kUserMax);
+  EXPECT_EQ(g.numEdges(), 2u);
+  ASSERT_EQ(g.outEdges(TaskId(0)).size(), 1u);
+  EXPECT_EQ(g.outEdges(TaskId(0))[0], e0);
+  ASSERT_EQ(g.inEdges(TaskId(2)).size(), 1u);
+  EXPECT_EQ(g.inEdges(TaskId(2))[0], e1);
+  EXPECT_EQ(g.edge(e1).weight.ticks(), -3);
+  EXPECT_EQ(g.edge(e1).kind, EdgeKind::kUserMax);
+}
+
+TEST(ConstraintGraphTest, RejectsOutOfRangeEndpoints) {
+  ConstraintGraph g(2);
+  EXPECT_THROW(
+      g.addEdge(TaskId(0), TaskId(5), Duration(1), EdgeKind::kUserMin),
+      CheckError);
+}
+
+TEST(ConstraintGraphTest, RollbackRemovesEdgesInLifoOrder) {
+  ConstraintGraph g(4);
+  g.addEdge(TaskId(0), TaskId(1), Duration(1), EdgeKind::kUserMin);
+  const auto cp = g.checkpoint();
+  g.addEdge(TaskId(1), TaskId(2), Duration(2), EdgeKind::kSerialization);
+  g.addEdge(TaskId(1), TaskId(3), Duration(3), EdgeKind::kSerialization);
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_EQ(g.outEdges(TaskId(1)).size(), 2u);
+
+  g.rollbackTo(cp);
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_TRUE(g.outEdges(TaskId(1)).empty());
+  EXPECT_TRUE(g.inEdges(TaskId(2)).empty());
+  EXPECT_EQ(g.outEdges(TaskId(0)).size(), 1u);
+}
+
+TEST(ConstraintGraphTest, NestedCheckpoints) {
+  ConstraintGraph g(5);
+  const auto cp0 = g.checkpoint();
+  g.addEdge(TaskId(0), TaskId(1), Duration(1), EdgeKind::kDelay);
+  const auto cp1 = g.checkpoint();
+  g.addEdge(TaskId(0), TaskId(2), Duration(1), EdgeKind::kDelay);
+  g.addEdge(TaskId(0), TaskId(3), Duration(1), EdgeKind::kDelay);
+  g.rollbackTo(cp1);
+  EXPECT_EQ(g.numEdges(), 1u);
+  g.addEdge(TaskId(0), TaskId(4), Duration(9), EdgeKind::kLock);
+  g.rollbackTo(cp0);
+  EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(ConstraintGraphTest, RollbackToCurrentIsNoopAndKeepsGeneration) {
+  ConstraintGraph g(2);
+  g.addEdge(TaskId(0), TaskId(1), Duration(1), EdgeKind::kUserMin);
+  const auto gen = g.generation();
+  g.rollbackTo(g.checkpoint());
+  EXPECT_EQ(g.generation(), gen);
+  g.rollbackTo(0);
+  EXPECT_GT(g.generation(), gen);
+}
+
+TEST(ConstraintGraphTest, GenerationStableAcrossAdds) {
+  ConstraintGraph g(3);
+  const auto gen = g.generation();
+  g.addEdge(TaskId(0), TaskId(1), Duration(1), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(2), Duration(1), EdgeKind::kUserMin);
+  EXPECT_EQ(g.generation(), gen) << "adds must not invalidate distances";
+}
+
+TEST(ConstraintGraphTest, AddVerticesGrowsAndBumpsGeneration) {
+  ConstraintGraph g(2);
+  const auto gen = g.generation();
+  g.addVertices(3);
+  EXPECT_EQ(g.numVertices(), 5u);
+  EXPECT_GT(g.generation(), gen);
+  g.addEdge(TaskId(4), TaskId(0), Duration(2), EdgeKind::kUserMin);
+  EXPECT_EQ(g.outEdges(TaskId(4)).size(), 1u);
+}
+
+TEST(ConstraintGraphTest, RollbackBeyondTrailThrows) {
+  ConstraintGraph g(2);
+  EXPECT_THROW(g.rollbackTo(7), CheckError);
+}
+
+TEST(EdgeKindTest, Names) {
+  EXPECT_STREQ(toString(EdgeKind::kUserMin), "min");
+  EXPECT_STREQ(toString(EdgeKind::kSerialization), "serialize");
+  EXPECT_STREQ(toString(EdgeKind::kLock), "lock");
+}
+
+}  // namespace
+}  // namespace paws

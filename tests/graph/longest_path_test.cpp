@@ -1,0 +1,182 @@
+#include "graph/longest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/constraint_graph.hpp"
+
+namespace paws {
+namespace {
+
+TEST(LongestPathTest, SingleVertex) {
+  ConstraintGraph g(1);
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.dist[0], Time(0));
+}
+
+TEST(LongestPathTest, ChainDistances) {
+  ConstraintGraph g(4);
+  g.addEdge(TaskId(0), TaskId(1), Duration(5), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(2), Duration(7), EdgeKind::kUserMin);
+  g.addEdge(TaskId(2), TaskId(3), Duration(2), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.dist[1], Time(5));
+  EXPECT_EQ(r.dist[2], Time(12));
+  EXPECT_EQ(r.dist[3], Time(14));
+}
+
+TEST(LongestPathTest, TakesLongestOfParallelPaths) {
+  ConstraintGraph g(4);
+  g.addEdge(TaskId(0), TaskId(1), Duration(3), EdgeKind::kUserMin);
+  g.addEdge(TaskId(0), TaskId(2), Duration(10), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(3), Duration(1), EdgeKind::kUserMin);
+  g.addEdge(TaskId(2), TaskId(3), Duration(1), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.dist[3], Time(11));
+}
+
+TEST(LongestPathTest, NegativeBackEdgeWithinWindowIsFeasible) {
+  // 1 at least 5 after 0, at most 12 after 0: both satisfiable.
+  ConstraintGraph g(2);
+  g.addEdge(TaskId(0), TaskId(1), Duration(5), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(0), Duration(-12), EdgeKind::kUserMax);
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.dist[1], Time(5));
+}
+
+TEST(LongestPathTest, ContradictoryWindowIsPositiveCycle) {
+  // 1 at least 10 after 0 but at most 4 after 0: cycle weight 10-4 > 0.
+  ConstraintGraph g(2);
+  g.addEdge(TaskId(0), TaskId(1), Duration(10), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(0), Duration(-4), EdgeKind::kUserMax);
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_FALSE(r.feasible);
+  ASSERT_FALSE(r.cycle.empty());
+  // The witness must include both vertices of the contradictory window.
+  EXPECT_NE(std::find(r.cycle.begin(), r.cycle.end(), TaskId(0)),
+            r.cycle.end());
+  EXPECT_NE(std::find(r.cycle.begin(), r.cycle.end(), TaskId(1)),
+            r.cycle.end());
+}
+
+TEST(LongestPathTest, CycleEdgesFormAClosedPositiveWalk) {
+  ConstraintGraph g(3);
+  g.addEdge(TaskId(0), TaskId(1), Duration(4), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(2), Duration(4), EdgeKind::kUserMin);
+  g.addEdge(TaskId(2), TaskId(0), Duration(-6), EdgeKind::kUserMax);
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_FALSE(r.feasible);
+  ASSERT_FALSE(r.cycleEdges.empty());
+  Duration total;
+  for (EdgeId e : r.cycleEdges) total += g.edge(e).weight;
+  EXPECT_GT(total, Duration::zero());
+}
+
+TEST(LongestPathTest, UnreachableVertexIsMinusInfinity) {
+  ConstraintGraph g(3);
+  g.addEdge(TaskId(0), TaskId(1), Duration(2), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.dist[2], Time::minusInfinity());
+}
+
+TEST(LongestPathTest, IncrementalAfterEdgeAddMatchesFull) {
+  ConstraintGraph g(5);
+  g.addEdge(TaskId(0), TaskId(1), Duration(3), EdgeKind::kUserMin);
+  g.addEdge(TaskId(0), TaskId(2), Duration(1), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(3), Duration(4), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  ASSERT_TRUE(engine.compute(TaskId(0)).feasible);
+
+  // Add edges and recompute incrementally.
+  g.addEdge(TaskId(2), TaskId(3), Duration(20), EdgeKind::kDelay);
+  g.addEdge(TaskId(3), TaskId(4), Duration(2), EdgeKind::kUserMin);
+  const LongestPathResult& inc = engine.compute(TaskId(0));
+  ASSERT_TRUE(inc.feasible);
+  const std::vector<Time> incDist = inc.dist;
+
+  LongestPathEngine fresh(g);
+  const LongestPathResult& full = fresh.computeFull(TaskId(0));
+  ASSERT_TRUE(full.feasible);
+  EXPECT_EQ(incDist, full.dist);
+  EXPECT_EQ(incDist[3], Time(21));
+  EXPECT_EQ(incDist[4], Time(23));
+}
+
+TEST(LongestPathTest, RecomputeAfterRollbackDropsStaleDistances) {
+  ConstraintGraph g(3);
+  g.addEdge(TaskId(0), TaskId(1), Duration(3), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  ASSERT_TRUE(engine.compute(TaskId(0)).feasible);
+
+  const auto cp = g.checkpoint();
+  g.addEdge(TaskId(0), TaskId(1), Duration(50), EdgeKind::kDelay);
+  ASSERT_TRUE(engine.compute(TaskId(0)).feasible);
+  EXPECT_EQ(engine.result().dist[1], Time(50));
+
+  g.rollbackTo(cp);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.dist[1], Time(3)) << "distance must shrink after rollback";
+}
+
+TEST(LongestPathTest, IncrementalDetectsNewPositiveCycle) {
+  ConstraintGraph g(3);
+  g.addEdge(TaskId(0), TaskId(1), Duration(5), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(2), Duration(5), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  ASSERT_TRUE(engine.compute(TaskId(0)).feasible);
+
+  g.addEdge(TaskId(2), TaskId(1), Duration(-7), EdgeKind::kUserMax);
+  ASSERT_TRUE(engine.compute(TaskId(0)).feasible) << "window of 5..7 is fine";
+
+  g.addEdge(TaskId(2), TaskId(1), Duration(1), EdgeKind::kSerialization);
+  EXPECT_FALSE(engine.compute(TaskId(0)).feasible)
+      << "2 before 1 and 1 before 2 with positive weights must cycle";
+}
+
+TEST(LongestPathTest, ZeroWeightCycleIsFeasible) {
+  // sigma(1) == sigma(2) expressed as two zero-weight edges.
+  ConstraintGraph g(3);
+  g.addEdge(TaskId(0), TaskId(1), Duration(4), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(2), Duration(0), EdgeKind::kUserMin);
+  g.addEdge(TaskId(2), TaskId(1), Duration(0), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.dist[1], r.dist[2]);
+}
+
+TEST(LongestPathTest, LargeChainStressAndIncrementalConsistency) {
+  constexpr std::size_t kN = 2000;
+  ConstraintGraph g(kN);
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    g.addEdge(TaskId(static_cast<std::uint32_t>(i)),
+              TaskId(static_cast<std::uint32_t>(i + 1)), Duration(1),
+              EdgeKind::kUserMin);
+  }
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(TaskId(0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.dist[kN - 1], Time(kN - 1));
+
+  g.addEdge(TaskId(0), TaskId(1000), Duration(5000), EdgeKind::kDelay);
+  const LongestPathResult& r2 = engine.compute(TaskId(0));
+  ASSERT_TRUE(r2.feasible);
+  EXPECT_EQ(r2.dist[kN - 1], Time(5000 + (kN - 1 - 1000)));
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "io/writer.hpp"
+#include "model/paper_example.hpp"
+#include "sched/min_power_scheduler.hpp"
+
+namespace paws::io {
+namespace {
+
+using namespace paws::literals;
+
+TEST(ChromeTraceTest, OneEventPerTaskPlusResourceMetadata) {
+  const Problem p = makePaperExampleProblem();
+  MinPowerScheduler pipeline(p);
+  const ScheduleResult r = pipeline.schedule();
+  ASSERT_TRUE(r.ok());
+  const std::string json = scheduleToChromeTrace(*r.schedule);
+
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  std::size_t complete = 0, metadata = 0;
+  for (std::size_t at = json.find("\"ph\":\"X\""); at != std::string::npos;
+       at = json.find("\"ph\":\"X\"", at + 1)) {
+    ++complete;
+  }
+  for (std::size_t at = json.find("\"ph\":\"M\""); at != std::string::npos;
+       at = json.find("\"ph\":\"M\"", at + 1)) {
+    ++metadata;
+  }
+  EXPECT_EQ(complete, p.numTasks());
+  EXPECT_EQ(metadata, p.numResources());
+  // Spot-check one event's payload.
+  EXPECT_NE(json.find("\"name\":\"h\""), std::string::npos);
+  EXPECT_NE(json.find("\"power_mw\":4000"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, StartAndDurationMatchTheSchedule) {
+  Problem p("t");
+  const ResourceId r1 = p.addResource("r1");
+  p.addTask("solo", 7_s, 2_W, r1);
+  const Schedule s(&p, {Time(0), Time(3)});
+  const std::string json = scheduleToChromeTrace(s);
+  EXPECT_NE(json.find("\"ts\":3,\"dur\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"energy_mwticks\":14000"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyProblemYieldsEmptyEventArray) {
+  Problem p("none");
+  const Schedule s(&p, {Time(0)});
+  EXPECT_EQ(scheduleToChromeTrace(s), "{\"traceEvents\":[]}");
+}
+
+}  // namespace
+}  // namespace paws::io

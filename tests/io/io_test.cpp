@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "io/lexer.hpp"
+#include "io/parser.hpp"
+#include "io/writer.hpp"
+#include "model/paper_example.hpp"
+#include "rover/rover_model.hpp"
+
+namespace paws::io {
+namespace {
+
+using namespace paws::literals;
+
+// ---------------------------------------------------------------- lexer --
+
+TEST(LexerTest, TokenKindsAndPositions) {
+  const LexResult r = lex("problem \"x\" {\n  pmax 14.9W -> }\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r.tokens.size(), 8u);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(r.tokens[0].text, "problem");
+  EXPECT_EQ(r.tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(r.tokens[1].text, "x");
+  EXPECT_EQ(r.tokens[2].kind, TokenKind::kLBrace);
+  EXPECT_EQ(r.tokens[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(r.tokens[3].line, 2);
+  EXPECT_EQ(r.tokens[3].column, 3);
+  EXPECT_EQ(r.tokens[4].kind, TokenKind::kNumber);
+  EXPECT_EQ(r.tokens[4].text, "14.9");
+  EXPECT_EQ(r.tokens[5].text, "W");
+  EXPECT_EQ(r.tokens[6].kind, TokenKind::kArrow);
+  EXPECT_EQ(r.tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  const LexResult r = lex("# header\nfoo # trailing\nbar");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.tokens.size(), 3u);  // foo, bar, eof
+  EXPECT_EQ(r.tokens[0].text, "foo");
+  EXPECT_EQ(r.tokens[1].text, "bar");
+}
+
+TEST(LexerTest, NegativeNumbers) {
+  const LexResult r = lex("-42 - 7");
+  ASSERT_FALSE(r.ok()) << "bare '-' is an error";
+  EXPECT_EQ(r.tokens[0].text, "-42");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  const LexResult r = lex("\"oops\nnext");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line, 1);
+}
+
+// --------------------------------------------------------------- parser --
+
+constexpr const char* kSample = R"(
+# A trimmed rover-like file.
+problem "demo" {
+  pmax 19W
+  pmin 9W
+  background 3.7W
+
+  resource heater
+  resource driving
+
+  task heat  { resource heater  delay 5  power 11.3W }
+  task drive { resource driving delay 10 power 13.8W }
+
+  min heat -> drive 5
+  max heat -> drive 50
+  release drive 10
+  deadline drive 100
+}
+)";
+
+TEST(ParserTest, ParsesSampleProblem) {
+  const ParseResult r = parseProblem(kSample);
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : format(r.errors[0]));
+  const Problem& p = *r.problem;
+  EXPECT_EQ(p.name(), "demo");
+  EXPECT_EQ(p.maxPower(), 19_W);
+  EXPECT_EQ(p.minPower(), 9_W);
+  EXPECT_EQ(p.backgroundPower(), Watts::fromWatts(3.7));
+  EXPECT_EQ(p.numTasks(), 2u);
+  EXPECT_EQ(p.numResources(), 2u);
+  ASSERT_TRUE(p.findTask("heat").has_value());
+  EXPECT_EQ(p.task(*p.findTask("heat")).power, Watts::fromWatts(11.3));
+  EXPECT_EQ(p.task(*p.findTask("drive")).delay, Duration(10));
+  ASSERT_EQ(p.constraints().size(), 4u);
+  EXPECT_EQ(p.constraints()[0].kind, TimingConstraint::Kind::kMinSeparation);
+  EXPECT_EQ(p.constraints()[1].kind, TimingConstraint::Kind::kMaxSeparation);
+  EXPECT_EQ(p.constraints()[1].separation, Duration(50));
+}
+
+TEST(ParserTest, MilliwattSuffix) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r task t { resource r delay 1 power 250mW } }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.problem->task(*r.problem->findTask("t")).power,
+            Watts::fromMilliwatts(250));
+}
+
+TEST(ParserTest, UnknownTaskReference) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r min nope -> alsono 5 }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("unknown task"), std::string::npos);
+}
+
+TEST(ParserTest, MissingTaskAttribute) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r task t { resource r delay 5 } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("needs resource, delay and power"),
+            std::string::npos);
+}
+
+TEST(ParserTest, DuplicateNamesReported) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r resource r }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("duplicate resource"),
+            std::string::npos);
+}
+
+TEST(ParserTest, FractionalTicksRejected) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r task t { resource r delay 2.5 power 1W } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("integral ticks"), std::string::npos);
+}
+
+TEST(ParserTest, CollectsMultipleErrors) {
+  const ParseResult r = parseProblem(
+      "problem p { bogus 12 min a -> b 5 }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_GE(r.errors.size(), 1u);
+}
+
+TEST(ParserTest, ErrorPositionsAreUseful) {
+  const ParseResult r = parseProblem("problem p {\n  pmax oops\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.errors[0].line, 2);
+  EXPECT_EQ(format(r.errors[0]).substr(0, 2), "2:");
+}
+
+TEST(ParserTest, MissingFileSurfacesError) {
+  const ParseResult r = parseProblemFile("/nonexistent/xyz.paws");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("cannot open"), std::string::npos);
+}
+
+// --------------------------------------------------------------- writer --
+
+void expectEquivalent(const Problem& a, const Problem& b) {
+  EXPECT_EQ(a.numTasks(), b.numTasks());
+  EXPECT_EQ(a.numResources(), b.numResources());
+  EXPECT_EQ(a.maxPower(), b.maxPower());
+  EXPECT_EQ(a.minPower(), b.minPower());
+  EXPECT_EQ(a.backgroundPower(), b.backgroundPower());
+  for (TaskId v : a.taskIds()) {
+    const Task& ta = a.task(v);
+    const auto vb = b.findTask(ta.name);
+    ASSERT_TRUE(vb.has_value()) << ta.name;
+    const Task& tb = b.task(*vb);
+    EXPECT_EQ(ta.delay, tb.delay);
+    EXPECT_EQ(ta.power, tb.power);
+    EXPECT_EQ(a.resource(ta.resource).name, b.resource(tb.resource).name);
+  }
+  ASSERT_EQ(a.constraints().size(), b.constraints().size());
+  for (std::size_t i = 0; i < a.constraints().size(); ++i) {
+    const TimingConstraint& ca = a.constraints()[i];
+    const TimingConstraint& cb = b.constraints()[i];
+    EXPECT_EQ(ca.kind, cb.kind);
+    EXPECT_EQ(ca.separation, cb.separation);
+    EXPECT_EQ(a.task(ca.to).name, b.task(cb.to).name);
+  }
+}
+
+TEST(WriterTest, PaperExampleRoundTrips) {
+  const Problem original = makePaperExampleProblem();
+  const ParseResult r = parseProblem(problemToText(original));
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : format(r.errors[0]));
+  expectEquivalent(original, *r.problem);
+}
+
+TEST(WriterTest, RoverProblemRoundTrips) {
+  const Problem original = rover::makeRoverProblem(rover::RoverCase::kWorst, 2);
+  const ParseResult r = parseProblem(problemToText(original));
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : format(r.errors[0]));
+  expectEquivalent(original, *r.problem);
+}
+
+TEST(WriterTest, ReleaseAndDeadlineRoundTrip) {
+  Problem p("rd");
+  const ResourceId r1 = p.addResource("r1");
+  const TaskId t = p.addTask("t", 5_s, 2_W, r1);
+  p.release(t, Time(7));
+  p.deadline(t, Time(40));
+  const ParseResult r = parseProblem(problemToText(p));
+  ASSERT_TRUE(r.ok());
+  expectEquivalent(p, *r.problem);
+}
+
+TEST(WriterTest, ScheduleCsv) {
+  Problem p("csv");
+  const ResourceId r1 = p.addResource("cpu");
+  p.addTask("a", 5_s, 2_W, r1);
+  p.addTask("b", 3_s, 4_W, r1);
+  const Schedule s(&p, {Time(0), Time(3), Time(0)});
+  const std::string csv = scheduleToCsv(s);
+  EXPECT_EQ(csv,
+            "task,resource,start,end,power_mw,energy_mwticks\n"
+            "b,cpu,0,3,4000,12000\n"
+            "a,cpu,3,8,2000,10000\n");
+}
+
+}  // namespace
+}  // namespace paws::io

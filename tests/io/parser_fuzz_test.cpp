@@ -1,0 +1,81 @@
+// Deterministic fuzzing of the lexer/parser: mutated and random documents
+// must never crash or hang — they either parse or produce positioned
+// errors. (A crash shows up as an uncaught exception or a sanitizer
+// report; PAWS_CHECK escapes would fail the EXPECT_NO_THROW.)
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "io/parser.hpp"
+#include "io/writer.hpp"
+#include "model/paper_example.hpp"
+
+namespace paws::io {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParserFuzz, MutatedValidDocumentNeverCrashes) {
+  std::mt19937 rng(GetParam());
+  std::string doc = problemToText(makePaperExampleProblem());
+  // Apply 1..8 random byte mutations: overwrite, insert, delete.
+  const int mutations = 1 + static_cast<int>(rng() % 8);
+  for (int m = 0; m < mutations && !doc.empty(); ++m) {
+    const std::size_t at = rng() % doc.size();
+    switch (rng() % 3) {
+      case 0:
+        doc[at] = static_cast<char>(rng() % 94 + 32);
+        break;
+      case 1:
+        doc.insert(at, 1, static_cast<char>(rng() % 94 + 32));
+        break;
+      default:
+        doc.erase(at, 1);
+        break;
+    }
+  }
+  ParseResult result;
+  EXPECT_NO_THROW(result = parseProblem(doc));
+  if (!result.ok()) {
+    ASSERT_FALSE(result.errors.empty());
+    for (const ParseError& e : result.errors) {
+      EXPECT_GE(e.line, 1);
+      EXPECT_GE(e.column, 1);
+      EXPECT_FALSE(e.message.empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  std::mt19937 rng(GetParam() * 31337 + 7);
+  static const char* kAtoms[] = {
+      "problem", "task",  "resource", "min",   "max",   "precedes",
+      "release", "pin",   "deadline", "pmax",  "pmin",  "background",
+      "{",       "}",     "->",       "\"x\"", "12",    "14.9",
+      "W",       "mW",    "s",        "t0",    "r0",    "#c\n",
+      "-5",      "\"",    ".",        "@",     "0.0.0", "anchor"};
+  std::string doc;
+  const int atoms = 2 + static_cast<int>(rng() % 60);
+  for (int i = 0; i < atoms; ++i) {
+    doc += kAtoms[rng() % (sizeof(kAtoms) / sizeof(kAtoms[0]))];
+    doc += ' ';
+  }
+  EXPECT_NO_THROW((void)parseProblem(doc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1u, 41u));
+
+TEST(ParserFuzzEdgeCases, EmptyAndDegenerateInputs) {
+  EXPECT_NO_THROW((void)parseProblem(""));
+  EXPECT_NO_THROW((void)parseProblem("problem"));
+  EXPECT_NO_THROW((void)parseProblem("problem p {"));
+  EXPECT_NO_THROW((void)parseProblem("}}}}{{{{"));
+  EXPECT_NO_THROW((void)parseProblem(std::string(4096, '{')));
+  EXPECT_NO_THROW((void)parseProblem(std::string(4096, '"')));
+  EXPECT_NO_THROW((void)parseProblem("problem p { } trailing junk"));
+  EXPECT_FALSE(parseProblem("").ok());
+}
+
+}  // namespace
+}  // namespace paws::io

@@ -1,0 +1,84 @@
+// Coverage for the small cross-cutting features: profile CSV export,
+// infeasible-instance injection, validation summaries.
+#include <gtest/gtest.h>
+
+#include "gen/random_problem.hpp"
+#include "graph/longest_path.hpp"
+#include "io/writer.hpp"
+#include "sched/timing_scheduler.hpp"
+#include "validate/validator.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+TEST(ProfileCsvTest, SegmentsRowByRow) {
+  PowerProfileBuilder b;
+  b.add(Interval(Time(0), Time(5)), 4_W);
+  b.add(Interval(Time(5), Time(8)), 6_W);
+  const std::string csv = io::profileToCsv(b.build(1_W));
+  EXPECT_EQ(csv,
+            "begin,end,power_mw\n"
+            "0,5,5000\n"
+            "5,8,7000\n");
+}
+
+TEST(ProfileCsvTest, EmptyProfileHasHeaderOnly) {
+  const PowerProfile empty;
+  EXPECT_EQ(io::profileToCsv(empty), "begin,end,power_mw\n");
+}
+
+class InjectedContradiction
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(InjectedContradiction, TimingSchedulerAlwaysRefuses) {
+  GeneratorConfig cfg;
+  cfg.seed = GetParam();
+  cfg.numTasks = 12;
+  cfg.injectContradiction = true;
+  const GeneratedProblem gp = generateRandomProblem(cfg);
+  // The injected pair shows up in structural validation...
+  EXPECT_FALSE(gp.problem.validate().empty()) << "seed " << GetParam();
+  // ...and the scheduler must fail rather than emit an invalid schedule.
+  ConstraintGraph g = gp.problem.buildGraph();
+  LongestPathEngine engine(g);
+  TimingScheduler ts(gp.problem);
+  SchedulerStats stats;
+  const auto out = ts.run(g, engine, stats);
+  EXPECT_FALSE(out.ok) << "seed " << GetParam();
+  EXPECT_FALSE(out.budgetExhausted)
+      << "a positive cycle is detected, not searched for";
+  EXPECT_NE(out.message.find("contradict"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InjectedContradiction,
+                         ::testing::Range(1u, 13u));
+
+TEST(ValidationSummaryTest, Valid) {
+  ValidationReport report;
+  EXPECT_EQ(report.summary(), "valid");
+}
+
+TEST(ValidationSummaryTest, CountsByKind) {
+  ValidationReport report;
+  report.violations.push_back(
+      Violation{Violation::Kind::kMinSeparation, "x"});
+  report.violations.push_back(
+      Violation{Violation::Kind::kMinSeparation, "y"});
+  report.violations.push_back(Violation{Violation::Kind::kPowerSpike, "z"});
+  const std::string s = report.summary();
+  EXPECT_NE(s.find("3 violations"), std::string::npos);
+  EXPECT_NE(s.find("2 min-separation"), std::string::npos);
+  EXPECT_NE(s.find("1 power-spike"), std::string::npos);
+}
+
+TEST(ValidationSummaryTest, SingularForm) {
+  ValidationReport report;
+  report.violations.push_back(
+      Violation{Violation::Kind::kResourceOverlap, "x"});
+  EXPECT_NE(report.summary().find("1 violation:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,88 @@
+#include "model/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/longest_path.hpp"
+#include "sched/timing_scheduler.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+Problem contradictory() {
+  Problem p("boom");
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  const TaskId a = p.addTask("alpha", 5_s, 1_W, r1);
+  const TaskId b = p.addTask("beta", 5_s, 1_W, r2);
+  p.minSeparation(a, b, 10_s);
+  p.maxSeparation(a, b, 4_s);
+  return p;
+}
+
+TEST(ExplainTest, DescribesEveryEdgeKind) {
+  Problem p = contradictory();
+  ConstraintGraph g = p.buildGraph();
+  const TaskId a = *p.findTask("alpha");
+  const TaskId b = *p.findTask("beta");
+
+  EXPECT_EQ(describeEdge(p, ConstraintEdge{a, b, Duration(10),
+                                           EdgeKind::kUserMin}),
+            "'beta' must start at least 10 after 'alpha'");
+  EXPECT_EQ(describeEdge(p, ConstraintEdge{b, a, Duration(-4),
+                                           EdgeKind::kUserMax}),
+            "'beta' must start at most 4 after 'alpha'");
+  EXPECT_EQ(describeEdge(p, ConstraintEdge{kAnchorTask, a, Duration(3),
+                                           EdgeKind::kRelease}),
+            "'alpha' cannot start before 3");
+  EXPECT_EQ(describeEdge(p, ConstraintEdge{a, b, Duration(5),
+                                           EdgeKind::kSerialization}),
+            "'alpha' runs before 'beta' on resource 'r1' (busy for 5)");
+  EXPECT_EQ(describeEdge(p, ConstraintEdge{kAnchorTask, b, Duration(12),
+                                           EdgeKind::kDelay}),
+            "'beta' was delayed to start at/after 12");
+  EXPECT_EQ(describeEdge(p, ConstraintEdge{b, kAnchorTask, Duration(-7),
+                                           EdgeKind::kLock}),
+            "'beta' was locked at 7");
+  (void)g;
+}
+
+TEST(ExplainTest, CycleExplanationNamesBothConstraints) {
+  const Problem p = contradictory();
+  const ConstraintGraph g = p.buildGraph();
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(kAnchorTask);
+  ASSERT_FALSE(r.feasible);
+  const std::string text = explainCycle(p, g, r);
+  EXPECT_NE(text.find("at least 10 after 'alpha'"), std::string::npos);
+  EXPECT_NE(text.find("at most 4 after 'alpha'"), std::string::npos);
+  EXPECT_NE(text.find("over-constrained by 6 ticks"), std::string::npos);
+}
+
+TEST(ExplainTest, FeasibleResultExplainsNothing) {
+  Problem p("fine");
+  const ResourceId r1 = p.addResource("r1");
+  p.addTask("a", 5_s, 1_W, r1);
+  const ConstraintGraph g = p.buildGraph();
+  LongestPathEngine engine(g);
+  const LongestPathResult& r = engine.compute(kAnchorTask);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(explainCycle(p, g, r).empty());
+}
+
+TEST(ExplainTest, TimingSchedulerSurfacesTheExplanation) {
+  const Problem p = contradictory();
+  ConstraintGraph g = p.buildGraph();
+  LongestPathEngine engine(g);
+  TimingScheduler ts(p);
+  SchedulerStats stats;
+  const auto out = ts.run(g, engine, stats);
+  ASSERT_FALSE(out.ok);
+  EXPECT_NE(out.message.find("contradict"), std::string::npos)
+      << out.message;
+  EXPECT_NE(out.message.find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paws

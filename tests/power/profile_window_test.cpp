@@ -1,0 +1,76 @@
+// Coverage for the windowed profile queries added for mission-phase
+// attribution and mid-flight repair: energyAboveWithin and the `from`
+// parameter of firstSpike.
+#include <gtest/gtest.h>
+
+#include "power/profile.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+PowerProfile stair() {
+  // [0,5)=4, [5,10)=10, [10,20)=6.
+  PowerProfileBuilder b;
+  b.add(Interval(Time(0), Time(20)), 4_W);
+  b.add(Interval(Time(5), Time(10)), 6_W);
+  b.add(Interval(Time(10), Time(20)), 2_W);
+  return b.build();
+}
+
+TEST(ProfileWindowTest, EnergyAboveWithinSlicesSegments) {
+  const PowerProfile p = stair();
+  // Above 5W: [5,10) at 10W gives 5W x 5; [10,20) at 6W gives 1W x 10.
+  EXPECT_EQ(p.energyAboveWithin(5_W, Interval(Time(0), Time(20))),
+            5_W * Duration(5) + 1_W * Duration(10));
+  // Window clipping mid-segment: [7,9) -> 2 ticks of the 10W plateau.
+  EXPECT_EQ(p.energyAboveWithin(5_W, Interval(Time(7), Time(9))),
+            5_W * Duration(2));
+  // The tail plateau alone.
+  EXPECT_EQ(p.energyAboveWithin(5_W, Interval(Time(10), Time(20))),
+            1_W * Duration(10));
+  // A floor above everything contributes nothing.
+  EXPECT_EQ(p.energyAboveWithin(12_W, Interval(Time(0), Time(20))),
+            Energy::zero());
+  // Empty and out-of-range windows.
+  EXPECT_EQ(p.energyAboveWithin(5_W, Interval(Time(9), Time(9))),
+            Energy::zero());
+  EXPECT_EQ(p.energyAboveWithin(5_W, Interval(Time(25), Time(30))),
+            Energy::zero());
+}
+
+TEST(ProfileWindowTest, WindowPartitionSumsToWhole) {
+  const PowerProfile p = stair();
+  for (const Watts floor : {Watts::zero(), 4_W, 5_W, 9_W}) {
+    const Energy whole = p.energyAbove(floor);
+    const Energy sum =
+        p.energyAboveWithin(floor, Interval(Time(0), Time(7))) +
+        p.energyAboveWithin(floor, Interval(Time(7), Time(13))) +
+        p.energyAboveWithin(floor, Interval(Time(13), Time(20)));
+    EXPECT_EQ(sum, whole) << floor;
+  }
+}
+
+TEST(ProfileWindowTest, FirstSpikeFromSkipsHistory) {
+  const PowerProfile p = stair();
+  // Budget 8W: the only spike is [5,10).
+  ASSERT_TRUE(p.firstSpike(8_W).has_value());
+  EXPECT_EQ(*p.firstSpike(8_W), Time(5));
+  // From inside the spike: report the threshold itself.
+  EXPECT_EQ(*p.firstSpike(8_W, Time(7)), Time(7));
+  // From after the spike: nothing left.
+  EXPECT_FALSE(p.firstSpike(8_W, Time(10)).has_value());
+  // From before everything behaves like the default.
+  EXPECT_EQ(*p.firstSpike(8_W, Time::minusInfinity()), Time(5));
+}
+
+TEST(ProfileWindowTest, FirstSpikeFromBoundaryIsExclusiveOfEndedSegments) {
+  const PowerProfile p = stair();
+  // The spike segment is [5,10); from = 9 still inside, from = 10 not.
+  EXPECT_EQ(*p.firstSpike(8_W, Time(9)), Time(9));
+  EXPECT_FALSE(p.firstSpike(8_W, Time(10)).has_value());
+}
+
+}  // namespace
+}  // namespace paws

@@ -1,0 +1,96 @@
+#include "power/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+SolarSource missionSolar() {
+  // Table 4's scenario: 14.9W, then 12W at 600s, then 9W at 1200s.
+  return SolarSource({{Time(0), Watts::fromWatts(14.9)},
+                      {Time(600), 12_W},
+                      {Time(1200), 9_W}});
+}
+
+TEST(SolarSourceTest, ConstantLevel) {
+  const SolarSource s(12_W);
+  EXPECT_EQ(s.levelAt(Time(0)), 12_W);
+  EXPECT_EQ(s.levelAt(Time(100000)), 12_W);
+  EXPECT_FALSE(s.nextChangeAfter(Time(0)).has_value());
+}
+
+TEST(SolarSourceTest, PhasedLevels) {
+  const SolarSource s = missionSolar();
+  EXPECT_EQ(s.levelAt(Time(0)), Watts::fromWatts(14.9));
+  EXPECT_EQ(s.levelAt(Time(599)), Watts::fromWatts(14.9));
+  EXPECT_EQ(s.levelAt(Time(600)), 12_W);
+  EXPECT_EQ(s.levelAt(Time(1199)), 12_W);
+  EXPECT_EQ(s.levelAt(Time(1200)), 9_W);
+  EXPECT_EQ(s.levelAt(Time(99999)), 9_W);
+}
+
+TEST(SolarSourceTest, NextChange) {
+  const SolarSource s = missionSolar();
+  ASSERT_TRUE(s.nextChangeAfter(Time(0)).has_value());
+  EXPECT_EQ(*s.nextChangeAfter(Time(0)), Time(600));
+  EXPECT_EQ(*s.nextChangeAfter(Time(599)), Time(600));
+  EXPECT_EQ(*s.nextChangeAfter(Time(600)), Time(1200));
+  EXPECT_FALSE(s.nextChangeAfter(Time(1200)).has_value());
+}
+
+TEST(SolarSourceTest, RejectsBadPhaseLists) {
+  EXPECT_THROW(SolarSource(std::vector<SolarSource::Phase>{}), CheckError);
+  EXPECT_THROW(SolarSource({{Time(5), 9_W}}), CheckError);
+  EXPECT_THROW(SolarSource({{Time(0), 9_W}, {Time(0), 8_W}}), CheckError);
+}
+
+TEST(SolarSourceTest, RejectsNegativeTime) {
+  const SolarSource s(10_W);
+  EXPECT_THROW(s.levelAt(Time(-1)), CheckError);
+}
+
+TEST(BatteryTest, Accounting) {
+  Battery b(10_W, 100_J);
+  EXPECT_EQ(b.remaining(), 100_J);
+  EXPECT_TRUE(b.draw(30_J));
+  EXPECT_EQ(b.drawn(), 30_J);
+  EXPECT_EQ(b.remaining(), 70_J);
+  EXPECT_FALSE(b.depleted());
+  EXPECT_TRUE(b.draw(70_J));
+  EXPECT_TRUE(b.depleted());
+}
+
+TEST(BatteryTest, OverdrawClampsAndReportsFalse) {
+  Battery b(10_W, 50_J);
+  EXPECT_FALSE(b.draw(80_J));
+  EXPECT_EQ(b.drawn(), 50_J);
+  EXPECT_TRUE(b.depleted());
+}
+
+TEST(BatteryTest, Reset) {
+  Battery b(10_W, 50_J);
+  b.draw(20_J);
+  b.reset();
+  EXPECT_EQ(b.drawn(), Energy::zero());
+}
+
+TEST(BatteryTest, RejectsNegativeDraw) {
+  Battery b(10_W, 50_J);
+  EXPECT_THROW(b.draw(Energy::fromMilliwattTicks(-1)), CheckError);
+}
+
+TEST(PowerSupplyTest, DerivesPaperConstraints) {
+  // Section 3: Pmax = solar + 10W battery, Pmin = solar.
+  PowerSupply supply(missionSolar(), Battery(10_W, 999999_J));
+  EXPECT_EQ(supply.maxPowerAt(Time(0)), Watts::fromWatts(24.9));
+  EXPECT_EQ(supply.minPowerAt(Time(0)), Watts::fromWatts(14.9));
+  EXPECT_EQ(supply.maxPowerAt(Time(700)), 22_W);
+  EXPECT_EQ(supply.minPowerAt(Time(1300)), 9_W);
+}
+
+}  // namespace
+}  // namespace paws

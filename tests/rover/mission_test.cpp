@@ -1,0 +1,141 @@
+#include "rover/mission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rover/plans.hpp"
+
+namespace paws::rover {
+namespace {
+
+using namespace paws::literals;
+
+/// Hand-built policy mirroring the paper's JPL numbers exactly.
+SchedulePolicy paperJplPolicy() {
+  SchedulePolicy policy;
+  policy.best = {RoverCase::kBest, Duration(75), 0_J, Duration(75), 0_J, 2};
+  policy.typical = {RoverCase::kTypical, Duration(75), 55_J, Duration(75),
+                    55_J, 2};
+  policy.worst = {RoverCase::kWorst, Duration(75), 388_J, Duration(75),
+                  388_J, 2};
+  return policy;
+}
+
+TEST(MissionSimulatorTest, PaperJplNumbersReproduceTableFour) {
+  // Table 4, JPL row: 16 steps per 10-minute phase, 1800 s total,
+  // 0 + 440 + 3104 J (the paper prints 3114 for phase 3; 8 iterations of
+  // the 388 J worst-case schedule give 3104 — see EXPERIMENTS.md).
+  MissionSimulator sim(missionSolarProfile(), missionBattery());
+  const MissionResult r = sim.run(paperJplPolicy(), 48);
+  EXPECT_EQ(r.steps, 48);
+  EXPECT_EQ(r.time, Duration(1800));
+  EXPECT_EQ(r.cost, 3544_J);
+  ASSERT_EQ(r.phases.size(), 3u);
+  EXPECT_EQ(r.phases[0].solar, Watts::fromWatts(14.9));
+  EXPECT_EQ(r.phases[0].steps, 16);
+  EXPECT_EQ(r.phases[0].cost, 0_J);
+  EXPECT_EQ(r.phases[1].steps, 16);
+  EXPECT_EQ(r.phases[1].cost, 440_J);
+  EXPECT_EQ(r.phases[2].steps, 16);
+  EXPECT_EQ(r.phases[2].cost, 3104_J);
+  EXPECT_FALSE(r.batteryDepleted);
+}
+
+TEST(MissionSimulatorTest, PaperPowerAwareNumbersReproduceTableFour) {
+  // Table 4, power-aware row, using the paper's own per-iteration numbers
+  // (first iteration 79.5 J then 6 J steady in the best case; 147 J and
+  // 60 s in the typical case; worst case equals JPL).
+  SchedulePolicy policy;
+  policy.best = {RoverCase::kBest, Duration(50), 79.5_J, Duration(50), 6_J,
+                 2};
+  policy.typical = {RoverCase::kTypical, Duration(60), 147_J, Duration(60),
+                    147_J, 2};
+  policy.worst = {RoverCase::kWorst, Duration(75), 388_J, Duration(75),
+                  388_J, 2};
+  MissionSimulator sim(missionSolarProfile(), missionBattery());
+  const MissionResult r = sim.run(policy, 48);
+  EXPECT_EQ(r.steps, 48);
+  EXPECT_EQ(r.time, Duration(1350));
+  EXPECT_EQ(r.cost, Energy::fromMilliwattTicks(2391500))
+      << "145.5 + 1470 + 776 = 2391.5 J";
+  ASSERT_EQ(r.phases.size(), 3u);
+  EXPECT_EQ(r.phases[0].steps, 24);
+  EXPECT_EQ(r.phases[0].cost, 145.5_J);
+  EXPECT_EQ(r.phases[1].steps, 20);
+  EXPECT_EQ(r.phases[1].cost, 1470_J);
+  EXPECT_EQ(r.phases[2].steps, 4);
+  EXPECT_EQ(r.phases[2].time, Duration(150));
+  EXPECT_EQ(r.phases[2].cost, 776_J);
+}
+
+TEST(MissionSimulatorTest, ColdStartCostAppliesAfterCaseSwitch) {
+  SchedulePolicy policy;
+  policy.best = {RoverCase::kBest, Duration(50), 100_J, Duration(50), 10_J,
+                 2};
+  policy.typical = {RoverCase::kTypical, Duration(60), 200_J, Duration(60),
+                    20_J, 2};
+  policy.worst = {RoverCase::kWorst, Duration(75), 388_J, Duration(75),
+                  388_J, 2};
+  MissionSimulator sim(missionSolarProfile(), missionBattery());
+  // 26 steps: 12 best iterations (600 s) + 1 typical iteration.
+  const MissionResult r = sim.run(policy, 26);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_EQ(r.phases[0].cost, 210_J);  // 100 cold + 11 x 10 steady
+  EXPECT_EQ(r.phases[1].cost, 200_J) << "switch pays the cold cost again";
+}
+
+TEST(MissionSimulatorTest, BatteryDepletionStopsMission) {
+  MissionSimulator sim(missionSolarProfile(), Battery(10_W, 500_J));
+  const MissionResult r = sim.run(paperJplPolicy(), 48);
+  EXPECT_TRUE(r.batteryDepleted);
+  EXPECT_LT(r.steps, 48);
+}
+
+TEST(MissionSimulatorTest, RejectsNonPositiveTarget) {
+  MissionSimulator sim(missionSolarProfile(), missionBattery());
+  EXPECT_THROW((void)sim.run(paperJplPolicy(), 0), CheckError);
+}
+
+TEST(PlanBuilderTest, JplPolicyMatchesTableThree) {
+  const PolicyBuild build = buildJplPolicy();
+  ASSERT_TRUE(build.ok());
+  EXPECT_EQ(build.policy.best.steadySpan, Duration(75));
+  EXPECT_EQ(build.policy.best.steadyCost, 0_J);
+  EXPECT_EQ(build.policy.typical.steadyCost, 55_J);
+  EXPECT_EQ(build.policy.worst.steadyCost, 388_J);
+  EXPECT_DOUBLE_EQ(build.derivations[2].utilization, 1.0);
+}
+
+TEST(PlanBuilderTest, PowerAwarePolicyBeatsJplWhereSunShines) {
+  const PolicyBuild jpl = buildJplPolicy();
+  const PolicyBuild pa = buildPowerAwarePolicy();
+  ASSERT_TRUE(jpl.ok());
+  ASSERT_TRUE(pa.ok()) << pa.derivations[0].message;
+  // Best & typical: strictly faster steady iterations.
+  EXPECT_LT(pa.policy.best.steadySpan, jpl.policy.best.steadySpan);
+  EXPECT_LT(pa.policy.typical.steadySpan, jpl.policy.typical.steadySpan);
+  // Worst: identical to the serial baseline (the paper's observation).
+  EXPECT_EQ(pa.policy.worst.steadySpan, jpl.policy.worst.steadySpan);
+  EXPECT_EQ(pa.policy.worst.steadyCost, jpl.policy.worst.steadyCost);
+}
+
+TEST(PlanBuilderTest, PowerAwareMissionWinsOnTimeAndEnergy) {
+  // The paper's headline: 33.3% faster and 32.7% cheaper on the 48-step
+  // mission. Scheduler heuristics differ in the details, so assert the
+  // *shape*: strictly faster AND strictly cheaper.
+  const PolicyBuild jpl = buildJplPolicy();
+  const PolicyBuild pa = buildPowerAwarePolicy();
+  ASSERT_TRUE(jpl.ok() && pa.ok());
+  MissionSimulator sim(missionSolarProfile(), missionBattery());
+  const MissionResult rj = sim.run(jpl.policy, 48);
+  const MissionResult rp = sim.run(pa.policy, 48);
+  EXPECT_EQ(rj.steps, 48);
+  EXPECT_EQ(rp.steps, 48);
+  EXPECT_LT(rp.time, rj.time);
+  EXPECT_LT(rp.cost, rj.cost);
+  // And the JPL baseline matches Table 4 exactly.
+  EXPECT_EQ(rj.time, Duration(1800));
+  EXPECT_EQ(rj.cost, 3544_J);
+}
+
+}  // namespace
+}  // namespace paws::rover

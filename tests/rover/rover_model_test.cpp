@@ -1,0 +1,116 @@
+#include "rover/rover_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/serial_scheduler.hpp"
+#include "validate/validator.hpp"
+
+namespace paws::rover {
+namespace {
+
+using namespace paws::literals;
+
+TEST(RoverModelTest, PowerTableMatchesTableTwo) {
+  const RoverPowerTable best = powerTable(RoverCase::kBest);
+  EXPECT_EQ(best.solar, Watts::fromWatts(14.9));
+  EXPECT_EQ(best.cpu, Watts::fromWatts(2.5));
+  EXPECT_EQ(best.heating, Watts::fromWatts(7.6));
+  const RoverPowerTable worst = powerTable(RoverCase::kWorst);
+  EXPECT_EQ(worst.solar, 9_W);
+  EXPECT_EQ(worst.driving, Watts::fromWatts(13.8));
+  EXPECT_EQ(worst.batteryMax, 10_W);
+}
+
+TEST(RoverModelTest, CaseForSolar) {
+  EXPECT_EQ(caseForSolar(Watts::fromWatts(14.9)), RoverCase::kBest);
+  EXPECT_EQ(caseForSolar(12_W), RoverCase::kTypical);
+  EXPECT_EQ(caseForSolar(9_W), RoverCase::kWorst);
+}
+
+TEST(RoverModelTest, OneIterationShape) {
+  std::vector<RoverIterationTasks> tasks;
+  const Problem p = makeRoverProblem(RoverCase::kWorst, 1, &tasks);
+  EXPECT_EQ(p.numTasks(), 11u);  // 5 heats + 2*(hazard,steer,drive)
+  EXPECT_EQ(p.numResources(), 8u);  // 5 heaters + steering+driving+hazard
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(p.task(tasks[0].heatSteer[0]).delay, Duration(5));
+  EXPECT_EQ(p.task(tasks[0].hazard[0]).delay, Duration(10));
+  EXPECT_EQ(p.task(tasks[0].drive[1]).delay, Duration(10));
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(RoverModelTest, ConstraintsDeriveFromSupply) {
+  const Problem worst = makeRoverProblem(RoverCase::kWorst);
+  EXPECT_EQ(worst.maxPower(), 19_W);  // 9 solar + 10 battery
+  EXPECT_EQ(worst.minPower(), 9_W);
+  EXPECT_EQ(worst.backgroundPower(), Watts::fromWatts(3.7));
+  const Problem best = makeRoverProblem(RoverCase::kBest);
+  EXPECT_EQ(best.maxPower(), Watts::fromWatts(24.9));
+  EXPECT_EQ(best.minPower(), Watts::fromWatts(14.9));
+}
+
+TEST(RoverModelTest, UnrollingChainsIterations) {
+  std::vector<RoverIterationTasks> tasks;
+  const Problem p = makeRoverProblem(RoverCase::kTypical, 3, &tasks);
+  EXPECT_EQ(p.numTasks(), 33u);
+  ASSERT_EQ(tasks.size(), 3u);
+  // Resources are shared across iterations, not duplicated.
+  EXPECT_EQ(p.numResources(), 8u);
+  EXPECT_EQ(p.task(tasks[1].drive[0]).resource,
+            p.task(tasks[0].drive[0]).resource);
+}
+
+TEST(RoverModelTest, SerialWorstCaseTakes75Seconds) {
+  // Calibration anchor: the JPL baseline executes one 2-step iteration in
+  // exactly 75 s (Table 3, worst-case row).
+  const Problem p = makeRoverProblem(RoverCase::kWorst);
+  SerialScheduler serial(p);
+  const ScheduleResult r = serial.schedule();
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.schedule->finish(), Time(75));
+  const ScheduleValidator validator(p);
+  EXPECT_TRUE(validator.validate(*r.schedule).valid());
+}
+
+TEST(RoverModelTest, SerialWorstCaseEnergyCostIs388J) {
+  // Table 3: Ec = 388 J at Pmin = 9 W, utilization 100%.
+  const Problem p = makeRoverProblem(RoverCase::kWorst);
+  const ScheduleResult r = SerialScheduler(p).schedule();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schedule->energyCost(p.minPower()), 388_J);
+  EXPECT_DOUBLE_EQ(r.schedule->utilization(p.minPower()), 1.0);
+}
+
+TEST(RoverModelTest, SerialTypicalCaseMatchesTableThree) {
+  // Table 3: Ec = 55 J, utilization 91% (90.8% exact), tau = 75 s.
+  const Problem p = makeRoverProblem(RoverCase::kTypical);
+  const ScheduleResult r = SerialScheduler(p).schedule();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schedule->finish(), Time(75));
+  EXPECT_EQ(r.schedule->energyCost(p.minPower()), 55_J);
+  EXPECT_NEAR(r.schedule->utilization(p.minPower()), 0.91, 0.005);
+}
+
+TEST(RoverModelTest, SerialBestCaseMatchesTableThree) {
+  // Table 3: Ec = 0 J, utilization 60% (60.2% exact), tau = 75 s.
+  const Problem p = makeRoverProblem(RoverCase::kBest);
+  const ScheduleResult r = SerialScheduler(p).schedule();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schedule->finish(), Time(75));
+  EXPECT_EQ(r.schedule->energyCost(p.minPower()), Energy::zero());
+  EXPECT_NEAR(r.schedule->utilization(p.minPower()), 0.602, 0.005);
+}
+
+TEST(RoverModelTest, MissionSolarProfile) {
+  const SolarSource s = missionSolarProfile();
+  EXPECT_EQ(s.levelAt(Time(0)), Watts::fromWatts(14.9));
+  EXPECT_EQ(s.levelAt(Time(800)), 12_W);
+  EXPECT_EQ(s.levelAt(Time(2000)), 9_W);
+}
+
+TEST(RoverModelTest, RejectsZeroIterations) {
+  EXPECT_THROW(makeRoverProblem(RoverCase::kBest, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace paws::rover

@@ -1,0 +1,107 @@
+// Golden regression tests pinning the power-aware scheduler's measured
+// results on the rover — the values EXPERIMENTS.md reports. These are
+// deliberately exact: the whole stack is deterministic and fixed-point, so
+// any change to a heuristic that shifts a paper-reproduction number must
+// show up here (and then be re-justified in EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "rover/plans.hpp"
+#include "rover/rover_model.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "validate/validator.hpp"
+
+namespace paws::rover {
+namespace {
+
+using namespace paws::literals;
+
+ScheduleResult scheduleCase(RoverCase c, int iterations = 1) {
+  const Problem p = makeRoverProblem(c, iterations);
+  PowerAwareScheduler scheduler(p);
+  ScheduleResult r = scheduler.schedule();
+  if (r.ok()) {
+    EXPECT_TRUE(ScheduleValidator(p).validate(*r.schedule).powerValid());
+  }
+  return r;
+}
+
+TEST(RoverRegressionTest, BestCaseMatchesPaperShape) {
+  // Paper: tau = 50 s, Ec = 79.5 J (first iteration). Measured: 50 s,
+  // 76.5 J — within 4 % of the paper's manually tuned schedule.
+  const Problem p = makeRoverProblem(RoverCase::kBest);
+  PowerAwareScheduler scheduler(p);
+  const ScheduleResult r = scheduler.schedule();
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.schedule->finish(), Time(50));
+  EXPECT_EQ(r.schedule->energyCost(p.minPower()),
+            Energy::fromMilliwattTicks(76500));
+}
+
+TEST(RoverRegressionTest, TypicalCaseMatchesPaperExactly) {
+  // Paper: Ec = 147 J, rho = 94 %, tau = 60 s. Measured: identical.
+  const Problem p = makeRoverProblem(RoverCase::kTypical);
+  PowerAwareScheduler scheduler(p);
+  const ScheduleResult r = scheduler.schedule();
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.schedule->finish(), Time(60));
+  EXPECT_EQ(r.schedule->energyCost(p.minPower()), 147_J);
+  EXPECT_NEAR(r.schedule->utilization(p.minPower()), 0.942, 0.001);
+}
+
+TEST(RoverRegressionTest, WorstCaseDegeneratesToSerialExactly) {
+  // Paper: the power-aware worst case is identical to the JPL serial
+  // schedule: 388 J, 100 %, 75 s.
+  const Problem p = makeRoverProblem(RoverCase::kWorst);
+  PowerAwareScheduler scheduler(p);
+  const ScheduleResult r = scheduleCase(RoverCase::kWorst);
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.schedule->finish(), Time(75));
+  EXPECT_EQ(r.schedule->energyCost(9_W), 388_J);
+  EXPECT_DOUBLE_EQ(r.schedule->utilization(9_W), 1.0);
+  // Fully serial: no two tasks overlap.
+  const auto ids = r.schedule->problem().taskIds();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_FALSE(r.schedule->interval(ids[i])
+                       .overlaps(r.schedule->interval(ids[j])));
+    }
+  }
+}
+
+TEST(RoverRegressionTest, UnrolledBestCasePipelines) {
+  // The 3-iteration unroll must reach a 50 s/iteration steady state with a
+  // steady cost far below the cold first iteration (the paper's Fig. 9
+  // pre-heating effect; measured 106.5 J -> 16.5 J).
+  const PolicyBuild pa = buildPowerAwarePolicy();
+  ASSERT_TRUE(pa.ok());
+  const PlanDerivation& best = pa.derivations[0];
+  EXPECT_EQ(best.steadySpan, Duration(50));
+  EXPECT_EQ(best.firstSpan, Duration(50));
+  EXPECT_LT(best.steadyCost.milliwattTicks(),
+            best.firstCost.milliwattTicks() / 4)
+      << "steady-state pre-heating must collapse the battery cost";
+}
+
+TEST(RoverRegressionTest, MissionHeadlineNumbers) {
+  // EXPERIMENTS.md E6: measured 1210 s / 2824 J vs JPL 1800 s / 3544 J.
+  const PolicyBuild jpl = buildJplPolicy();
+  const PolicyBuild pa = buildPowerAwarePolicy();
+  ASSERT_TRUE(jpl.ok() && pa.ok());
+  MissionSimulator sim(missionSolarProfile(), missionBattery());
+  const MissionResult rj = sim.run(jpl.policy, 48);
+  const MissionResult rp = sim.run(pa.policy, 48);
+  EXPECT_EQ(rj.time, Duration(1800));
+  EXPECT_EQ(rj.cost, 3544_J);
+  EXPECT_EQ(rp.time, Duration(1210));
+  EXPECT_EQ(rp.cost, 2824_J);
+}
+
+TEST(RoverRegressionTest, DeterministicAcrossRuns) {
+  const ScheduleResult a = scheduleCase(RoverCase::kTypical);
+  const ScheduleResult b = scheduleCase(RoverCase::kTypical);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.schedule->starts(), b.schedule->starts());
+}
+
+}  // namespace
+}  // namespace paws::rover

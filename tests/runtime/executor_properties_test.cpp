@@ -1,0 +1,152 @@
+// Property sweep for the runtime executor over random environments:
+// accounting invariants that must hold no matter what the sky does.
+#include <gtest/gtest.h>
+
+#include "gen/random_environment.hpp"
+#include "rover/rover_model.hpp"
+#include "runtime/executor.hpp"
+#include "sched/power_aware_scheduler.hpp"
+
+namespace paws::runtime {
+namespace {
+
+using namespace paws::literals;
+using rover::RoverCase;
+
+class ExecutorProperty : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  static void SetUpTestSuite() {
+    problems_ = new std::vector<Problem>;
+    schedules_ = new std::vector<Schedule>;
+    for (const RoverCase c :
+         {RoverCase::kBest, RoverCase::kTypical, RoverCase::kWorst}) {
+      problems_->push_back(rover::makeRoverProblem(c, 1));
+    }
+    for (const Problem& p : *problems_) {
+      PowerAwareScheduler scheduler(p);
+      ScheduleResult r = scheduler.schedule();
+      ASSERT_TRUE(r.ok());
+      schedules_->push_back(std::move(*r.schedule));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete problems_;
+    delete schedules_;
+    problems_ = nullptr;
+    schedules_ = nullptr;
+  }
+
+  static std::vector<CaseBinding> bindings() {
+    return {
+        {"best", Watts::fromWatts(14.9), &(*problems_)[0], (*schedules_)[0],
+         2},
+        {"typical", 12_W, &(*problems_)[1], (*schedules_)[1], 2},
+        {"worst", Watts::zero(), &(*problems_)[2], (*schedules_)[2], 2},
+    };
+  }
+
+  static std::vector<Problem>* problems_;
+  static std::vector<Schedule>* schedules_;
+};
+
+std::vector<Problem>* ExecutorProperty::problems_ = nullptr;
+std::vector<Schedule>* ExecutorProperty::schedules_ = nullptr;
+
+TEST_P(ExecutorProperty, AccountingInvariantsUnderRandomSkies) {
+  EnvironmentConfig cfg;
+  cfg.seed = GetParam();
+  GeneratedEnvironment env = generateRandomEnvironment(cfg);
+  const Energy capacity = env.battery.capacity();
+
+  RuntimeExecutor executor(env.solar, env.battery, bindings());
+  ExecutorConfig config;
+  config.targetSteps = 24;
+  config.traceTasks = false;
+  config.maxIterations = 200;
+  const ExecutionResult r = executor.run(config);
+
+  // Battery can never be over-drawn.
+  EXPECT_LE(r.batteryDrawn, capacity) << "seed " << GetParam();
+  // Steps only come in whole iterations.
+  EXPECT_EQ(r.steps % 2, 0) << "seed " << GetParam();
+  // Completion implies the target, incompletion implies a cause.
+  if (r.complete) {
+    EXPECT_GE(r.steps, config.targetSteps);
+  } else {
+    const bool explained =
+        r.batteryDepleted ||
+        (!r.trace.empty() &&
+         (r.trace.back().kind == EventKind::kNoFeasibleSchedule ||
+          r.trace.back().kind == EventKind::kBatteryDepleted)) ||
+        r.steps < config.targetSteps;  // iteration cap
+    EXPECT_TRUE(explained) << "seed " << GetParam();
+  }
+  // Trace timestamps are well-formed (non-negative, last not before first).
+  if (!r.trace.empty()) {
+    EXPECT_GE(r.trace.front().at, Time(0));
+    EXPECT_GE(r.trace.back().at, r.trace.front().at);
+  }
+  // Determinism.
+  RuntimeExecutor again(env.solar, env.battery, bindings());
+  const ExecutionResult r2 = again.run(config);
+  EXPECT_EQ(r.steps, r2.steps);
+  EXPECT_EQ(r.batteryDrawn, r2.batteryDrawn);
+  EXPECT_EQ(r.brownouts, r2.brownouts);
+}
+
+TEST_P(ExecutorProperty, PushThroughNeverSlowerThanAbort) {
+  EnvironmentConfig cfg;
+  cfg.seed = GetParam() * 131 + 5;
+  GeneratedEnvironment env = generateRandomEnvironment(cfg);
+
+  ExecutorConfig push;
+  push.targetSteps = 12;
+  push.traceTasks = false;
+  push.maxIterations = 100;
+  ExecutorConfig abort = push;
+  abort.abortOnBrownout = true;
+
+  RuntimeExecutor executor(env.solar, env.battery, bindings());
+  const ExecutionResult rp = executor.run(push);
+  const ExecutionResult ra = executor.run(abort);
+  // Aborted iterations grant no steps, so the abort policy can only make
+  // fewer steps per unit time.
+  if (rp.complete && ra.complete) {
+    EXPECT_LE(rp.finishedAt, ra.finishedAt) << "seed " << cfg.seed;
+  }
+  EXPECT_GE(rp.steps, ra.steps) << "seed " << cfg.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorProperty, ::testing::Range(1u, 21u));
+
+TEST(RandomEnvironmentTest, DeterministicPerSeed) {
+  EnvironmentConfig cfg;
+  cfg.seed = 42;
+  const GeneratedEnvironment a = generateRandomEnvironment(cfg);
+  const GeneratedEnvironment b = generateRandomEnvironment(cfg);
+  EXPECT_EQ(a.solar.phases().size(), b.solar.phases().size());
+  for (std::size_t i = 0; i < a.solar.phases().size(); ++i) {
+    EXPECT_EQ(a.solar.phases()[i].start, b.solar.phases()[i].start);
+    EXPECT_EQ(a.solar.phases()[i].level, b.solar.phases()[i].level);
+  }
+  EXPECT_EQ(a.battery.capacity(), b.battery.capacity());
+  EXPECT_EQ(a.battery.maxOutput(), b.battery.maxOutput());
+}
+
+TEST(RandomEnvironmentTest, RespectsRanges) {
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    EnvironmentConfig cfg;
+    cfg.seed = seed;
+    const GeneratedEnvironment env = generateRandomEnvironment(cfg);
+    EXPECT_EQ(env.solar.phases().front().start, Time(0));
+    for (const auto& phase : env.solar.phases()) {
+      EXPECT_GE(phase.level.milliwatts(), cfg.minSolarMw);
+      EXPECT_LE(phase.level.milliwatts(), cfg.maxSolarMw);
+    }
+    EXPECT_GE(env.battery.maxOutput().milliwatts(), cfg.minBatteryMw);
+    EXPECT_LE(env.battery.capacity().milliwattTicks(), cfg.maxCapacityMwt);
+  }
+}
+
+}  // namespace
+}  // namespace paws::runtime

@@ -1,0 +1,92 @@
+#include "sched/cyclic_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rover/rover_model.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+CyclicScheduler::UnrollFactory roverFactory(rover::RoverCase c) {
+  return [c](int iterations, std::vector<std::vector<TaskId>>* out) {
+    std::vector<rover::RoverIterationTasks> tasks;
+    Problem p = rover::makeRoverProblem(c, iterations, &tasks);
+    out->clear();
+    for (const rover::RoverIterationTasks& it : tasks) {
+      out->push_back({it.heatSteer[0], it.heatSteer[1], it.heatWheel[0],
+                      it.heatWheel[1], it.heatWheel[2], it.hazard[0],
+                      it.steer[0], it.drive[0], it.hazard[1], it.steer[1],
+                      it.drive[1]});
+    }
+    return p;
+  };
+}
+
+TEST(CyclicSchedulerTest, WorstCaseSteadyStateIsTheSerial75s) {
+  CyclicScheduler scheduler(roverFactory(rover::RoverCase::kWorst));
+  const CyclicResult r = scheduler.schedule();
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.steadyStateProven) << r.message;
+  EXPECT_EQ(r.kernel.period, Duration(75));
+  EXPECT_EQ(r.kernel.costPerPeriod, 388_J);
+  EXPECT_EQ(r.kernel.offsets.size(), 11u);
+  // Offsets start at 0 and fit within one period.
+  EXPECT_EQ(r.kernel.offsets.front().second, Time(0));
+  EXPECT_LT(r.kernel.offsets.back().second, Time(75));
+}
+
+TEST(CyclicSchedulerTest, BestCaseKernelIsFiftySecondsAndCheap) {
+  CyclicScheduler scheduler(roverFactory(rover::RoverCase::kBest));
+  const CyclicResult r = scheduler.schedule();
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.steadyStateProven) << r.message;
+  EXPECT_EQ(r.kernel.period, Duration(50));
+  // Steady-state cost far below the one-shot 76.5 J iteration (Fig. 9's
+  // pre-heating effect); measured: exactly 30 J per looped 50 s period.
+  EXPECT_LE(r.kernel.costPerPeriod, 30_J);
+  EXPECT_GT(r.kernel.costPerPeriod, Energy::zero());
+}
+
+TEST(CyclicSchedulerTest, TypicalCasePipelinedKernel) {
+  CyclicScheduler scheduler(roverFactory(rover::RoverCase::kTypical));
+  const CyclicResult r = scheduler.schedule();
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.steadyStateProven);
+  // The steady state pipelines to 50 s/iteration (EXPERIMENTS.md E6).
+  EXPECT_EQ(r.kernel.period, Duration(50));
+}
+
+TEST(CyclicSchedulerTest, RejectsBadFactories) {
+  CyclicScheduler wrongCount(
+      [](int, std::vector<std::vector<TaskId>>* out) {
+        out->clear();
+        return Problem("empty");
+      });
+  const CyclicResult r = wrongCount.schedule();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("4 iterations"), std::string::npos);
+}
+
+TEST(CyclicSchedulerTest, InfeasibleUnrollSurfacesTheFailure) {
+  CyclicScheduler scheduler(
+      [](int iterations, std::vector<std::vector<TaskId>>* out) {
+        std::vector<rover::RoverIterationTasks> tasks;
+        Problem p =
+            rover::makeRoverProblem(rover::RoverCase::kWorst, iterations,
+                                    &tasks);
+        p.setMaxPower(Watts::fromWatts(10.0));  // below single-task needs
+        out->clear();
+        for (const rover::RoverIterationTasks& it : tasks) {
+          out->push_back({it.hazard[0]});
+        }
+        return p;
+      });
+  const CyclicResult r = scheduler.schedule();
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paws

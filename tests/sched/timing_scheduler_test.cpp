@@ -1,0 +1,228 @@
+#include "sched/timing_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/longest_path.hpp"
+#include "model/paper_example.hpp"
+#include "validate/validator.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+/// Runs the timing scheduler on a fresh graph of `p`; returns the output.
+TimingScheduler::Output runTiming(const Problem& p, ConstraintGraph& graph,
+                                  TimingOptions options = {}) {
+  LongestPathEngine engine(graph);
+  TimingScheduler ts(p, options);
+  SchedulerStats stats;
+  return ts.run(graph, engine, stats);
+}
+
+TEST(TimingSchedulerTest, IndependentTasksDifferentResourcesStartAtZero) {
+  Problem p;
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  p.addTask("a", 5_s, 1_W, r1);
+  p.addTask("b", 7_s, 1_W, r2);
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  ASSERT_TRUE(out.ok) << out.message;
+  EXPECT_EQ(out.starts[1], Time(0));
+  EXPECT_EQ(out.starts[2], Time(0));
+}
+
+TEST(TimingSchedulerTest, SameResourceTasksAreSerialized) {
+  Problem p;
+  const ResourceId r = p.addResource("r");
+  p.addTask("a", 5_s, 1_W, r);
+  p.addTask("b", 7_s, 1_W, r);
+  p.addTask("c", 2_s, 1_W, r);
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  ASSERT_TRUE(out.ok) << out.message;
+  const Schedule s(&p, out.starts);
+  const ScheduleValidator validator(p);
+  EXPECT_TRUE(validator.validate(s).timeValid());
+  // Total busy time = 14; the serial schedule must span exactly that.
+  EXPECT_EQ(s.finish(), Time(14));
+}
+
+TEST(TimingSchedulerTest, RespectsMinSeparations) {
+  Problem p;
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r1);
+  const TaskId b = p.addTask("b", 7_s, 1_W, r2);
+  p.minSeparation(a, b, 9_s);
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.starts[a.index()], Time(0));
+  EXPECT_EQ(out.starts[b.index()], Time(9));
+}
+
+TEST(TimingSchedulerTest, RespectsMaxSeparationWindows) {
+  // b must run 5..8 after a, but a competes with filler on its resource.
+  Problem p;
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r1);
+  const TaskId b = p.addTask("b", 3_s, 1_W, r2);
+  const TaskId filler = p.addTask("filler", 4_s, 1_W, r1);
+  p.minSeparation(a, b, 5_s);
+  p.maxSeparation(a, b, 8_s);
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  ASSERT_TRUE(out.ok) << out.message;
+  const Schedule s(&p, out.starts);
+  const ScheduleValidator validator(p);
+  const auto report = validator.validate(s);
+  EXPECT_TRUE(report.timeValid()) << report.violations.size();
+  const Duration gap = s.start(b) - s.start(a);
+  EXPECT_GE(gap, Duration(5));
+  EXPECT_LE(gap, Duration(8));
+  (void)filler;
+}
+
+TEST(TimingSchedulerTest, BacktracksWhenFirstOrderViolatesWindow) {
+  // Two tasks on one resource; a max window forces 'late' to run FIRST
+  // even though its longest-path distance ties with 'early'.
+  Problem p;
+  const ResourceId r = p.addResource("r");
+  const TaskId early = p.addTask("early", 10_s, 1_W, r);
+  const TaskId gate = p.addTask("gate", 1_s, 1_W, p.addResource("r2"));
+  const TaskId late = p.addTask("late", 2_s, 1_W, r);
+  // gate within 3 of late's start; late must therefore start by 3; with
+  // early (10s) first on the resource, late could not start before 10.
+  p.minSeparation(late, gate, 1_s);
+  p.maxSeparation(late, gate, 3_s);
+  p.maxSeparation(kAnchorTask, gate, 4_s);
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  ASSERT_TRUE(out.ok) << out.message;
+  const Schedule s(&p, out.starts);
+  EXPECT_LT(s.start(late), s.start(early));
+  const ScheduleValidator validator(p);
+  EXPECT_TRUE(validator.validate(s).timeValid());
+}
+
+TEST(TimingSchedulerTest, InfeasibleWindowFails) {
+  Problem p;
+  const ResourceId r = p.addResource("r");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r);
+  const TaskId b = p.addTask("b", 5_s, 1_W, r);
+  // Contradiction: b at least 10 after a, but at most 4 after a.
+  p.minSeparation(a, b, 10_s);
+  p.maxSeparation(a, b, 4_s);
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  EXPECT_FALSE(out.ok);
+  EXPECT_FALSE(out.budgetExhausted);
+}
+
+TEST(TimingSchedulerTest, InfeasibleSerializationFails) {
+  // Three 10s tasks on one resource, all deadlined at 25: only two fit.
+  Problem p;
+  const ResourceId r = p.addResource("r");
+  for (const char* name : {"a", "b", "c"}) {
+    const TaskId t = p.addTask(name, 10_s, 1_W, r);
+    p.deadline(t, Time(25));
+  }
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(TimingSchedulerTest, FailureLeavesGraphUntouched) {
+  Problem p;
+  const ResourceId r = p.addResource("r");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r);
+  const TaskId b = p.addTask("b", 5_s, 1_W, r);
+  p.minSeparation(a, b, 10_s);
+  p.maxSeparation(a, b, 4_s);
+  ConstraintGraph g = p.buildGraph();
+  const std::size_t edges = g.numEdges();
+  const auto out = runTiming(p, g);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(g.numEdges(), edges);
+}
+
+TEST(TimingSchedulerTest, SuccessKeepsSerializationEdgesForSlackAnalysis) {
+  Problem p;
+  const ResourceId r = p.addResource("r");
+  p.addTask("a", 5_s, 1_W, r);
+  p.addTask("b", 5_s, 1_W, r);
+  ConstraintGraph g = p.buildGraph();
+  const std::size_t before = g.numEdges();
+  const auto out = runTiming(p, g);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(g.numEdges(), before + 1) << "one serialization edge for a|b";
+}
+
+TEST(TimingSchedulerTest, SchedulesArePrefixTight) {
+  // ASAP property: the earliest task starts at 0.
+  const Problem p = makePaperExampleProblem();
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  ASSERT_TRUE(out.ok) << out.message;
+  Time earliest = Time::max();
+  for (TaskId v : p.taskIds()) {
+    earliest = std::min(earliest, out.starts[v.index()]);
+  }
+  EXPECT_EQ(earliest, Time(0));
+}
+
+TEST(TimingSchedulerTest, PaperExampleIsTimeValid) {
+  const Problem p = makePaperExampleProblem();
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g);
+  ASSERT_TRUE(out.ok) << out.message;
+  const Schedule s(&p, out.starts);
+  const ScheduleValidator validator(p);
+  const auto report = validator.validate(s);
+  for (const Violation& v : report.violations) {
+    EXPECT_EQ(v.kind, Violation::Kind::kPowerSpike) << v;
+  }
+  EXPECT_TRUE(report.timeValid());
+}
+
+TEST(TimingSchedulerTest, AllCandidateOrdersProduceValidSchedules) {
+  const Problem p = makePaperExampleProblem();
+  const ScheduleValidator validator(p);
+  for (const CandidateOrder order :
+       {CandidateOrder::kByLongestPath, CandidateOrder::kByIndex,
+        CandidateOrder::kRandom}) {
+    TimingOptions opt;
+    opt.candidateOrder = order;
+    opt.randomSeed = 42;
+    ConstraintGraph g = p.buildGraph();
+    const auto out = runTiming(p, g, opt);
+    ASSERT_TRUE(out.ok) << "order " << static_cast<int>(order);
+    EXPECT_TRUE(validator.validate(Schedule(&p, out.starts)).timeValid());
+  }
+}
+
+TEST(TimingSchedulerTest, TinyBacktrackBudgetReportsExhaustion) {
+  // A problem that needs backtracking, given a zero budget.
+  Problem p;
+  const ResourceId r = p.addResource("r");
+  const TaskId early = p.addTask("early", 10_s, 1_W, r);
+  const TaskId gate = p.addTask("gate", 1_s, 1_W, p.addResource("r2"));
+  const TaskId late = p.addTask("late", 2_s, 1_W, r);
+  p.minSeparation(late, gate, 1_s);
+  p.maxSeparation(late, gate, 3_s);
+  p.maxSeparation(kAnchorTask, gate, 4_s);
+  (void)early;
+  TimingOptions opt;
+  opt.candidateOrder = CandidateOrder::kByIndex;  // forces the bad order 1st
+  opt.maxBacktracks = 0;
+  ConstraintGraph g = p.buildGraph();
+  const auto out = runTiming(p, g, opt);
+  EXPECT_FALSE(out.ok);
+  EXPECT_TRUE(out.budgetExhausted);
+}
+
+}  // namespace
+}  // namespace paws

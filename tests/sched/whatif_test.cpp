@@ -1,0 +1,125 @@
+#include "sched/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/paper_example.hpp"
+#include "sched/min_power_scheduler.hpp"
+#include "validate/validator.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+TEST(ScheduleDiffTest, IdenticalSchedulesDiffEmpty) {
+  const Problem p = makePaperExampleProblem();
+  MinPowerScheduler pipeline(p);
+  const ScheduleResult r = pipeline.schedule();
+  ASSERT_TRUE(r.ok());
+  const ScheduleDiff d = diffSchedules(*r.schedule, *r.schedule);
+  EXPECT_TRUE(d.moved.empty());
+  EXPECT_EQ(d.finishDelta, Duration::zero());
+  EXPECT_EQ(d.energyCostDelta, Energy::zero());
+  EXPECT_DOUBLE_EQ(d.utilizationDelta, 0.0);
+}
+
+TEST(ScheduleDiffTest, ReportsMoves) {
+  Problem p("d");
+  const ResourceId r1 = p.addResource("r1");
+  p.addTask("a", 5_s, 2_W, r1);
+  p.addTask("b", 5_s, 2_W, r1);
+  const Schedule before(&p, {Time(0), Time(0), Time(5)});
+  const Schedule after(&p, {Time(0), Time(0), Time(9)});
+  const ScheduleDiff d = diffSchedules(before, after);
+  ASSERT_EQ(d.moved.size(), 1u);
+  EXPECT_EQ(d.moved[0].task, TaskId(2));
+  EXPECT_EQ(d.moved[0].before, Time(5));
+  EXPECT_EQ(d.moved[0].after, Time(9));
+  EXPECT_EQ(d.finishDelta, Duration(4));
+}
+
+TEST(ScheduleDiffTest, RejectsDifferentProblems) {
+  const Problem p1 = makePaperExampleProblem();
+  const Problem p2 = makePaperExampleProblem();
+  MinPowerScheduler s1(p1), s2(p2);
+  const ScheduleResult r1 = s1.schedule();
+  const ScheduleResult r2 = s2.schedule();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_THROW((void)diffSchedules(*r1.schedule, *r2.schedule), CheckError);
+}
+
+TEST(WhatIfTest, NoLocksReproducesPipelineResult) {
+  const Problem p = makePaperExampleProblem();
+  WhatIfSession session(p);
+  const ScheduleResult locked = session.reschedule();
+  MinPowerScheduler pipeline(p);
+  PowerAwareScheduler plain(p);
+  const ScheduleResult base = plain.schedule();
+  ASSERT_TRUE(locked.ok() && base.ok());
+  EXPECT_EQ(locked.schedule->starts(), base.schedule->starts());
+  (void)pipeline;
+}
+
+TEST(WhatIfTest, LockMovesTaskAndSchedulerAdapts) {
+  const Problem p = makePaperExampleProblem();
+  const TaskId g = *p.findTask("g");
+  WhatIfSession session(p);
+  // The designer drags g to t=15 (the automated result chose 10).
+  session.lock(g, Time(15));
+  EXPECT_EQ(session.numLocks(), 1u);
+  ASSERT_TRUE(session.lockOf(g).has_value());
+  const ScheduleResult r = session.reschedule();
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.schedule->start(g), Time(15));
+  EXPECT_TRUE(ScheduleValidator(p).validate(*r.schedule).powerValid());
+  // The result binds to the ORIGINAL problem and outlives the session.
+  EXPECT_EQ(&r.schedule->problem(), &p);
+}
+
+TEST(WhatIfTest, DiffShowsWhatTheInterventionCost) {
+  const Problem p = makePaperExampleProblem();
+  WhatIfSession session(p);
+  const ScheduleResult base = session.reschedule();
+  ASSERT_TRUE(base.ok());
+  session.lock(*p.findTask("g"), Time(15));
+  const ScheduleResult after = session.reschedule();
+  ASSERT_TRUE(after.ok());
+  const ScheduleDiff d = diffSchedules(*base.schedule, *after.schedule);
+  ASSERT_FALSE(d.moved.empty());
+  // Pinning g at 15 forfeits the gap-fill at t=10: energy cost rises.
+  EXPECT_GT(d.energyCostDelta, Energy::zero());
+}
+
+TEST(WhatIfTest, InfeasibleLockFailsCleanly) {
+  const Problem p = makePaperExampleProblem();
+  const TaskId h = *p.findTask("h");
+  WhatIfSession session(p);
+  // h at most 20 after g and g at least 5 after a: h can never start at 1.
+  session.lock(h, Time(1));
+  const ScheduleResult r = session.reschedule();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status, SchedStatus::kTimingInfeasible);
+}
+
+TEST(WhatIfTest, UnlockRestoresFreedom) {
+  const Problem p = makePaperExampleProblem();
+  const TaskId g = *p.findTask("g");
+  WhatIfSession session(p);
+  session.lock(g, Time(15));
+  session.unlock(g);
+  EXPECT_EQ(session.numLocks(), 0u);
+  const ScheduleResult r = session.reschedule();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schedule->start(g), Time(10)) << "back to the automated slot";
+}
+
+TEST(WhatIfTest, LockValidation) {
+  const Problem p = makePaperExampleProblem();
+  WhatIfSession session(p);
+  EXPECT_THROW(session.lock(kAnchorTask, Time(0)), CheckError);
+  EXPECT_THROW(session.lock(TaskId(1), Time(-2)), CheckError);
+  EXPECT_THROW(session.lock(TaskId(1000), Time(0)), CheckError);
+}
+
+}  // namespace
+}  // namespace paws

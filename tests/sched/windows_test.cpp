@@ -1,0 +1,135 @@
+#include "sched/windows.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/longest_path.hpp"
+#include "model/paper_example.hpp"
+#include "sched/timing_scheduler.hpp"
+#include "validate/validator.hpp"
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+TEST(StartWindowsTest, UnconstrainedTaskSpansHorizon) {
+  Problem p("w");
+  const ResourceId r1 = p.addResource("r1");
+  p.addTask("a", 5_s, 1_W, r1);
+  const ConstraintGraph g = p.buildGraph();
+  const auto windows = computeStartWindows(p, g, Time(20));
+  EXPECT_EQ(windows[1].earliest, Time(0));
+  EXPECT_EQ(windows[1].latest, Time(15));  // 20 - d(a)
+  EXPECT_EQ(windows[1].width(), Duration(15));
+  // Anchor is pinned.
+  EXPECT_EQ(windows[0].earliest, Time(0));
+  EXPECT_EQ(windows[0].latest, Time(0));
+}
+
+TEST(StartWindowsTest, ChainTightensBothEnds) {
+  Problem p("chain");
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r1);
+  const TaskId b = p.addTask("b", 5_s, 1_W, r2);
+  p.minSeparation(a, b, 5_s);
+  const ConstraintGraph g = p.buildGraph();
+  const auto windows = computeStartWindows(p, g, Time(20));
+  EXPECT_EQ(windows[a.index()].earliest, Time(0));
+  EXPECT_EQ(windows[a.index()].latest, Time(10));  // b <= 15, a <= b-5
+  EXPECT_EQ(windows[b.index()].earliest, Time(5));
+  EXPECT_EQ(windows[b.index()].latest, Time(15));
+}
+
+TEST(StartWindowsTest, MaxSeparationCouplesWindows) {
+  Problem p("win");
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r1);
+  const TaskId b = p.addTask("b", 5_s, 1_W, r2);
+  p.minSeparation(a, b, 5_s);
+  p.maxSeparation(a, b, 8_s);
+  p.deadline(b, Time(18));  // sigma(b) <= 13
+  const ConstraintGraph g = p.buildGraph();
+  const auto windows = computeStartWindows(p, g, Time(100));
+  // b's deadline beats the horizon; a is pulled by both constraints.
+  EXPECT_EQ(windows[b.index()].latest, Time(13));
+  EXPECT_EQ(windows[a.index()].latest, Time(8));  // b-5
+  // Max separation bounds b from a's side too: b <= a_latest + 8 = 16,
+  // but 13 is tighter; and b's earliest stays 5.
+  EXPECT_EQ(windows[b.index()].earliest, Time(5));
+}
+
+TEST(StartWindowsTest, DeadlinePropagatesThroughAnchorBackEdge) {
+  Problem p("dl");
+  const ResourceId r1 = p.addResource("r1");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r1);
+  p.deadline(a, Time(12));
+  const ConstraintGraph g = p.buildGraph();
+  const auto windows = computeStartWindows(p, g, Time(1000));
+  EXPECT_EQ(windows[a.index()].latest, Time(7));
+}
+
+TEST(StartWindowsTest, InfeasibleHorizonYieldsEmptyWindow) {
+  Problem p("tight");
+  const ResourceId r1 = p.addResource("r1");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r1);
+  p.release(a, Time(10));
+  const ConstraintGraph g = p.buildGraph();
+  const auto windows = computeStartWindows(p, g, Time(12));
+  EXPECT_FALSE(windows[a.index()].feasible());  // EST 10 > LST 7
+}
+
+TEST(StartWindowsTest, EveryScheduleFitsItsWindows) {
+  // Global invariant: any time-valid schedule places every task inside the
+  // windows computed for its achieved horizon on the decorated graph.
+  const Problem p = makePaperExampleProblem();
+  ConstraintGraph g = p.buildGraph();
+  LongestPathEngine engine(g);
+  TimingScheduler ts(p);
+  SchedulerStats stats;
+  const auto out = ts.run(g, engine, stats);
+  ASSERT_TRUE(out.ok);
+  const Schedule s(&p, out.starts);
+  const auto windows = computeStartWindows(p, g, s.finish());
+  for (TaskId v : p.taskIds()) {
+    EXPECT_GE(s.start(v), windows[v.index()].earliest) << p.task(v).name;
+    EXPECT_LE(s.start(v), windows[v.index()].latest) << p.task(v).name;
+  }
+}
+
+TEST(StartWindowsTest, AnyPointInsideAWindowIsIndividuallyRealizable) {
+  // For each task, pinning it anywhere in its window keeps the system
+  // feasible (windows are tight in this one-task-at-a-time sense).
+  const Problem p = makePaperExampleProblem();
+  const ConstraintGraph base = p.buildGraph();
+  const Time horizon(40);
+  const auto windows = computeStartWindows(p, base, horizon);
+  for (TaskId v : p.taskIds()) {
+    if (!windows[v.index()].feasible()) continue;
+    for (const Time t :
+         {windows[v.index()].earliest, windows[v.index()].latest}) {
+      Problem pinned = p;  // value copy
+      pinned.pin(v, t);
+      ConstraintGraph g = pinned.buildGraph();
+      LongestPathEngine engine(g);
+      EXPECT_TRUE(engine.compute(kAnchorTask).feasible)
+          << p.task(v).name << " pinned at " << t;
+    }
+  }
+}
+
+TEST(StartWindowsTest, RejectsInfeasibleGraph) {
+  Problem p("cycle");
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  const TaskId a = p.addTask("a", 5_s, 1_W, r1);
+  const TaskId b = p.addTask("b", 5_s, 1_W, r2);
+  p.minSeparation(a, b, 10_s);
+  p.maxSeparation(a, b, 4_s);
+  const ConstraintGraph g = p.buildGraph();
+  EXPECT_THROW((void)computeStartWindows(p, g, Time(100)), CheckError);
+}
+
+}  // namespace
+}  // namespace paws

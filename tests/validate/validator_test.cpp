@@ -1,0 +1,125 @@
+#include "validate/validator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paws {
+namespace {
+
+using namespace paws::literals;
+
+Problem makeProblem() {
+  Problem p("v");
+  const ResourceId r1 = p.addResource("r1");
+  const ResourceId r2 = p.addResource("r2");
+  p.addTask("a", 5_s, 6_W, r1);   // 1
+  p.addTask("b", 5_s, 4_W, r1);   // 2
+  p.addTask("c", 10_s, 5_W, r2);  // 3
+  p.minSeparation(TaskId(1), TaskId(3), 5_s);
+  p.maxSeparation(TaskId(1), TaskId(3), 12_s);
+  p.setMaxPower(10_W);
+  p.setMinPower(4_W);
+  return p;
+}
+
+TEST(ValidatorTest, CleanScheduleIsValid) {
+  const Problem p = makeProblem();
+  // a[0,5) b[5,10) on r1; c[5,15) on r2. P: 6, 4+5, 5 — all <= 10.
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(5)});
+  const auto report = ScheduleValidator(p).validate(s);
+  EXPECT_TRUE(report.valid());
+  EXPECT_TRUE(report.timeValid());
+  EXPECT_TRUE(report.powerValid());
+}
+
+TEST(ValidatorTest, DetectsMinSeparationViolation) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(3)});  // c 3 after a
+  const auto report = ScheduleValidator(p).validate(s);
+  ASSERT_FALSE(report.valid());
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kMinSeparation);
+  EXPECT_NE(report.violations[0].detail.find("'c'"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsMaxSeparationViolation) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(20)});
+  const auto report = ScheduleValidator(p).validate(s);
+  ASSERT_FALSE(report.valid());
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kMaxSeparation);
+}
+
+TEST(ValidatorTest, DetectsResourceOverlap) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(3), Time(5)});  // a,b overlap
+  const auto report = ScheduleValidator(p).validate(s);
+  ASSERT_FALSE(report.valid());
+  bool found = false;
+  for (const Violation& v : report.violations) {
+    found |= v.kind == Violation::Kind::kResourceOverlap;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(report.timeValid());
+}
+
+TEST(ValidatorTest, DetectsPowerSpikeButKeepsTimeValidity) {
+  const Problem p = makeProblem();
+  // a and c overlap fully: 6+5 = 11 > 10.
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(5)});
+  // shift c earlier: c at 5 gives 4+5=9; make c at 0 instead -> min sep broken.
+  // Use b overlapping c in power only: b@5 (4W) + c@5 (5W) = 9; no spike.
+  // For a real spike: move b onto a? that breaks resource. Instead raise
+  // overlap: schedule a@0 and c@... c >= 5 after a; at c@5, a is done.
+  // So spike needs a tighter problem; reuse with lower budget:
+  Problem tight = makeProblem();
+  tight.setMaxPower(8_W);
+  const Schedule s2(&tight, {Time(0), Time(0), Time(5), Time(5)});
+  const auto report = ScheduleValidator(tight).validate(s2);
+  EXPECT_TRUE(report.timeValid());
+  EXPECT_FALSE(report.powerValid());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kPowerSpike);
+  (void)s;
+}
+
+TEST(ValidatorTest, DetectsNegativeStart) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(-3), Time(5), Time(5)});
+  const auto report = ScheduleValidator(p).validate(s);
+  ASSERT_FALSE(report.valid());
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kNegativeStart);
+}
+
+TEST(ValidatorTest, ReportsPowerGapsAsSoftInformation) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(5)});
+  const auto report = ScheduleValidator(p).validate(s);
+  EXPECT_TRUE(report.valid()) << "gaps are not violations";
+  // After c ends at 15, nothing runs... span ends at 15; gap regions are
+  // wherever P < 4W — none here ([0,5)=6, [5,15)=9,5).
+  EXPECT_TRUE(report.powerGaps.empty());
+  Problem hungry = makeProblem();
+  hungry.setMinPower(7_W);
+  const auto report2 = ScheduleValidator(hungry).validate(
+      Schedule(&hungry, {Time(0), Time(0), Time(5), Time(5)}));
+  EXPECT_FALSE(report2.powerGaps.empty());
+}
+
+TEST(ValidatorTest, MultipleViolationsAllReported) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(-1), Time(-1), Time(30)});
+  const auto report = ScheduleValidator(p).validate(s);
+  EXPECT_GE(report.violations.size(), 3u);
+}
+
+TEST(ValidatorTest, ViolationPrinting) {
+  const Problem p = makeProblem();
+  const Schedule s(&p, {Time(0), Time(0), Time(5), Time(3)});
+  const auto report = ScheduleValidator(p).validate(s);
+  ASSERT_FALSE(report.violations.empty());
+  std::ostringstream os;
+  os << report.violations[0];
+  EXPECT_NE(os.str().find("min-separation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paws

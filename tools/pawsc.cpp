@@ -1,0 +1,387 @@
+// pawsc — the paws command-line front end.
+//
+//   pawsc check <file.paws>
+//       Parse and structurally validate a problem; print a summary.
+//   pawsc schedule <file.paws> [--scheduler pipeline|serial|list|optimal]
+//                  [--trials N] [--gantt] [--breakdown] [--svg out.svg]
+//                  [--csv out.csv] [--html out.html] [--trace out.json]
+//       Schedule and report power properties; optionally render/export
+//       (SVG gantt, CSV, HTML report, chrome://tracing JSON).
+//   pawsc sweep <file.paws> --pmax-from W --pmax-to W [--step W]
+//       Re-schedule across a budget range (design-space exploration).
+//   pawsc windows <file.paws> [--horizon T]
+//       Print each task's feasible [EST, LST] start window.
+//   pawsc repair <file.paws> --schedule plan.sched --now T [--pmax W]
+//       Mid-flight repair: freeze tasks started before T, re-plan the rest
+//       under the (optionally changed) budget; prints the repaired plan.
+//   pawsc dot <file.paws>
+//       Emit the constraint graph in Graphviz syntax.
+//
+// Exit status: 0 on success, 1 on user/file errors, 2 on scheduling
+// failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "gantt/ascii_gantt.hpp"
+#include "gantt/html_report.hpp"
+#include "gantt/svg_gantt.hpp"
+#include "graph/dot.hpp"
+#include "graph/longest_path.hpp"
+#include "io/parser.hpp"
+#include "io/schedule_io.hpp"
+#include "io/writer.hpp"
+#include "sched/repair.hpp"
+#include "analysis/analysis.hpp"
+#include "analysis/breakdown.hpp"
+#include "analysis/resource_usage.hpp"
+#include "model/explain.hpp"
+#include "sched/windows.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "sched/serial_scheduler.hpp"
+#include "validate/validator.hpp"
+
+using namespace paws;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pawsc <command> [options]\n"
+               "  check    <file.paws>\n"
+               "  schedule <file.paws> [--scheduler pipeline|serial|list|"
+               "optimal] [--trials N]\n"
+               "           [--gantt] [--svg out.svg] [--csv out.csv]\n"
+               "  sweep    <file.paws> --pmax-from W --pmax-to W [--step W]\n"
+               "  dot      <file.paws>\n");
+  return 1;
+}
+
+std::optional<Problem> load(const std::string& path) {
+  io::ParseResult parsed = io::parseProblemFile(path);
+  if (!parsed.ok()) {
+    for (const io::ParseError& e : parsed.errors) {
+      std::fprintf(stderr, "%s:%s\n", path.c_str(), io::format(e).c_str());
+    }
+    return std::nullopt;
+  }
+  return std::move(parsed.problem);
+}
+
+int cmdCheck(const std::string& path) {
+  const auto problem = load(path);
+  if (!problem) return 1;
+  std::printf("problem '%s': %zu tasks, %zu resources, %zu constraints\n",
+              problem->name().c_str(), problem->numTasks(),
+              problem->numResources(), problem->constraints().size());
+  std::printf("limits: Pmax ");
+  if (problem->maxPower() == Watts::max()) {
+    std::printf("unbounded");
+  } else {
+    std::printf("%.3fW", problem->maxPower().watts());
+  }
+  std::printf(", Pmin %.3fW, background %.3fW\n",
+              problem->minPower().watts(),
+              problem->backgroundPower().watts());
+  const auto issues = problem->validate();
+  for (const std::string& issue : issues) {
+    std::printf("issue: %s\n", issue.c_str());
+  }
+  // Timing feasibility with a user-level explanation of any contradiction.
+  const ConstraintGraph g = problem->buildGraph();
+  LongestPathEngine engine(g);
+  const LongestPathResult& lp = engine.compute(kAnchorTask);
+  if (!lp.feasible) {
+    std::printf("%s\n", explainCycle(*problem, g, lp).c_str());
+  }
+  const bool ok = issues.empty() && lp.feasible;
+  std::printf("%s\n", ok ? "OK" : "NOT SCHEDULABLE AS WRITTEN");
+  return ok ? 0 : 2;
+}
+
+int cmdWindows(const std::string& path, std::int64_t horizonTicks) {
+  const auto problem = load(path);
+  if (!problem) return 1;
+  const ConstraintGraph g = problem->buildGraph();
+  LongestPathEngine engine(g);
+  if (!engine.compute(kAnchorTask).feasible) {
+    std::fprintf(stderr, "%s\n",
+                 explainCycle(*problem, g, engine.result()).c_str());
+    return 2;
+  }
+  Time horizon(horizonTicks);
+  if (horizonTicks <= 0) {
+    // Default: the fully-serial span (every schedule of interest fits).
+    Duration total = Duration::zero();
+    for (TaskId v : problem->taskIds()) total += problem->task(v).delay;
+    horizon = Time::zero() + total;
+  }
+  const auto windows = computeStartWindows(*problem, g, horizon);
+  std::printf("start windows (horizon %lld):\n",
+              static_cast<long long>(horizon.ticks()));
+  for (TaskId v : problem->taskIds()) {
+    const StartWindow& w = windows[v.index()];
+    std::printf("  %-16s [%lld, %lld]%s\n", problem->task(v).name.c_str(),
+                static_cast<long long>(w.earliest.ticks()),
+                static_cast<long long>(w.latest.ticks()),
+                w.feasible() ? "" : "  INFEASIBLE AT THIS HORIZON");
+  }
+  return 0;
+}
+
+ScheduleResult runScheduler(const Problem& problem,
+                            const std::string& scheduler,
+                            std::uint32_t trials) {
+  if (scheduler == "serial") return SerialScheduler(problem).schedule();
+  if (scheduler == "list") return ListScheduler(problem).schedule();
+  if (scheduler == "optimal") {
+    ExhaustiveScheduler optimal(problem);
+    ScheduleResult r = optimal.schedule();
+    if (!optimal.outcome().provenOptimal) {
+      std::fprintf(stderr,
+                   "warning: node budget hit; result may be suboptimal\n");
+    }
+    return r;
+  }
+  PowerAwareOptions options;
+  options.trials = trials;
+  return PowerAwareScheduler(problem, options).schedule();
+}
+
+int cmdSchedule(const std::string& path, const std::string& scheduler,
+                std::uint32_t trials, bool gantt, bool breakdown,
+                const std::string& svgOut, const std::string& csvOut,
+                const std::string& htmlOut, const std::string& traceOut,
+                const std::string& saveOut) {
+  const auto problem = load(path);
+  if (!problem) return 1;
+  const ScheduleResult r = runScheduler(*problem, scheduler, trials);
+  if (!r.ok()) {
+    std::fprintf(stderr, "scheduling failed (%s): %s\n", toString(r.status),
+                 r.message.c_str());
+    return 2;
+  }
+  const Schedule& s = *r.schedule;
+  const ValidationReport report = ScheduleValidator(*problem).validate(s);
+  std::printf("scheduler : %s\n", scheduler.c_str());
+  std::printf("finish    : %lld ticks\n",
+              static_cast<long long>(s.finish().ticks()));
+  std::printf("energy    : %.3fJ cost above Pmin, %.3fJ total\n",
+              s.energyCost(problem->minPower()).joules(),
+              s.powerProfile().totalEnergy().joules());
+  std::printf("rho(Pmin) : %.1f%%\n",
+              100.0 * s.utilization(problem->minPower()));
+  std::printf("peak      : %.3fW (schedule valid for any Pmax >= this)\n",
+              ScheduleAnalysis::minimalValidPmax(s).watts());
+  std::printf("valid     : %s\n", report.valid() ? "yes" : "NO");
+  for (const Violation& v : report.violations) {
+    std::ostringstream os;
+    os << v;
+    std::printf("  violation: %s\n", os.str().c_str());
+  }
+  if (gantt) std::printf("\n%s", renderGantt(s).c_str());
+  if (breakdown) {
+    std::printf("\n%s", renderBreakdown(computeEnergyBreakdown(s)).c_str());
+    const ResourceUsageReport usage = analyzeResourceUsage(s);
+    std::printf("resource utilization:\n");
+    for (const ResourceUsage& u : usage.usages) {
+      std::printf("  %-16s %5.1f%% busy%s\n", u.name.c_str(),
+                  100.0 * u.utilization,
+                  u.resource == usage.bottleneck ? "   <- bottleneck" : "");
+    }
+  }
+  if (!svgOut.empty()) {
+    std::ofstream out(svgOut);
+    out << renderSvgGantt(s);
+    std::printf("wrote %s\n", svgOut.c_str());
+  }
+  if (!csvOut.empty()) {
+    std::ofstream out(csvOut);
+    io::writeScheduleCsv(out, s);
+    std::printf("wrote %s\n", csvOut.c_str());
+  }
+  if (!htmlOut.empty()) {
+    std::ofstream out(htmlOut);
+    out << renderHtmlReport(s);
+    std::printf("wrote %s\n", htmlOut.c_str());
+  }
+  if (!traceOut.empty()) {
+    std::ofstream out(traceOut);
+    io::writeChromeTrace(out, s);
+    std::printf("wrote %s (open in chrome://tracing or Perfetto)\n",
+                traceOut.c_str());
+  }
+  if (!saveOut.empty()) {
+    std::ofstream out(saveOut);
+    io::writeSchedule(out, s, scheduler);
+    std::printf("wrote %s (re-load with pawsc repair --schedule)\n",
+                saveOut.c_str());
+  }
+  return report.valid() ? 0 : 2;
+}
+
+int cmdSweep(const std::string& path, double from, double to, double step) {
+  auto problem = load(path);
+  if (!problem) return 1;
+  if (!(from > 0) || to < from || !(step > 0)) {
+    std::fprintf(stderr, "bad sweep range\n");
+    return 1;
+  }
+  std::printf("%10s %10s %12s %10s\n", "Pmax(W)", "tau", "Ec(J)", "rho");
+  for (double w = from; w <= to + 1e-9; w += step) {
+    problem->setMaxPower(Watts::fromWatts(w));
+    PowerAwareScheduler scheduler(*problem);
+    const ScheduleResult r = scheduler.schedule();
+    if (!r.ok()) {
+      std::printf("%10.2f %10s %12s %10s\n", w, "-", "-", toString(r.status));
+      continue;
+    }
+    std::printf("%10.2f %10lld %12.3f %9.1f%%\n", w,
+                static_cast<long long>(r.schedule->finish().ticks()),
+                r.schedule->energyCost(problem->minPower()).joules(),
+                100.0 * r.schedule->utilization(problem->minPower()));
+  }
+  return 0;
+}
+
+int cmdRepair(const std::string& path, const std::string& schedulePath,
+              std::int64_t nowTicks, double newPmax) {
+  const auto problem = load(path);
+  if (!problem) return 1;
+  std::ifstream in(schedulePath);
+  if (!in) {
+    std::fprintf(stderr, "cannot open schedule file %s\n",
+                 schedulePath.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const io::ScheduleParseResult parsed =
+      io::parseSchedule(buffer.str(), *problem);
+  if (!parsed.ok()) {
+    for (const io::ParseError& e : parsed.errors) {
+      std::fprintf(stderr, "%s\n", io::format(e).c_str());
+    }
+    return 1;
+  }
+
+  Problem updated(*problem);
+  if (newPmax > 0) updated.setMaxPower(Watts::fromWatts(newPmax));
+  const RepairInput input{&updated, &*parsed.schedule, Time(nowTicks)};
+  const ScheduleResult repaired = repairSchedule(input);
+  if (!repaired.ok()) {
+    std::fprintf(stderr, "repair failed (%s): %s\n",
+                 toString(repaired.status), repaired.message.c_str());
+    return 2;
+  }
+  const Schedule& s = *repaired.schedule;
+  std::printf("# repaired at t=%lld%s\n",
+              static_cast<long long>(nowTicks),
+              newPmax > 0 ? " under a new budget" : "");
+  io::writeSchedule(std::cout, s, parsed.label + "-repaired");
+  std::printf("# finish %lld, Ec %.3fJ\n",
+              static_cast<long long>(s.finish().ticks()),
+              s.energyCost(updated.minPower()).joules());
+  return 0;
+}
+
+int cmdDot(const std::string& path) {
+  const auto problem = load(path);
+  if (!problem) return 1;
+  DotOptions opt;
+  opt.vertexLabels.resize(problem->numVertices());
+  for (TaskId v : problem->taskIds()) {
+    opt.vertexLabels[v.index()] = problem->task(v).name;
+  }
+  std::cout << toDot(problem->buildGraph(), opt);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  std::string scheduler = "pipeline";
+  std::uint32_t trials = 4;
+  bool gantt = false;
+  bool breakdown = false;
+  std::string svgOut, csvOut, htmlOut, traceOut, saveOut;
+  double pmaxFrom = 0, pmaxTo = 0, pmaxStep = 1;
+  std::int64_t horizon = 0;
+  std::string schedulePath;
+  std::int64_t now = 0;
+  double newPmax = 0;
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scheduler") {
+      scheduler = value("--scheduler");
+    } else if (arg == "--trials") {
+      trials = static_cast<std::uint32_t>(std::atoi(value("--trials")));
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg == "--breakdown") {
+      breakdown = true;
+    } else if (arg == "--trace") {
+      traceOut = value("--trace");
+    } else if (arg == "--save") {
+      saveOut = value("--save");
+    } else if (arg == "--svg") {
+      svgOut = value("--svg");
+    } else if (arg == "--csv") {
+      csvOut = value("--csv");
+    } else if (arg == "--html") {
+      htmlOut = value("--html");
+    } else if (arg == "--pmax-from") {
+      pmaxFrom = std::atof(value("--pmax-from"));
+    } else if (arg == "--pmax-to") {
+      pmaxTo = std::atof(value("--pmax-to"));
+    } else if (arg == "--step") {
+      pmaxStep = std::atof(value("--step"));
+    } else if (arg == "--horizon") {
+      horizon = std::atoll(value("--horizon"));
+    } else if (arg == "--schedule") {
+      schedulePath = value("--schedule");
+    } else if (arg == "--now") {
+      now = std::atoll(value("--now"));
+    } else if (arg == "--pmax") {
+      newPmax = std::atof(value("--pmax"));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  if (command == "check") return cmdCheck(path);
+  if (command == "schedule") {
+    return cmdSchedule(path, scheduler, trials, gantt, breakdown, svgOut,
+                       csvOut, htmlOut, traceOut, saveOut);
+  }
+  if (command == "sweep") return cmdSweep(path, pmaxFrom, pmaxTo, pmaxStep);
+  if (command == "windows") return cmdWindows(path, horizon);
+  if (command == "repair") {
+    if (schedulePath.empty()) {
+      std::fprintf(stderr, "repair needs --schedule <file>\n");
+      return 1;
+    }
+    return cmdRepair(path, schedulePath, now, newPmax);
+  }
+  if (command == "dot") return cmdDot(path);
+  return usage();
+}
