@@ -18,6 +18,7 @@
 #include "analysis/battery_stress.hpp"
 #include "gen/random_problem.hpp"
 #include "model/paper_example.hpp"
+#include "obs/metrics.hpp"
 #include "rover/rover_model.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/max_power_scheduler.hpp"
@@ -234,6 +235,21 @@ void ablateJitterControl() {
   std::printf("\n");
 }
 
+void printPhaseTimings() {
+  std::printf("--- A6: where the wall-clock goes (pipeline phases, %u "
+              "random instances) ---\n",
+              kSeeds);
+  obs::MetricsRegistry metrics;
+  for (std::uint32_t seed = 1; seed <= kSeeds; ++seed) {
+    const GeneratedProblem gp = generateRandomProblem(ablationConfig(seed));
+    MinPowerOptions opt;
+    opt.obs.metrics = &metrics;
+    MinPowerScheduler pipeline(gp.problem, opt);
+    (void)pipeline.schedule();
+  }
+  std::printf("%s\n", metrics.renderTable().c_str());
+}
+
 void BM_PipelineSlackVictims(benchmark::State& state) {
   const GeneratedProblem gp = generateRandomProblem(ablationConfig(5));
   for (auto _ : state) {
@@ -271,6 +287,7 @@ int main(int argc, char** argv) {
   ablateAgainstListScheduler();
   ablateJitterControl();
   ablateCandidateOrder();
+  printPhaseTimings();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gen/random_environment.hpp"
+#include "obs/metrics.hpp"
 #include "rover/rover_model.hpp"
 #include "runtime/executor.hpp"
 #include "sched/power_aware_scheduler.hpp"
@@ -22,6 +23,7 @@ namespace {
 struct Fleet {
   std::vector<Problem> problems;
   std::vector<Schedule> schedules;
+  obs::MetricsRegistry planning;  ///< phase timings of the offline solve
 
   Fleet() {
     for (const RoverCase c :
@@ -29,7 +31,9 @@ struct Fleet {
       problems.push_back(makeRoverProblem(c, 1));
     }
     for (const Problem& p : problems) {
-      PowerAwareScheduler scheduler(p);
+      PowerAwareOptions options;
+      options.obs.metrics = &planning;
+      PowerAwareScheduler scheduler(p, options);
       ScheduleResult r = scheduler.schedule();
       if (r.ok()) schedules.push_back(std::move(*r.schedule));
     }
@@ -54,6 +58,7 @@ void printRobustness() {
               "environments (24-step missions) ===\n");
   int complete = 0, depleted = 0, browned = 0;
   std::int64_t totalBrownouts = 0;
+  obs::MetricsRegistry metrics;  // accumulates across all 50 missions
   for (std::uint32_t seed = 1; seed <= 50; ++seed) {
     EnvironmentConfig cfg;
     cfg.seed = seed;
@@ -63,6 +68,7 @@ void printRobustness() {
     config.targetSteps = 24;
     config.traceTasks = false;
     config.maxIterations = 200;
+    config.obs.metrics = &metrics;
     const ExecutionResult r = executor.run(config);
     complete += r.complete;
     depleted += r.batteryDepleted;
@@ -72,8 +78,17 @@ void printRobustness() {
   std::printf("  missions completed : %d/50\n", complete);
   std::printf("  battery depletions : %d/50\n", depleted);
   std::printf("  runs with brownouts: %d/50 (%lld brownout instants "
-              "total)\n\n",
+              "total)\n",
               browned, static_cast<long long>(totalBrownouts));
+  std::printf("  executor iterations: %llu\n\n",
+              static_cast<unsigned long long>(
+                  metrics.counter("executor.iterations")));
+
+  std::printf("=== wall-clock phase timings ===\n");
+  std::printf("--- offline fleet planning (3 rover cases) ---\n%s",
+              fleet().planning.renderTable().c_str());
+  std::printf("--- online execution (50 missions) ---\n%s\n",
+              metrics.renderTable().c_str());
 }
 
 void BM_ExecutorMission(benchmark::State& state) {

@@ -5,10 +5,18 @@
 // brownout machinery:
 //
 //   $ ./runtime_trace [--cliff]
+//
+// One TraceSink observes the whole demo — offline search and online
+// execution — and the combined search trace lands in runtime_trace.jsonl
+// (see docs/observability.md for the event taxonomy).
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "io/schedule_io.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rover/rover_model.hpp"
 #include "runtime/executor.hpp"
 #include "sched/power_aware_scheduler.hpp"
@@ -20,6 +28,11 @@ using namespace paws::runtime;
 int main(int argc, char** argv) {
   const bool cliff = argc > 1 && std::string(argv[1]) == "--cliff";
 
+  // Every phase of the demo reports into one sink + registry.
+  obs::TraceSink sink;
+  obs::MetricsRegistry metrics;
+  const obs::ObsContext obsCtx{&sink, &metrics};
+
   // Offline: schedule each environmental case and serialize the result —
   // in a real deployment these files ride along in the flight image.
   std::vector<Problem> problems;
@@ -29,7 +42,9 @@ int main(int argc, char** argv) {
     problems.push_back(makeRoverProblem(c, 1));
   }
   for (const Problem& p : problems) {
-    PowerAwareScheduler scheduler(p);
+    PowerAwareOptions options;
+    options.obs = obsCtx;
+    PowerAwareScheduler scheduler(p, options);
     const ScheduleResult r = scheduler.schedule();
     if (!r.ok()) {
       std::cerr << "offline scheduling failed: " << r.message << "\n";
@@ -61,6 +76,7 @@ int main(int argc, char** argv) {
   ExecutorConfig config;
   config.targetSteps = cliff ? 8 : 48;
   config.traceTasks = cliff;  // full task trace only for the short run
+  config.obs = obsCtx;
 
   const ExecutionResult result = executor.run(config);
 
@@ -86,5 +102,13 @@ int main(int argc, char** argv) {
             << result.finishedAt.ticks() << " s, battery "
             << result.batteryDrawn << ", brownouts " << result.brownouts
             << "\n";
+
+  // The search trace covers the offline solves *and* the executor run —
+  // load it line by line, or convert to chrome://tracing with pawsc.
+  std::ofstream jsonl("runtime_trace.jsonl");
+  obs::writeSearchTraceJsonl(jsonl, sink);
+  std::cout << "\nwrote runtime_trace.jsonl (" << sink.size()
+            << " search events; offline scheduling + runtime execution)\n"
+            << metrics.renderTable();
   return result.complete ? 0 : 1;
 }

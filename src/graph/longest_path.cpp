@@ -1,8 +1,11 @@
 #include "graph/longest_path.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "base/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace paws {
 
@@ -30,6 +33,32 @@ const LongestPathResult& LongestPathEngine::computeFull(TaskId source) {
 
 const LongestPathResult& LongestPathEngine::run(TaskId source,
                                                 bool incremental) {
+  // Observed runs are wrapped in a wall-clock span; the unobserved path
+  // costs exactly one branch.
+  if (!obs_.enabled()) return runImpl(source, incremental);
+  const std::int64_t sinkT0 = obs_.trace != nullptr ? obs_.trace->nowNs() : 0;
+  const auto start = std::chrono::steady_clock::now();
+  const LongestPathResult& r = runImpl(source, incremental);
+  const std::int64_t durNs =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  PAWS_TRACE_SPAN(obs_.trace, obs::TraceEventKind::kLongestPath, sinkT0,
+                  durNs, incremental ? "incremental" : "full",
+                  /*depth=*/0,
+                  /*value=*/static_cast<std::int64_t>(graph_.numEdges()));
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->add("longest_path.runs");
+    if (incremental) obs_.metrics->add("longest_path.incremental_runs");
+    if (!r.feasible) obs_.metrics->add("longest_path.infeasible_runs");
+    obs_.metrics->observe("phase.longest_path.wall_us",
+                          static_cast<double>(durNs) / 1000.0);
+  }
+  return r;
+}
+
+const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
+                                                    bool incremental) {
   const std::size_t n = graph_.numVertices();
   PAWS_CHECK_MSG(source.index() < n, "source " << source << " out of range");
 

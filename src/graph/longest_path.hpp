@@ -20,6 +20,7 @@
 #include "base/ids.hpp"
 #include "base/time.hpp"
 #include "graph/constraint_graph.hpp"
+#include "obs/context.hpp"
 
 namespace paws {
 
@@ -50,14 +51,21 @@ class LongestPathEngine {
   /// graph surgery the engine cannot observe).
   const LongestPathResult& computeFull(TaskId source);
 
+  /// Attaches observability hooks: each Bellman–Ford run becomes a
+  /// kLongestPath span (label = full/incremental, value = edge count) and
+  /// feeds the "longest_path.*" metrics. Hooks are borrowed.
+  void setObs(const obs::ObsContext& obs) { obs_ = obs; }
+
   [[nodiscard]] const LongestPathResult& result() const { return result_; }
 
  private:
   const LongestPathResult& run(TaskId source, bool incremental);
+  const LongestPathResult& runImpl(TaskId source, bool incremental);
   void extractPositiveCycle(TaskId overRelaxed);
 
   const ConstraintGraph& graph_;
   LongestPathResult result_;
+  obs::ObsContext obs_;
 
   // Scratch state reused across runs.
   std::vector<EdgeId> parentEdge_;

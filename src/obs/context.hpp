@@ -1,0 +1,33 @@
+// ObsContext — the two observability hooks every instrumented component
+// accepts: an optional TraceSink (typed search events) and an optional
+// MetricsRegistry (named counters/gauges/histograms).
+//
+// The struct is two raw pointers so it can be embedded by value in the
+// scheduler option structs and copied freely; both pointers are borrowed
+// and must outlive the run they observe. A default-constructed context is
+// fully disabled: every instrumentation site reduces to one null check
+// (the "null-sink fast path").
+#pragma once
+
+namespace paws::obs {
+
+class TraceSink;
+class MetricsRegistry;
+
+struct ObsContext {
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  [[nodiscard]] bool enabled() const {
+    return trace != nullptr || metrics != nullptr;
+  }
+  /// Fills any unset hook from `parent` — how an outer pipeline stage
+  /// propagates its context into nested stages without clobbering hooks
+  /// the caller set explicitly.
+  void inheritFrom(const ObsContext& parent) {
+    if (trace == nullptr) trace = parent.trace;
+    if (metrics == nullptr) metrics = parent.metrics;
+  }
+};
+
+}  // namespace paws::obs

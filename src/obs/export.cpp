@@ -1,0 +1,144 @@
+#include "obs/export.hpp"
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace paws::obs {
+
+namespace {
+
+/// chrome://tracing groups events by (pid, tid); we use one pid and one
+/// row per subsystem so the search reads like a profiler timeline.
+struct Row {
+  int tid;
+  const char* name;
+};
+
+Row rowOf(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPhase:
+      return {1, "phases"};
+    case TraceEventKind::kLongestPath:
+      return {2, "longest-path engine"};
+    case TraceEventKind::kCandidate:
+    case TraceEventKind::kBacktrack:
+      return {3, "timing search"};
+    case TraceEventKind::kDelay:
+    case TraceEventKind::kLock:
+    case TraceEventKind::kRecursion:
+      return {4, "max-power decisions"};
+    case TraceEventKind::kMoveAccepted:
+    case TraceEventKind::kMoveRejected:
+    case TraceEventKind::kScanPass:
+      return {5, "min-power moves"};
+    case TraceEventKind::kIteration:
+      return {6, "runtime executor"};
+  }
+  return {7, "other"};
+}
+
+/// Microseconds with nanosecond precision — chrome's ts unit is us.
+void printUs(std::ostream& os, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  os << buf;
+}
+
+void printArgs(std::ostream& os, const TraceEvent& e) {
+  os << "{\"depth\":" << e.depth;
+  if (e.task != TraceEvent::kNoTask) os << ",\"task\":" << e.task;
+  os << ",\"at\":" << e.at << ",\"value\":" << e.value;
+  if (e.label[0] != '\0') os << ",\"label\":\"" << e.label << "\"";
+  os << "}";
+}
+
+}  // namespace
+
+void writeSearchTraceJson(std::ostream& os, const TraceSink& sink) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::map<int, const char*> rows;
+  for (const TraceEvent& e : sink.events()) {
+    const Row row = rowOf(e.kind);
+    rows.emplace(row.tid, row.name);
+    if (!first) os << ',';
+    first = false;
+    const bool isSpan = e.durNs > 0 || e.kind == TraceEventKind::kPhase ||
+                        e.kind == TraceEventKind::kLongestPath ||
+                        e.kind == TraceEventKind::kIteration;
+    const char* name = (e.kind == TraceEventKind::kPhase && e.label[0] != '\0')
+                           ? e.label
+                           : toString(e.kind);
+    os << "{\"name\":\"" << name << "\",\"cat\":\"search\",\"ph\":\""
+       << (isSpan ? 'X' : 'i') << "\",\"pid\":1,\"tid\":" << row.tid
+       << ",\"ts\":";
+    printUs(os, e.tsNs);
+    if (isSpan) {
+      os << ",\"dur\":";
+      printUs(os, e.durNs);
+    } else {
+      os << ",\"s\":\"t\"";  // instant scope: thread
+    }
+    os << ",\"args\":";
+    printArgs(os, e);
+    os << "}";
+  }
+  // Row-name metadata, mirroring writeChromeTrace's thread_name records.
+  for (const auto& [tid, name] : rows) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << name << "\"}}";
+  }
+  os << "]}";
+}
+
+std::string searchTraceToJson(const TraceSink& sink) {
+  std::ostringstream os;
+  writeSearchTraceJson(os, sink);
+  return os.str();
+}
+
+void writeSearchTraceJsonl(std::ostream& os, const TraceSink& sink) {
+  for (const TraceEvent& e : sink.events()) {
+    os << "{\"kind\":\"" << toString(e.kind) << "\",\"ts_ns\":" << e.tsNs
+       << ",\"dur_ns\":" << e.durNs;
+    if (e.task != TraceEvent::kNoTask) os << ",\"task\":" << e.task;
+    os << ",\"at\":" << e.at << ",\"value\":" << e.value
+       << ",\"depth\":" << e.depth;
+    if (e.label[0] != '\0') os << ",\"label\":\"" << e.label << "\"";
+    os << "}\n";
+  }
+}
+
+std::string searchTraceToJsonl(const TraceSink& sink) {
+  std::ostringstream os;
+  writeSearchTraceJsonl(os, sink);
+  return os.str();
+}
+
+std::string renderObsSummary(const MetricsRegistry& metrics,
+                             const TraceSink* sink) {
+  std::ostringstream os;
+  os << metrics.renderTable();
+  if (sink != nullptr && !sink->empty()) {
+    std::array<std::size_t, 16> byKind{};
+    for (const TraceEvent& e : sink->events()) {
+      ++byKind[static_cast<std::size_t>(e.kind) % byKind.size()];
+    }
+    os << "trace (" << sink->size() << " events):\n";
+    for (std::size_t k = 0; k < byKind.size(); ++k) {
+      if (byKind[k] == 0) continue;
+      os << "  " << toString(static_cast<TraceEventKind>(k)) << ": "
+         << byKind[k] << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace paws::obs

@@ -1,0 +1,31 @@
+// Serializers for recorded search traces.
+//
+//   * writeSearchTraceJson  — chrome://tracing / Perfetto "traceEvents"
+//     JSON. Follows the event-shape conventions of io/writer.cpp's
+//     writeChromeTrace (pid/tid/ts/dur, "X" spans, metadata thread names),
+//     but renders the *search* — phases, longest-path runs and per-decision
+//     instants on one row per subsystem — instead of the schedule.
+//   * writeSearchTraceJsonl — one JSON object per line, in recording
+//     order; the stable machine-readable form for diffing and scripting.
+//   * renderObsSummary      — the CLI's --obs-summary text: the metrics
+//     table plus an event-count digest of the trace.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace paws::obs {
+
+void writeSearchTraceJson(std::ostream& os, const TraceSink& sink);
+[[nodiscard]] std::string searchTraceToJson(const TraceSink& sink);
+
+void writeSearchTraceJsonl(std::ostream& os, const TraceSink& sink);
+[[nodiscard]] std::string searchTraceToJsonl(const TraceSink& sink);
+
+[[nodiscard]] std::string renderObsSummary(const MetricsRegistry& metrics,
+                                           const TraceSink* sink = nullptr);
+
+}  // namespace paws::obs

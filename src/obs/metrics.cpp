@@ -1,0 +1,201 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace paws::obs {
+
+namespace {
+
+/// Prints doubles compactly: integers without a fraction, otherwise three
+/// decimals — keeps CSV diffable and the summary table readable.
+void printNumber(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << std::fixed << std::setprecision(3) << v
+       << std::defaultfloat << std::setprecision(6);
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(std::string(name),
+                        HistogramSummary{1, value, value, value});
+    return;
+  }
+  HistogramSummary& h = it->second;
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+MetricsRegistry::HistogramSummary MetricsRegistry::histogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSummary{} : it->second;
+}
+
+bool MetricsRegistry::has(std::string_view name) const {
+  return counters_.find(name) != counters_.end() ||
+         gauges_.find(name) != gauges_.end() ||
+         histograms_.find(name) != histograms_.end();
+}
+
+std::size_t MetricsRegistry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsRegistry& MetricsRegistry::operator+=(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) add(name, v);
+  for (const auto& [name, v] : other.gauges_) set(name, v);
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+      continue;
+    }
+    HistogramSummary& mine = it->second;
+    if (h.count == 0) continue;
+    if (mine.count == 0) {
+      mine = h;
+      continue;
+    }
+    mine.count += h.count;
+    mine.sum += h.sum;
+    mine.min = std::min(mine.min, h.min);
+    mine.max = std::max(mine.max, h.max);
+  }
+  return *this;
+}
+
+void MetricsRegistry::writeCsv(std::ostream& os) const {
+  os << "name,kind,value,count,sum,min,max,mean\n";
+  // Merge the three families into one name-sorted listing.
+  struct Row {
+    std::string_view name;
+    int family;  // 0 counter, 1 gauge, 2 histogram
+  };
+  std::vector<Row> rows;
+  rows.reserve(size());
+  for (const auto& [name, v] : counters_) rows.push_back({name, 0});
+  for (const auto& [name, v] : gauges_) rows.push_back({name, 1});
+  for (const auto& [name, h] : histograms_) rows.push_back({name, 2});
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+
+  for (const Row& row : rows) {
+    os << row.name << ',';
+    switch (row.family) {
+      case 0:
+        os << "counter," << counters_.find(row.name)->second << ",,,,,\n";
+        break;
+      case 1:
+        os << "gauge,";
+        printNumber(os, gauges_.find(row.name)->second);
+        os << ",,,,,\n";
+        break;
+      default: {
+        const HistogramSummary& h = histograms_.find(row.name)->second;
+        os << "histogram,," << h.count << ',';
+        printNumber(os, h.sum);
+        os << ',';
+        printNumber(os, h.min);
+        os << ',';
+        printNumber(os, h.max);
+        os << ',';
+        printNumber(os, h.mean());
+        os << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::toCsv() const {
+  std::ostringstream os;
+  writeCsv(os);
+  return os.str();
+}
+
+std::string MetricsRegistry::renderTable() const {
+  std::ostringstream os;
+  if (!counters_.empty() || !gauges_.empty()) {
+    os << "metrics:\n";
+    for (const auto& [name, v] : counters_) {
+      os << "  " << std::left << std::setw(34) << name << std::right
+         << std::setw(12) << v << "\n";
+    }
+    for (const auto& [name, v] : gauges_) {
+      os << "  " << std::left << std::setw(34) << name << std::right
+         << std::setw(12);
+      printNumber(os, v);
+      os << "\n";
+    }
+  }
+  if (!histograms_.empty()) {
+    os << "timings (and other distributions):\n";
+    os << "  " << std::left << std::setw(34) << "name" << std::right
+       << std::setw(8) << "count" << std::setw(12) << "mean"
+       << std::setw(12) << "min" << std::setw(12) << "max" << std::setw(14)
+       << "total" << "\n";
+    for (const auto& [name, h] : histograms_) {
+      os << "  " << std::left << std::setw(34) << name << std::right
+         << std::setw(8) << h.count << std::setw(12);
+      printNumber(os, h.mean());
+      os << std::setw(12);
+      printNumber(os, h.min);
+      os << std::setw(12);
+      printNumber(os, h.max);
+      os << std::setw(14);
+      printNumber(os, h.sum);
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace paws::obs

@@ -1,0 +1,78 @@
+// MetricsRegistry — named counters, gauges and histograms for search
+// effort and wall-clock accounting.
+//
+// This subsumes the fixed-field SchedulerStats struct (which stays as a
+// thin compatibility view; see sched/result.hpp's exportStats /
+// statsFromMetrics): schedulers keep their cheap plain-integer counters on
+// the hot path, and full runs export them into a registry under stable
+// names, alongside metrics the struct cannot hold — phase wall times,
+// per-run longest-path durations, executor outcomes.
+//
+// Naming convention (documented in docs/observability.md):
+//   search.*    scheduler decision counters (search.backtracks, ...)
+//   phase.*     wall-clock histograms, microseconds (phase.timing.wall_us)
+//   executor.*  runtime-executor counters/gauges
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace paws::obs {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter: creates at 0 on first touch.
+  void add(std::string_view name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  /// Last-write-wins gauge.
+  void set(std::string_view name, double value);
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  /// Streaming histogram: tracks count / sum / min / max (no buckets —
+  /// enough for phase timings and per-run effort distributions).
+  void observe(std::string_view name, double value);
+
+  struct HistogramSummary {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] HistogramSummary histogram(std::string_view name) const;
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  /// Total number of distinct metric names across all three families.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Folds every metric of `other` into this registry (counters add,
+  /// gauges overwrite, histograms merge) — used by benches aggregating
+  /// per-run registries.
+  MetricsRegistry& operator+=(const MetricsRegistry& other);
+
+  /// CSV export, one row per metric, sorted by name:
+  ///   name,kind,value,count,sum,min,max,mean
+  /// Counters/gauges fill `value`; histograms fill the summary columns.
+  void writeCsv(std::ostream& os) const;
+  [[nodiscard]] std::string toCsv() const;
+
+  /// Human-readable aligned table (the CLI's --obs-summary body).
+  [[nodiscard]] std::string renderTable() const;
+
+  void clear();
+
+ private:
+  // Ordered maps: export order is deterministic and sorted by name.
+  // std::less<> enables lookups by string_view without allocating.
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramSummary, std::less<>> histograms_;
+};
+
+}  // namespace paws::obs

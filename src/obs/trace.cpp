@@ -1,0 +1,33 @@
+#include "obs/trace.hpp"
+
+namespace paws::obs {
+
+const char* toString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPhase:
+      return "phase";
+    case TraceEventKind::kLongestPath:
+      return "longest-path";
+    case TraceEventKind::kCandidate:
+      return "candidate";
+    case TraceEventKind::kBacktrack:
+      return "backtrack";
+    case TraceEventKind::kDelay:
+      return "delay";
+    case TraceEventKind::kLock:
+      return "lock";
+    case TraceEventKind::kRecursion:
+      return "recursion";
+    case TraceEventKind::kMoveAccepted:
+      return "move-accepted";
+    case TraceEventKind::kMoveRejected:
+      return "move-rejected";
+    case TraceEventKind::kScanPass:
+      return "scan-pass";
+    case TraceEventKind::kIteration:
+      return "iteration";
+  }
+  return "?";
+}
+
+}  // namespace paws::obs

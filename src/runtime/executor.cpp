@@ -4,6 +4,9 @@
 #include <sstream>
 
 #include "base/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 
 namespace paws::runtime {
 
@@ -52,6 +55,7 @@ const CaseBinding* RuntimeExecutor::selectBinding(Watts solarNow) const {
 
 ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
   PAWS_CHECK(config.targetSteps > 0);
+  obs::PhaseTimer phase(config.obs, "executor");
   ExecutionResult result;
   Battery battery = battery_;
   Time now = Time::zero();
@@ -59,10 +63,27 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
   const auto emit = [&result](Time at, EventKind kind, std::string detail) {
     result.trace.push_back(Event{at, kind, std::move(detail)});
   };
+  // Final outcome gauges/counters; called once on every exit path.
+  const auto exportOutcome = [&result, &config]() {
+    if (config.obs.metrics == nullptr) return;
+    obs::MetricsRegistry& m = *config.obs.metrics;
+    m.add("executor.brownouts", static_cast<std::uint64_t>(result.brownouts));
+    if (result.batteryDepleted) m.add("executor.depletions");
+    if (result.complete) m.add("executor.missions_complete");
+    m.set("executor.steps", static_cast<double>(result.steps));
+    m.set("executor.battery_drawn_mwticks",
+          static_cast<double>(result.batteryDrawn.milliwattTicks()));
+  };
 
   for (std::uint64_t iter = 0;
        result.steps < config.targetSteps && iter < config.maxIterations;
        ++iter) {
+    obs::PhaseTimer iterTimer(config.obs, "iteration",
+                              static_cast<std::uint32_t>(iter),
+                              obs::TraceEventKind::kIteration);
+    if (config.obs.metrics != nullptr) {
+      config.obs.metrics->add("executor.iterations");
+    }
     const Watts solarNow = solar_.levelAt(now);
     const CaseBinding* binding = selectBinding(solarNow);
     if (binding == nullptr) {
@@ -70,6 +91,7 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
       os << "no schedule registered for solar " << solarNow;
       emit(now, EventKind::kNoFeasibleSchedule, os.str());
       result.finishedAt = now;
+      exportOutcome();
       return result;
     }
     emit(now, EventKind::kIterationStarted,
@@ -144,6 +166,7 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
             emit(deathAt, EventKind::kBatteryDepleted,
                  "mid-iteration depletion");
             result.finishedAt = deathAt;
+            exportOutcome();
             return result;
           }
           battery.draw(need);
@@ -165,6 +188,7 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
     emit(now, EventKind::kMissionComplete,
          std::to_string(result.steps) + " steps");
   }
+  exportOutcome();
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "base/units.hpp"
+#include "obs/context.hpp"
 #include "power/sources.hpp"
 #include "sched/schedule.hpp"
 
@@ -67,6 +68,9 @@ struct ExecutorConfig {
   std::uint64_t maxIterations = 1000000;
   /// Record per-task start/finish events (traces get large otherwise).
   bool traceTasks = true;
+  /// Observability hooks: each iteration becomes a kIteration wall-clock
+  /// span; outcomes land in "executor.*" counters/gauges.
+  obs::ObsContext obs;
 };
 
 struct ExecutionResult {

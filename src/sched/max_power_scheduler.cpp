@@ -5,6 +5,8 @@
 
 #include "base/check.hpp"
 #include "graph/longest_path.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "sched/slack.hpp"
 #include "sched/timing_scheduler.hpp"
 
@@ -57,6 +59,8 @@ MaxPowerScheduler::Detailed MaxPowerScheduler::scheduleDetailed() {
   decisions_.clear();
   delaysLeft_ = options_.maxDelays;
   rngState_ = options_.randomSeed == 0 ? 1 : options_.randomSeed;
+  options_.timing.obs.inheritFrom(options_.obs);
+  obs::PhaseTimer phase(options_.obs, "max-power");
 
   // Provably infeasible budgets (a single task, alone, over Pmax) fail
   // fast instead of burning the delay budget chasing a moving spike.
@@ -102,12 +106,17 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
     return a;
   }
   ++stats.recursions;
+  PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kRecursion,
+                     obs::TraceEvent::kNoTask, /*at=*/0,
+                     /*value=*/static_cast<std::int64_t>(decisions_.size()),
+                     depth);
 
   // Fresh graph: user constraints plus every decision taken so far; the
   // timing scheduler then re-derives a serialization compatible with them.
   ConstraintGraph graph = problem_.buildGraph();
   for (const Decision& d : decisions_) applyDecision(graph, d);
   LongestPathEngine engine(graph);
+  engine.setObs(options_.obs);
   TimingScheduler timing(problem_, options_.timing);
   TimingScheduler::Output tOut = timing.run(graph, engine, stats);
   if (!tOut.ok) {
@@ -194,6 +203,8 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       }
       --delaysLeft_;
       ++stats.delays;
+      PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kDelay,
+                         v.value(), t.ticks(), delta.ticks(), depth);
 
       const Decision d{v, starts[v.index()] + delta, /*lock=*/false};
       decisions_.push_back(d);
@@ -229,6 +240,9 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       for (TaskId u : remaining) {
         decisions_.push_back(Decision{u, starts[u.index()], /*lock=*/true});
         ++stats.locks;
+        PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kLock,
+                           u.value(), starts[u.index()].ticks(),
+                           /*value=*/0, depth);
       }
       Attempt sub = attempt(depth + 1, stats);
       if (sub.result.ok()) return sub;
@@ -262,6 +276,9 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       }
       --delaysLeft_;
       ++stats.delays;
+      PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kDelay,
+                         v.value(), t.ticks(),
+                         problem_.task(v).delay.ticks(), depth);
       decisions_.push_back(Decision{
           v, starts[v.index()] + problem_.task(v).delay, /*lock=*/false});
     }

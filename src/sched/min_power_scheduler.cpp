@@ -4,6 +4,8 @@
 
 #include "base/check.hpp"
 #include "graph/longest_path.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "sched/slack.hpp"
 
 namespace paws {
@@ -49,7 +51,9 @@ MinPowerScheduler::MinPowerScheduler(const Problem& problem,
     : problem_(problem), options_(options) {}
 
 ScheduleResult MinPowerScheduler::schedule() {
-  MaxPowerScheduler maxPower(problem_, options_.maxPower);
+  MaxPowerOptions maxOptions = options_.maxPower;
+  maxOptions.obs.inheritFrom(options_.obs);
+  MaxPowerScheduler maxPower(problem_, maxOptions);
   MaxPowerScheduler::Detailed det = maxPower.scheduleDetailed();
   if (!det.result.ok()) return std::move(det.result);
   PAWS_CHECK(det.graph.has_value());
@@ -59,6 +63,7 @@ ScheduleResult MinPowerScheduler::schedule() {
 ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
                                           const Schedule& valid,
                                           SchedulerStats stats) {
+  obs::PhaseTimer phaseTimer(options_.obs, "min-power");
   ScheduleResult out;
   out.stats = stats;
 
@@ -73,6 +78,7 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
                  "improve() requires a power-valid input schedule");
   double rho = profile.utilization(pmin);
   LongestPathEngine engine(graph);
+  engine.setObs(options_.obs);
 
   ScanOrder scan = options_.scanOrder;
   SlotHeuristic slot = options_.slotHeuristic;
@@ -80,6 +86,9 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
   for (std::uint32_t pass = 0;
        pass < options_.maxPasses && rho < 1.0; ++pass) {
     ++out.stats.scans;
+    PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kScanPass,
+                       obs::TraceEvent::kNoTask, /*at=*/0,
+                       /*value=*/static_cast<std::int64_t>(rho * 1e6), pass);
     bool improvedInPass = false;
     bool rescan = true;
 
@@ -171,10 +180,18 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
             profile = std::move(newProfile);
             rho = newRho;
             ++out.stats.improvements;
+            PAWS_TRACE_INSTANT(options_.obs.trace,
+                               obs::TraceEventKind::kMoveAccepted, v.value(),
+                               target.ticks(),
+                               static_cast<std::int64_t>(newRho * 1e6), pass);
             improvedInPass = true;
             rescan = true;  // gap list is stale; rebuild it
             break;
           }
+          PAWS_TRACE_INSTANT(options_.obs.trace,
+                             obs::TraceEventKind::kMoveRejected, v.value(),
+                             target.ticks(),
+                             static_cast<std::int64_t>(newRho * 1e6), pass);
           graph.rollbackTo(cp);
         }
         if (rescan) break;

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/context.hpp"
+
 namespace paws {
 
 /// How TimingScheduler orders candidate vertices at each step.
@@ -44,6 +46,9 @@ struct TimingOptions {
   /// magnitude while bounding pathological searches.
   std::uint64_t maxBacktracks = 100000;
   std::uint32_t randomSeed = 1;
+  /// Observability hooks (borrowed; see obs/context.hpp). Outer pipeline
+  /// stages propagate their own context into unset nested contexts.
+  obs::ObsContext obs;
 };
 
 struct MaxPowerOptions {
@@ -59,6 +64,7 @@ struct MaxPowerOptions {
   /// Total delay decisions before giving up.
   std::uint64_t maxDelays = 100000;
   std::uint32_t randomSeed = 1;
+  obs::ObsContext obs;
 };
 
 struct MinPowerOptions {
@@ -73,6 +79,7 @@ struct MinPowerOptions {
   /// some of the heuristics during each scan").
   bool rotateHeuristics = true;
   std::uint32_t randomSeed = 1;
+  obs::ObsContext obs;
 };
 
 }  // namespace paws

@@ -1,5 +1,7 @@
 #include "sched/power_aware_scheduler.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
 #include "sched/min_power_scheduler.hpp"
 
 namespace paws {
@@ -24,13 +26,16 @@ PowerAwareScheduler::PowerAwareScheduler(const Problem& problem,
 
 ScheduleResult PowerAwareScheduler::schedule() {
   const Watts pmin = problem_.minPower();
+  obs::PhaseTimer phase(options_.obs, "pipeline");
   ScheduleResult best;
   bool haveBest = false;
   SchedulerStats total;
+  std::uint32_t trialsOk = 0;
 
   const std::uint32_t trials = std::max<std::uint32_t>(options_.trials, 1);
   for (std::uint32_t k = 0; k < trials; ++k) {
     MinPowerOptions opts = options_.minPower;
+    opts.obs.inheritFrom(options_.obs);
     opts.randomSeed += k;
     opts.maxPower.randomSeed += k;
     opts.maxPower.timing.randomSeed += k;
@@ -44,7 +49,9 @@ ScheduleResult PowerAwareScheduler::schedule() {
     if (k >= 2) opts.slotHeuristic = SlotHeuristic::kFinishAtGapEnd;
 
     MinPowerScheduler pipeline(problem_, opts);
+    obs::PhaseTimer trialTimer(options_.obs, "trial", k);
     ScheduleResult r = pipeline.schedule();
+    trialTimer.finish();
     total += r.stats;
     if (!r.ok()) {
       if (!haveBest) {
@@ -52,6 +59,7 @@ ScheduleResult PowerAwareScheduler::schedule() {
       }
       continue;
     }
+    ++trialsOk;
     if (!haveBest || !best.ok() ||
         betterThan(*r.schedule, *best.schedule, pmin)) {
       best = std::move(r);
@@ -59,6 +67,14 @@ ScheduleResult PowerAwareScheduler::schedule() {
     }
   }
   best.stats = total;
+  if (options_.obs.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.obs.metrics;
+    exportStats(total, m);
+    m.add("pipeline.trials", trials);
+    m.add("pipeline.trials_ok", trialsOk);
+    m.set("pipeline.status", static_cast<double>(
+                                 static_cast<std::uint8_t>(best.status)));
+  }
   return best;
 }
 

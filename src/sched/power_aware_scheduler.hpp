@@ -20,6 +20,10 @@ struct PowerAwareOptions {
   /// Pipeline trials; trial k reseeds the heuristics with seed base+k and
   /// alternates the min-power scan order.
   std::uint32_t trials = 4;
+  /// Observability hooks, propagated into every trial's nested stages.
+  /// When a MetricsRegistry is attached the final stats are exported
+  /// under their "search.*" names plus pipeline.trials{,_ok} counters.
+  obs::ObsContext obs;
 };
 
 class PowerAwareScheduler {

@@ -1,5 +1,7 @@
 #include "sched/result.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace paws {
 
 const char* toString(SchedStatus status) {
@@ -14,6 +16,37 @@ const char* toString(SchedStatus status) {
       return "budget-exhausted";
   }
   return "?";
+}
+
+std::optional<SchedStatus> schedStatusFromString(std::string_view text) {
+  for (const SchedStatus s :
+       {SchedStatus::kOk, SchedStatus::kTimingInfeasible,
+        SchedStatus::kPowerInfeasible, SchedStatus::kBudgetExhausted}) {
+    if (text == toString(s)) return s;
+  }
+  return std::nullopt;
+}
+
+void exportStats(const SchedulerStats& stats, obs::MetricsRegistry& registry) {
+  registry.add("search.longest_path_runs", stats.longestPathRuns);
+  registry.add("search.backtracks", stats.backtracks);
+  registry.add("search.delays", stats.delays);
+  registry.add("search.locks", stats.locks);
+  registry.add("search.recursions", stats.recursions);
+  registry.add("search.scans", stats.scans);
+  registry.add("search.improvements", stats.improvements);
+}
+
+SchedulerStats statsFromMetrics(const obs::MetricsRegistry& registry) {
+  SchedulerStats stats;
+  stats.longestPathRuns = registry.counter("search.longest_path_runs");
+  stats.backtracks = registry.counter("search.backtracks");
+  stats.delays = registry.counter("search.delays");
+  stats.locks = registry.counter("search.locks");
+  stats.recursions = registry.counter("search.recursions");
+  stats.scans = registry.counter("search.scans");
+  stats.improvements = registry.counter("search.improvements");
+  return stats;
 }
 
 }  // namespace paws

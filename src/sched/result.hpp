@@ -5,10 +5,15 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "sched/schedule.hpp"
 
 namespace paws {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 enum class SchedStatus : std::uint8_t {
   kOk,                ///< schedule produced (power-valid where applicable)
@@ -19,6 +24,9 @@ enum class SchedStatus : std::uint8_t {
 };
 
 const char* toString(SchedStatus status);
+
+/// Inverse of toString(SchedStatus); nullopt for unknown text.
+std::optional<SchedStatus> schedStatusFromString(std::string_view text);
 
 /// Search-effort counters, accumulated across recursions.
 struct SchedulerStats {
@@ -41,6 +49,16 @@ struct SchedulerStats {
     return *this;
   }
 };
+
+/// SchedulerStats is kept as a thin fixed-field view for API
+/// compatibility; the MetricsRegistry (obs/metrics.hpp) is the superset.
+/// These two functions are the bridge: exportStats publishes the counters
+/// under their stable "search.*" names, statsFromMetrics reconstructs the
+/// struct from a registry. Names: search.longest_path_runs,
+/// search.backtracks, search.delays, search.locks, search.recursions,
+/// search.scans, search.improvements.
+void exportStats(const SchedulerStats& stats, obs::MetricsRegistry& registry);
+SchedulerStats statsFromMetrics(const obs::MetricsRegistry& registry);
 
 struct ScheduleResult {
   SchedStatus status = SchedStatus::kTimingInfeasible;

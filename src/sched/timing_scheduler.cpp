@@ -4,6 +4,8 @@
 
 #include "base/check.hpp"
 #include "model/explain.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 
 namespace paws {
 
@@ -34,6 +36,7 @@ TimingScheduler::Output TimingScheduler::run(ConstraintGraph& graph,
                                              SchedulerStats& stats) {
   PAWS_CHECK_MSG(graph.numVertices() == problem_.numVertices(),
                  "graph/problem vertex count mismatch");
+  obs::PhaseTimer phase(options_.obs, "timing");
   Output out;
   visited_.assign(problem_.numVertices(), false);
   visited_[kAnchorTask.index()] = true;  // Anchor is pre-placed at time 0.
@@ -101,6 +104,9 @@ bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
   }
 
   for (TaskId c : candidates) {
+    PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kCandidate,
+                       c.value(), /*at=*/0, /*value=*/0,
+                       static_cast<std::uint32_t>(numVisited));
     const ConstraintGraph::Checkpoint cp = graph.checkpoint();
     // Serialize c before every unvisited task sharing its resource.
     const ResourceId r = problem_.task(c).resource;
@@ -120,6 +126,9 @@ bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
     visited_[c.index()] = false;
     graph.rollbackTo(cp);
     ++stats.backtracks;
+    PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kBacktrack,
+                       c.value(), /*at=*/0, /*value=*/0,
+                       static_cast<std::uint32_t>(numVisited));
     if (backtracksLeft_ == 0) {
       budgetExhausted_ = true;
       return false;

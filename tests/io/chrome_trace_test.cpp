@@ -44,6 +44,32 @@ TEST(ChromeTraceTest, StartAndDurationMatchTheSchedule) {
   EXPECT_NE(json.find("\"energy_mwticks\":14000"), std::string::npos);
 }
 
+TEST(ChromeTraceTest, GoldenTwoTaskSchedule) {
+  // A fully pinned-down schedule makes the whole JSON byte-comparable:
+  // pid/tid/ts/dur placement, resource rows, and metadata records.
+  Problem p("golden");
+  const ResourceId cpu = p.addResource("cpu");
+  const ResourceId radio = p.addResource("radio");
+  p.addTask("compute", 5_s, 3_W, cpu);
+  p.addTask("transmit", 2_s, 8_W, radio);
+  const Schedule s(&p, {Time(0), Time(1), Time(6)});
+
+  EXPECT_EQ(
+      scheduleToChromeTrace(s),
+      "{\"traceEvents\":["
+      "{\"name\":\"compute\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+      "\"ts\":1,\"dur\":5,\"args\":{\"power_mw\":3000,"
+      "\"energy_mwticks\":15000}},"
+      "{\"name\":\"transmit\",\"ph\":\"X\",\"pid\":1,\"tid\":2,"
+      "\"ts\":6,\"dur\":2,\"args\":{\"power_mw\":8000,"
+      "\"energy_mwticks\":16000}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"cpu\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"name\":\"radio\"}}"
+      "]}");
+}
+
 TEST(ChromeTraceTest, EmptyProblemYieldsEmptyEventArray) {
   Problem p("none");
   const Schedule s(&p, {Time(0)});

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace paws::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersCreateAtZeroAndAccumulate) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.counter("search.backtracks"), 0u);
+  EXPECT_FALSE(m.has("search.backtracks"));
+  m.add("search.backtracks");
+  m.add("search.backtracks", 4);
+  EXPECT_EQ(m.counter("search.backtracks"), 5u);
+  EXPECT_TRUE(m.has("search.backtracks"));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugesAreLastWriteWins) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.gauge("pipeline.status"), 0.0);
+  m.set("pipeline.status", 2.0);
+  m.set("pipeline.status", 3.0);
+  EXPECT_EQ(m.gauge("pipeline.status"), 3.0);
+}
+
+TEST(MetricsRegistryTest, HistogramsTrackCountSumMinMax) {
+  MetricsRegistry m;
+  m.observe("phase.timing.wall_us", 10.0);
+  m.observe("phase.timing.wall_us", 30.0);
+  m.observe("phase.timing.wall_us", 20.0);
+  const auto h = m.histogram("phase.timing.wall_us");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 60.0);
+  EXPECT_DOUBLE_EQ(h.min, 10.0);
+  EXPECT_DOUBLE_EQ(h.max, 30.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(m.histogram("phase.absent.wall_us").count, 0u);
+  EXPECT_DOUBLE_EQ(m.histogram("phase.absent.wall_us").mean(), 0.0);
+}
+
+TEST(MetricsRegistryTest, NamesAreSharedAcrossKindsOnlyByFamily) {
+  // The three families are independent maps: the same name in two families
+  // counts twice in size(). Instrumentation uses disjoint names, but the
+  // registry itself must not conflate them.
+  MetricsRegistry m;
+  m.add("x");
+  m.set("x", 7.0);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.counter("x"), 1u);
+  EXPECT_DOUBLE_EQ(m.gauge("x"), 7.0);
+}
+
+TEST(MetricsRegistryTest, MergeAddsCountersOverwritesGaugesMergesHistograms) {
+  MetricsRegistry a, b;
+  a.add("c", 2);
+  b.add("c", 3);
+  a.set("g", 1.0);
+  b.set("g", 9.0);
+  a.observe("h", 1.0);
+  b.observe("h", 5.0);
+  b.observe("only_b", 2.0);
+  a += b;
+  EXPECT_EQ(a.counter("c"), 5u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 9.0);
+  EXPECT_EQ(a.histogram("h").count, 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("h").min, 1.0);
+  EXPECT_DOUBLE_EQ(a.histogram("h").max, 5.0);
+  EXPECT_EQ(a.histogram("only_b").count, 1u);
+}
+
+TEST(MetricsRegistryTest, CsvIsSortedWithHeaderAndOneRowPerMetric) {
+  MetricsRegistry m;
+  m.add("b.counter", 7);
+  m.set("a.gauge", 2.5);
+  m.observe("c.hist", 4.0);
+  std::ostringstream os;
+  m.writeCsv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("name,kind,value,count,sum,min,max,mean\n", 0), 0u);
+  // Sorted by name: gauge, counter, histogram.
+  const auto ga = csv.find("a.gauge,gauge,2.500");
+  const auto co = csv.find("b.counter,counter,7");
+  const auto hi = csv.find("c.hist,histogram,");
+  ASSERT_NE(ga, std::string::npos);
+  ASSERT_NE(co, std::string::npos);
+  ASSERT_NE(hi, std::string::npos);
+  EXPECT_LT(ga, co);
+  EXPECT_LT(co, hi);
+  EXPECT_EQ(m.toCsv(), csv);
+}
+
+TEST(MetricsRegistryTest, ClearEmptiesEverything) {
+  MetricsRegistry m;
+  m.add("c");
+  m.set("g", 1.0);
+  m.observe("h", 1.0);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.has("c"));
+}
+
+TEST(MetricsRegistryTest, RenderTableMentionsEveryMetric) {
+  MetricsRegistry m;
+  m.add("search.delays", 12);
+  m.observe("phase.timing.wall_us", 3.0);
+  const std::string table = m.renderTable();
+  EXPECT_NE(table.find("search.delays"), std::string::npos);
+  EXPECT_NE(table.find("phase.timing.wall_us"), std::string::npos);
+  EXPECT_NE(table.find("12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paws::obs

@@ -15,8 +15,9 @@ namespace {
 
 using namespace paws::literals;
 
-ScheduleResult scheduleCase(RoverCase c, int iterations = 1) {
-  const Problem p = makeRoverProblem(c, iterations);
+// Takes the problem by reference — the returned Schedule keeps a pointer
+// to it, so a helper-local Problem would dangle after return.
+ScheduleResult scheduleCase(const Problem& p) {
   PowerAwareScheduler scheduler(p);
   ScheduleResult r = scheduler.schedule();
   if (r.ok()) {
@@ -52,8 +53,7 @@ TEST(RoverRegressionTest, WorstCaseDegeneratesToSerialExactly) {
   // Paper: the power-aware worst case is identical to the JPL serial
   // schedule: 388 J, 100 %, 75 s.
   const Problem p = makeRoverProblem(RoverCase::kWorst);
-  PowerAwareScheduler scheduler(p);
-  const ScheduleResult r = scheduleCase(RoverCase::kWorst);
+  const ScheduleResult r = scheduleCase(p);
   ASSERT_TRUE(r.ok()) << r.message;
   EXPECT_EQ(r.schedule->finish(), Time(75));
   EXPECT_EQ(r.schedule->energyCost(9_W), 388_J);
@@ -97,8 +97,9 @@ TEST(RoverRegressionTest, MissionHeadlineNumbers) {
 }
 
 TEST(RoverRegressionTest, DeterministicAcrossRuns) {
-  const ScheduleResult a = scheduleCase(RoverCase::kTypical);
-  const ScheduleResult b = scheduleCase(RoverCase::kTypical);
+  const Problem p = makeRoverProblem(RoverCase::kTypical);
+  const ScheduleResult a = scheduleCase(p);
+  const ScheduleResult b = scheduleCase(p);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a.schedule->starts(), b.schedule->starts());
 }

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "sched/result.hpp"
+
+namespace paws {
+namespace {
+
+constexpr SchedStatus kAllStatuses[] = {
+    SchedStatus::kOk,
+    SchedStatus::kTimingInfeasible,
+    SchedStatus::kPowerInfeasible,
+    SchedStatus::kBudgetExhausted,
+};
+
+TEST(SchedStatusTest, ToStringRoundTripsThroughFromString) {
+  for (const SchedStatus s : kAllStatuses) {
+    const auto back = schedStatusFromString(toString(s));
+    ASSERT_TRUE(back.has_value()) << toString(s);
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(SchedStatusTest, FromStringRejectsUnknownText) {
+  EXPECT_FALSE(schedStatusFromString("").has_value());
+  EXPECT_FALSE(schedStatusFromString("bogus").has_value());
+  EXPECT_FALSE(schedStatusFromString("OK ").has_value());
+}
+
+TEST(SchedulerStatsTest, AccumulationAddsEveryField) {
+  SchedulerStats a{1, 2, 3, 4, 5, 6, 7};
+  const SchedulerStats b{10, 20, 30, 40, 50, 60, 70};
+  a += b;
+  EXPECT_EQ(a.longestPathRuns, 11u);
+  EXPECT_EQ(a.backtracks, 22u);
+  EXPECT_EQ(a.delays, 33u);
+  EXPECT_EQ(a.locks, 44u);
+  EXPECT_EQ(a.recursions, 55u);
+  EXPECT_EQ(a.scans, 66u);
+  EXPECT_EQ(a.improvements, 77u);
+
+  // Accumulating a default-constructed stats is the identity.
+  const SchedulerStats before = a;
+  a += SchedulerStats{};
+  EXPECT_EQ(a.backtracks, before.backtracks);
+  EXPECT_EQ(a.improvements, before.improvements);
+}
+
+TEST(SchedulerStatsTest, ExportAndReconstructViaRegistryRoundTrips) {
+  const SchedulerStats stats{9, 8, 7, 6, 5, 4, 3};
+  obs::MetricsRegistry registry;
+  exportStats(stats, registry);
+  EXPECT_EQ(registry.counter("search.longest_path_runs"), 9u);
+  EXPECT_EQ(registry.counter("search.backtracks"), 8u);
+
+  const SchedulerStats back = statsFromMetrics(registry);
+  EXPECT_EQ(back.longestPathRuns, stats.longestPathRuns);
+  EXPECT_EQ(back.backtracks, stats.backtracks);
+  EXPECT_EQ(back.delays, stats.delays);
+  EXPECT_EQ(back.locks, stats.locks);
+  EXPECT_EQ(back.recursions, stats.recursions);
+  EXPECT_EQ(back.scans, stats.scans);
+  EXPECT_EQ(back.improvements, stats.improvements);
+
+  // Exporting twice accumulates, matching SchedulerStats::operator+=.
+  exportStats(stats, registry);
+  EXPECT_EQ(statsFromMetrics(registry).delays, 14u);
+}
+
+}  // namespace
+}  // namespace paws

@@ -5,8 +5,14 @@
 //   pawsc schedule <file.paws> [--scheduler pipeline|serial|list|optimal]
 //                  [--trials N] [--gantt] [--breakdown] [--svg out.svg]
 //                  [--csv out.csv] [--html out.html] [--trace out.json]
+//                  [--search-trace out.json] [--search-jsonl out.jsonl]
+//                  [--metrics out.csv] [--obs-summary]
 //       Schedule and report power properties; optionally render/export
-//       (SVG gantt, CSV, HTML report, chrome://tracing JSON).
+//       (SVG gantt, CSV, HTML report, chrome://tracing JSON). The three
+//       observability flags export the *search*: --search-trace renders
+//       backtrack/delay/lock/min-power decisions with wall-clock phase
+//       spans as chrome://tracing JSON, --metrics dumps the metrics
+//       registry as CSV, --obs-summary prints the human-readable table.
 //   pawsc sweep <file.paws> --pmax-from W --pmax-to W [--step W]
 //       Re-schedule across a budget range (design-space exploration).
 //   pawsc windows <file.paws> [--horizon T]
@@ -29,6 +35,9 @@
 
 #include "gantt/ascii_gantt.hpp"
 #include "gantt/html_report.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "gantt/svg_gantt.hpp"
 #include "graph/dot.hpp"
 #include "graph/longest_path.hpp"
@@ -58,6 +67,9 @@ int usage() {
                "  schedule <file.paws> [--scheduler pipeline|serial|list|"
                "optimal] [--trials N]\n"
                "           [--gantt] [--svg out.svg] [--csv out.csv]\n"
+               "           [--search-trace out.json] [--search-jsonl "
+               "out.jsonl]\n"
+               "           [--metrics out.csv] [--obs-summary]\n"
                "  sweep    <file.paws> --pmax-from W --pmax-to W [--step W]\n"
                "  dot      <file.paws>\n");
   return 1;
@@ -135,9 +147,26 @@ int cmdWindows(const std::string& path, std::int64_t horizonTicks) {
   return 0;
 }
 
+/// Everything `pawsc schedule` can render or export.
+struct ScheduleExports {
+  bool gantt = false;
+  bool breakdown = false;
+  bool obsSummary = false;
+  std::string svgOut, csvOut, htmlOut, traceOut, saveOut;
+  std::string searchTraceOut, searchJsonlOut, metricsOut;
+
+  /// Observability hooks are attached only when something consumes them,
+  /// keeping the default run on the null-sink fast path.
+  [[nodiscard]] bool wantsObs() const {
+    return obsSummary || !searchTraceOut.empty() ||
+           !searchJsonlOut.empty() || !metricsOut.empty();
+  }
+};
+
 ScheduleResult runScheduler(const Problem& problem,
                             const std::string& scheduler,
-                            std::uint32_t trials) {
+                            std::uint32_t trials,
+                            const obs::ObsContext& obsCtx) {
   if (scheduler == "serial") return SerialScheduler(problem).schedule();
   if (scheduler == "list") return ListScheduler(problem).schedule();
   if (scheduler == "optimal") {
@@ -151,23 +180,99 @@ ScheduleResult runScheduler(const Problem& problem,
   }
   PowerAwareOptions options;
   options.trials = trials;
+  options.obs = obsCtx;
   return PowerAwareScheduler(problem, options).schedule();
 }
 
+void printEffort(std::FILE* f, const SchedulerStats& st) {
+  std::fprintf(f,
+               "effort    : %llu longest-path runs, %llu backtracks, "
+               "%llu delays, %llu locks,\n"
+               "            %llu recursions, %llu scans, %llu improvements\n",
+               static_cast<unsigned long long>(st.longestPathRuns),
+               static_cast<unsigned long long>(st.backtracks),
+               static_cast<unsigned long long>(st.delays),
+               static_cast<unsigned long long>(st.locks),
+               static_cast<unsigned long long>(st.recursions),
+               static_cast<unsigned long long>(st.scans),
+               static_cast<unsigned long long>(st.improvements));
+}
+
+/// Writes the observability exports; valid on success AND failure runs —
+/// a failed search is exactly when the effort trace matters most.
+void writeObsExports(const ScheduleExports& out, const obs::TraceSink& sink,
+                     const obs::MetricsRegistry& registry) {
+  if (!out.searchTraceOut.empty()) {
+    std::ofstream o(out.searchTraceOut);
+    if (o) {
+      obs::writeSearchTraceJson(o, sink);
+      std::printf("wrote %s (search trace; open in chrome://tracing or "
+                  "Perfetto)\n",
+                  out.searchTraceOut.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n",
+                   out.searchTraceOut.c_str());
+    }
+  }
+  if (!out.searchJsonlOut.empty()) {
+    std::ofstream o(out.searchJsonlOut);
+    if (o) {
+      obs::writeSearchTraceJsonl(o, sink);
+      std::printf("wrote %s (search trace, JSONL)\n",
+                  out.searchJsonlOut.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n",
+                   out.searchJsonlOut.c_str());
+    }
+  }
+  if (!out.metricsOut.empty()) {
+    std::ofstream o(out.metricsOut);
+    if (o) {
+      registry.writeCsv(o);
+      std::printf("wrote %s (%zu metrics)\n", out.metricsOut.c_str(),
+                  registry.size());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", out.metricsOut.c_str());
+    }
+  }
+  if (out.obsSummary) {
+    std::printf("\n%s", obs::renderObsSummary(registry, &sink).c_str());
+  }
+}
+
 int cmdSchedule(const std::string& path, const std::string& scheduler,
-                std::uint32_t trials, bool gantt, bool breakdown,
-                const std::string& svgOut, const std::string& csvOut,
-                const std::string& htmlOut, const std::string& traceOut,
-                const std::string& saveOut) {
+                std::uint32_t trials, const ScheduleExports& out) {
   const auto problem = load(path);
   if (!problem) return 1;
-  const ScheduleResult r = runScheduler(*problem, scheduler, trials);
+
+  obs::TraceSink sink;
+  obs::MetricsRegistry registry;
+  obs::ObsContext obsCtx;
+  if (out.wantsObs()) {
+    obsCtx.trace = &sink;
+    obsCtx.metrics = &registry;
+  }
+  const ScheduleResult r = runScheduler(*problem, scheduler, trials, obsCtx);
+  // The pipeline exports its own stats; the baselines know nothing of the
+  // registry, so bridge their SchedulerStats view in.
+  if (out.wantsObs() && scheduler != "pipeline") {
+    exportStats(r.stats, registry);
+  }
   if (!r.ok()) {
     std::fprintf(stderr, "scheduling failed (%s): %s\n", toString(r.status),
                  r.message.c_str());
+    printEffort(stderr, r.stats);
+    writeObsExports(out, sink, registry);
     return 2;
   }
   const Schedule& s = *r.schedule;
+  const bool gantt = out.gantt;
+  const bool breakdown = out.breakdown;
+  const std::string& svgOut = out.svgOut;
+  const std::string& csvOut = out.csvOut;
+  const std::string& htmlOut = out.htmlOut;
+  const std::string& traceOut = out.traceOut;
+  const std::string& saveOut = out.saveOut;
   const ValidationReport report = ScheduleValidator(*problem).validate(s);
   std::printf("scheduler : %s\n", scheduler.c_str());
   std::printf("finish    : %lld ticks\n",
@@ -180,6 +285,7 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
   std::printf("peak      : %.3fW (schedule valid for any Pmax >= this)\n",
               ScheduleAnalysis::minimalValidPmax(s).watts());
   std::printf("valid     : %s\n", report.valid() ? "yes" : "NO");
+  printEffort(stdout, r.stats);
   for (const Violation& v : report.violations) {
     std::ostringstream os;
     os << v;
@@ -223,6 +329,7 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
     std::printf("wrote %s (re-load with pawsc repair --schedule)\n",
                 saveOut.c_str());
   }
+  writeObsExports(out, sink, registry);
   return report.valid() ? 0 : 2;
 }
 
@@ -312,9 +419,7 @@ int main(int argc, char** argv) {
 
   std::string scheduler = "pipeline";
   std::uint32_t trials = 4;
-  bool gantt = false;
-  bool breakdown = false;
-  std::string svgOut, csvOut, htmlOut, traceOut, saveOut;
+  ScheduleExports exports;
   double pmaxFrom = 0, pmaxTo = 0, pmaxStep = 1;
   std::int64_t horizon = 0;
   std::string schedulePath;
@@ -335,19 +440,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--trials") {
       trials = static_cast<std::uint32_t>(std::atoi(value("--trials")));
     } else if (arg == "--gantt") {
-      gantt = true;
+      exports.gantt = true;
     } else if (arg == "--breakdown") {
-      breakdown = true;
+      exports.breakdown = true;
     } else if (arg == "--trace") {
-      traceOut = value("--trace");
+      exports.traceOut = value("--trace");
     } else if (arg == "--save") {
-      saveOut = value("--save");
+      exports.saveOut = value("--save");
     } else if (arg == "--svg") {
-      svgOut = value("--svg");
+      exports.svgOut = value("--svg");
     } else if (arg == "--csv") {
-      csvOut = value("--csv");
+      exports.csvOut = value("--csv");
     } else if (arg == "--html") {
-      htmlOut = value("--html");
+      exports.htmlOut = value("--html");
+    } else if (arg == "--search-trace") {
+      exports.searchTraceOut = value("--search-trace");
+    } else if (arg == "--search-jsonl") {
+      exports.searchJsonlOut = value("--search-jsonl");
+    } else if (arg == "--metrics") {
+      exports.metricsOut = value("--metrics");
+    } else if (arg == "--obs-summary") {
+      exports.obsSummary = true;
     } else if (arg == "--pmax-from") {
       pmaxFrom = std::atof(value("--pmax-from"));
     } else if (arg == "--pmax-to") {
@@ -370,8 +483,7 @@ int main(int argc, char** argv) {
 
   if (command == "check") return cmdCheck(path);
   if (command == "schedule") {
-    return cmdSchedule(path, scheduler, trials, gantt, breakdown, svgOut,
-                       csvOut, htmlOut, traceOut, saveOut);
+    return cmdSchedule(path, scheduler, trials, exports);
   }
   if (command == "sweep") return cmdSweep(path, pmaxFrom, pmaxTo, pmaxStep);
   if (command == "windows") return cmdWindows(path, horizon);
