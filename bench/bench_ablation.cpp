@@ -12,6 +12,8 @@
 // google-benchmark timings follow the quality tables.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -288,7 +290,5 @@ int main(int argc, char** argv) {
   ablateJitterControl();
   ablateCandidateOrder();
   printPhaseTimings();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return paws::bench::runBenchMain("ablation", argc, argv);
 }

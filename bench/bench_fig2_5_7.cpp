@@ -14,9 +14,11 @@
 
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "gantt/ascii_gantt.hpp"
 #include "graph/longest_path.hpp"
 #include "model/paper_example.hpp"
+#include "obs/metrics.hpp"
 #include "sched/max_power_scheduler.hpp"
 #include "sched/min_power_scheduler.hpp"
 #include "sched/timing_scheduler.hpp"
@@ -39,9 +41,19 @@ void describe(const char* figure, const Problem& p, const Schedule& s) {
 void printFigures() {
   const Problem p = makePaperExampleProblem();
 
+  // Metrics across all three stages: the longest_path.* counters quantify
+  // how much work the rollback-aware engine saves (restores replace full
+  // Bellman–Ford reruns after every backtrack / rejected move).
+  obs::MetricsRegistry metrics;
+  obs::ObsContext obsCtx;
+  obsCtx.metrics = &metrics;
+
   ConstraintGraph g = p.buildGraph();
   LongestPathEngine engine(g);
-  TimingScheduler timing(p);
+  engine.setObs(obsCtx);
+  TimingOptions timingOptions;
+  timingOptions.obs = obsCtx;
+  TimingScheduler timing(p, timingOptions);
   SchedulerStats stats;
   const auto t = timing.run(g, engine, stats);
   if (!t.ok) {
@@ -51,7 +63,9 @@ void printFigures() {
   describe("Fig. 2: time-valid schedule (1 spike expected)", p,
            Schedule(&p, t.starts));
 
-  MaxPowerScheduler maxPower(p);
+  MaxPowerOptions maxOptions;
+  maxOptions.obs = obsCtx;
+  MaxPowerScheduler maxPower(p, maxOptions);
   MaxPowerScheduler::Detailed det = maxPower.scheduleDetailed();
   if (!det.result.ok()) {
     std::printf("max-power failed: %s\n", det.result.message.c_str());
@@ -65,11 +79,27 @@ void printFigures() {
               static_cast<long long>(
                   det.result.schedule->start(*p.findTask("f")).ticks()));
 
-  MinPowerScheduler minPower(p);
+  MinPowerOptions minOptions;
+  minOptions.obs = obsCtx;
+  MinPowerScheduler minPower(p, minOptions);
   const ScheduleResult improved =
       minPower.improve(*det.graph, *det.result.schedule, det.result.stats);
   describe("Fig. 7: after min-power scheduling (g fills the gap)", p,
            *improved.schedule);
+
+  std::printf("longest-path engine over all three stages: %llu runs "
+              "(%llu full, %llu incremental), %llu rollbacks revived, "
+              "%llu fell back to full recompute\n\n",
+              static_cast<unsigned long long>(
+                  metrics.counter("longest_path.runs")),
+              static_cast<unsigned long long>(
+                  metrics.counter("longest_path.full_runs")),
+              static_cast<unsigned long long>(
+                  metrics.counter("longest_path.incremental_runs")),
+              static_cast<unsigned long long>(
+                  metrics.counter("longest_path.restores")),
+              static_cast<unsigned long long>(
+                  metrics.counter("longest_path.restore_fallbacks")));
 }
 
 void BM_TimingStage(benchmark::State& state) {
@@ -106,7 +136,5 @@ BENCHMARK(BM_FullPipeline);
 
 int main(int argc, char** argv) {
   printFigures();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return paws::bench::runBenchMain("fig2_5_7", argc, argv);
 }

@@ -12,6 +12,8 @@
 // Then google-benchmark times the unrolled scheduling runs.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <cstdio>
 
 #include "gantt/ascii_gantt.hpp"
@@ -101,7 +103,5 @@ BENCHMARK(BM_RoverSchedule)
 int main(int argc, char** argv) {
   printFigures();
   printUnrollSweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return paws::bench::runBenchMain("fig9_10_11", argc, argv);
 }

@@ -5,6 +5,8 @@
 // google-benchmark times the executor itself.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -125,7 +127,5 @@ BENCHMARK(BM_ExecutorRandomEnvironment)->Arg(1)->Arg(2)->Arg(3)
 
 int main(int argc, char** argv) {
   printRobustness();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return paws::bench::runBenchMain("runtime", argc, argv);
 }

@@ -6,7 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_report.hpp"
+#include "exec/jobs.hpp"
+#include "exec/parallel_for.hpp"
+#include "exec/pool.hpp"
 #include "gen/random_problem.hpp"
 #include "graph/longest_path.hpp"
 #include "sched/min_power_scheduler.hpp"
@@ -30,26 +35,42 @@ void printQualitySummary() {
   std::printf("=== scheduling success over random feasible instances ===\n");
   std::printf("%8s %10s %12s %12s\n", "tasks", "timing", "max-power",
               "pipeline-valid");
+  exec::Pool pool(exec::defaultJobs());
   for (const std::size_t tasks : {10u, 20u, 40u, 80u, 160u}) {
-    int timingOk = 0, maxOk = 0, validOk = 0;
     const int kSeeds = 10;
-    for (std::uint32_t seed = 1; seed <= kSeeds; ++seed) {
-      const GeneratedProblem gp =
-          generateRandomProblem(configFor(tasks, seed));
-      ConstraintGraph g = gp.problem.buildGraph();
-      LongestPathEngine engine(g);
-      TimingScheduler ts(gp.problem);
-      SchedulerStats stats;
-      if (ts.run(g, engine, stats).ok) ++timingOk;
+    // Each seed's full scheduling run is independent: fan the seeds out on
+    // the pool, reduce the per-seed verdicts in order.
+    struct Verdict {
+      bool timingOk = false;
+      bool pipelineOk = false;
+      bool valid = false;
+    };
+    const std::vector<Verdict> verdicts = exec::parallelMap(
+        pool, kSeeds, [tasks](std::size_t i) -> Verdict {
+          const std::uint32_t seed = static_cast<std::uint32_t>(i) + 1;
+          const GeneratedProblem gp =
+              generateRandomProblem(configFor(tasks, seed));
+          Verdict v;
+          ConstraintGraph g = gp.problem.buildGraph();
+          LongestPathEngine engine(g);
+          TimingScheduler ts(gp.problem);
+          SchedulerStats stats;
+          v.timingOk = ts.run(g, engine, stats).ok;
 
-      MinPowerScheduler pipeline(gp.problem);
-      const ScheduleResult r = pipeline.schedule();
-      if (r.ok()) {
-        ++maxOk;
-        if (ScheduleValidator(gp.problem).validate(*r.schedule).valid()) {
-          ++validOk;
-        }
-      }
+          MinPowerScheduler pipeline(gp.problem);
+          const ScheduleResult r = pipeline.schedule();
+          if (r.ok()) {
+            v.pipelineOk = true;
+            v.valid =
+                ScheduleValidator(gp.problem).validate(*r.schedule).valid();
+          }
+          return v;
+        });
+    int timingOk = 0, maxOk = 0, validOk = 0;
+    for (const Verdict& v : verdicts) {
+      timingOk += v.timingOk ? 1 : 0;
+      maxOk += v.pipelineOk ? 1 : 0;
+      validOk += v.valid ? 1 : 0;
     }
     std::printf("%8zu %9d/%d %11d/%d %11d/%d\n", tasks, timingOk, kSeeds,
                 maxOk, kSeeds, validOk, kSeeds);
@@ -72,13 +93,17 @@ BENCHMARK(BM_LongestPath)->Range(16, 1024)->Complexity();
 void BM_TimingScheduler(benchmark::State& state) {
   const GeneratedProblem gp = generateRandomProblem(
       configFor(static_cast<std::size_t>(state.range(0)), 7));
+  std::uint64_t lpRuns = 0;
   for (auto _ : state) {
     ConstraintGraph g = gp.problem.buildGraph();
     LongestPathEngine engine(g);
     TimingScheduler ts(gp.problem);
     SchedulerStats stats;
     benchmark::DoNotOptimize(ts.run(g, engine, stats));
+    lpRuns += stats.longestPathRuns;
   }
+  state.counters["lp_runs"] = benchmark::Counter(
+      static_cast<double>(lpRuns), benchmark::Counter::kAvgIterations);
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_TimingScheduler)->Range(16, 512)->Complexity()
@@ -87,10 +112,15 @@ BENCHMARK(BM_TimingScheduler)->Range(16, 512)->Complexity()
 void BM_FullPipeline(benchmark::State& state) {
   const GeneratedProblem gp = generateRandomProblem(
       configFor(static_cast<std::size_t>(state.range(0)), 7));
+  std::uint64_t lpRuns = 0;
   for (auto _ : state) {
     MinPowerScheduler pipeline(gp.problem);
-    benchmark::DoNotOptimize(pipeline.schedule());
+    const ScheduleResult r = pipeline.schedule();
+    lpRuns += r.stats.longestPathRuns;
+    benchmark::DoNotOptimize(r.status);
   }
+  state.counters["lp_runs"] = benchmark::Counter(
+      static_cast<double>(lpRuns), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_FullPipeline)->Range(16, 256)->Unit(benchmark::kMillisecond);
 
@@ -109,7 +139,5 @@ BENCHMARK(BM_Validator)->Range(16, 1024);
 
 int main(int argc, char** argv) {
   printQualitySummary();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return paws::bench::runBenchMain("scalability", argc, argv);
 }

@@ -16,6 +16,8 @@
 // After the table, google-benchmark measures the scheduling time per case.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <cstdio>
 
 #include "rover/plans.hpp"
@@ -103,7 +105,5 @@ BENCHMARK(BM_PowerAwarePipeline)->Arg(0)->Arg(1)->Arg(2)
 
 int main(int argc, char** argv) {
   printTable3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return paws::bench::runBenchMain("table3", argc, argv);
 }

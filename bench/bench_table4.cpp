@@ -18,6 +18,8 @@
 // scheduling) and the mission simulation itself.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <random>
@@ -148,7 +150,5 @@ BENCHMARK(BM_MissionSimulation);
 int main(int argc, char** argv) {
   printTable4();
   printMonteCarlo();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return paws::bench::runBenchMain("table4", argc, argv);
 }

@@ -1,0 +1,24 @@
+#include "exec/jobs.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace paws::exec {
+
+std::size_t defaultJobs() {
+  if (const char* env = std::getenv("PAWS_JOBS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolveJobs(std::size_t requested) {
+  return requested > 0 ? requested : defaultJobs();
+}
+
+}  // namespace paws::exec

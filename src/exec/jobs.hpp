@@ -1,0 +1,28 @@
+// Worker-count policy for the exec subsystem.
+//
+// Every parallel entry point (pawsc --jobs, ExhaustiveOptions::jobs, the
+// bench sweeps) resolves its thread count through one function so the
+// precedence is uniform across the code base:
+//
+//   explicit value > PAWS_JOBS environment variable > hardware_concurrency
+//
+// A resolved count is always >= 1; parallel code paths treat 1 as "run the
+// exact serial algorithm" so a single knob degrades the whole stack to the
+// seed behavior.
+#pragma once
+
+#include <cstddef>
+
+namespace paws::exec {
+
+/// Threads to use when the caller did not say: `PAWS_JOBS` when set to a
+/// positive integer, otherwise std::thread::hardware_concurrency(),
+/// clamped to >= 1.
+[[nodiscard]] std::size_t defaultJobs();
+
+/// Resolves an explicit request: `requested` when positive, otherwise
+/// defaultJobs(). This is the helper options structs call on their
+/// `jobs == 0` sentinel.
+[[nodiscard]] std::size_t resolveJobs(std::size_t requested);
+
+}  // namespace paws::exec

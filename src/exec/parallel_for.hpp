@@ -1,0 +1,119 @@
+// parallelFor / parallelMap — deterministic data-parallel loops on a Pool.
+//
+// Work distribution is dynamic (whoever is free claims the next chunk via
+// an atomic cursor) but the *results* are deterministic: parallelMap
+// stores fn(i) at index i, so reducing its output in index order yields
+// bit-identical answers for any thread count, including 1. That ordered
+// reduction is how the parallel schedulers reproduce their serial results
+// exactly (see docs/performance.md).
+//
+// The calling thread participates: it claims chunks like any worker and
+// only blocks once every chunk is claimed. That makes these loops safe to
+// call from inside a pool task (the nested loop just runs on the caller;
+// the helper tasks it submitted become no-ops), so composing parallel
+// layers cannot deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "exec/pool.hpp"
+
+namespace paws::exec {
+
+namespace detail {
+
+struct ForState {
+  std::size_t n = 0;
+  std::size_t chunkSize = 1;
+  std::size_t numChunks = 0;
+  std::atomic<std::size_t> nextChunk{0};
+  std::atomic<std::size_t> chunksDone{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+/// Claims chunks until the cursor runs dry, running `fn` over each claimed
+/// index range. Returns once no chunk is left to claim.
+template <typename Fn>
+void claimChunks(ForState& state, Fn& fn) {
+  for (;;) {
+    const std::size_t c =
+        state.nextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state.numChunks) return;
+    const std::size_t begin = c * state.chunkSize;
+    const std::size_t end = std::min(begin + state.chunkSize, state.n);
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    if (state.chunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state.numChunks) {
+      {
+        std::lock_guard<std::mutex> lk(state.mu);
+      }
+      state.cv.notify_all();
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Runs fn(i) for every i in [0, n). `fn` must be safe to invoke
+/// concurrently from several threads; `grain` is the minimum indices per
+/// chunk (raise it when fn is tiny). Blocks until all n calls completed.
+template <typename Fn>
+void parallelFor(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t workers = pool.numThreads();
+  // ~4 chunks per worker balances uneven iterations without shredding the
+  // range; the chunking depends only on (n, grain, workers), never timing.
+  const std::size_t targetChunks = workers * 4;
+  const std::size_t chunkSize =
+      std::max(grain, (n + targetChunks - 1) / targetChunks);
+  const std::size_t numChunks = (n + chunkSize - 1) / chunkSize;
+  if (workers <= 1 || numChunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<detail::ForState>();
+  state->n = n;
+  state->chunkSize = chunkSize;
+  state->numChunks = numChunks;
+
+  // Helper tasks may outlive this frame (a worker can dequeue one after
+  // every chunk is done); they capture fn by pointer but only dereference
+  // it when a chunk was actually claimed — which implies this frame is
+  // still blocked in the wait below.
+  Fn* fnPtr = &fn;
+  const std::size_t helpers = std::min(workers, numChunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool.submit([state, fnPtr] { detail::claimChunks(*state, *fnPtr); });
+  }
+  detail::claimChunks(*state, fn);
+
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&state] {
+    return state->chunksDone.load(std::memory_order_acquire) ==
+           state->numChunks;
+  });
+}
+
+/// Ordered map: returns {fn(0), fn(1), ..., fn(n-1)} with fn(i) evaluated
+/// in parallel but stored at index i. The result type must be default-
+/// constructible and movable.
+template <typename Fn>
+auto parallelMap(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<R> out(n);
+  parallelFor(
+      pool, n, [&out, &fn](std::size_t i) { out[i] = fn(i); }, grain);
+  return out;
+}
+
+}  // namespace paws::exec

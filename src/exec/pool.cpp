@@ -1,0 +1,110 @@
+#include "exec/pool.hpp"
+
+#include "base/check.hpp"
+#include "exec/jobs.hpp"
+#include "obs/metrics.hpp"
+
+namespace paws::exec {
+
+Pool::Pool(std::size_t threads) {
+  const std::size_t n = threads > 0 ? threads : defaultJobs();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+Pool::~Pool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: a worker between its predicate check and its
+    // wait must either see stop_ or receive the notify below.
+    std::lock_guard<std::mutex> lk(idleMu_);
+  }
+  idleCv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Pool::submit(std::function<void()> fn) {
+  PAWS_CHECK_MSG(fn != nullptr, "null task submitted to exec::Pool");
+  const std::size_t w =
+      nextWorker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(workers_[w]->mu);
+    workers_[w]->deque.push_back(std::move(fn));
+  }
+  {
+    std::lock_guard<std::mutex> lk(idleMu_);
+  }
+  idleCv_.notify_one();
+}
+
+bool Pool::tryPop(std::size_t self, std::function<void()>& out) {
+  // Own deque first, newest task (LIFO keeps the working set warm).
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (!w.deque.empty()) {
+      out = std::move(w.deque.back());
+      w.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal oldest-first from the other workers, scanning from self+1 so
+  // victims spread instead of everyone mobbing worker 0.
+  const std::size_t n = workers_.size();
+  for (std::size_t hop = 1; hop < n; ++hop) {
+    Worker& victim = *workers_[(self + hop) % n];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.deque.empty()) {
+      out = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      tasksStolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Pool::workerLoop(std::size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (tryPop(self, task)) {
+      task();
+      task = nullptr;
+      tasksRun_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(idleMu_);
+    idleCv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    // Drain-then-exit: stop only takes effect once the deques are empty.
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+Pool::Stats Pool::stats() const {
+  return Stats{tasksRun_.load(std::memory_order_relaxed),
+               tasksStolen_.load(std::memory_order_relaxed)};
+}
+
+void Pool::exportMetrics(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  registry.set("exec.pool_threads", static_cast<double>(numThreads()));
+  registry.add("exec.tasks_run", s.tasksRun);
+  registry.add("exec.tasks_stolen", s.tasksStolen);
+}
+
+}  // namespace paws::exec

@@ -1,0 +1,104 @@
+// paws::exec::Pool — a small work-stealing thread pool.
+//
+// Each worker owns a deque guarded by its own mutex: the owner pushes and
+// pops at the back (LIFO, cache-warm), idle workers steal from the front
+// of a victim's deque (FIFO, oldest-first — steals grab the work most
+// likely to fan out further). Submission round-robins across workers so
+// independent batches spread without a central queue becoming the
+// bottleneck; stealing rebalances whatever the round-robin got wrong.
+//
+// Lifetime and blocking semantics:
+//   * submit()/async() never block (beyond the victim deque's mutex);
+//   * the destructor drains every queued task, then joins — a Pool going
+//     out of scope is a full barrier;
+//   * tasks must not throw (async() captures exceptions in its future;
+//     plain submit() tasks run under noexcept expectations — PAWS_CHECK
+//     failures abort, like everywhere else in the code base).
+//
+// The pool is instrumented for the paws::obs registry via exportMetrics():
+//   exec.pool_threads   (gauge)   worker count
+//   exec.tasks_run      (counter) tasks executed by workers
+//   exec.tasks_stolen   (counter) tasks taken from another worker's deque
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace paws::obs {
+class MetricsRegistry;
+}  // namespace paws::obs
+
+namespace paws::exec {
+
+class Pool {
+ public:
+  /// Spawns `threads` workers; 0 means defaultJobs() (PAWS_JOBS or
+  /// hardware_concurrency).
+  explicit Pool(std::size_t threads = 0);
+
+  /// Drains all remaining tasks, then joins the workers.
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  [[nodiscard]] std::size_t numThreads() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task.
+  void submit(std::function<void()> fn);
+
+  /// Enqueues `fn` and returns a future for its result (exceptions are
+  /// captured into the future, as with std::async).
+  template <typename F>
+  auto async(F fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  struct Stats {
+    std::uint64_t tasksRun = 0;
+    std::uint64_t tasksStolen = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Publishes exec.pool_threads / exec.tasks_run / exec.tasks_stolen.
+  void exportMetrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void workerLoop(std::size_t self);
+  bool tryPop(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // queued_ is an upper bound on tasks sitting in deques (incremented
+  // before the push, decremented after a successful pop), so the idle
+  // predicate can be checked without sweeping every deque.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> nextWorker_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex idleMu_;
+  std::condition_variable idleCv_;
+
+  std::atomic<std::uint64_t> tasksRun_{0};
+  std::atomic<std::uint64_t> tasksStolen_{0};
+};
+
+}  // namespace paws::exec

@@ -31,6 +31,67 @@ const LongestPathResult& LongestPathEngine::computeFull(TaskId source) {
   return run(source, /*incremental=*/false);
 }
 
+LongestPathEngine::Checkpoint LongestPathEngine::checkpoint() {
+  ++openCheckpoints_;
+  Checkpoint cp;
+  cp.undoSize = undoLog_.size();
+  cp.edgeCount = graph_.numEdges();
+  cp.vertexCount = graph_.numVertices();
+  cp.source = lastSource_;
+  cp.hadValidRun = hasValidRun_ && result_.feasible;
+  return cp;
+}
+
+void LongestPathEngine::restore(const Checkpoint& cp) {
+  PAWS_CHECK_MSG(openCheckpoints_ > 0, "restore without open checkpoint");
+  --openCheckpoints_;
+  PAWS_CHECK(cp.undoSize <= undoLog_.size());
+
+  const bool revivable = cp.hadValidRun &&
+                         graph_.numEdges() == cp.edgeCount &&
+                         graph_.numVertices() == cp.vertexCount &&
+                         cp.undoSize >= poisonedBelow_;
+  if (revivable) {
+    // Pop overwrites newest-first: a vertex touched twice ends at its
+    // oldest (checkpoint-time) distance.
+    while (undoLog_.size() > cp.undoSize) {
+      const Undo& u = undoLog_.back();
+      result_.dist[u.vertex] = u.oldDist;
+      undoLog_.pop_back();
+    }
+    result_.feasible = true;
+    result_.cycle.clear();
+    result_.cycleEdges.clear();
+    hasValidRun_ = true;
+    lastSource_ = cp.source;
+    lastEdgeCount_ = cp.edgeCount;
+    lastGeneration_ = graph_.generation();
+    if (obs_.metrics != nullptr) obs_.metrics->add("longest_path.restores");
+  } else {
+    undoLog_.resize(cp.undoSize);
+    poisonedBelow_ = std::min(poisonedBelow_, undoLog_.size());
+    hasValidRun_ = false;
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->add("longest_path.restore_fallbacks");
+    }
+  }
+  if (openCheckpoints_ == 0) {
+    undoLog_.clear();
+    poisonedBelow_ = 0;
+  }
+}
+
+void LongestPathEngine::release(const Checkpoint& cp) {
+  PAWS_CHECK_MSG(openCheckpoints_ > 0, "release without open checkpoint");
+  (void)cp;
+  --openCheckpoints_;
+  if (openCheckpoints_ == 0) {
+    // Nobody can restore through these entries anymore.
+    undoLog_.clear();
+    poisonedBelow_ = 0;
+  }
+}
+
 const LongestPathResult& LongestPathEngine::run(TaskId source,
                                                 bool incremental) {
   // Observed runs are wrapped in a wall-clock span; the unobserved path
@@ -49,7 +110,11 @@ const LongestPathResult& LongestPathEngine::run(TaskId source,
                   /*value=*/static_cast<std::int64_t>(graph_.numEdges()));
   if (obs_.metrics != nullptr) {
     obs_.metrics->add("longest_path.runs");
-    if (incremental) obs_.metrics->add("longest_path.incremental_runs");
+    if (incremental) {
+      obs_.metrics->add("longest_path.incremental_runs");
+    } else {
+      obs_.metrics->add("longest_path.full_runs");
+    }
     if (!r.feasible) obs_.metrics->add("longest_path.infeasible_runs");
     obs_.metrics->observe("phase.longest_path.wall_us",
                           static_cast<double>(durNs) / 1000.0);
@@ -68,8 +133,16 @@ const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
 
   parentEdge_.assign(n, kNoParent);
   relaxCount_.assign(n, 0);
-  inQueue_.assign(n, false);
+  inQueue_.assign(n, 0);
   queue_.clear();
+  queue_.reserve(n);
+
+  // Distance overwrites are logged only while a checkpoint is open; a full
+  // run rewrites the whole vector, which the log cannot express, so it
+  // poisons every entry recorded so far instead (restore() then falls back
+  // to invalidation for checkpoints older than this run).
+  const bool record = openCheckpoints_ > 0 && incremental;
+  if (!incremental && openCheckpoints_ > 0) poisonedBelow_ = undoLog_.size();
 
   std::size_t firstNewEdge = 0;
   if (incremental) {
@@ -80,7 +153,7 @@ const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
     result_.dist.assign(n, Time::minusInfinity());
     result_.dist[source.index()] = Time::zero();
     queue_.push_back(source);
-    inQueue_[source.index()] = true;
+    inQueue_[source.index()] = 1;
   }
 
   auto relax = [&](EdgeId eid) -> TaskId {
@@ -89,6 +162,10 @@ const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
     if (du == Time::minusInfinity()) return TaskId::invalid();
     const Time candidate = du + e.weight;
     if (candidate > result_.dist[e.to.index()]) {
+      if (record) {
+        undoLog_.push_back(Undo{static_cast<std::uint32_t>(e.to.index()),
+                                result_.dist[e.to.index()]});
+      }
       result_.dist[e.to.index()] = candidate;
       parentEdge_[e.to.index()] = eid;
       return e.to;
@@ -101,7 +178,7 @@ const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
     for (std::size_t i = firstNewEdge; i < graph_.numEdges(); ++i) {
       const TaskId improved = relax(static_cast<EdgeId>(i));
       if (improved.isValid() && !inQueue_[improved.index()]) {
-        inQueue_[improved.index()] = true;
+        inQueue_[improved.index()] = 1;
         queue_.push_back(improved);
       }
     }
@@ -113,7 +190,7 @@ const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
   std::size_t head = 0;
   while (head < queue_.size()) {
     const TaskId u = queue_[head++];
-    inQueue_[u.index()] = false;
+    inQueue_[u.index()] = 0;
     // Compact the queue occasionally so long runs stay in bounded memory.
     if (head > 4096 && head * 2 > queue_.size()) {
       queue_.erase(queue_.begin(),
@@ -130,7 +207,7 @@ const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
         return result_;
       }
       if (!inQueue_[improved.index()]) {
-        inQueue_[improved.index()] = true;
+        inQueue_[improved.index()] = 1;
         queue_.push_back(improved);
       }
     }

@@ -8,10 +8,17 @@
 // verdict we also extract one offending cycle for diagnostics.
 //
 // The engine is stateful to support the schedulers' add-edge / recompute /
-// rollback loop efficiently: after edge *additions* distances can only grow,
-// so relaxation restarts from the new edges against the previous solution
-// (work-list Bellman–Ford). A graph generation bump (rollback, new
-// vertices) forces a full recompute.
+// rollback loop efficiently in BOTH directions:
+//   * after edge *additions* distances can only grow, so relaxation
+//     restarts from the new edges against the previous solution
+//     (work-list Bellman–Ford);
+//   * around a graph *rollback*, the schedulers bracket their trail with
+//     checkpoint()/restore(): while a checkpoint is open the engine logs
+//     every distance overwrite, and restore() pops that log so the
+//     pre-rollback solution is revived instead of recomputing from
+//     scratch. A rollback without a matching restore (or any change the
+//     log cannot capture — a full rerun, new vertices) still degrades
+//     safely to a full recompute via the graph generation counter.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +58,45 @@ class LongestPathEngine {
   /// graph surgery the engine cannot observe).
   const LongestPathResult& computeFull(TaskId source);
 
+  // ----- trail-aligned checkpoint / restore ---------------------------
+  //
+  // Usage, mirroring the ConstraintGraph trail:
+  //
+  //   auto cp  = graph.checkpoint();
+  //   auto ecp = engine.checkpoint();     // start logging overwrites
+  //   graph.addEdge(...); engine.compute(...);
+  //   ...
+  //   graph.rollbackTo(cp);               // graph first,
+  //   engine.restore(ecp);                // then the engine
+  //
+  // or engine.release(ecp) instead of the rollback pair when the edges are
+  // kept. checkpoint/release/restore must nest LIFO, exactly like the
+  // graph trail. restore() revives the distance solution that was current
+  // at checkpoint() time by popping the overwrite log; when the log cannot
+  // prove that revival is sound (a full rerun happened in between, the
+  // vertex set grew, or the graph is not back at the checkpoint's edge
+  // count) it falls back to invalidating the engine, making the next
+  // compute() a full run — never wrong, only slower.
+
+  struct Checkpoint {
+    std::size_t undoSize = 0;
+    std::size_t edgeCount = 0;
+    std::size_t vertexCount = 0;
+    TaskId source;
+    bool hadValidRun = false;
+  };
+
+  /// Marks the current solution state and starts delta logging.
+  [[nodiscard]] Checkpoint checkpoint();
+
+  /// Reverts the engine to `cp` after the caller rolled the graph back to
+  /// the matching trail position. Counts as longest_path.restores when the
+  /// solution is revived, longest_path.restore_fallbacks otherwise.
+  void restore(const Checkpoint& cp);
+
+  /// Closes `cp` without reverting (the trail edges are being kept).
+  void release(const Checkpoint& cp);
+
   /// Attaches observability hooks: each Bellman–Ford run becomes a
   /// kLongestPath span (label = full/incremental, value = edge count) and
   /// feeds the "longest_path.*" metrics. Hooks are borrowed.
@@ -67,11 +113,24 @@ class LongestPathEngine {
   LongestPathResult result_;
   obs::ObsContext obs_;
 
-  // Scratch state reused across runs.
+  // Scratch state reused across runs. inQueue_ is uint8_t, not bool: the
+  // relaxation loop is the hottest in the code base and vector<bool>'s
+  // bit-twiddling costs measurably there.
   std::vector<EdgeId> parentEdge_;
   std::vector<std::uint32_t> relaxCount_;
-  std::vector<bool> inQueue_;
+  std::vector<std::uint8_t> inQueue_;
   std::vector<TaskId> queue_;
+
+  // Overwrite log for restore(): (vertex, previous distance), popped LIFO.
+  struct Undo {
+    std::uint32_t vertex;
+    Time oldDist;
+  };
+  std::vector<Undo> undoLog_;
+  std::size_t openCheckpoints_ = 0;
+  // Entries below this index predate a full rerun and cannot be replayed;
+  // restore() to a checkpoint older than this falls back to invalidation.
+  std::size_t poisonedBelow_ = 0;
 
   // Validity tracking for incremental mode.
   bool hasValidRun_ = false;

@@ -1,12 +1,205 @@
 #include "sched/exhaustive_scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <vector>
 
 #include "base/check.hpp"
+#include "exec/jobs.hpp"
+#include "exec/parallel_for.hpp"
+#include "exec/pool.hpp"
+#include "obs/metrics.hpp"
 #include "power/profile.hpp"
 
 namespace paws {
+
+namespace {
+
+/// Constraints indexed per task for O(deg) pairwise checks.
+struct Pair {
+  TaskId other;
+  Duration sep;
+  bool otherIsFrom;
+  bool isMin;
+};
+
+std::vector<std::vector<Pair>> buildTouching(const Problem& problem) {
+  std::vector<std::vector<Pair>> touching(problem.numVertices());
+  for (const TimingConstraint& c : problem.constraints()) {
+    const bool isMin = c.kind == TimingConstraint::Kind::kMinSeparation;
+    touching[c.from.index()].push_back(Pair{c.to, c.separation, false, isMin});
+    touching[c.to.index()].push_back(Pair{c.from, c.separation, true, isMin});
+  }
+  return touching;
+}
+
+/// State shared by every worker of one search. The cost bound only ever
+/// holds costs of *achieved* valid leaves, so it is always >= the optimal
+/// cost and the strictly-greater prefix pruning can never cut a leaf tying
+/// the final optimum on cost — parallel pruning removes only subtrees the
+/// serial reduction would discard anyway, which is what makes the parallel
+/// result bit-identical.
+struct SearchShared {
+  std::atomic<std::int64_t> bestCostMwt{
+      std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::uint64_t> nodesExplored{0};
+  std::atomic<bool> budgetTripped{false};
+  std::uint64_t maxNodes = 0;
+};
+
+/// A worker's chunk-local winner: the first leaf in its DFS order that
+/// achieves the local lexicographic minimum of (energy cost, finish).
+struct LocalBest {
+  std::vector<Time> starts;
+  Energy cost;
+  Time finish;
+  bool have = false;
+};
+
+/// Folds `lb` into `acc` with the same strict-improvement rule the serial
+/// DFS uses, so applying it in chunk order (= task-1 start-time order = the
+/// serial DFS's outermost loop order) reproduces the serial winner.
+void mergeBest(LocalBest& acc, LocalBest&& lb) {
+  if (!lb.have) return;
+  if (!acc.have || lb.cost < acc.cost ||
+      (lb.cost == acc.cost && lb.finish < acc.finish)) {
+    acc = std::move(lb);
+  }
+}
+
+/// One DFS worker over a contiguous range of task-1 start times. Parallel
+/// callers hand each worker its own Problem clone; nothing here mutates
+/// state shared with other workers except the atomics in SearchShared.
+class Worker {
+ public:
+  Worker(const Problem& problem, const std::vector<std::vector<Pair>>& touching,
+         Time horizon, SearchShared& shared)
+      : problem_(problem),
+        touching_(touching),
+        horizon_(horizon),
+        shared_(shared),
+        pmin_(problem.minPower()),
+        pmax_(problem.maxPower()),
+        starts_(problem.numVertices(), Time::zero()) {}
+
+  /// Explores task 1's start over [t1Lo, t1Hi] (inclusive, additionally
+  /// clamped by the horizon), deeper tasks over the full horizon.
+  void search(Time t1Lo, Time t1Hi) {
+    t1Lo_ = t1Lo;
+    t1Hi_ = t1Hi;
+    dfs(1);
+  }
+
+  LocalBest takeBest() { return std::move(best_); }
+
+ private:
+  void dfs(std::size_t k);
+  void leaf();
+
+  const Problem& problem_;
+  const std::vector<std::vector<Pair>>& touching_;
+  const Time horizon_;
+  SearchShared& shared_;
+  const Watts pmin_;
+  const Watts pmax_;
+  Time t1Lo_;
+  Time t1Hi_;
+  std::vector<Time> starts_;
+  LocalBest best_;
+};
+
+void Worker::dfs(std::size_t k) {
+  if (shared_.budgetTripped.load(std::memory_order_relaxed)) return;
+  const std::size_t n = problem_.numVertices();
+  if (k == n) {
+    leaf();
+    return;
+  }
+  const TaskId v(static_cast<std::uint32_t>(k));
+  const Task& task = problem_.task(v);
+  Time lo = Time::zero();
+  Time hi = horizon_ - task.delay;  // inclusive upper bound
+  if (k == 1) {
+    lo = std::max(lo, t1Lo_);
+    hi = std::min(hi, t1Hi_);
+  }
+  for (Time t = lo; t <= hi; t += Duration(1)) {
+    if (shared_.nodesExplored.fetch_add(1, std::memory_order_relaxed) + 1 >
+        shared_.maxNodes) {
+      shared_.budgetTripped.store(true, std::memory_order_relaxed);
+      return;
+    }
+    starts_[k] = t;
+
+    // Pairwise checks against placed tasks (anchor is placed at 0).
+    bool violated = false;
+    for (const Pair& pr : touching_[k]) {
+      if (pr.other.index() >= k && pr.other != kAnchorTask) continue;
+      const Time o = starts_[pr.other.index()];
+      const Duration gap = pr.otherIsFrom ? (t - o) : (o - t);
+      if (pr.isMin ? gap < pr.sep : gap > pr.sep) {
+        violated = true;
+        break;
+      }
+    }
+    if (violated) continue;
+    for (std::size_t j = 1; j < k && !violated; ++j) {
+      const TaskId u(static_cast<std::uint32_t>(j));
+      if (problem_.task(u).resource != task.resource) continue;
+      const Interval a(t, t + task.delay);
+      const Interval b(starts_[j], starts_[j] + problem_.task(u).delay);
+      violated = a.overlaps(b);
+    }
+    if (violated) continue;
+
+    // Monotone power prunings on the placed prefix.
+    const PowerProfile prefix = [&] {
+      PowerProfileBuilder b;
+      for (std::size_t i = 1; i <= k; ++i) {
+        const TaskId u(static_cast<std::uint32_t>(i));
+        b.add(Interval(starts_[i], starts_[i] + problem_.task(u).delay),
+              problem_.task(u).power);
+      }
+      return b.build(problem_.backgroundPower());
+    }();
+    if (prefix.firstSpike(pmax_)) continue;
+    // The final profile dominates the prefix pointwise (tasks only add
+    // power, and the final span only extends the background), so the
+    // prefix's energy above pmin lower-bounds the final energy cost.
+    if (prefix.energyAbove(pmin_).milliwattTicks() >
+        shared_.bestCostMwt.load(std::memory_order_relaxed)) {
+      continue;
+    }
+
+    dfs(k + 1);
+    if (shared_.budgetTripped.load(std::memory_order_relaxed)) return;
+  }
+}
+
+void Worker::leaf() {
+  const PowerProfile profile = profileOf(problem_, starts_);
+  if (profile.firstSpike(pmax_)) return;
+  const Energy cost = profile.energyAbove(pmin_);
+  const Time finish = finishOf(problem_, starts_);
+  if (!best_.have || cost < best_.cost ||
+      (cost == best_.cost && finish < best_.finish)) {
+    best_.starts = starts_;
+    best_.cost = cost;
+    best_.finish = finish;
+    best_.have = true;
+    // Publish to the shared pruning bound (CAS-min). Relaxed is enough:
+    // the bound is a pruning accelerator, and a stale read merely prunes
+    // less; every stored value is a genuinely achieved leaf cost.
+    std::int64_t cur = shared_.bestCostMwt.load(std::memory_order_relaxed);
+    while (cost.milliwattTicks() < cur &&
+           !shared_.bestCostMwt.compare_exchange_weak(
+               cur, cost.milliwattTicks(), std::memory_order_relaxed)) {
+    }
+  }
+}
+
+}  // namespace
 
 ExhaustiveScheduler::ExhaustiveScheduler(const Problem& problem,
                                          ExhaustiveOptions options)
@@ -32,109 +225,62 @@ ScheduleResult ExhaustiveScheduler::schedule() {
     horizon = Time::zero() + total + maxSep;
   }
 
-  const Watts pmin = problem_.minPower();
-  const Watts pmax = problem_.maxPower();
+  const std::vector<std::vector<Pair>> touching = buildTouching(problem_);
+  SearchShared shared;
+  shared.maxNodes = options_.maxNodes;
 
-  std::vector<Time> starts(n, Time::zero());
-  std::vector<Time> bestStarts;
-  Energy bestCost;
-  Time bestFinish;
-  bool haveBest = false;
-  bool budgetTripped = false;
-
-  // Constraints indexed per task for O(deg) pairwise checks.
-  struct Pair {
-    TaskId other;
-    Duration sep;
-    bool otherIsFrom;
-    bool isMin;
-  };
-  std::vector<std::vector<Pair>> touching(n);
-  for (const TimingConstraint& c : problem_.constraints()) {
-    const bool isMin = c.kind == TimingConstraint::Kind::kMinSeparation;
-    touching[c.from.index()].push_back(Pair{c.to, c.separation, false, isMin});
-    touching[c.to.index()].push_back(Pair{c.from, c.separation, true, isMin});
+  // Number of candidate start times for task 1 — the axis the parallel
+  // split partitions.
+  std::int64_t numT1 = 0;
+  if (n >= 2) {
+    numT1 = horizon.ticks() - problem_.task(TaskId(1)).delay.ticks() + 1;
   }
 
-  const auto leafMetrics = [&](const std::vector<Time>& s, Energy* cost,
-                               Time* finish) {
-    *cost = profileOf(problem_, s).energyAbove(pmin);
-    *finish = finishOf(problem_, s);
-  };
-
-  // DFS over tasks 1..n-1.
-  auto dfs = [&](auto&& self, std::size_t k) -> void {
-    if (budgetTripped) return;
-    if (k == n) {
-      Energy cost;
-      Time finish;
-      leafMetrics(starts, &cost, &finish);
-      const PowerProfile profile = profileOf(problem_, starts);
-      if (profile.firstSpike(pmax)) return;
-      if (!haveBest || cost < bestCost ||
-          (cost == bestCost && finish < bestFinish)) {
-        bestStarts = starts;
-        bestCost = cost;
-        bestFinish = finish;
-        haveBest = true;
-      }
-      return;
+  const std::size_t jobs = exec::resolveJobs(options_.jobs);
+  LocalBest best;
+  if (jobs <= 1 || numT1 < 2) {
+    // Serial: one worker over the whole range, on the calling thread.
+    Worker w(problem_, touching, horizon, shared);
+    w.search(Time::zero(), horizon);
+    best = w.takeBest();
+  } else {
+    // More chunks than workers so an uneven subtree doesn't serialize the
+    // tail; the chunk boundaries depend only on (numT1, jobs).
+    const std::size_t numChunks = static_cast<std::size_t>(
+        std::min<std::int64_t>(numT1, static_cast<std::int64_t>(jobs) * 4));
+    exec::Pool pool(jobs);
+    std::vector<LocalBest> results = exec::parallelMap(
+        pool, numChunks, [&](std::size_t i) -> LocalBest {
+          const std::int64_t lo =
+              numT1 * static_cast<std::int64_t>(i) /
+              static_cast<std::int64_t>(numChunks);
+          const std::int64_t hi =
+              numT1 * static_cast<std::int64_t>(i + 1) /
+                  static_cast<std::int64_t>(numChunks) -
+              1;
+          const Problem clone = problem_;  // worker-private scratch
+          Worker w(clone, touching, horizon, shared);
+          w.search(Time::zero() + Duration(lo), Time::zero() + Duration(hi));
+          return w.takeBest();
+        });
+    // Ordered reduction: chunk index order is task-1 start-time order, the
+    // serial DFS's outermost loop — first winner on ties, like the DFS.
+    for (LocalBest& lb : results) mergeBest(best, std::move(lb));
+    if (options_.obs.metrics != nullptr) {
+      pool.exportMetrics(*options_.obs.metrics);
     }
-    const TaskId v(static_cast<std::uint32_t>(k));
-    const Task& task = problem_.task(v);
-    for (Time t = Time::zero(); t + task.delay <= horizon;
-         t += Duration(1)) {
-      if (++outcome_.nodesExplored > options_.maxNodes) {
-        budgetTripped = true;
-        return;
-      }
-      starts[k] = t;
+  }
 
-      // Pairwise checks against placed tasks (anchor is placed at 0).
-      bool violated = false;
-      for (const Pair& pr : touching[k]) {
-        if (pr.other.index() >= k && pr.other != kAnchorTask) continue;
-        const Time o = starts[pr.other.index()];
-        const Duration gap = pr.otherIsFrom ? (t - o) : (o - t);
-        if (pr.isMin ? gap < pr.sep : gap > pr.sep) {
-          violated = true;
-          break;
-        }
-      }
-      if (violated) continue;
-      for (std::size_t j = 1; j < k && !violated; ++j) {
-        const TaskId u(static_cast<std::uint32_t>(j));
-        if (problem_.task(u).resource != task.resource) continue;
-        const Interval a(t, t + task.delay);
-        const Interval b(starts[j], starts[j] + problem_.task(u).delay);
-        violated = a.overlaps(b);
-      }
-      if (violated) continue;
-
-      // Monotone power prunings on the placed prefix.
-      const PowerProfile prefix = [&] {
-        PowerProfileBuilder b;
-        for (std::size_t i = 1; i <= k; ++i) {
-          const TaskId u(static_cast<std::uint32_t>(i));
-          b.add(Interval(starts[i], starts[i] + problem_.task(u).delay),
-                problem_.task(u).power);
-        }
-        return b.build(problem_.backgroundPower());
-      }();
-      if (prefix.firstSpike(pmax)) continue;
-      // The final profile dominates the prefix pointwise (tasks only add
-      // power, and the final span only extends the background), so the
-      // prefix's energy above pmin lower-bounds the final energy cost.
-      if (haveBest && prefix.energyAbove(pmin) > bestCost) continue;
-
-      self(self, k + 1);
-      if (budgetTripped) return;
-    }
-  };
-  dfs(dfs, 1);
-
+  outcome_.nodesExplored =
+      shared.nodesExplored.load(std::memory_order_relaxed);
+  const bool budgetTripped =
+      shared.budgetTripped.load(std::memory_order_relaxed);
   outcome_.provenOptimal = !budgetTripped;
-  if (!haveBest) {
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->add("exhaustive.nodes", outcome_.nodesExplored);
+  }
+
+  if (!best.have) {
     out.status = budgetTripped ? SchedStatus::kBudgetExhausted
                                : SchedStatus::kPowerInfeasible;
     out.message = budgetTripped
@@ -143,7 +289,7 @@ ScheduleResult ExhaustiveScheduler::schedule() {
     return out;
   }
   out.status = SchedStatus::kOk;
-  out.schedule = Schedule(&problem_, bestStarts);
+  out.schedule = Schedule(&problem_, best.starts);
   return out;
 }
 

@@ -20,11 +20,21 @@
 // is exhaustive within the horizon, so the returned schedule minimizes
 // (energy cost at Pmin, finish time) lexicographically among all valid
 // schedules that fit the horizon.
+//
+// Parallel mode (`jobs` > 1) splits the top-level choice — task 1's start
+// time — into contiguous ranges searched by independent workers on a
+// paws::exec::Pool. Workers share only the incumbent *cost bound* (a
+// relaxed atomic holding achieved leaf costs, so the strictly-greater
+// prefix pruning stays sound) and publish their chunk-local winners, which
+// are reduced in chunk order. The result is bit-identical to jobs == 1 for
+// any thread count — except when the node budget trips, where the set of
+// nodes visited first depends on scheduling (see docs/performance.md).
 #pragma once
 
 #include <optional>
 
 #include "model/problem.hpp"
+#include "obs/context.hpp"
 #include "sched/result.hpp"
 
 namespace paws {
@@ -34,8 +44,15 @@ struct ExhaustiveOptions {
   /// largest user separation — generous for small instances. Optimality is
   /// relative to this horizon.
   std::optional<Time> horizon;
-  /// Node budget; the search reports nonOptimal when it trips.
+  /// Node budget; the search reports nonOptimal when it trips. Shared by
+  /// all workers in parallel mode.
   std::uint64_t maxNodes = 20'000'000;
+  /// Worker threads for the branch-and-bound: 1 runs the serial search on
+  /// the calling thread, 0 resolves via PAWS_JOBS / hardware_concurrency
+  /// (exec::resolveJobs). Any value yields bit-identical schedules.
+  std::size_t jobs = 1;
+  /// Metrics sink; parallel runs publish the exec.* pool counters here.
+  obs::ObsContext obs;
 };
 
 struct ExhaustiveOutcomeStats {

@@ -145,6 +145,7 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
     const Time t = *spikeAt;
     const std::size_t savedDecisions = decisions_.size();
     const ConstraintGraph::Checkpoint graphMark = graph.checkpoint();
+    const LongestPathEngine::Checkpoint engineMark = engine.checkpoint();
     std::vector<bool> delayedThisRound(problem_.numVertices(), false);
     bool reschedule = false;
 
@@ -163,6 +164,7 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       if (victims.empty()) {
         decisions_.resize(savedDecisions);
         graph.rollbackTo(graphMark);
+        engine.restore(engineMark);
         a.result.status = SchedStatus::kPowerInfeasible;
         std::ostringstream os;
         os << "cannot reduce power below " << pmax << " at t=" << t;
@@ -197,6 +199,7 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       if (delaysLeft_ == 0) {
         decisions_.resize(savedDecisions);
         graph.rollbackTo(graphMark);
+        engine.restore(engineMark);
         a.result.status = SchedStatus::kBudgetExhausted;
         a.result.message = "max-power delay budget exhausted";
         return a;
@@ -218,6 +221,7 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       const LongestPathResult& lp = engine.compute(kAnchorTask);
       ++stats.longestPathRuns;
       if (lp.feasible) {
+        engine.release(engineMark);  // delay edges are being kept
         starts = lp.dist;
         continue;  // Spike at t cleared; rescan the profile.
       }
@@ -225,6 +229,9 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       // window via pushed successors; fall into the reschedule case.
       reschedule = true;
     }
+    // This attempt's graph and engine see no further queries: every path
+    // below recurses on a fresh graph or returns. Close the frame.
+    engine.release(engineMark);
 
     // --- Case (2): reschedule. Lock the untouched simultaneous tasks at
     // their current (still time-valid) start times, then re-run the whole

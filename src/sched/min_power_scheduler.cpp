@@ -79,6 +79,10 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
   double rho = profile.utilization(pmin);
   LongestPathEngine engine(graph);
   engine.setObs(options_.obs);
+  // Seed the engine once so every candidate-move evaluation below runs
+  // incrementally (one delay edge added, checkpoint-restored on reject).
+  PAWS_CHECK(engine.compute(kAnchorTask).feasible);
+  ++out.stats.longestPathRuns;
 
   ScanOrder scan = options_.scanOrder;
   SlotHeuristic slot = options_.slotHeuristic;
@@ -163,12 +167,14 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
           }
 
           const ConstraintGraph::Checkpoint cp = graph.checkpoint();
+          const LongestPathEngine::Checkpoint ecp = engine.checkpoint();
           graph.addEdge(kAnchorTask, v, target - Time::zero(),
                         EdgeKind::kDelay);
           const LongestPathResult& lp = engine.compute(kAnchorTask);
           ++out.stats.longestPathRuns;
           if (!lp.feasible) {
             graph.rollbackTo(cp);
+            engine.restore(ecp);
             continue;
           }
           PowerProfile newProfile = profileOf(problem_, lp.dist);
@@ -176,6 +182,7 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
               !newProfile.firstSpike(pmax, spikeHorizon).has_value();
           const double newRho = newProfile.utilization(pmin);
           if (powerValid && newRho > rho) {
+            engine.release(ecp);  // the delay edge is being kept
             starts = lp.dist;
             profile = std::move(newProfile);
             rho = newRho;
@@ -193,6 +200,7 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
                              target.ticks(),
                              static_cast<std::int64_t>(newRho * 1e6), pass);
           graph.rollbackTo(cp);
+          engine.restore(ecp);
         }
         if (rescan) break;
       }

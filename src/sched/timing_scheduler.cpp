@@ -108,6 +108,7 @@ bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
                        c.value(), /*at=*/0, /*value=*/0,
                        static_cast<std::uint32_t>(numVisited));
     const ConstraintGraph::Checkpoint cp = graph.checkpoint();
+    const LongestPathEngine::Checkpoint ecp = engine.checkpoint();
     // Serialize c before every unvisited task sharing its resource.
     const ResourceId r = problem_.task(c).resource;
     for (TaskId u : tasksOnResource_[r.index()]) {
@@ -119,12 +120,15 @@ bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
     const LongestPathResult& lp = engine.compute(kAnchorTask);
     ++stats.longestPathRuns;
     if (lp.feasible && visit(graph, engine, stats, numVisited + 1)) {
+      engine.release(ecp);  // edges stay in the graph, solution stays valid
       return true;
     }
 
-    // Undo and try the next candidate.
+    // Undo and try the next candidate; restoring the engine alongside the
+    // graph keeps the search incremental across backtracks.
     visited_[c.index()] = false;
     graph.rollbackTo(cp);
+    engine.restore(ecp);
     ++stats.backtracks;
     PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kBacktrack,
                        c.value(), /*at=*/0, /*value=*/0,

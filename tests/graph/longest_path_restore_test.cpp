@@ -1,0 +1,169 @@
+// Property test for the rollback-aware LongestPathEngine: any LIFO
+// sequence of {open checkpoint, add edges, compute, computeFull, restore,
+// release} must leave the engine's answer identical to a from-scratch
+// computation on the same graph — feasibility verdict and every distance,
+// including Time::minusInfinity() for unreachable vertices.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/constraint_graph.hpp"
+#include "graph/longest_path.hpp"
+
+namespace paws {
+namespace {
+
+std::uint32_t nextRand(std::uint32_t& state) {
+  std::uint32_t x = state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return state = x;
+}
+
+/// Asserts that the stateful engine's current answer matches a fresh
+/// from-scratch run over the same graph.
+void expectMatchesFull(const ConstraintGraph& graph,
+                       LongestPathEngine& engine) {
+  const LongestPathResult& incr = engine.compute(TaskId(0));
+  LongestPathEngine fresh(graph);
+  const LongestPathResult& full = fresh.computeFull(TaskId(0));
+  ASSERT_EQ(incr.feasible, full.feasible);
+  if (!incr.feasible) return;
+  ASSERT_EQ(incr.dist.size(), full.dist.size());
+  for (std::size_t i = 0; i < full.dist.size(); ++i) {
+    ASSERT_EQ(incr.dist[i], full.dist[i]) << "vertex " << i;
+  }
+}
+
+struct Frame {
+  ConstraintGraph::Checkpoint graphCp;
+  LongestPathEngine::Checkpoint engineCp;
+};
+
+TEST(LongestPathRestoreTest, RandomCheckpointSequencesMatchFullRecompute) {
+  for (std::uint32_t seed = 1; seed <= 30; ++seed) {
+    std::uint32_t rng = seed;
+    const std::size_t n = 3 + nextRand(rng) % 8;  // 3..10 vertices
+    ConstraintGraph graph(n);
+
+    const auto addRandomEdge = [&] {
+      const TaskId from(nextRand(rng) % static_cast<std::uint32_t>(n));
+      TaskId to(nextRand(rng) % static_cast<std::uint32_t>(n));
+      if (to == from) {
+        to = TaskId(static_cast<std::uint32_t>((to.value() + 1) % n));
+      }
+      // Mostly small positive weights; occasional negatives and the odd
+      // large weight so positive cycles (infeasibility) do occur.
+      const std::int64_t w =
+          static_cast<std::int64_t>(nextRand(rng) % 9) - 2;
+      graph.addEdge(from, to, Duration(w), EdgeKind::kUserMin);
+    };
+
+    // Base graph: a spine from the anchor so most vertices are reachable,
+    // plus random extra edges (some vertices may stay at -infinity).
+    for (std::size_t i = 1; i < n; ++i) {
+      if (nextRand(rng) % 4 != 0) {
+        graph.addEdge(TaskId(0), TaskId(static_cast<std::uint32_t>(i)),
+                      Duration(static_cast<std::int64_t>(nextRand(rng) % 5)),
+                      EdgeKind::kUserMin);
+      }
+    }
+    for (std::size_t i = 0; i < n / 2; ++i) addRandomEdge();
+
+    LongestPathEngine engine(graph);
+    expectMatchesFull(graph, engine);
+
+    std::vector<Frame> stack;
+    for (int op = 0; op < 60; ++op) {
+      const std::uint32_t pick = nextRand(rng) % 10;
+      if (pick < 4 && stack.size() < 6) {
+        // Open a frame and mutate inside it.
+        Frame f;
+        f.graphCp = graph.checkpoint();
+        f.engineCp = engine.checkpoint();
+        stack.push_back(f);
+        const std::uint32_t edges = 1 + nextRand(rng) % 3;
+        for (std::uint32_t e = 0; e < edges; ++e) addRandomEdge();
+      } else if (pick < 6 && !stack.empty()) {
+        // Rollback the innermost frame.
+        const Frame f = stack.back();
+        stack.pop_back();
+        graph.rollbackTo(f.graphCp);
+        engine.restore(f.engineCp);
+      } else if (pick == 6 && !stack.empty()) {
+        // Keep the innermost frame's edges.
+        const Frame f = stack.back();
+        stack.pop_back();
+        engine.release(f.engineCp);
+      } else if (pick == 7) {
+        // Poison the undo log: a full rerun rewrites every distance, so
+        // restores across it must fall back to invalidation — and still
+        // produce correct answers.
+        engine.computeFull(TaskId(0));
+      } else {
+        // Mutate the current frame (or the base graph at depth 0).
+        addRandomEdge();
+      }
+      expectMatchesFull(graph, engine);
+    }
+
+    // Unwind whatever is still open, checking at every level.
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      graph.rollbackTo(f.graphCp);
+      engine.restore(f.engineCp);
+      expectMatchesFull(graph, engine);
+    }
+  }
+}
+
+TEST(LongestPathRestoreTest, RestoreRevivesSolutionWithoutRecomputing) {
+  // A concrete revival: feasible base, one frame adds a tightening edge,
+  // rollback + restore must bring back the exact pre-frame distances and
+  // the next compute() must be a no-op (same edge count, valid run).
+  ConstraintGraph g(4);
+  g.addEdge(TaskId(0), TaskId(1), Duration(5), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(2), Duration(7), EdgeKind::kUserMin);
+  g.addEdge(TaskId(0), TaskId(3), Duration(1), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  ASSERT_TRUE(engine.compute(TaskId(0)).feasible);
+  const std::vector<Time> before = engine.result().dist;
+
+  const ConstraintGraph::Checkpoint cp = g.checkpoint();
+  const LongestPathEngine::Checkpoint ecp = engine.checkpoint();
+  g.addEdge(TaskId(0), TaskId(2), Duration(40), EdgeKind::kDelay);
+  ASSERT_TRUE(engine.compute(TaskId(0)).feasible);
+  EXPECT_EQ(engine.result().dist[2], Time(40));
+
+  g.rollbackTo(cp);
+  engine.restore(ecp);
+  EXPECT_EQ(engine.result().dist, before);
+  EXPECT_TRUE(engine.compute(TaskId(0)).feasible);
+  EXPECT_EQ(engine.result().dist, before);
+}
+
+TEST(LongestPathRestoreTest, RestoreAfterInfeasibleFrameRevives) {
+  ConstraintGraph g(3);
+  g.addEdge(TaskId(0), TaskId(1), Duration(2), EdgeKind::kUserMin);
+  g.addEdge(TaskId(1), TaskId(2), Duration(2), EdgeKind::kUserMin);
+  LongestPathEngine engine(g);
+  ASSERT_TRUE(engine.compute(TaskId(0)).feasible);
+  const std::vector<Time> before = engine.result().dist;
+
+  const ConstraintGraph::Checkpoint cp = g.checkpoint();
+  const LongestPathEngine::Checkpoint ecp = engine.checkpoint();
+  g.addEdge(TaskId(2), TaskId(1), Duration(1), EdgeKind::kDelay);  // +cycle
+  EXPECT_FALSE(engine.compute(TaskId(0)).feasible);
+
+  g.rollbackTo(cp);
+  engine.restore(ecp);
+  const LongestPathResult& after = engine.compute(TaskId(0));
+  ASSERT_TRUE(after.feasible);
+  EXPECT_EQ(after.dist, before);
+}
+
+}  // namespace
+}  // namespace paws

@@ -32,6 +32,11 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
+
+#include "exec/jobs.hpp"
+#include "exec/parallel_for.hpp"
+#include "exec/pool.hpp"
 
 #include "gantt/ascii_gantt.hpp"
 #include "gantt/html_report.hpp"
@@ -64,8 +69,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: pawsc <command> [options]\n"
                "  check    <file.paws>\n"
-               "  schedule <file.paws> [--scheduler pipeline|serial|list|"
-               "optimal] [--trials N]\n"
+               "  schedule <file.paws> [more.paws ...] [--scheduler "
+               "pipeline|serial|list|optimal] [--trials N]\n"
+               "           [--jobs N]  (threads; 0 = PAWS_JOBS or cores; "
+               "several files run concurrently)\n"
                "           [--gantt] [--svg out.svg] [--csv out.csv]\n"
                "           [--search-trace out.json] [--search-jsonl "
                "out.jsonl]\n"
@@ -161,16 +168,27 @@ struct ScheduleExports {
     return obsSummary || !searchTraceOut.empty() ||
            !searchJsonlOut.empty() || !metricsOut.empty();
   }
+
+  /// True when any render/export was requested at all. Batch mode refuses
+  /// them: one output file can't serve many inputs.
+  [[nodiscard]] bool any() const {
+    return gantt || breakdown || wantsObs() || !svgOut.empty() ||
+           !csvOut.empty() || !htmlOut.empty() || !traceOut.empty() ||
+           !saveOut.empty();
+  }
 };
 
 ScheduleResult runScheduler(const Problem& problem,
                             const std::string& scheduler,
-                            std::uint32_t trials,
+                            std::uint32_t trials, std::size_t jobs,
                             const obs::ObsContext& obsCtx) {
   if (scheduler == "serial") return SerialScheduler(problem).schedule();
   if (scheduler == "list") return ListScheduler(problem).schedule();
   if (scheduler == "optimal") {
-    ExhaustiveScheduler optimal(problem);
+    ExhaustiveOptions options;
+    options.jobs = jobs == 0 ? exec::resolveJobs(0) : jobs;
+    options.obs = obsCtx;
+    ExhaustiveScheduler optimal(problem, options);
     ScheduleResult r = optimal.schedule();
     if (!optimal.outcome().provenOptimal) {
       std::fprintf(stderr,
@@ -241,7 +259,8 @@ void writeObsExports(const ScheduleExports& out, const obs::TraceSink& sink,
 }
 
 int cmdSchedule(const std::string& path, const std::string& scheduler,
-                std::uint32_t trials, const ScheduleExports& out) {
+                std::uint32_t trials, std::size_t jobs,
+                const ScheduleExports& out) {
   const auto problem = load(path);
   if (!problem) return 1;
 
@@ -252,7 +271,8 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
     obsCtx.trace = &sink;
     obsCtx.metrics = &registry;
   }
-  const ScheduleResult r = runScheduler(*problem, scheduler, trials, obsCtx);
+  const ScheduleResult r =
+      runScheduler(*problem, scheduler, trials, jobs, obsCtx);
   // The pipeline exports its own stats; the baselines know nothing of the
   // registry, so bridge their SchedulerStats view in.
   if (out.wantsObs() && scheduler != "pipeline") {
@@ -331,6 +351,79 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
   }
   writeObsExports(out, sink, registry);
   return report.valid() ? 0 : 2;
+}
+
+/// `pawsc schedule a.paws b.paws ...` — schedule every file concurrently on
+/// the paws::exec pool and print one summary row per input, in input order.
+/// Workers return plain numbers only: a Schedule points into its
+/// (worker-local) Problem, and printing from workers would interleave.
+int cmdScheduleBatch(const std::vector<std::string>& paths,
+                     const std::string& scheduler, std::uint32_t trials,
+                     std::size_t jobs) {
+  struct Row {
+    bool loaded = false;
+    bool ok = false;
+    std::string status;
+    std::string message;  // parse/scheduling errors, reported by the printer
+    long long finish = 0;
+    double ecJ = 0;
+    double rho = 0;
+    std::uint64_t lpRuns = 0;
+  };
+  exec::Pool pool(exec::resolveJobs(jobs));
+  const std::vector<Row> rows = exec::parallelMap(
+      pool, paths.size(), [&](std::size_t i) -> Row {
+        Row row;
+        io::ParseResult parsed = io::parseProblemFile(paths[i]);
+        if (!parsed.ok()) {
+          for (const io::ParseError& e : parsed.errors) {
+            if (!row.message.empty()) row.message += "; ";
+            row.message += io::format(e);
+          }
+          return row;
+        }
+        row.loaded = true;
+        const Problem& problem = *parsed.problem;
+        // Files already run in parallel; keep each solve single-threaded.
+        const ScheduleResult r =
+            runScheduler(problem, scheduler, trials, 1, obs::ObsContext{});
+        row.status = toString(r.status);
+        row.lpRuns = r.stats.longestPathRuns;
+        if (!r.ok()) {
+          row.message = r.message;
+          return row;
+        }
+        row.ok = true;
+        row.finish = static_cast<long long>(r.schedule->finish().ticks());
+        row.ecJ = r.schedule->energyCost(problem.minPower()).joules();
+        row.rho = 100.0 * r.schedule->utilization(problem.minPower());
+        return row;
+      });
+
+  std::printf("%-32s %10s %12s %9s %10s\n", "file", "tau", "Ec(J)", "rho",
+              "lp-runs");
+  int failures = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const Row& row = rows[i];
+    if (!row.ok) {
+      ++failures;
+      std::printf("%-32s %10s %12s %9s %10s  %s\n", paths[i].c_str(), "-",
+                  "-", "-", "-",
+                  row.loaded ? row.status.c_str() : "PARSE ERROR");
+      if (!row.message.empty()) {
+        std::fprintf(stderr, "%s: %s\n", paths[i].c_str(),
+                     row.message.c_str());
+      }
+      continue;
+    }
+    std::printf("%-32s %10lld %12.3f %8.1f%% %10llu\n", paths[i].c_str(),
+                row.finish, row.ecJ, row.rho,
+                static_cast<unsigned long long>(row.lpRuns));
+  }
+  std::printf("scheduled %zu/%zu files (%s, %zu worker threads)\n",
+              paths.size() - static_cast<std::size_t>(failures),
+              paths.size(), scheduler.c_str(), pool.numThreads());
+  return failures == 0 ? 0 : 2;
 }
 
 int cmdSweep(const std::string& path, double from, double to, double step) {
@@ -416,9 +509,13 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string path = argv[2];
+  // `schedule` accepts several input files (batch mode); the extra
+  // positional arguments land here.
+  std::vector<std::string> paths = {path};
 
   std::string scheduler = "pipeline";
   std::uint32_t trials = 4;
+  std::size_t jobs = 0;  // 0 = PAWS_JOBS env or hardware_concurrency
   ScheduleExports exports;
   double pmaxFrom = 0, pmaxTo = 0, pmaxStep = 1;
   std::int64_t horizon = 0;
@@ -435,10 +532,14 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--scheduler") {
+    if (!arg.empty() && arg[0] != '-') {
+      paths.push_back(arg);  // extra input file (batch schedule)
+    } else if (arg == "--scheduler") {
       scheduler = value("--scheduler");
     } else if (arg == "--trials") {
       trials = static_cast<std::uint32_t>(std::atoi(value("--trials")));
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::atoll(value("--jobs")));
     } else if (arg == "--gantt") {
       exports.gantt = true;
     } else if (arg == "--breakdown") {
@@ -481,9 +582,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (command != "schedule" && paths.size() > 1) {
+    std::fprintf(stderr, "%s takes exactly one input file\n",
+                 command.c_str());
+    return 1;
+  }
   if (command == "check") return cmdCheck(path);
   if (command == "schedule") {
-    return cmdSchedule(path, scheduler, trials, exports);
+    if (paths.size() > 1) {
+      if (exports.any()) {
+        std::fprintf(stderr,
+                     "render/export flags need a single input file\n");
+        return 1;
+      }
+      return cmdScheduleBatch(paths, scheduler, trials, jobs);
+    }
+    return cmdSchedule(path, scheduler, trials, jobs, exports);
   }
   if (command == "sweep") return cmdSweep(path, pmaxFrom, pmaxTo, pmaxStep);
   if (command == "windows") return cmdWindows(path, horizon);
