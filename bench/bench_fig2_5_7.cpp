@@ -43,7 +43,9 @@ void printFigures() {
 
   // Metrics across all three stages: the longest_path.* counters quantify
   // how much work the rollback-aware engine saves (restores replace full
-  // Bellman–Ford reruns after every backtrack / rejected move).
+  // Bellman–Ford reruns after every backtrack / rejected move), and the
+  // profile.* counters do the same for the incremental power profile
+  // (delta updates replace event-sort rebuilds per evaluation).
   obs::MetricsRegistry metrics;
   obs::ObsContext obsCtx;
   obsCtx.metrics = &metrics;
@@ -100,6 +102,14 @@ void printFigures() {
                   metrics.counter("longest_path.restores")),
               static_cast<unsigned long long>(
                   metrics.counter("longest_path.restore_fallbacks")));
+  std::printf("profile engine over the power stages: %llu rebuilds, "
+              "%llu incremental updates, %llu checkpoint restores\n\n",
+              static_cast<unsigned long long>(
+                  metrics.counter("profile.rebuilds")),
+              static_cast<unsigned long long>(
+                  metrics.counter("profile.incremental_updates")),
+              static_cast<unsigned long long>(
+                  metrics.counter("profile.restores")));
 }
 
 void BM_TimingStage(benchmark::State& state) {

@@ -11,6 +11,7 @@
 #include "exec/pool.hpp"
 #include "obs/metrics.hpp"
 #include "power/profile.hpp"
+#include "power/profile_engine.hpp"
 
 namespace paws {
 
@@ -46,6 +47,10 @@ struct SearchShared {
   std::atomic<std::uint64_t> nodesExplored{0};
   std::atomic<bool> budgetTripped{false};
   std::uint64_t maxNodes = 0;
+  // Aggregated per-worker profile effort (flushed once per worker, not per
+  // node — the dfs hot loop stays atomic-free).
+  std::atomic<std::uint64_t> profileUpdates{0};
+  std::atomic<std::uint64_t> profileRebuilds{0};
 };
 
 /// A worker's chunk-local winner: the first leaf in its DFS order that
@@ -74,14 +79,26 @@ void mergeBest(LocalBest& acc, LocalBest&& lb) {
 class Worker {
  public:
   Worker(const Problem& problem, const std::vector<std::vector<Pair>>& touching,
-         Time horizon, SearchShared& shared)
+         Time horizon, SearchShared& shared, bool incremental)
       : problem_(problem),
         touching_(touching),
         horizon_(horizon),
         shared_(shared),
         pmin_(problem.minPower()),
         pmax_(problem.maxPower()),
+        incremental_(incremental),
+        engine_(problem.backgroundPower(), problem.minPower(),
+                problem.maxPower()),
         starts_(problem.numVertices(), Time::zero()) {}
+
+  ~Worker() {
+    // Flush this worker's profile effort into the shared aggregates.
+    shared_.profileUpdates.fetch_add(engine_.incrementalUpdates() +
+                                         legacyUpdates_,
+                                     std::memory_order_relaxed);
+    shared_.profileRebuilds.fetch_add(engine_.rebuilds() + legacyRebuilds_,
+                                      std::memory_order_relaxed);
+  }
 
   /// Explores task 1's start over [t1Lo, t1Hi] (inclusive, additionally
   /// clamped by the horizon), deeper tasks over the full horizon.
@@ -103,6 +120,10 @@ class Worker {
   SearchShared& shared_;
   const Watts pmin_;
   const Watts pmax_;
+  const bool incremental_;
+  power::ProfileEngine engine_;  // placed-prefix profile (incremental mode)
+  std::uint64_t legacyUpdates_ = 0;
+  std::uint64_t legacyRebuilds_ = 0;
   Time t1Lo_;
   Time t1Hi_;
   std::vector<Time> starts_;
@@ -153,7 +174,26 @@ void Worker::dfs(std::size_t k) {
     }
     if (violated) continue;
 
-    // Monotone power prunings on the placed prefix.
+    // Monotone power prunings on the placed prefix. Incremental mode keeps
+    // the prefix profile alive in the engine — one addTask per placement,
+    // one removeTask per backtrack, O(log k + touched segments) each — and
+    // reads both pruning quantities from cached aggregates.
+    if (incremental_) {
+      engine_.addTask(v, Interval(t, t + task.delay), task.power);
+      const bool pruned =
+          engine_.firstSpike().has_value() ||
+          engine_.energyAbove().milliwattTicks() >
+              shared_.bestCostMwt.load(std::memory_order_relaxed);
+      if (pruned) {
+        engine_.removeTask(v);
+        continue;
+      }
+      dfs(k + 1);
+      engine_.removeTask(v);
+      if (shared_.budgetTripped.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+
     const PowerProfile prefix = [&] {
       PowerProfileBuilder b;
       for (std::size_t i = 1; i <= k; ++i) {
@@ -163,6 +203,7 @@ void Worker::dfs(std::size_t k) {
       }
       return b.build(problem_.backgroundPower());
     }();
+    ++legacyRebuilds_;
     if (prefix.firstSpike(pmax_)) continue;
     // The final profile dominates the prefix pointwise (tasks only add
     // power, and the final span only extends the background), so the
@@ -178,10 +219,22 @@ void Worker::dfs(std::size_t k) {
 }
 
 void Worker::leaf() {
-  const PowerProfile profile = profileOf(problem_, starts_);
-  if (profile.firstSpike(pmax_)) return;
-  const Energy cost = profile.energyAbove(pmin_);
-  const Time finish = finishOf(problem_, starts_);
+  Energy cost;
+  Time finish;
+  if (incremental_) {
+    // The engine holds every task's contribution here (k == n), i.e.
+    // exactly profileOf(problem_, starts_) — all leaf quantities are
+    // cached aggregates.
+    if (engine_.firstSpike().has_value()) return;
+    cost = engine_.energyAbove();
+    finish = engine_.finish();
+  } else {
+    const PowerProfile profile = profileOf(problem_, starts_);
+    ++legacyRebuilds_;
+    if (profile.firstSpike(pmax_)) return;
+    cost = profile.energyAbove(pmin_);
+    finish = finishOf(problem_, starts_);
+  }
   if (!best_.have || cost < best_.cost ||
       (cost == best_.cost && finish < best_.finish)) {
     best_.starts = starts_;
@@ -240,7 +293,8 @@ ScheduleResult ExhaustiveScheduler::schedule() {
   LocalBest best;
   if (jobs <= 1 || numT1 < 2) {
     // Serial: one worker over the whole range, on the calling thread.
-    Worker w(problem_, touching, horizon, shared);
+    Worker w(problem_, touching, horizon, shared,
+             options_.incrementalProfile);
     w.search(Time::zero(), horizon);
     best = w.takeBest();
   } else {
@@ -259,7 +313,8 @@ ScheduleResult ExhaustiveScheduler::schedule() {
                   static_cast<std::int64_t>(numChunks) -
               1;
           const Problem clone = problem_;  // worker-private scratch
-          Worker w(clone, touching, horizon, shared);
+          Worker w(clone, touching, horizon, shared,
+                   options_.incrementalProfile);
           w.search(Time::zero() + Duration(lo), Time::zero() + Duration(hi));
           return w.takeBest();
         });
@@ -278,6 +333,12 @@ ScheduleResult ExhaustiveScheduler::schedule() {
   outcome_.provenOptimal = !budgetTripped;
   if (options_.obs.metrics != nullptr) {
     options_.obs.metrics->add("exhaustive.nodes", outcome_.nodesExplored);
+    options_.obs.metrics->add(
+        "profile.incremental_updates",
+        shared.profileUpdates.load(std::memory_order_relaxed));
+    options_.obs.metrics->add(
+        "profile.rebuilds",
+        shared.profileRebuilds.load(std::memory_order_relaxed));
   }
 
   if (!best.have) {

@@ -5,8 +5,10 @@
 
 #include "base/check.hpp"
 #include "graph/longest_path.hpp"
+#include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
+#include "power/profile_engine.hpp"
 #include "sched/slack.hpp"
 #include "sched/timing_scheduler.hpp"
 
@@ -22,27 +24,29 @@ std::uint32_t nextRand(std::uint32_t& state) {
   return state = x;
 }
 
-/// Instantaneous power of a raw assignment at time t.
-Watts powerAt(const Problem& problem, const std::vector<Time>& starts,
-              Time t) {
-  Watts p = problem.backgroundPower();
-  for (std::size_t i = 1; i < problem.numVertices(); ++i) {
-    const TaskId v(static_cast<std::uint32_t>(i));
-    const Task& task = problem.task(v);
-    if (starts[i] <= t && t < starts[i] + task.delay) p += task.power;
-  }
-  return p;
-}
+/// One O(V) stabbing scan over a raw assignment: the tasks active at t (in
+/// increasing id order, like ProfileEngine::activeAt) and the instantaneous
+/// power they draw. This is the legacy fallback behind
+/// MaxPowerOptions::incrementalProfile == false — the hot path reads both
+/// answers from the engine's active-interval index instead.
+struct ActiveScan {
+  std::vector<TaskId> tasks;
+  Watts power;
+};
 
-std::vector<TaskId> activeAt(const Problem& problem,
-                             const std::vector<Time>& starts, Time t) {
-  std::vector<TaskId> result;
+ActiveScan scanActiveAt(const Problem& problem, const std::vector<Time>& starts,
+                        Time t) {
+  ActiveScan out;
+  out.power = problem.backgroundPower();
   for (std::size_t i = 1; i < problem.numVertices(); ++i) {
     const TaskId v(static_cast<std::uint32_t>(i));
     const Task& task = problem.task(v);
-    if (starts[i] <= t && t < starts[i] + task.delay) result.push_back(v);
+    if (starts[i] <= t && t < starts[i] + task.delay) {
+      out.tasks.push_back(v);
+      out.power += task.power;
+    }
   }
-  return result;
+  return out;
 }
 
 }  // namespace
@@ -59,6 +63,9 @@ MaxPowerScheduler::Detailed MaxPowerScheduler::scheduleDetailed() {
   decisions_.clear();
   delaysLeft_ = options_.maxDelays;
   rngState_ = options_.randomSeed == 0 ? 1 : options_.randomSeed;
+  profileRebuilds_ = 0;
+  profileUpdates_ = 0;
+  profileRestores_ = 0;
   options_.timing.obs.inheritFrom(options_.obs);
   obs::PhaseTimer phase(options_.obs, "max-power");
 
@@ -81,6 +88,12 @@ MaxPowerScheduler::Detailed MaxPowerScheduler::scheduleDetailed() {
   SchedulerStats stats;
   Attempt a = attempt(0, stats);
   a.result.stats += stats;
+
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->add("profile.rebuilds", profileRebuilds_);
+    options_.obs.metrics->add("profile.incremental_updates", profileUpdates_);
+    options_.obs.metrics->add("profile.restores", profileRestores_);
+  }
 
   Detailed out;
   out.result = std::move(a.result);
@@ -129,11 +142,38 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
 
   const Watts pmax = problem_.maxPower();
   const Time spikeHorizon(options_.ignoreSpikesBeforeTick);
+  const bool incremental = options_.incrementalProfile;
+
+  // The attempt's live profile: seeded once from the timing-valid starts,
+  // then kept in sync with moveTask deltas as victims are delayed and
+  // accepted delay rounds propagate. Every query below (first spike, power
+  // at the spike instant, simultaneous tasks) is O(log n) against it
+  // instead of an O(V) scan or a full profileOf rebuild per round. All
+  // rejection paths return from the attempt, so no checkpoint frames are
+  // needed — the engine dies with the attempt. Counters flush to the
+  // scheduler-wide profile.* totals on every exit path.
+  power::ProfileEngine pe(problem_.backgroundPower(), problem_.minPower(),
+                          pmax);
+  if (incremental) pe.rebuild(problem_, starts);
+  struct CounterFlush {
+    MaxPowerScheduler& self;
+    power::ProfileEngine& pe;
+    ~CounterFlush() {
+      self.profileRebuilds_ += pe.rebuilds();
+      self.profileUpdates_ += pe.incrementalUpdates();
+      self.profileRestores_ += pe.restores();
+    }
+  } flush{*this, pe};
 
   while (true) {
-    const PowerProfile profile = profileOf(problem_, starts);
-    const std::optional<Time> spikeAt =
-        profile.firstSpike(pmax, spikeHorizon);
+    std::optional<Time> spikeAt;
+    if (incremental) {
+      spikeAt = pe.firstSpike(spikeHorizon);
+    } else {
+      const PowerProfile profile = profileOf(problem_, starts);
+      ++profileRebuilds_;
+      spikeAt = profile.firstSpike(pmax, spikeHorizon);
+    }
     if (!spikeAt) {
       a.result.status = SchedStatus::kOk;
       a.result.schedule = Schedule(&problem_, starts);
@@ -156,9 +196,18 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
     // reschedule case. ---
     const std::vector<Duration> slacks = computeSlacks(graph, starts);
     std::vector<Time> localStarts = starts;
-    while (powerAt(problem_, localStarts, t) > pmax) {
+    while (true) {
+      std::vector<TaskId> active;
+      if (incremental) {
+        if (pe.valueAt(t) <= pmax) break;
+        active = pe.activeAt(t);
+      } else {
+        ActiveScan scan = scanActiveAt(problem_, localStarts, t);
+        if (scan.power <= pmax) break;
+        active = std::move(scan.tasks);
+      }
       std::vector<TaskId> victims;
-      for (TaskId v : activeAt(problem_, localStarts, t)) {
+      for (TaskId v : active) {
         if (!delayedThisRound[v.index()]) victims.push_back(v);
       }
       if (victims.empty()) {
@@ -214,6 +263,7 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       delayedThisRound[v.index()] = true;
       applyDecision(graph, d);
       localStarts[v.index()] = d.at;
+      if (incremental) pe.moveTask(v, d.at);
     }
 
     if (!reschedule) {
@@ -222,6 +272,15 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       ++stats.longestPathRuns;
       if (lp.feasible) {
         engine.release(engineMark);  // delay edges are being kept
+        if (incremental) {
+          // Sync the profile to the propagated start times with deltas for
+          // only the tasks the longest-path run actually moved.
+          for (std::size_t i = 1; i < lp.dist.size(); ++i) {
+            if (lp.dist[i] != localStarts[i]) {
+              pe.moveTask(TaskId(static_cast<std::uint32_t>(i)), lp.dist[i]);
+            }
+          }
+        }
         starts = lp.dist;
         continue;  // Spike at t cleared; rescan the profile.
       }
@@ -238,7 +297,10 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
     // scheduler on the amended graph; on failure undo the locks, delay one
     // more simultaneous task, and try again (Section 5.2). ---
     std::vector<TaskId> remaining;
-    for (TaskId v : activeAt(problem_, localStarts, t)) {
+    const std::vector<TaskId> stillActive =
+        incremental ? pe.activeAt(t)
+                    : scanActiveAt(problem_, localStarts, t).tasks;
+    for (TaskId v : stillActive) {
       if (!delayedThisRound[v.index()]) remaining.push_back(v);
     }
 

@@ -77,6 +77,12 @@ class MaxPowerScheduler {
   std::vector<Decision> decisions_;
   std::uint64_t delaysLeft_ = 0;
   std::uint32_t rngState_ = 1;
+  // Profile effort accumulated across all recursive attempts (each attempt
+  // owns a ProfileEngine; counters are flushed here as attempts unwind and
+  // exported as profile.* metrics by scheduleDetailed).
+  std::uint64_t profileRebuilds_ = 0;
+  std::uint64_t profileUpdates_ = 0;
+  std::uint64_t profileRestores_ = 0;
 };
 
 }  // namespace paws

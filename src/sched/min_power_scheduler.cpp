@@ -4,8 +4,10 @@
 
 #include "base/check.hpp"
 #include "graph/longest_path.hpp"
+#include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
+#include "power/profile_engine.hpp"
 #include "sched/slack.hpp"
 
 namespace paws {
@@ -73,10 +75,27 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
   std::uint32_t rng = options_.randomSeed == 0 ? 1 : options_.randomSeed;
 
   const Time spikeHorizon(options_.maxPower.ignoreSpikesBeforeTick);
-  PowerProfile profile = profileOf(problem_, starts);
-  PAWS_CHECK_MSG(!profile.firstSpike(pmax, spikeHorizon),
-                 "improve() requires a power-valid input schedule");
-  double rho = profile.utilization(pmin);
+  const bool incremental = options_.incrementalProfile;
+
+  // The live profile. Candidate gap-filling moves are evaluated by
+  // checkpointing the engine, applying moveTask deltas for only the tasks
+  // the longest-path run moved, reading spike/utilization from cached
+  // aggregates, and restoring on reject — the full profileOf rebuild per
+  // candidate survives only behind incrementalProfile == false.
+  power::ProfileEngine pe(problem_.backgroundPower(), pmin, pmax);
+  PowerProfile profile;  // legacy-mode mirror of the live profile
+  double rho;
+  if (incremental) {
+    pe.rebuild(problem_, starts);
+    PAWS_CHECK_MSG(!pe.firstSpike(spikeHorizon),
+                   "improve() requires a power-valid input schedule");
+    rho = pe.utilization();
+  } else {
+    profile = profileOf(problem_, starts);
+    PAWS_CHECK_MSG(!profile.firstSpike(pmax, spikeHorizon),
+                   "improve() requires a power-valid input schedule");
+    rho = profile.utilization(pmin);
+  }
   LongestPathEngine engine(graph);
   engine.setObs(options_.obs);
   // Seed the engine once so every candidate-move evaluation below runs
@@ -98,7 +117,11 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
 
     while (rescan && rho < 1.0) {
       rescan = false;
-      std::vector<Interval> gaps = profile.gaps(pmin);
+      std::vector<Interval> gaps = incremental ? pe.gaps() : profile.gaps(pmin);
+      // Slacks depend only on the graph and starts, which change solely on
+      // accepted moves — and those set rescan and break back here. One
+      // computation covers every gap of this scan.
+      const std::vector<Duration> slacks = computeSlacks(graph, starts);
       switch (scan) {
         case ScanOrder::kForward:
           break;  // gaps() is already in increasing time order
@@ -114,9 +137,8 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
 
       for (const Interval& gap : gaps) {
         const Time t = gap.begin();
-        if (profile.valueAt(t) >= pmin) continue;  // stale after a move
-
-        const std::vector<Duration> slacks = computeSlacks(graph, starts);
+        const Watts atT = incremental ? pe.valueAt(t) : profile.valueAt(t);
+        if (atT >= pmin) continue;  // stale after a move
 
         // Candidates: tasks that completed before t but can be delayed,
         // within their slack, far enough to be active at t.
@@ -177,14 +199,37 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
             engine.restore(ecp);
             continue;
           }
-          PowerProfile newProfile = profileOf(problem_, lp.dist);
-          const bool powerValid =
-              !newProfile.firstSpike(pmax, spikeHorizon).has_value();
-          const double newRho = newProfile.utilization(pmin);
+          // Evaluate the move: apply it to the live profile as deltas for
+          // only the tasks the propagation actually shifted (usually v and
+          // a handful of successors), read the verdict from the cached
+          // aggregates, and keep or undo the frame with the graph trail.
+          power::ProfileEngine::Checkpoint pcp;
+          PowerProfile newProfile;
+          bool powerValid;
+          double newRho;
+          if (incremental) {
+            pcp = pe.checkpoint();
+            for (std::size_t i = 1; i < lp.dist.size(); ++i) {
+              if (lp.dist[i] != starts[i]) {
+                pe.moveTask(TaskId(static_cast<std::uint32_t>(i)),
+                            lp.dist[i]);
+              }
+            }
+            powerValid = !pe.firstSpike(spikeHorizon).has_value();
+            newRho = pe.utilization();
+          } else {
+            newProfile = profileOf(problem_, lp.dist);
+            powerValid = !newProfile.firstSpike(pmax, spikeHorizon).has_value();
+            newRho = newProfile.utilization(pmin);
+          }
           if (powerValid && newRho > rho) {
             engine.release(ecp);  // the delay edge is being kept
+            if (incremental) {
+              pe.release(pcp);
+            } else {
+              profile = std::move(newProfile);
+            }
             starts = lp.dist;
-            profile = std::move(newProfile);
             rho = newRho;
             ++out.stats.improvements;
             PAWS_TRACE_INSTANT(options_.obs.trace,
@@ -201,6 +246,7 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
                              static_cast<std::int64_t>(newRho * 1e6), pass);
           graph.rollbackTo(cp);
           engine.restore(ecp);
+          if (incremental) pe.restore(pcp);
         }
         if (rescan) break;
       }
@@ -211,6 +257,13 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
       scan = rotateScan(scan);
       slot = rotateSlot(slot);
     }
+  }
+
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->add("profile.rebuilds", pe.rebuilds());
+    options_.obs.metrics->add("profile.incremental_updates",
+                              pe.incrementalUpdates());
+    options_.obs.metrics->add("profile.restores", pe.restores());
   }
 
   out.status = SchedStatus::kOk;

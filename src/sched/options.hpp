@@ -64,6 +64,11 @@ struct MaxPowerOptions {
   /// Total delay decisions before giving up.
   std::uint64_t maxDelays = 100000;
   std::uint32_t randomSeed = 1;
+  /// Evaluate spikes/victims through the incremental power::ProfileEngine
+  /// instead of rebuilding a PowerProfile per round. Same schedules either
+  /// way (the equivalence tests pin this); the flag exists so those tests
+  /// can run the legacy rebuild path.
+  bool incrementalProfile = true;
   obs::ObsContext obs;
 };
 
@@ -79,6 +84,10 @@ struct MinPowerOptions {
   /// some of the heuristics during each scan").
   bool rotateHeuristics = true;
   std::uint32_t randomSeed = 1;
+  /// Evaluate candidate gap-filling moves with power::ProfileEngine deltas
+  /// (checkpoint / moveTask / restore) instead of a full profile rebuild
+  /// per candidate. Byte-identical results; see MaxPowerOptions.
+  bool incrementalProfile = true;
   obs::ObsContext obs;
 };
 
