@@ -1,0 +1,135 @@
+// Mission-survival study (robustness methodology; no paper table): fly
+// Monte-Carlo fault campaigns over the rover mission and report what each
+// contingency layer buys — the closed-loop counterpart of bench_runtime's
+// open-loop robustness sweep. Then google-benchmark times fault-plan
+// instantiation, a degraded mission, and the campaign harness itself.
+#include <benchmark/benchmark.h>
+
+#include "bench_report.hpp"
+
+#include <cstdio>
+
+#include "fault/campaign.hpp"
+#include "fault/model.hpp"
+#include "fault/rng.hpp"
+#include "rover/rover_model.hpp"
+
+using namespace paws;
+using namespace paws::fault;
+
+namespace {
+
+struct Fixture {
+  rover::CaseSchedules cases;
+  Fixture() : cases(rover::buildCaseSchedules()) {}
+};
+
+const Fixture& fixture() {
+  static Fixture instance;
+  return instance;
+}
+
+FaultCampaign makeCampaign() {
+  return FaultCampaign(rover::missionSolarProfile(), rover::missionBattery(),
+                       roverCaseBindings(fixture().cases));
+}
+
+CampaignConfig baseConfig() {
+  CampaignConfig config;
+  config.missions = 40;
+  config.seed = 1;
+  config.targetSteps = 48;
+  // Stress harder than the defaults so the layers have failures to absorb.
+  config.model.failurePermille = 40;
+  config.model.clouds = 3;
+  config.model.deratePermille = 300;
+  return config;
+}
+
+void printSurvivalStudy() {
+  std::printf("=== mission survival by contingency layer "
+              "(40 seeded missions, 48 steps) ===\n");
+  std::printf("  %-18s %9s %8s %8s %8s %8s %8s\n", "policy", "survival",
+              "retries", "replans", "shed", "misses", "lost");
+  struct PolicyRow {
+    const char* name;
+    ContingencyOptions contingency;
+  };
+  ContingencyOptions retryOnly, replanOnly, shedOnly;
+  retryOnly.retry = true;
+  replanOnly.replan = true;
+  shedOnly.replan = shedOnly.shed = true;
+  const PolicyRow rows[] = {
+      {"open-loop", {}},
+      {"retry", retryOnly},
+      {"replan", replanOnly},
+      {"replan+shed", shedOnly},
+      {"all", ContingencyOptions::all()},
+  };
+  const FaultCampaign campaign = makeCampaign();
+  for (const PolicyRow& row : rows) {
+    CampaignConfig config = baseConfig();
+    config.contingency = row.contingency;
+    const CampaignResult r = campaign.run(config);
+    std::printf("  %-18s %5lld/1000 %8lld %8lld %8lld %8lld %8lld\n",
+                row.name, static_cast<long long>(r.survivalPermille()),
+                static_cast<long long>(r.retries),
+                static_cast<long long>(r.replans),
+                static_cast<long long>(r.shedTasks),
+                static_cast<long long>(r.deadlineMisses),
+                static_cast<long long>(r.unrecoverable + r.stalled +
+                                       r.depletions));
+  }
+  std::printf("\n");
+}
+
+void BM_FaultPlanInstantiation(benchmark::State& state) {
+  std::vector<std::string> names;
+  const Problem& p = *fixture().cases.problems[0];
+  for (TaskId v : p.taskIds()) names.push_back(p.task(v).name);
+  const FaultModel model(baseConfig().model, std::move(names));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.instantiate(mixSeed(1, seed++, 0)));
+  }
+}
+BENCHMARK(BM_FaultPlanInstantiation)->Unit(benchmark::kMicrosecond);
+
+void BM_DegradedMission(benchmark::State& state) {
+  const bool contingency = state.range(0) != 0;
+  const FaultCampaign campaign = makeCampaign();
+  CampaignConfig config = baseConfig();
+  config.missions = 1;
+  if (contingency) config.contingency = ContingencyOptions::all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign.run(config));
+  }
+}
+BENCHMARK(BM_DegradedMission)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_CampaignFanOut(benchmark::State& state) {
+  const FaultCampaign campaign = makeCampaign();
+  CampaignConfig config = baseConfig();
+  config.missions = 16;
+  config.targetSteps = 24;
+  config.contingency = ContingencyOptions::all();
+  config.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign.run(config));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CampaignFanOut)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!fixture().cases.ok) {
+    std::fprintf(stderr, "case schedules failed: %s\n",
+                 fixture().cases.message.c_str());
+    return 1;
+  }
+  printSurvivalStudy();
+  return paws::bench::runBenchMain("fault_campaign", argc, argv);
+}

@@ -1,0 +1,195 @@
+#include "fault/campaign.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "base/check.hpp"
+#include "exec/parallel_for.hpp"
+#include "exec/pool.hpp"
+#include "fault/rng.hpp"
+#include "obs/metrics.hpp"
+#include "rover/rover_model.hpp"
+
+namespace paws::fault {
+
+FaultCampaign::FaultCampaign(SolarSource solar, Battery battery,
+                             std::vector<runtime::CaseBinding> bindings)
+    : solar_(std::move(solar)),
+      battery_(std::move(battery)),
+      bindings_(std::move(bindings)) {
+  PAWS_CHECK_MSG(!bindings_.empty(), "campaign needs at least one binding");
+}
+
+CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
+  PAWS_CHECK(config.missions > 0);
+  PAWS_CHECK(config.targetSteps > 0);
+
+  // Pre-warm the lazy profile caches: during the parallel phase the
+  // bindings are shared read-only across workers.
+  for (const runtime::CaseBinding& b : bindings_) {
+    (void)b.schedule.powerProfile();
+  }
+
+  // Fault-addressable tasks: the first binding's names in id order (the
+  // names are stable across the case ladder).
+  std::vector<std::string> taskNames;
+  for (TaskId v : bindings_[0].problem->taskIds()) {
+    taskNames.push_back(bindings_[0].problem->task(v).name);
+  }
+  const FaultModel model(config.model, std::move(taskNames));
+  const runtime::RuntimeExecutor executor(solar_, battery_, bindings_);
+
+  const auto flyMission = [&](std::size_t mission) -> MissionOutcome {
+    const std::uint64_t missionSeed = mixSeed(config.seed, mission, 0);
+    const FaultPlan plan = model.instantiate(missionSeed);
+    runtime::ExecutorConfig ec;
+    ec.targetSteps = config.targetSteps;
+    ec.abortOnBrownout = config.abortOnBrownout;
+    ec.traceTasks = false;
+    ec.faults = &plan;
+    ec.contingency = config.contingency;
+    const runtime::ExecutionResult r = executor.run(ec);
+
+    MissionOutcome o;
+    o.seed = missionSeed;
+    o.survived = r.complete;
+    o.steps = r.steps;
+    o.finishedAt = r.finishedAt;
+    o.batteryDrawn = r.batteryDrawn;
+    o.brownouts = r.brownouts;
+    o.faultsInjected = r.faultsInjected;
+    o.retries = r.retries;
+    o.replans = r.replans;
+    o.replanFailures = r.replanFailures;
+    o.shedTasks = r.shedTasks;
+    o.deadlineMisses = r.deadlineMisses;
+    o.batteryDepleted = r.batteryDepleted;
+    o.unrecoverable = r.unrecoverable;
+    o.stalled = r.stalled;
+    return o;
+  };
+
+  CampaignResult result;
+  {
+    exec::Pool pool(config.jobs);
+    result.outcomes = exec::parallelMap(
+        pool, static_cast<std::size_t>(config.missions), flyMission);
+  }
+
+  // Index-order reduction: byte-identical for any worker count.
+  result.missions = config.missions;
+  for (const MissionOutcome& o : result.outcomes) {
+    if (o.survived) ++result.survived;
+    result.steps += o.steps;
+    result.brownouts += o.brownouts;
+    result.faultsInjected += o.faultsInjected;
+    result.retries += o.retries;
+    result.replans += o.replans;
+    result.replanFailures += o.replanFailures;
+    result.shedTasks += o.shedTasks;
+    result.deadlineMisses += o.deadlineMisses;
+    if (o.batteryDepleted) ++result.depletions;
+    if (o.unrecoverable) ++result.unrecoverable;
+    if (o.stalled) ++result.stalled;
+  }
+
+  if (config.obs.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.obs.metrics;
+    const auto add = [&m](const char* name, std::int64_t v) {
+      m.add(name, static_cast<std::uint64_t>(v));
+    };
+    add("campaign.missions", result.missions);
+    add("campaign.survived", result.survived);
+    add("campaign.steps", result.steps);
+    add("campaign.brownouts", result.brownouts);
+    add("campaign.faults_injected", result.faultsInjected);
+    add("campaign.retries", result.retries);
+    add("campaign.replans", result.replans);
+    add("campaign.replan_failures", result.replanFailures);
+    add("campaign.shed_tasks", result.shedTasks);
+    add("campaign.deadline_misses", result.deadlineMisses);
+    add("campaign.depletions", result.depletions);
+    add("campaign.unrecoverable", result.unrecoverable);
+    add("campaign.stalled", result.stalled);
+    m.set("campaign.survival_permille",
+          static_cast<double>(result.survivalPermille()));
+  }
+  return result;
+}
+
+std::vector<runtime::CaseBinding> roverCaseBindings(
+    const rover::CaseSchedules& cases) {
+  PAWS_CHECK_MSG(cases.ok && cases.schedules.size() == 3,
+                 "case schedules did not build: " << cases.message);
+  using rover::RoverCase;
+  std::vector<runtime::CaseBinding> bindings;
+  bindings.push_back({"best", rover::powerTable(RoverCase::kBest).solar,
+                      cases.problems[0].get(), cases.schedules[0],
+                      rover::kStepsPerIteration});
+  bindings.push_back({"typical", rover::powerTable(RoverCase::kTypical).solar,
+                      cases.problems[1].get(), cases.schedules[1],
+                      rover::kStepsPerIteration});
+  // The worst case is the catch-all so degraded solar still selects it.
+  bindings.push_back({"worst", Watts::zero(), cases.problems[2].get(),
+                      cases.schedules[2], rover::kStepsPerIteration});
+  return bindings;
+}
+
+namespace {
+
+const char* boolStr(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string toJson(const CampaignConfig& config,
+                   const CampaignResult& result) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"campaign\": {\"seed\": " << config.seed
+     << ", \"missions\": " << config.missions
+     << ", \"target_steps\": " << config.targetSteps
+     << ", \"abort_on_brownout\": " << boolStr(config.abortOnBrownout)
+     << ",\n    \"contingency\": {\"retry\": "
+     << boolStr(config.contingency.retry)
+     << ", \"replan\": " << boolStr(config.contingency.replan)
+     << ", \"shed\": " << boolStr(config.contingency.shed)
+     << ", \"watchdog_slack_pct\": " << config.contingency.watchdogSlackPct
+     << "}},\n";
+  os << "  \"aggregate\": {\"survived\": " << result.survived
+     << ", \"survival_permille\": " << result.survivalPermille()
+     << ", \"steps\": " << result.steps
+     << ", \"brownouts\": " << result.brownouts
+     << ", \"depletions\": " << result.depletions
+     << ", \"faults_injected\": " << result.faultsInjected
+     << ", \"retries\": " << result.retries
+     << ", \"replans\": " << result.replans
+     << ", \"replan_failures\": " << result.replanFailures
+     << ", \"shed_tasks\": " << result.shedTasks
+     << ", \"deadline_misses\": " << result.deadlineMisses
+     << ", \"unrecoverable\": " << result.unrecoverable
+     << ", \"stalled\": " << result.stalled << "},\n";
+  os << "  \"missions\": [\n";
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const MissionOutcome& o = result.outcomes[i];
+    os << "    {\"seed\": " << o.seed
+       << ", \"survived\": " << boolStr(o.survived)
+       << ", \"steps\": " << o.steps
+       << ", \"finished_at\": " << o.finishedAt.ticks()
+       << ", \"battery_drawn_mwticks\": " << o.batteryDrawn.milliwattTicks()
+       << ", \"brownouts\": " << o.brownouts
+       << ", \"faults\": " << o.faultsInjected
+       << ", \"retries\": " << o.retries
+       << ", \"replans\": " << o.replans
+       << ", \"replan_failures\": " << o.replanFailures
+       << ", \"shed\": " << o.shedTasks
+       << ", \"deadline_misses\": " << o.deadlineMisses
+       << ", \"depleted\": " << boolStr(o.batteryDepleted)
+       << ", \"unrecoverable\": " << boolStr(o.unrecoverable)
+       << ", \"stalled\": " << boolStr(o.stalled) << "}"
+       << (i + 1 < result.outcomes.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace paws::fault

@@ -1,0 +1,117 @@
+// FaultCampaign — Monte-Carlo mission-survival campaigns.
+//
+// A campaign replays the same mission N times, each under a fault plan
+// sampled from a FaultModel with that mission's seed, and aggregates
+// survival. Missions run on the paws::exec pool; results are byte-identical
+// for ANY worker count because
+//
+//   * mission i's plan depends only on mixSeed(campaign seed, i, 0) —
+//     never on which thread instantiated it;
+//   * outcomes are stored at index i (exec::parallelMap) and reduced in
+//     index order;
+//   * the shared case bindings are immutable during the parallel phase —
+//     run() pre-warms every schedule's lazy power-profile cache before
+//     spawning workers.
+//
+// The aggregate answers the paper's mission-critical question directly:
+// with faults at this rate, what fraction of missions completes its 48
+// steps — and how much does each contingency layer (retry / replan / shed)
+// buy over the open-loop executor?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/contingency.hpp"
+#include "fault/model.hpp"
+#include "obs/context.hpp"
+#include "rover/plans.hpp"
+#include "runtime/executor.hpp"
+
+namespace paws::fault {
+
+struct CampaignConfig {
+  int missions = 32;
+  std::uint64_t seed = 1;
+  int targetSteps = 48;
+  bool abortOnBrownout = false;
+  ContingencyOptions contingency;
+  FaultModelConfig model;
+  /// Worker threads for the mission fan-out: 1 = serial (default),
+  /// 0 = exec::defaultJobs(). The results never depend on this.
+  std::size_t jobs = 1;
+  /// Aggregates land in "campaign.*" counters/gauges.
+  obs::ObsContext obs;
+};
+
+/// One mission's outcome, reduced from the executor's ExecutionResult.
+struct MissionOutcome {
+  std::uint64_t seed = 0;
+  bool survived = false;
+  int steps = 0;
+  Time finishedAt;
+  Energy batteryDrawn;
+  int brownouts = 0;
+  int faultsInjected = 0;
+  int retries = 0;
+  int replans = 0;
+  int replanFailures = 0;
+  int shedTasks = 0;
+  int deadlineMisses = 0;
+  bool batteryDepleted = false;
+  bool unrecoverable = false;
+  bool stalled = false;
+};
+
+struct CampaignResult {
+  int missions = 0;
+  int survived = 0;
+  std::int64_t steps = 0;
+  std::int64_t brownouts = 0;
+  std::int64_t faultsInjected = 0;
+  std::int64_t retries = 0;
+  std::int64_t replans = 0;
+  std::int64_t replanFailures = 0;
+  std::int64_t shedTasks = 0;
+  std::int64_t deadlineMisses = 0;
+  std::int64_t depletions = 0;
+  std::int64_t unrecoverable = 0;
+  std::int64_t stalled = 0;
+  /// Per-mission outcomes in mission-index order.
+  std::vector<MissionOutcome> outcomes;
+
+  /// Survival rate in permille (integer, so reports stay byte-exact).
+  [[nodiscard]] std::int64_t survivalPermille() const {
+    return missions == 0 ? 0 : static_cast<std::int64_t>(survived) * 1000 /
+                                   missions;
+  }
+};
+
+class FaultCampaign {
+ public:
+  /// `bindings` as for RuntimeExecutor; the pointed-to problems must
+  /// outlive the campaign.
+  FaultCampaign(SolarSource solar, Battery battery,
+                std::vector<runtime::CaseBinding> bindings);
+
+  [[nodiscard]] CampaignResult run(const CampaignConfig& config) const;
+
+ private:
+  SolarSource solar_;
+  Battery battery_;
+  std::vector<runtime::CaseBinding> bindings_;
+};
+
+/// Case bindings over rover::buildCaseSchedules output (best/typical/worst
+/// with the worst case as the 0 W catch-all). `cases` must outlive the
+/// bindings and must have built successfully.
+std::vector<runtime::CaseBinding> roverCaseBindings(
+    const rover::CaseSchedules& cases);
+
+/// Deterministic JSON report (config echo, aggregate, per-mission rows).
+/// Never embeds the worker count, so reports from different `jobs` values
+/// are byte-identical.
+std::string toJson(const CampaignConfig& config, const CampaignResult& result);
+
+}  // namespace paws::fault

@@ -1,0 +1,68 @@
+// ContingencyOptions — the pluggable mid-flight response policy.
+//
+// When the injected (or real) environment breaks the executing schedule,
+// the runtime executor escalates through four responses, each individually
+// switchable so campaigns can measure what every layer buys:
+//
+//   1. retry     — a failed task re-executes after a growing backoff,
+//                  serialized after the iteration's remaining work, at most
+//                  `maxRetries` times per fault;
+//   2. replan    — a brownout instant triggers repairSchedule() on the
+//                  amended problem (history pinned, the future re-planned
+//                  under the degraded Pmax/Pmin), bounded per iteration;
+//   3. shed      — when the repair is infeasible (or retries run out on a
+//                  droppable task), droppable tasks are abandoned in
+//                  criticality order until the mission fits;
+//   4. watchdog  — iterations that blow their nominal span by more than
+//                  `watchdogSlackPct` raise an explicit deadline-miss
+//                  event instead of silently overrunning.
+//
+// Case *downgrade* needs no knob: the executor's CaseBinding ladder already
+// re-selects the schedule matching the (now degraded) solar level at every
+// iteration boundary.
+//
+// A default-constructed ContingencyOptions disables everything — the
+// executor then behaves exactly as the pre-fault code did.
+#pragma once
+
+#include <cstdint>
+
+#include "base/time.hpp"
+
+namespace paws::fault {
+
+struct ContingencyOptions {
+  /// Retry failed task executions (bounded, with linear backoff).
+  bool retry = false;
+  std::uint32_t maxRetries = 2;
+  /// Idle gap before retry attempt k: backoff * k ticks.
+  Duration backoff = Duration(2);
+
+  /// Repair the running schedule at a brownout instant.
+  bool replan = false;
+  std::uint32_t maxReplansPerIteration = 2;
+
+  /// Shed droppable tasks (Task::criticality > 0) when repair cannot fit
+  /// the mission, most-droppable (highest criticality value) first.
+  bool shed = false;
+
+  /// Raise a deadline-miss event when an iteration's effective span
+  /// exceeds its nominal span by more than this percentage (0 = off).
+  std::uint32_t watchdogSlackPct = 0;
+
+  /// Convenience: everything on, default bounds.
+  [[nodiscard]] static ContingencyOptions all() {
+    ContingencyOptions o;
+    o.retry = true;
+    o.replan = true;
+    o.shed = true;
+    o.watchdogSlackPct = 50;
+    return o;
+  }
+
+  [[nodiscard]] bool any() const {
+    return retry || replan || shed || watchdogSlackPct > 0;
+  }
+};
+
+}  // namespace paws::fault

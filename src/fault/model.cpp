@@ -1,0 +1,113 @@
+#include "fault/model.hpp"
+
+#include <utility>
+
+#include "base/check.hpp"
+#include "fault/rng.hpp"
+
+namespace paws::fault {
+
+namespace {
+
+// Category salts: each sampling loop draws from its own stream so the
+// categories never perturb one another.
+constexpr std::uint64_t kOverrunSalt = 1;
+constexpr std::uint64_t kFailureSalt = 2;
+constexpr std::uint64_t kCloudSalt = 3;
+constexpr std::uint64_t kStormSalt = 4;
+constexpr std::uint64_t kDerateSalt = 5;
+
+/// A window of `minSpan..maxSpan` ticks starting uniformly in the horizon.
+Fault drawWindow(SplitMix64& rng, Time horizon, Duration minSpan,
+                 Duration maxSpan, std::uint32_t minPct,
+                 std::uint32_t maxPct) {
+  const Duration span(rng.range(minSpan.ticks(), maxSpan.ticks()));
+  const std::int64_t latestStart =
+      std::max<std::int64_t>(0, horizon.ticks() - span.ticks());
+  const Time begin(rng.range(0, latestStart));
+  const std::uint32_t pct =
+      static_cast<std::uint32_t>(rng.range(minPct, maxPct));
+  return FaultPlan::solarTransient(Interval(begin, begin + span), pct);
+}
+
+}  // namespace
+
+FaultModel::FaultModel(FaultModelConfig config,
+                       std::vector<std::string> taskNames)
+    : config_(std::move(config)), taskNames_(std::move(taskNames)) {
+  PAWS_CHECK_MSG(config_.horizon > Time::zero(),
+                 "fault model needs a positive horizon");
+  PAWS_CHECK(config_.overrunMinPct >= 100 &&
+             config_.overrunMaxPct >= config_.overrunMinPct);
+  PAWS_CHECK(config_.cloudMaxSpan >= config_.cloudMinSpan);
+  PAWS_CHECK(config_.stormMaxSpan >= config_.stormMinSpan);
+}
+
+FaultPlan FaultModel::instantiate(std::uint64_t missionSeed) const {
+  FaultPlan plan;
+
+  // Task overruns — one stream, iterated (iteration x task) in fixed order.
+  {
+    SplitMix64 rng(mixSeed(missionSeed, 0, kOverrunSalt));
+    for (std::uint64_t it = 0; it < config_.iterations; ++it) {
+      for (const std::string& task : taskNames_) {
+        if (!rng.chance(config_.overrunPermille)) continue;
+        const std::uint32_t pct = static_cast<std::uint32_t>(
+            rng.range(config_.overrunMinPct, config_.overrunMaxPct));
+        plan.faults.push_back(FaultPlan::overrun(task, it, pct));
+      }
+    }
+  }
+
+  // Transient task failures.
+  {
+    SplitMix64 rng(mixSeed(missionSeed, 0, kFailureSalt));
+    for (std::uint64_t it = 0; it < config_.iterations; ++it) {
+      for (const std::string& task : taskNames_) {
+        if (!rng.chance(config_.failurePermille)) continue;
+        const std::uint32_t times = static_cast<std::uint32_t>(rng.range(
+            1, std::max<std::uint32_t>(1, config_.maxConsecutiveFailures)));
+        plan.faults.push_back(FaultPlan::failure(task, it, times));
+      }
+    }
+  }
+
+  // Cloud dropouts and dust storms.
+  {
+    SplitMix64 rng(mixSeed(missionSeed, 0, kCloudSalt));
+    for (std::uint32_t i = 0; i < config_.clouds; ++i) {
+      plan.faults.push_back(drawWindow(rng, config_.horizon,
+                                       config_.cloudMinSpan,
+                                       config_.cloudMaxSpan,
+                                       config_.cloudMinPct,
+                                       config_.cloudMaxPct));
+    }
+  }
+  {
+    SplitMix64 rng(mixSeed(missionSeed, 0, kStormSalt));
+    for (std::uint32_t i = 0; i < config_.storms; ++i) {
+      plan.faults.push_back(drawWindow(rng, config_.horizon,
+                                       config_.stormMinSpan,
+                                       config_.stormMaxSpan,
+                                       config_.stormMinPct,
+                                       config_.stormMaxPct));
+    }
+  }
+
+  // At most one battery derate per mission.
+  {
+    SplitMix64 rng(mixSeed(missionSeed, 0, kDerateSalt));
+    if (rng.chance(config_.deratePermille)) {
+      const Time at(rng.range(0, config_.horizon.ticks()));
+      const std::uint32_t cap = static_cast<std::uint32_t>(
+          rng.range(config_.derateCapacityMinPct, 100));
+      const std::uint32_t out = static_cast<std::uint32_t>(
+          rng.range(config_.derateOutputMinPct, 100));
+      plan.faults.push_back(FaultPlan::batteryDerate(at, cap, out));
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace paws::fault

@@ -1,0 +1,77 @@
+// FaultModel — distribution-driven fault plans for Monte-Carlo campaigns.
+//
+// Where a scripted FaultPlan replays one exact degraded mission, the model
+// *samples* missions: given a mission seed it instantiates a FaultPlan by
+// drawing from per-category SplitMix64 streams (rng.hpp). Each category
+// (overruns, failures, clouds, storms, derating) gets its own stream
+// derived from (seed, category salt), so adding a category or reordering
+// the sampling code never perturbs the draws of another — and a mission's
+// plan depends only on its seed, never on which worker thread built it.
+//
+// All knobs are integers (permille probabilities, percent magnitudes,
+// tick durations): instantiation is exact and platform-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/time.hpp"
+#include "fault/fault.hpp"
+
+namespace paws::fault {
+
+struct FaultModelConfig {
+  /// Task overruns: per (task, iteration) probability and magnitude range.
+  std::uint32_t overrunPermille = 40;
+  std::uint32_t overrunMinPct = 110;
+  std::uint32_t overrunMaxPct = 180;
+
+  /// Transient task failures: per (task, iteration) probability; each
+  /// drawn fault fails 1..maxConsecutiveFailures times.
+  std::uint32_t failurePermille = 8;
+  std::uint32_t maxConsecutiveFailures = 2;
+
+  /// Cloud dropouts: short solar dips, `clouds` windows over the horizon.
+  std::uint32_t clouds = 2;
+  Duration cloudMinSpan = Duration(20);
+  Duration cloudMaxSpan = Duration(90);
+  std::uint32_t cloudMinPct = 35;
+  std::uint32_t cloudMaxPct = 75;
+
+  /// Dust storms: long, deep solar windows (0 by default).
+  std::uint32_t storms = 0;
+  Duration stormMinSpan = Duration(200);
+  Duration stormMaxSpan = Duration(600);
+  std::uint32_t stormMinPct = 5;
+  std::uint32_t stormMaxPct = 40;
+
+  /// Battery derating: probability that ONE derate event strikes the
+  /// mission, with capacity/output floors.
+  std::uint32_t deratePermille = 150;
+  std::uint32_t derateCapacityMinPct = 55;
+  std::uint32_t derateOutputMinPct = 70;
+
+  /// Mission-time horizon solar/battery events are drawn within, and the
+  /// number of iterations task faults may strike.
+  Time horizon = Time(1800);
+  std::uint64_t iterations = 32;
+};
+
+class FaultModel {
+ public:
+  /// `taskNames`: the fault-addressable tasks (stable across case
+  /// bindings); order matters for reproducibility, so pass a fixed list.
+  FaultModel(FaultModelConfig config, std::vector<std::string> taskNames);
+
+  /// Deterministically samples the plan of mission `missionSeed`.
+  [[nodiscard]] FaultPlan instantiate(std::uint64_t missionSeed) const;
+
+  [[nodiscard]] const FaultModelConfig& config() const { return config_; }
+
+ private:
+  FaultModelConfig config_;
+  std::vector<std::string> taskNames_;
+};
+
+}  // namespace paws::fault

@@ -1,0 +1,54 @@
+// SplitMix64 — the deterministic stream generator behind fault injection.
+//
+// Campaign results must be byte-identical for any worker count, so every
+// mission derives its own independent stream from (campaign seed, mission
+// index, category salt) by pure integer mixing — no global generator whose
+// consumption order could depend on scheduling. SplitMix64 is the standard
+// seeding mix of Vigna's xoshiro family: one 64-bit state, an additive
+// Weyl sequence and two xor-shift-multiply finalizers. It passes BigCrush
+// at this state size and, unlike std::mt19937, its output is fully
+// specified integer arithmetic — identical on every platform.
+#pragma once
+
+#include <cstdint>
+
+namespace paws::fault {
+
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (modulo bias is irrelevant at fault-model
+  /// rates and keeps the math platform-exact).
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// True with probability permille/1000.
+  constexpr bool chance(std::uint32_t permille) {
+    return next() % 1000 < permille;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes a mission index and a category salt into a campaign seed, giving
+/// each (mission, fault category) pair its own independent stream.
+constexpr std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t mission,
+                                std::uint64_t salt) {
+  SplitMix64 mixer(seed ^ (mission * 0x9e3779b97f4a7c15ULL) ^
+                   (salt * 0xda942042e4dd58b5ULL));
+  return mixer.next();
+}
+
+}  // namespace paws::fault

@@ -147,6 +147,7 @@ class Parser {
     std::optional<ResourceId> resource;
     std::optional<Duration> delay;
     std::optional<Watts> power;
+    std::uint8_t criticality = 0;
     while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
       const Token key = peek();
       std::string kw;
@@ -169,6 +170,15 @@ class Parser {
       } else if (kw == "power") {
         Watts w;
         if (parsePower(&w)) power = w;
+      } else if (kw == "droppable") {
+        // Optional shed rank; a bare `droppable` means rank 1.
+        std::int64_t rank = 1;
+        if (at(TokenKind::kNumber) && !parseTicks(&rank)) continue;
+        if (rank < 1 || rank > 255) {
+          error(key, "droppable rank must be in [1, 255]");
+          continue;
+        }
+        criticality = static_cast<std::uint8_t>(rank);
       } else {
         error(key, "unknown task attribute '" + kw + "'");
       }
@@ -187,7 +197,8 @@ class Parser {
       error(peek(), "duplicate task '" + name + "'");
       return;
     }
-    problem_.addTask(name, *delay, *power, *resource);
+    const TaskId id = problem_.addTask(name, *delay, *power, *resource);
+    if (criticality > 0) problem_.setCriticality(id, criticality);
   }
 
   void parseItem() {

@@ -44,6 +44,9 @@ void writeProblem(std::ostream& os, const Problem& problem) {
        << problem.resource(t.resource).name << "  delay " << t.delay.ticks()
        << "  power ";
     writeWatts(os, t.power);
+    if (t.droppable()) {
+      os << "  droppable " << static_cast<int>(t.criticality);
+    }
     os << " }\n";
   }
   os << "\n";

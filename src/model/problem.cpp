@@ -79,6 +79,21 @@ void Problem::pin(TaskId v, Time t) {
   maxSeparation(kAnchorTask, v, t - Time::zero());
 }
 
+void Problem::setCriticality(TaskId v, std::uint8_t criticality) {
+  checkTask(v);
+  PAWS_CHECK_MSG(v != kAnchorTask, "the anchor task cannot be droppable");
+  tasks_[v.index()].criticality = criticality;
+}
+
+void Problem::setTaskPower(TaskId v, Watts power) {
+  checkTask(v);
+  PAWS_CHECK_MSG(v != kAnchorTask, "the anchor task draws no power");
+  PAWS_CHECK_MSG(power >= Watts::zero(),
+                 "task '" << tasks_[v.index()].name
+                          << "' needs non-negative power");
+  tasks_[v.index()].power = power;
+}
+
 const Task& Problem::task(TaskId id) const {
   checkTask(id);
   return tasks_[id.index()];

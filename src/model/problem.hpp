@@ -36,9 +36,15 @@ struct Task {
   Duration delay;      ///< execution delay d(v), in ticks
   Watts power;         ///< exact power draw p(v) while executing
   ResourceId resource; ///< r(v); invalid only for the anchor
+  /// Graceful-degradation rank: 0 = mission-critical (never shed); values
+  /// > 0 mark the task droppable, higher values shed first. Consumed by
+  /// the runtime contingency policy (fault/contingency.hpp).
+  std::uint8_t criticality = 0;
 
   /// Total energy spent by one execution: d(v) x p(v).
   [[nodiscard]] Energy energy() const { return power * delay; }
+
+  [[nodiscard]] bool droppable() const { return criticality > 0; }
 };
 
 /// An execution resource; tasks mapped to the same resource must be
@@ -98,6 +104,14 @@ class Problem {
   /// Pins sigma(v) = t (a user-level lock: the interactive "drag & lock"
   /// operation of the power-aware Gantt chart, Section 4.3).
   void pin(TaskId v, Time t);
+
+  /// Marks task `v` droppable with shed rank `criticality` (0 restores
+  /// mission-critical). See Task::criticality.
+  void setCriticality(TaskId v, std::uint8_t criticality);
+
+  /// Overrides the power draw of task `v` — used by fault-aware repair to
+  /// model shed tasks (power 0) without disturbing ids or constraints.
+  void setTaskPower(TaskId v, Watts power);
 
   /// Hard system-wide power budget Pmax (Section 4.2).
   void setMaxPower(Watts pmax) { pmax_ = pmax; }

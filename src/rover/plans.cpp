@@ -102,4 +102,24 @@ PolicyBuild buildPowerAwarePolicy(const PowerAwareOptions& options) {
   return build;
 }
 
+CaseSchedules buildCaseSchedules(int iterations,
+                                 const PowerAwareOptions& options) {
+  CaseSchedules out;
+  out.ok = true;
+  for (const RoverCase c : kCases) {
+    out.problems.push_back(
+        std::make_unique<Problem>(makeRoverProblem(c, iterations)));
+    PowerAwareScheduler scheduler(*out.problems.back(), options);
+    ScheduleResult r = scheduler.schedule();
+    if (!r.ok()) {
+      out.ok = false;
+      out.message = std::string("case ") + toString(c) + ": " +
+                    (r.message.empty() ? toString(r.status) : r.message);
+      return out;
+    }
+    out.schedules.push_back(std::move(*r.schedule));
+  }
+  return out;
+}
+
 }  // namespace paws::rover

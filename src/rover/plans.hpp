@@ -11,10 +11,13 @@
 // power whenever the windows and the budget allow it.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "rover/mission.hpp"
 #include "sched/power_aware_scheduler.hpp"
+#include "sched/schedule.hpp"
 
 namespace paws::rover {
 
@@ -47,5 +50,19 @@ PolicyBuild buildJplPolicy();
 
 /// The power-aware policy: full pipeline per case on a 3-iteration unroll.
 PolicyBuild buildPowerAwarePolicy(const PowerAwareOptions& options = {});
+
+/// The per-case problems and power-aware schedules the runtime stack
+/// replays: one `iterations`-iteration problem per RoverCase, in
+/// best/typical/worst order. Problems are heap-owned so runtime case
+/// bindings can hold stable pointers into them.
+struct CaseSchedules {
+  std::vector<std::unique_ptr<Problem>> problems;
+  std::vector<Schedule> schedules;
+  bool ok = false;
+  std::string message;
+};
+
+CaseSchedules buildCaseSchedules(int iterations = 1,
+                                 const PowerAwareOptions& options = {});
 
 }  // namespace paws::rover

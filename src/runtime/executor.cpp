@@ -1,12 +1,14 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "base/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
+#include "sched/repair.hpp"
 
 namespace paws::runtime {
 
@@ -28,6 +30,26 @@ const char* toString(EventKind kind) {
       return "no-feasible-schedule";
     case EventKind::kMissionComplete:
       return "mission-complete";
+    case EventKind::kTaskOverrun:
+      return "task-overrun";
+    case EventKind::kTaskFailed:
+      return "task-failed";
+    case EventKind::kTaskRetried:
+      return "task-retried";
+    case EventKind::kTaskShed:
+      return "task-shed";
+    case EventKind::kTaskUnrecoverable:
+      return "task-unrecoverable";
+    case EventKind::kReplanned:
+      return "replanned";
+    case EventKind::kReplanFailed:
+      return "replan-failed";
+    case EventKind::kBatteryDerated:
+      return "battery-derated";
+    case EventKind::kDeadlineMissed:
+      return "deadline-missed";
+    case EventKind::kStalled:
+      return "stalled";
   }
   return "?";
 }
@@ -53,6 +75,31 @@ const CaseBinding* RuntimeExecutor::selectBinding(Watts solarNow) const {
   return best;
 }
 
+namespace {
+
+/// One execution of one task within an iteration (iteration-local times).
+/// attempt 0 is the planned slot; attempts >= 1 are contingency retries.
+struct Instance {
+  TaskId task;
+  Time start;
+  Duration dur;
+  std::uint32_t attempt = 0;
+  bool fails = false;  ///< this attempt completes without its result
+};
+
+/// Per-vertex perturbation accumulated from this iteration's task faults.
+struct Pert {
+  std::int64_t scalePct = 100;
+  Duration extra;
+  std::uint32_t failures = 0;
+};
+
+Duration effectiveDuration(const Task& task, const Pert& pert) {
+  return Duration(task.delay.ticks() * pert.scalePct / 100) + pert.extra;
+}
+
+}  // namespace
+
 ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
   PAWS_CHECK(config.targetSteps > 0);
   obs::PhaseTimer phase(config.obs, "executor");
@@ -60,8 +107,15 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
   Battery battery = battery_;
   Time now = Time::zero();
 
+  const bool haveFaults = config.faults != nullptr && !config.faults->empty();
+  static const fault::FaultPlan kEmptyPlan;
+  const fault::FaultPlan& plan = haveFaults ? *config.faults : kEmptyPlan;
+
   const auto emit = [&result](Time at, EventKind kind, std::string detail) {
     result.trace.push_back(Event{at, kind, std::move(detail)});
+  };
+  const auto bump = [&config](const char* name) {
+    if (config.obs.metrics != nullptr) config.obs.metrics->add(name);
   };
   // Final outcome gauges/counters; called once on every exit path.
   const auto exportOutcome = [&result, &config]() {
@@ -70,10 +124,35 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
     m.add("executor.brownouts", static_cast<std::uint64_t>(result.brownouts));
     if (result.batteryDepleted) m.add("executor.depletions");
     if (result.complete) m.add("executor.missions_complete");
+    if (result.unrecoverable) m.add("executor.unrecoverable");
+    if (result.stalled) m.add("executor.stalled");
     m.set("executor.steps", static_cast<double>(result.steps));
     m.set("executor.battery_drawn_mwticks",
           static_cast<double>(result.batteryDrawn.milliwattTicks()));
   };
+
+  // Effective environment: solar transients are overlaid once for the whole
+  // mission; battery derates strike at iteration boundaries in `at` order.
+  const SolarSource solar =
+      haveFaults ? fault::applySolarFaults(solar_, plan) : solar_;
+  std::vector<const fault::Fault*> derates;
+  for (const fault::Fault& f : plan.faults) {
+    if (f.kind == fault::FaultKind::kSolarTransient) {
+      ++result.faultsInjected;
+      bump("fault.injected");
+    } else if (f.kind == fault::FaultKind::kBatteryDerate) {
+      derates.push_back(&f);
+    }
+  }
+  std::stable_sort(derates.begin(), derates.end(),
+                   [](const fault::Fault* a, const fault::Fault* b) {
+                     return a->at < b->at;
+                   });
+  std::size_t nextDerate = 0;
+
+  // Names of tasks abandoned by the shedding contingency; mission-wide so a
+  // shed task stays shed across iterations and case switches.
+  std::set<std::string> shed;
 
   for (std::uint64_t iter = 0;
        result.steps < config.targetSteps && iter < config.maxIterations;
@@ -84,7 +163,15 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
     if (config.obs.metrics != nullptr) {
       config.obs.metrics->add("executor.iterations");
     }
-    const Watts solarNow = solar_.levelAt(now);
+    while (nextDerate < derates.size() && derates[nextDerate]->at <= now) {
+      const fault::Fault& f = *derates[nextDerate++];
+      battery = fault::derate(battery, f);
+      ++result.faultsInjected;
+      bump("fault.injected");
+      bump("fault.battery_derates");
+      emit(now, EventKind::kBatteryDerated, fault::describe(f));
+    }
+    const Watts solarNow = solar.levelAt(now);
     const CaseBinding* binding = selectBinding(solarNow);
     if (binding == nullptr) {
       std::ostringstream os;
@@ -98,88 +185,415 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
          "steps so far: " + std::to_string(result.steps));
     emit(now, EventKind::kScheduleSelected, binding->label);
 
-    if (config.traceTasks) {
-      // Task start/finish events in time order.
+    const Problem& prob = *binding->problem;
+    const Time iterStart = now;
+    const int stepsBefore = result.steps;
+
+    // Collect this iteration's task faults (addressed by name; a name the
+    // selected case does not know — or one already shed — is inert).
+    std::vector<Pert> perts(prob.numVertices());
+    bool taskFaultsThisIter = false;
+    for (const fault::Fault& f : plan.faults) {
+      if (f.iteration != iter) continue;
+      if (f.kind != fault::FaultKind::kTaskOverrun &&
+          f.kind != fault::FaultKind::kTaskFailure) {
+        continue;
+      }
+      const auto id = prob.findTask(f.task);
+      if (!id || shed.count(f.task) > 0) continue;
+      taskFaultsThisIter = true;
+      ++result.faultsInjected;
+      bump("fault.injected");
+      Pert& pe = perts[id->index()];
+      if (f.kind == fault::FaultKind::kTaskOverrun) {
+        pe.scalePct = pe.scalePct * f.scalePct / 100;
+        pe.extra += f.extra;
+        emit(now, EventKind::kTaskOverrun, fault::describe(f));
+      } else {
+        pe.failures += f.failures;
+      }
+    }
+
+    const std::uint32_t allowedAttempts =
+        config.contingency.retry ? 1 + config.contingency.maxRetries : 1;
+
+    // A droppable task whose failures exceed the retry budget is shed up
+    // front; a critical one will end the mission at its last attempt.
+    if (config.contingency.shed) {
+      for (TaskId v : prob.taskIds()) {
+        const Task& t = prob.task(v);
+        if (!t.droppable() || shed.count(t.name) > 0) continue;
+        if (perts[v.index()].failures + 1 > allowedAttempts) {
+          shed.insert(t.name);
+          ++result.shedTasks;
+          bump("contingency.shed_tasks");
+          emit(now, EventKind::kTaskShed, t.name + " (retries exhausted)");
+        }
+      }
+    }
+
+    if (!taskFaultsThisIter && !config.contingency.any()) {
+      // ---- Clean fast path: byte-identical to the fault-unaware replay ----
+      if (config.traceTasks) {
+        // Task start/finish events in time order.
+        struct Mark {
+          Time at;
+          bool start;
+          TaskId task;
+        };
+        std::vector<Mark> marks;
+        for (TaskId v : prob.taskIds()) {
+          marks.push_back(
+              Mark{now + (binding->schedule.start(v) - Time::zero()), true, v});
+          marks.push_back(
+              Mark{now + (binding->schedule.end(v) - Time::zero()), false, v});
+        }
+        std::stable_sort(
+            marks.begin(), marks.end(),
+            [](const Mark& a, const Mark& b) { return a.at < b.at; });
+        for (const Mark& m : marks) {
+          emit(m.at,
+               m.start ? EventKind::kTaskStarted : EventKind::kTaskFinished,
+               prob.task(m.task).name);
+        }
+      }
+
+      // Integrate battery draw across the iteration's profile, subdividing
+      // segments at solar phase changes.
+      const PowerProfile& profile = binding->schedule.powerProfile();
+      bool aborted = false;
+      Time iterationEnd = now + (binding->schedule.finish() - Time::zero());
+
+      for (const PowerSegment& seg : profile.segments()) {
+        if (aborted) break;
+        Time cursor = now + (seg.interval.begin() - Time::zero());
+        const Time segEnd = now + (seg.interval.end() - Time::zero());
+        while (cursor < segEnd) {
+          const Watts solarHere = solar.levelAt(cursor);
+          Time sliceEnd = segEnd;
+          if (const auto change = solar.nextChangeAfter(cursor);
+              change && *change < segEnd) {
+            sliceEnd = *change;
+          }
+
+          if (seg.power > solarHere + battery.maxOutput()) {
+            ++result.brownouts;
+            std::ostringstream os;
+            os << "demand " << seg.power << " exceeds solar " << solarHere
+               << " + battery " << battery.maxOutput();
+            emit(cursor, EventKind::kBrownout, os.str());
+            if (config.abortOnBrownout) {
+              aborted = true;
+              iterationEnd = cursor;
+              break;
+            }
+          }
+
+          if (seg.power > solarHere) {
+            const Watts rate = seg.power - solarHere;
+            const Duration span = sliceEnd - cursor;
+            const Energy need = rate * span;
+            if (need > battery.remaining()) {
+              // Deplete mid-slice: afford floor(remaining / rate) ticks.
+              const std::int64_t affordable =
+                  battery.remaining().milliwattTicks() / rate.milliwatts();
+              const Time deathAt = cursor + Duration(affordable);
+              battery.draw(rate * Duration(affordable));
+              result.batteryDrawn = battery.drawn();
+              result.batteryDepleted = true;
+              emit(deathAt, EventKind::kBatteryDepleted,
+                   "mid-iteration depletion");
+              result.finishedAt = deathAt;
+              exportOutcome();
+              return result;
+            }
+            battery.draw(need);
+          }
+          cursor = sliceEnd;
+        }
+      }
+
+      result.batteryDrawn = battery.drawn();
+      if (!aborted) {
+        result.steps += binding->stepsPerIteration;
+      }
+      now = iterationEnd;
+    } else {
+      // ---- Degraded path: explicit task instances, rebuilt on replan ----
+      std::vector<Time> plannedStarts = binding->schedule.starts();
+      std::vector<Instance> instances;
+      PowerProfile builtProfile;
+      Time fatalAt = Time::max();  // iteration-local instant the mission dies
+      TaskId fatalTask = TaskId::invalid();
+
+      const auto rebuild = [&]() {
+        instances.clear();
+        Time tail = Time::zero();
+        for (TaskId v : prob.taskIds()) {
+          const Task& t = prob.task(v);
+          if (shed.count(t.name) > 0) continue;
+          const Pert& pe = perts[v.index()];
+          const Duration dur = effectiveDuration(t, pe);
+          const Time s = plannedStarts[v.index()];
+          instances.push_back(Instance{v, s, dur, 0, pe.failures > 0});
+          tail = std::max(tail, s + dur);
+        }
+        // Retries serialize after the iteration's planned work, in task-id
+        // order, each preceded by a linearly growing backoff gap.
+        for (TaskId v : prob.taskIds()) {
+          const Task& t = prob.task(v);
+          if (shed.count(t.name) > 0) continue;
+          const Pert& pe = perts[v.index()];
+          if (pe.failures == 0) continue;
+          const Duration dur = effectiveDuration(t, pe);
+          const std::uint32_t total =
+              std::min<std::uint32_t>(pe.failures + 1, allowedAttempts);
+          for (std::uint32_t a = 1; a < total; ++a) {
+            const Time s =
+                tail + config.contingency.backoff * static_cast<std::int64_t>(a);
+            instances.push_back(Instance{v, s, dur, a, a < pe.failures});
+            tail = s + dur;
+          }
+        }
+        // The mission is lost at the first completion of a final attempt
+        // that still fails (retries exhausted on a critical task).
+        fatalAt = Time::max();
+        fatalTask = TaskId::invalid();
+        for (const Instance& in : instances) {
+          const Pert& pe = perts[in.task.index()];
+          if (pe.failures + 1 <= allowedAttempts) continue;
+          if (in.attempt + 1 != allowedAttempts) continue;
+          if (in.start + in.dur < fatalAt) {
+            fatalAt = in.start + in.dur;
+            fatalTask = in.task;
+          }
+        }
+        PowerProfileBuilder builder;
+        for (const Instance& in : instances) {
+          builder.add(Interval(in.start, in.start + in.dur),
+                      prob.task(in.task).power);
+        }
+        builtProfile = builder.build(prob.backgroundPower());
+      };
+      rebuild();
+
+      bool aborted = false;
+      std::uint32_t replansThisIter = 0;
+      Time iterationEnd = now + (builtProfile.finish() - Time::zero());
+      const auto localCap = [&]() {
+        return std::min(builtProfile.finish(), fatalAt);
+      };
+
+      // Brownout response: repair the running schedule under the degraded
+      // budget, shedding droppable future tasks when the repair is
+      // infeasible. Returns true when a new plan is in force.
+      const auto tryReplan = [&](Time cursor, Watts solarHere) -> bool {
+        if (!config.contingency.replan) return false;
+        const Time localNow = Time::zero() + (cursor - iterStart);
+        while (replansThisIter < config.contingency.maxReplansPerIteration) {
+          ++replansThisIter;
+          Problem amended(prob);
+          amended.setMaxPower(solarHere + battery.maxOutput());
+          amended.setMinPower(std::min(prob.minPower(), solarHere));
+          for (const std::string& name : shed) {
+            if (const auto id = amended.findTask(name)) {
+              amended.setTaskPower(*id, Watts::zero());
+            }
+          }
+          const Schedule running(binding->problem, plannedStarts);
+          const ScheduleResult repaired =
+              repairSchedule(RepairInput{&amended, &running, localNow});
+          if (repaired.ok()) {
+            plannedStarts = repaired.schedule->starts();
+            ++result.replans;
+            bump("contingency.replans");
+            std::ostringstream os;
+            os << "pmax -> " << (solarHere + battery.maxOutput());
+            emit(cursor, EventKind::kReplanned, os.str());
+            rebuild();
+            iterationEnd = now + (builtProfile.finish() - Time::zero());
+            return true;
+          }
+          ++result.replanFailures;
+          bump("contingency.replan_failures");
+          emit(cursor, EventKind::kReplanFailed, toString(repaired.status));
+          if (!config.contingency.shed) return false;
+          // Shed the most droppable task that has not started yet, then
+          // retry the repair with its power zeroed out.
+          TaskId victim = TaskId::invalid();
+          for (TaskId v : prob.taskIds()) {
+            const Task& t = prob.task(v);
+            if (!t.droppable() || shed.count(t.name) > 0) continue;
+            if (plannedStarts[v.index()] < localNow) continue;  // running/done
+            if (!victim.isValid() ||
+                t.criticality > prob.task(victim).criticality) {
+              victim = v;
+            }
+          }
+          if (!victim.isValid()) return false;
+          shed.insert(prob.task(victim).name);
+          ++result.shedTasks;
+          bump("contingency.shed_tasks");
+          emit(cursor, EventKind::kTaskShed,
+               prob.task(victim).name + " (replan infeasible)");
+        }
+        return false;
+      };
+
+      std::size_t segIdx = 0;
+      Time cursor = now;
+      while (!aborted && segIdx < builtProfile.segments().size()) {
+        // Copy: a replan inside the loop reallocates builtProfile.
+        const PowerSegment seg = builtProfile.segments()[segIdx];
+        if (seg.interval.begin() >= localCap()) break;
+        const Time segBegin = now + (seg.interval.begin() - Time::zero());
+        const Time segEnd =
+            now + (std::min(seg.interval.end(), localCap()) - Time::zero());
+        if (cursor < segBegin) cursor = segBegin;
+        bool restart = false;
+        while (cursor < segEnd) {
+          const Watts solarHere = solar.levelAt(cursor);
+          Time sliceEnd = segEnd;
+          if (const auto change = solar.nextChangeAfter(cursor);
+              change && *change < segEnd) {
+            sliceEnd = *change;
+          }
+
+          if (seg.power > solarHere + battery.maxOutput()) {
+            ++result.brownouts;
+            std::ostringstream os;
+            os << "demand " << seg.power << " exceeds solar " << solarHere
+               << " + battery " << battery.maxOutput();
+            emit(cursor, EventKind::kBrownout, os.str());
+            if (tryReplan(cursor, solarHere)) {
+              restart = true;
+              break;
+            }
+            if (config.abortOnBrownout) {
+              aborted = true;
+              iterationEnd = cursor;
+              break;
+            }
+          }
+
+          if (seg.power > solarHere) {
+            const Watts rate = seg.power - solarHere;
+            const Duration span = sliceEnd - cursor;
+            const Energy need = rate * span;
+            if (need > battery.remaining()) {
+              const std::int64_t affordable =
+                  battery.remaining().milliwattTicks() / rate.milliwatts();
+              const Time deathAt = cursor + Duration(affordable);
+              battery.draw(rate * Duration(affordable));
+              result.batteryDrawn = battery.drawn();
+              result.batteryDepleted = true;
+              emit(deathAt, EventKind::kBatteryDepleted,
+                   "mid-iteration depletion");
+              result.finishedAt = deathAt;
+              exportOutcome();
+              return result;
+            }
+            battery.draw(need);
+          }
+          cursor = sliceEnd;
+        }
+        if (restart) {
+          // Resume in the rebuilt profile at the current instant.
+          const Time local = Time::zero() + (cursor - now);
+          segIdx = 0;
+          while (segIdx < builtProfile.segments().size() &&
+                 builtProfile.segments()[segIdx].interval.end() <= local) {
+            ++segIdx;
+          }
+          continue;
+        }
+        ++segIdx;
+      }
+
+      const bool fatal = !aborted && fatalAt != Time::max();
+      if (fatal) iterationEnd = now + (fatalAt - Time::zero());
+
+      // Task marks and per-attempt outcomes from the final instance list,
+      // truncated at the instant the iteration actually ended. Retry and
+      // failure events are always recorded; plain start/finish marks obey
+      // traceTasks like the clean path.
       struct Mark {
         Time at;
-        bool start;
-        TaskId task;
+        EventKind kind;
+        std::string detail;
       };
       std::vector<Mark> marks;
-      for (TaskId v : binding->problem->taskIds()) {
-        marks.push_back(Mark{now + (binding->schedule.start(v) - Time::zero()),
-                             true, v});
-        marks.push_back(Mark{now + (binding->schedule.end(v) - Time::zero()),
-                             false, v});
+      for (const Instance& in : instances) {
+        const std::string& name = prob.task(in.task).name;
+        const Time startAbs = now + (in.start - Time::zero());
+        const Time endAbs = now + (in.start + in.dur - Time::zero());
+        if (in.attempt > 0) {
+          ++result.retries;
+          bump("contingency.retries");
+          if (startAbs <= iterationEnd) {
+            marks.push_back(
+                Mark{startAbs, EventKind::kTaskRetried,
+                     name + " attempt " + std::to_string(in.attempt + 1)});
+          }
+        } else if (config.traceTasks && startAbs <= iterationEnd) {
+          marks.push_back(Mark{startAbs, EventKind::kTaskStarted, name});
+        }
+        if (endAbs > iterationEnd) continue;
+        if (in.fails) {
+          marks.push_back(
+              Mark{endAbs, EventKind::kTaskFailed,
+                   name + " attempt " + std::to_string(in.attempt + 1)});
+        } else if (config.traceTasks) {
+          marks.push_back(Mark{endAbs, EventKind::kTaskFinished, name});
+        }
       }
       std::stable_sort(marks.begin(), marks.end(),
                        [](const Mark& a, const Mark& b) { return a.at < b.at; });
-      for (const Mark& m : marks) {
-        emit(m.at, m.start ? EventKind::kTaskStarted : EventKind::kTaskFinished,
-             binding->problem->task(m.task).name);
+      for (Mark& m : marks) emit(m.at, m.kind, std::move(m.detail));
+
+      result.batteryDrawn = battery.drawn();
+      if (fatal) {
+        emit(iterationEnd, EventKind::kTaskUnrecoverable,
+             prob.task(fatalTask).name + " failed beyond the retry budget");
+        result.unrecoverable = true;
+        result.finishedAt = iterationEnd;
+        exportOutcome();
+        return result;
       }
-    }
-
-    // Integrate battery draw across the iteration's profile, subdividing
-    // segments at solar phase changes.
-    const PowerProfile& profile = binding->schedule.powerProfile();
-    bool aborted = false;
-    Time iterationEnd = now + (binding->schedule.finish() - Time::zero());
-
-    for (const PowerSegment& seg : profile.segments()) {
-      if (aborted) break;
-      Time cursor = now + (seg.interval.begin() - Time::zero());
-      const Time segEnd = now + (seg.interval.end() - Time::zero());
-      while (cursor < segEnd) {
-        const Watts solarHere = solar_.levelAt(cursor);
-        Time sliceEnd = segEnd;
-        if (const auto change = solar_.nextChangeAfter(cursor);
-            change && *change < segEnd) {
-          sliceEnd = *change;
-        }
-
-        if (seg.power > solarHere + battery.maxOutput()) {
-          ++result.brownouts;
+      if (!aborted) {
+        result.steps += binding->stepsPerIteration;
+      }
+      if (config.contingency.watchdogSlackPct > 0) {
+        const Duration nominal = binding->schedule.finish() - Time::zero();
+        const Duration actual = iterationEnd - iterStart;
+        if (actual.ticks() * 100 >
+            nominal.ticks() *
+                (100 + static_cast<std::int64_t>(
+                           config.contingency.watchdogSlackPct))) {
+          ++result.deadlineMisses;
+          bump("contingency.deadline_misses");
           std::ostringstream os;
-          os << "demand " << seg.power << " exceeds solar " << solarHere
-             << " + battery " << battery.maxOutput();
-          emit(cursor, EventKind::kBrownout, os.str());
-          if (config.abortOnBrownout) {
-            aborted = true;
-            iterationEnd = cursor;
-            break;
-          }
+          os << "iteration span " << actual.ticks() << " exceeds nominal "
+             << nominal.ticks() << " by more than "
+             << config.contingency.watchdogSlackPct << "%";
+          emit(iterationEnd, EventKind::kDeadlineMissed, os.str());
         }
-
-        if (seg.power > solarHere) {
-          const Watts rate = seg.power - solarHere;
-          const Duration span = sliceEnd - cursor;
-          const Energy need = rate * span;
-          if (need > battery.remaining()) {
-            // Deplete mid-slice: afford floor(remaining / rate) ticks.
-            const std::int64_t affordable =
-                battery.remaining().milliwattTicks() / rate.milliwatts();
-            const Time deathAt = cursor + Duration(affordable);
-            battery.draw(rate * Duration(affordable));
-            result.batteryDrawn = battery.drawn();
-            result.batteryDepleted = true;
-            emit(deathAt, EventKind::kBatteryDepleted,
-                 "mid-iteration depletion");
-            result.finishedAt = deathAt;
-            exportOutcome();
-            return result;
-          }
-          battery.draw(need);
-        }
-        cursor = sliceEnd;
       }
+      now = iterationEnd;
     }
 
-    result.batteryDrawn = battery.drawn();
-    if (!aborted) {
-      result.steps += binding->stepsPerIteration;
+    // Zero-progress guard: an iteration that neither advanced time nor
+    // banked steps would replay identically forever (e.g. abortOnBrownout
+    // firing at the iteration's first instant). End the mission explicitly
+    // instead of spinning until maxIterations.
+    if (now == iterStart && result.steps == stepsBefore) {
+      emit(now, EventKind::kStalled,
+           "iteration " + std::to_string(iter) + " made no progress");
+      result.stalled = true;
+      result.finishedAt = now;
+      exportOutcome();
+      return result;
     }
-    now = iterationEnd;
   }
 
   result.finishedAt = now;

@@ -19,12 +19,22 @@
 //     real missions tolerate for seconds) or aborts the iteration;
 //   * battery depletion ends the mission at the exact tick the charge runs
 //     out, mid-task if need be.
+//
+// Degraded missions (fault/): a scripted FaultPlan injects task overruns,
+// transient task failures, solar transients and battery derates into the
+// replay, and a ContingencyOptions policy arms the closed-loop responses —
+// bounded retry, brownout-triggered repairSchedule() replanning, shedding
+// of droppable tasks, and a deadline-miss watchdog. With `faults == nullptr`
+// and a default-constructed policy the executor behaves bit-identically to
+// the fault-unaware code: same trace, same battery accounting.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "base/units.hpp"
+#include "fault/contingency.hpp"
+#include "fault/fault.hpp"
 #include "obs/context.hpp"
 #include "power/sources.hpp"
 #include "sched/schedule.hpp"
@@ -40,6 +50,17 @@ enum class EventKind : std::uint8_t {
   kBatteryDepleted,
   kNoFeasibleSchedule,
   kMissionComplete,
+  // Fault-injection and contingency events (fault/).
+  kTaskOverrun,       ///< an injected overrun stretched a task's duration
+  kTaskFailed,        ///< a task attempt completed without its result
+  kTaskRetried,       ///< a failed task re-executes (contingency: retry)
+  kTaskShed,          ///< a droppable task was abandoned (contingency: shed)
+  kTaskUnrecoverable, ///< retries exhausted on a critical task — mission lost
+  kReplanned,         ///< repairSchedule() replaced the running schedule
+  kReplanFailed,      ///< the repair attempt came back infeasible
+  kBatteryDerated,    ///< an injected derate shrank the battery
+  kDeadlineMissed,    ///< iteration blew its nominal span (watchdog)
+  kStalled,           ///< an iteration made zero progress — mission ended
 };
 
 const char* toString(EventKind kind);
@@ -71,6 +92,11 @@ struct ExecutorConfig {
   /// Observability hooks: each iteration becomes a kIteration wall-clock
   /// span; outcomes land in "executor.*" counters/gauges.
   obs::ObsContext obs;
+  /// Scripted fault stream for this mission (nullptr = clean replay). Must
+  /// outlive run().
+  const fault::FaultPlan* faults = nullptr;
+  /// Closed-loop responses; default-constructed = all off.
+  fault::ContingencyOptions contingency;
 };
 
 struct ExecutionResult {
@@ -80,6 +106,15 @@ struct ExecutionResult {
   bool complete = false;
   bool batteryDepleted = false;
   int brownouts = 0;
+  // Degraded-mission accounting (all zero on a clean replay).
+  int faultsInjected = 0;   ///< faults that actually struck the mission
+  int retries = 0;          ///< task re-executions scheduled
+  int replans = 0;          ///< successful mid-iteration repairs
+  int replanFailures = 0;   ///< repairs that came back infeasible
+  int shedTasks = 0;        ///< droppable tasks abandoned
+  int deadlineMisses = 0;   ///< watchdog-flagged iteration overruns
+  bool unrecoverable = false;  ///< a critical task exhausted its retries
+  bool stalled = false;        ///< a zero-progress iteration ended the run
   std::vector<Event> trace;
 };
 

@@ -1,16 +1,50 @@
 #include "sched/repair.hpp"
 
+#include <sstream>
+
 #include "base/check.hpp"
 
 namespace paws {
 
+namespace {
+
+ScheduleResult invalidInput(std::string message) {
+  ScheduleResult result;
+  result.status = SchedStatus::kInvalidInput;
+  result.message = std::move(message);
+  return result;
+}
+
+}  // namespace
+
 ScheduleResult repairSchedule(const RepairInput& input,
                               const PowerAwareOptions& options) {
-  PAWS_CHECK(input.updated != nullptr && input.current != nullptr);
+  // Repair runs mid-mission on caller-assembled inputs; a malformed request
+  // must come back as a structured failure, not a process abort.
+  if (input.updated == nullptr) {
+    return invalidInput("repair: updated problem is null");
+  }
+  if (input.current == nullptr) {
+    return invalidInput("repair: current schedule is null");
+  }
   const Problem& updated = *input.updated;
   const Schedule& current = *input.current;
-  PAWS_CHECK_MSG(updated.numVertices() == current.problem().numVertices(),
-                 "updated problem must carry the same task set");
+  if (updated.numVertices() != current.problem().numVertices()) {
+    std::ostringstream os;
+    os << "repair: updated problem has " << updated.numVertices() - 1
+       << " task(s) but the schedule's problem has "
+       << current.problem().numVertices() - 1;
+    return invalidInput(os.str());
+  }
+  for (TaskId v : updated.taskIds()) {
+    if (updated.task(v).name != current.problem().task(v).name) {
+      std::ostringstream os;
+      os << "repair: task id " << v << " is '" << updated.task(v).name
+         << "' in the updated problem but '" << current.problem().task(v).name
+         << "' in the schedule's problem";
+      return invalidInput(os.str());
+    }
+  }
 
   // Amend a copy: freeze the past, release the future.
   Problem amended(updated);

@@ -14,6 +14,8 @@ const char* toString(SchedStatus status) {
       return "power-infeasible";
     case SchedStatus::kBudgetExhausted:
       return "budget-exhausted";
+    case SchedStatus::kInvalidInput:
+      return "invalid-input";
   }
   return "?";
 }
@@ -21,7 +23,8 @@ const char* toString(SchedStatus status) {
 std::optional<SchedStatus> schedStatusFromString(std::string_view text) {
   for (const SchedStatus s :
        {SchedStatus::kOk, SchedStatus::kTimingInfeasible,
-        SchedStatus::kPowerInfeasible, SchedStatus::kBudgetExhausted}) {
+        SchedStatus::kPowerInfeasible, SchedStatus::kBudgetExhausted,
+        SchedStatus::kInvalidInput}) {
     if (text == toString(s)) return s;
   }
   return std::nullopt;

@@ -21,6 +21,8 @@ enum class SchedStatus : std::uint8_t {
   kPowerInfeasible,   ///< time-valid found, but the Pmax budget defeated the
                       ///< heuristics (paper: FAIL of Fig. 4)
   kBudgetExhausted,   ///< search budget (backtracks/delays/depth) ran out
+  kInvalidInput,      ///< malformed request (e.g. repair inputs that do not
+                      ///< describe the same task set) — rejected up front
 };
 
 const char* toString(SchedStatus status);

@@ -1,0 +1,159 @@
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/rng.hpp"
+#include "obs/metrics.hpp"
+#include "rover/rover_model.hpp"
+
+namespace paws::fault {
+namespace {
+
+using namespace paws::literals;
+
+/// Fixture owning the case schedules the campaign bindings point into.
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cases_ = rover::buildCaseSchedules();
+    ASSERT_TRUE(cases_.ok) << cases_.message;
+  }
+
+  FaultCampaign makeCampaign() {
+    return FaultCampaign(rover::missionSolarProfile(),
+                         rover::missionBattery(), roverCaseBindings(cases_));
+  }
+
+  rover::CaseSchedules cases_;
+};
+
+TEST_F(CampaignTest, CleanModelMeansEveryMissionSurvives) {
+  CampaignConfig config;
+  config.missions = 3;
+  config.targetSteps = 8;
+  FaultModelConfig clean;
+  clean.overrunPermille = 0;
+  clean.failurePermille = 0;
+  clean.clouds = 0;
+  clean.storms = 0;
+  clean.deratePermille = 0;
+  config.model = clean;
+  const CampaignResult r = makeCampaign().run(config);
+  EXPECT_EQ(r.survived, 3);
+  EXPECT_EQ(r.survivalPermille(), 1000);
+  EXPECT_EQ(r.faultsInjected, 0);
+  // Identical clean missions: every outcome matches the first.
+  ASSERT_EQ(r.outcomes.size(), 3u);
+  for (const MissionOutcome& o : r.outcomes) {
+    EXPECT_EQ(o.steps, r.outcomes[0].steps);
+    EXPECT_EQ(o.finishedAt, r.outcomes[0].finishedAt);
+    EXPECT_EQ(o.batteryDrawn, r.outcomes[0].batteryDrawn);
+  }
+}
+
+TEST_F(CampaignTest, ReportIsByteIdenticalForAnyWorkerCount) {
+  const FaultCampaign campaign = makeCampaign();
+  CampaignConfig config;
+  config.missions = 8;
+  config.seed = 42;
+  config.targetSteps = 16;
+  config.contingency = ContingencyOptions::all();
+
+  std::string reports[3];
+  const std::size_t jobs[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    config.jobs = jobs[i];
+    reports[i] = toJson(config, campaign.run(config));
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+}
+
+TEST_F(CampaignTest, MissionSeedsFollowTheCampaignSeed) {
+  CampaignConfig config;
+  config.missions = 4;
+  config.seed = 7;
+  config.targetSteps = 4;
+  const CampaignResult r = makeCampaign().run(config);
+  ASSERT_EQ(r.outcomes.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.outcomes[i].seed, mixSeed(7, i, 0)) << i;
+  }
+}
+
+TEST_F(CampaignTest, ContingencyNeverHurtsSurvival) {
+  // Same seeds, same faults: the closed loop must do at least as well as
+  // the open loop, mission by mission.
+  CampaignConfig off;
+  off.missions = 12;
+  off.seed = 3;
+  off.targetSteps = 24;
+  off.model.failurePermille = 60;  // enough to kill some open-loop runs
+  CampaignConfig on = off;
+  on.contingency = ContingencyOptions::all();
+
+  const FaultCampaign campaign = makeCampaign();
+  const CampaignResult withOff = campaign.run(off);
+  const CampaignResult withOn = campaign.run(on);
+  EXPECT_GE(withOn.survived, withOff.survived);
+  for (std::size_t i = 0; i < withOff.outcomes.size(); ++i) {
+    EXPECT_GE(withOn.outcomes[i].steps, withOff.outcomes[i].steps) << i;
+  }
+}
+
+TEST_F(CampaignTest, AggregatesMatchTheOutcomeRows) {
+  CampaignConfig config;
+  config.missions = 6;
+  config.seed = 11;
+  config.targetSteps = 12;
+  config.contingency = ContingencyOptions::all();
+  const CampaignResult r = makeCampaign().run(config);
+  std::int64_t steps = 0, faults = 0, retries = 0, replans = 0, shed = 0;
+  int survived = 0;
+  for (const MissionOutcome& o : r.outcomes) {
+    steps += o.steps;
+    faults += o.faultsInjected;
+    retries += o.retries;
+    replans += o.replans;
+    shed += o.shedTasks;
+    if (o.survived) ++survived;
+  }
+  EXPECT_EQ(r.steps, steps);
+  EXPECT_EQ(r.faultsInjected, faults);
+  EXPECT_EQ(r.retries, retries);
+  EXPECT_EQ(r.replans, replans);
+  EXPECT_EQ(r.shedTasks, shed);
+  EXPECT_EQ(r.survived, survived);
+}
+
+TEST_F(CampaignTest, PublishesCampaignMetrics) {
+  obs::MetricsRegistry registry;
+  CampaignConfig config;
+  config.missions = 2;
+  config.targetSteps = 4;
+  config.obs.metrics = &registry;
+  const CampaignResult r = makeCampaign().run(config);
+  EXPECT_EQ(registry.counter("campaign.missions"), 2u);
+  EXPECT_EQ(registry.counter("campaign.survived"),
+            static_cast<std::uint64_t>(r.survived));
+  EXPECT_EQ(registry.gauge("campaign.survival_permille"),
+            static_cast<double>(r.survivalPermille()));
+}
+
+TEST_F(CampaignTest, JsonNamesEveryAggregateField) {
+  CampaignConfig config;
+  config.missions = 2;
+  config.targetSteps = 4;
+  const std::string json = toJson(config, makeCampaign().run(config));
+  for (const char* key :
+       {"\"campaign\"", "\"contingency\"", "\"aggregate\"", "\"missions\"",
+        "\"survival_permille\"", "\"faults_injected\"", "\"retries\"",
+        "\"replans\"", "\"shed\"", "\"deadline_misses\"", "\"stalled\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The worker count must never leak into the report.
+  EXPECT_EQ(json.find("jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paws::fault

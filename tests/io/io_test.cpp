@@ -166,6 +166,7 @@ void expectEquivalent(const Problem& a, const Problem& b) {
     const Task& tb = b.task(*vb);
     EXPECT_EQ(ta.delay, tb.delay);
     EXPECT_EQ(ta.power, tb.power);
+    EXPECT_EQ(ta.criticality, tb.criticality);
     EXPECT_EQ(a.resource(ta.resource).name, b.resource(tb.resource).name);
   }
   ASSERT_EQ(a.constraints().size(), b.constraints().size());
@@ -201,6 +202,37 @@ TEST(WriterTest, ReleaseAndDeadlineRoundTrip) {
   const ParseResult r = parseProblem(problemToText(p));
   ASSERT_TRUE(r.ok());
   expectEquivalent(p, *r.problem);
+}
+
+TEST(WriterTest, DroppableRankRoundTrips) {
+  Problem p("shed");
+  const ResourceId r1 = p.addResource("r1");
+  p.addTask("critical", 5_s, 2_W, r1);
+  const TaskId d = p.addTask("optional", 3_s, 1_W, r1);
+  p.setCriticality(d, 7);
+  const std::string text = problemToText(p);
+  EXPECT_NE(text.find("droppable 7"), std::string::npos) << text;
+  const ParseResult r = parseProblem(text);
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : format(r.errors[0]));
+  expectEquivalent(p, *r.problem);
+  EXPECT_FALSE(r.problem->task(*r.problem->findTask("critical")).droppable());
+  EXPECT_TRUE(r.problem->task(*r.problem->findTask("optional")).droppable());
+}
+
+TEST(ParserTest, BareDroppableMeansRankOne) {
+  const ParseResult r = parseProblem(
+      "problem p {\n  resource r1\n"
+      "  task t { resource r1 delay 5 power 2W droppable }\n}");
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : format(r.errors[0]));
+  EXPECT_EQ(r.problem->task(*r.problem->findTask("t")).criticality, 1);
+}
+
+TEST(ParserTest, RejectsDroppableRankOutOfRange) {
+  const ParseResult r = parseProblem(
+      "problem p {\n  resource r1\n"
+      "  task t { resource r1 delay 5 power 2W droppable 300 }\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("[1, 255]"), std::string::npos);
 }
 
 TEST(WriterTest, ScheduleCsv) {

@@ -107,7 +107,43 @@ TEST(RepairTest, RejectsMismatchedProblems) {
   const ResourceId r1 = other.addResource("r1");
   other.addTask("x", 1_s, 1_W, r1);
   const RepairInput input{&other, &original, Time(5)};
-  EXPECT_THROW((void)repairSchedule(input), CheckError);
+  // Mismatched inputs are a structured error, not an abort: a mid-flight
+  // repair request must never take the executor down with it.
+  const ScheduleResult repaired = repairSchedule(input);
+  EXPECT_FALSE(repaired.ok());
+  EXPECT_EQ(repaired.status, SchedStatus::kInvalidInput);
+  EXPECT_NE(repaired.message.find("task(s)"), std::string::npos)
+      << repaired.message;
+}
+
+TEST(RepairTest, RejectsRenamedTasks) {
+  const Problem p = makePaperExampleProblem();
+  const Schedule original = pipelineSchedule(p);
+  // Same shape, different task names: the count check passes, the per-task
+  // name check must catch it.
+  Problem renamed("renamed");
+  const ResourceId rr = renamed.addResource("r");
+  bool first = true;
+  for (TaskId v : p.taskIds()) {
+    const Task& t = p.task(v);
+    renamed.addTask(first ? "impostor" : t.name, t.delay, t.power, rr);
+    first = false;
+  }
+  const RepairInput input{&renamed, &original, Time(5)};
+  const ScheduleResult repaired = repairSchedule(input);
+  EXPECT_FALSE(repaired.ok());
+  EXPECT_EQ(repaired.status, SchedStatus::kInvalidInput);
+  EXPECT_NE(repaired.message.find("impostor"), std::string::npos)
+      << repaired.message;
+}
+
+TEST(RepairTest, RejectsNullInputs) {
+  const Problem p = makePaperExampleProblem();
+  const Schedule original = pipelineSchedule(p);
+  const ScheduleResult noProblem = repairSchedule({nullptr, &original, Time(5)});
+  EXPECT_EQ(noProblem.status, SchedStatus::kInvalidInput);
+  const ScheduleResult noSchedule = repairSchedule({&p, nullptr, Time(5)});
+  EXPECT_EQ(noSchedule.status, SchedStatus::kInvalidInput);
 }
 
 }  // namespace

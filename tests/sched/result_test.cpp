@@ -11,6 +11,7 @@ constexpr SchedStatus kAllStatuses[] = {
     SchedStatus::kTimingInfeasible,
     SchedStatus::kPowerInfeasible,
     SchedStatus::kBudgetExhausted,
+    SchedStatus::kInvalidInput,
 };
 
 TEST(SchedStatusTest, ToStringRoundTripsThroughFromString) {

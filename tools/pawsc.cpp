@@ -17,9 +17,24 @@
 //       Re-schedule across a budget range (design-space exploration).
 //   pawsc windows <file.paws> [--horizon T]
 //       Print each task's feasible [EST, LST] start window.
-//   pawsc repair <file.paws> --schedule plan.sched --now T [--pmax W]
+//   pawsc repair <file.paws> --schedule plan.sched --at T [--pmax W]
+//                [--pmin W]
 //       Mid-flight repair: freeze tasks started before T, re-plan the rest
-//       under the (optionally changed) budget; prints the repaired plan.
+//       under the (optionally changed) budget; prints the repaired plan and
+//       the validator's verdict on it. --now is accepted as an alias of
+//       --at.
+//   pawsc simulate [--steps N] [--faults] [--seed S] [--contingency]
+//                  [--retry] [--replan] [--shed] [--watchdog PCT]
+//                  [--abort-on-brownout] [--trace-events] [--metrics out.csv]
+//       Replay the rover mission on the runtime executor, optionally under
+//       a model-sampled fault plan and with contingency layers armed.
+//   pawsc campaign [--missions N] [--seed S] [--steps N] [--jobs N]
+//                  [--contingency] [--retry] [--replan] [--shed]
+//                  [--watchdog PCT] [--abort-on-brownout] [--json out.json]
+//                  [--metrics out.csv]
+//       Monte-Carlo mission-survival campaign over the rover mission;
+//       byte-identical output for any --jobs value. --json - prints the
+//       report to stdout (and suppresses the human summary).
 //   pawsc dot <file.paws>
 //       Emit the constraint graph in Graphviz syntax.
 //
@@ -37,6 +52,11 @@
 #include "exec/jobs.hpp"
 #include "exec/parallel_for.hpp"
 #include "exec/pool.hpp"
+#include "fault/campaign.hpp"
+#include "fault/model.hpp"
+#include "fault/rng.hpp"
+#include "rover/rover_model.hpp"
+#include "runtime/executor.hpp"
 
 #include "gantt/ascii_gantt.hpp"
 #include "gantt/html_report.hpp"
@@ -78,6 +98,16 @@ int usage() {
                "out.jsonl]\n"
                "           [--metrics out.csv] [--obs-summary]\n"
                "  sweep    <file.paws> --pmax-from W --pmax-to W [--step W]\n"
+               "  windows  <file.paws> [--horizon T]\n"
+               "  repair   <file.paws> --schedule plan.sched --at T "
+               "[--pmax W] [--pmin W]\n"
+               "  simulate [--steps N] [--faults] [--seed S] "
+               "[--contingency|--retry|--replan|--shed|--watchdog PCT]\n"
+               "           [--abort-on-brownout] [--trace-events] "
+               "[--metrics out.csv]\n"
+               "  campaign [--missions N] [--seed S] [--steps N] [--jobs N] "
+               "[--contingency|...]\n"
+               "           [--json out.json|-] [--metrics out.csv]\n"
                "  dot      <file.paws>\n");
   return 1;
 }
@@ -451,7 +481,7 @@ int cmdSweep(const std::string& path, double from, double to, double step) {
 }
 
 int cmdRepair(const std::string& path, const std::string& schedulePath,
-              std::int64_t nowTicks, double newPmax) {
+              std::int64_t nowTicks, double newPmax, double newPmin) {
   const auto problem = load(path);
   if (!problem) return 1;
   std::ifstream in(schedulePath);
@@ -473,6 +503,7 @@ int cmdRepair(const std::string& path, const std::string& schedulePath,
 
   Problem updated(*problem);
   if (newPmax > 0) updated.setMaxPower(Watts::fromWatts(newPmax));
+  if (newPmin > 0) updated.setMinPower(Watts::fromWatts(newPmin));
   const RepairInput input{&updated, &*parsed.schedule, Time(nowTicks)};
   const ScheduleResult repaired = repairSchedule(input);
   if (!repaired.ok()) {
@@ -483,11 +514,181 @@ int cmdRepair(const std::string& path, const std::string& schedulePath,
   const Schedule& s = *repaired.schedule;
   std::printf("# repaired at t=%lld%s\n",
               static_cast<long long>(nowTicks),
-              newPmax > 0 ? " under a new budget" : "");
+              newPmax > 0 || newPmin > 0 ? " under a new budget" : "");
   io::writeSchedule(std::cout, s, parsed.label + "-repaired");
   std::printf("# finish %lld, Ec %.3fJ\n",
               static_cast<long long>(s.finish().ticks()),
               s.energyCost(updated.minPower()).joules());
+  // Validator verdict on the repaired plan. Spikes strictly before the
+  // repair instant are frozen history and cannot be fixed; report them but
+  // judge only the re-planned future.
+  const ValidationReport report = ScheduleValidator(updated).validate(s);
+  const bool spikeInFuture =
+      s.powerProfile().firstSpike(updated.maxPower(), Time(nowTicks))
+          .has_value();
+  bool futureViolation = false;
+  for (const Violation& v : report.violations) {
+    std::ostringstream os;
+    os << v;
+    const bool historical =
+        v.kind == Violation::Kind::kPowerSpike && !spikeInFuture;
+    if (!historical) futureViolation = true;
+    std::printf("# violation%s: %s\n",
+                historical ? " (frozen history, tolerated)" : "",
+                os.str().c_str());
+  }
+  std::printf("# valid: %s\n", futureViolation ? "NO" : "yes");
+  return futureViolation ? 2 : 0;
+}
+
+/// Flags shared by `simulate` and `campaign`: they describe one degraded
+/// mission (or the template every campaign mission is sampled from).
+struct MissionFlags {
+  int steps = 48;
+  std::uint64_t seed = 1;
+  bool faults = false;
+  fault::ContingencyOptions contingency;
+  bool abortOnBrownout = false;
+};
+
+void writeMetricsCsv(const std::string& metricsOut,
+                     const obs::MetricsRegistry& registry) {
+  if (metricsOut.empty()) return;
+  std::ofstream o(metricsOut);
+  if (o) {
+    registry.writeCsv(o);
+    std::printf("wrote %s (%zu metrics)\n", metricsOut.c_str(),
+                registry.size());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", metricsOut.c_str());
+  }
+}
+
+int cmdSimulate(const MissionFlags& f, bool traceEvents,
+                const std::string& metricsOut) {
+  const rover::CaseSchedules cases = rover::buildCaseSchedules();
+  if (!cases.ok) {
+    std::fprintf(stderr, "could not build case schedules: %s\n",
+                 cases.message.c_str());
+    return 2;
+  }
+  const std::vector<runtime::CaseBinding> bindings =
+      fault::roverCaseBindings(cases);
+  const runtime::RuntimeExecutor executor(rover::missionSolarProfile(),
+                                          rover::missionBattery(), bindings);
+
+  runtime::ExecutorConfig ec;
+  ec.targetSteps = f.steps;
+  ec.abortOnBrownout = f.abortOnBrownout;
+  ec.contingency = f.contingency;
+  obs::MetricsRegistry registry;
+  if (!metricsOut.empty()) ec.obs.metrics = &registry;
+
+  // With --faults the mission flies under the plan campaign seed `seed`
+  // would give its mission 0 — `pawsc simulate --faults --seed S` replays
+  // exactly the first row of `pawsc campaign --seed S`.
+  fault::FaultPlan plan;
+  if (f.faults) {
+    std::vector<std::string> names;
+    for (TaskId v : bindings[0].problem->taskIds()) {
+      names.push_back(bindings[0].problem->task(v).name);
+    }
+    const fault::FaultModel model(fault::FaultModelConfig{},
+                                  std::move(names));
+    plan = model.instantiate(fault::mixSeed(f.seed, 0, 0));
+    ec.faults = &plan;
+  }
+
+  const runtime::ExecutionResult r = executor.run(ec);
+  std::printf("steps     : %d/%d%s\n", r.steps, f.steps,
+              r.complete ? "" : "  (MISSION LOST)");
+  std::printf("finished  : t=%lld\n",
+              static_cast<long long>(r.finishedAt.ticks()));
+  std::printf("battery   : %.3fJ drawn%s\n", r.batteryDrawn.joules(),
+              r.batteryDepleted ? ", DEPLETED" : "");
+  std::printf("faults    : %d injected (%zu scripted), %d brownouts\n",
+              r.faultsInjected, plan.faults.size(), r.brownouts);
+  std::printf("responses : %d retries, %d replans (%d failed), %d shed, "
+              "%d deadline misses\n",
+              r.retries, r.replans, r.replanFailures, r.shedTasks,
+              r.deadlineMisses);
+  if (r.unrecoverable) std::printf("fatal     : critical task unrecoverable\n");
+  if (r.stalled) std::printf("fatal     : zero-progress iteration (stall)\n");
+  if (traceEvents) {
+    std::printf("events    :\n");
+    for (const runtime::Event& e : r.trace) {
+      std::printf("  t=%-8lld %-18s %s\n",
+                  static_cast<long long>(e.at.ticks()),
+                  runtime::toString(e.kind), e.detail.c_str());
+    }
+  }
+  writeMetricsCsv(metricsOut, registry);
+  return r.complete ? 0 : 2;
+}
+
+int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
+                const std::string& jsonOut, const std::string& metricsOut) {
+  if (missions <= 0) {
+    std::fprintf(stderr, "--missions must be positive\n");
+    return 1;
+  }
+  const rover::CaseSchedules cases = rover::buildCaseSchedules();
+  if (!cases.ok) {
+    std::fprintf(stderr, "could not build case schedules: %s\n",
+                 cases.message.c_str());
+    return 2;
+  }
+  const fault::FaultCampaign campaign(rover::missionSolarProfile(),
+                                      rover::missionBattery(),
+                                      fault::roverCaseBindings(cases));
+  fault::CampaignConfig cc;
+  cc.missions = missions;
+  cc.seed = f.seed;
+  cc.targetSteps = f.steps;
+  cc.abortOnBrownout = f.abortOnBrownout;
+  cc.contingency = f.contingency;
+  cc.jobs = jobs;  // 0 = exec::defaultJobs(); never affects the results
+  obs::MetricsRegistry registry;
+  if (!metricsOut.empty()) cc.obs.metrics = &registry;
+
+  const fault::CampaignResult result = campaign.run(cc);
+  const std::string json = fault::toJson(cc, result);
+  if (jsonOut == "-") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::printf("campaign  : %d missions, seed %llu, %d steps each\n",
+                result.missions,
+                static_cast<unsigned long long>(cc.seed), cc.targetSteps);
+    std::printf("survival  : %d/%d missions (%lld permille)\n",
+                result.survived, result.missions,
+                static_cast<long long>(result.survivalPermille()));
+    std::printf("faults    : %lld injected, %lld brownouts, %lld "
+                "depletions\n",
+                static_cast<long long>(result.faultsInjected),
+                static_cast<long long>(result.brownouts),
+                static_cast<long long>(result.depletions));
+    std::printf("responses : %lld retries, %lld replans (%lld failed), "
+                "%lld shed, %lld deadline misses\n",
+                static_cast<long long>(result.retries),
+                static_cast<long long>(result.replans),
+                static_cast<long long>(result.replanFailures),
+                static_cast<long long>(result.shedTasks),
+                static_cast<long long>(result.deadlineMisses));
+    std::printf("lost      : %lld unrecoverable, %lld stalled\n",
+                static_cast<long long>(result.unrecoverable),
+                static_cast<long long>(result.stalled));
+    if (!jsonOut.empty()) {
+      std::ofstream o(jsonOut);
+      if (o) {
+        o << json;
+        std::printf("wrote %s\n", jsonOut.c_str());
+      } else {
+        std::fprintf(stderr, "could not write %s\n", jsonOut.c_str());
+        return 1;
+      }
+    }
+  }
+  writeMetricsCsv(metricsOut, registry);
   return 0;
 }
 
@@ -506,12 +707,16 @@ int cmdDot(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string command = argv[1];
-  const std::string path = argv[2];
+  // simulate/campaign replay the built-in rover mission: no input file.
+  const bool takesFile = command != "simulate" && command != "campaign";
+  if (takesFile && argc < 3) return usage();
+  const std::string path = takesFile ? argv[2] : "";
   // `schedule` accepts several input files (batch mode); the extra
   // positional arguments land here.
-  std::vector<std::string> paths = {path};
+  std::vector<std::string> paths;
+  if (takesFile) paths.push_back(path);
 
   std::string scheduler = "pipeline";
   std::uint32_t trials = 4;
@@ -521,9 +726,13 @@ int main(int argc, char** argv) {
   std::int64_t horizon = 0;
   std::string schedulePath;
   std::int64_t now = 0;
-  double newPmax = 0;
+  double newPmax = 0, newPmin = 0;
+  MissionFlags mission;
+  int missions = 32;
+  bool traceEvents = false;
+  std::string jsonOut;
 
-  for (int i = 3; i < argc; ++i) {
+  for (int i = takesFile ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -572,17 +781,49 @@ int main(int argc, char** argv) {
       horizon = std::atoll(value("--horizon"));
     } else if (arg == "--schedule") {
       schedulePath = value("--schedule");
-    } else if (arg == "--now") {
-      now = std::atoll(value("--now"));
+    } else if (arg == "--now" || arg == "--at") {
+      now = std::atoll(value(arg.c_str()));
     } else if (arg == "--pmax") {
       newPmax = std::atof(value("--pmax"));
+    } else if (arg == "--pmin") {
+      newPmin = std::atof(value("--pmin"));
+    } else if (arg == "--steps") {
+      mission.steps = std::atoi(value("--steps"));
+    } else if (arg == "--seed") {
+      mission.seed =
+          static_cast<std::uint64_t>(std::atoll(value("--seed")));
+    } else if (arg == "--missions") {
+      missions = std::atoi(value("--missions"));
+    } else if (arg == "--faults") {
+      mission.faults = true;
+    } else if (arg == "--contingency") {
+      mission.contingency = fault::ContingencyOptions::all();
+    } else if (arg == "--retry") {
+      mission.contingency.retry = true;
+    } else if (arg == "--replan") {
+      mission.contingency.replan = true;
+    } else if (arg == "--shed") {
+      mission.contingency.shed = true;
+    } else if (arg == "--watchdog") {
+      mission.contingency.watchdogSlackPct =
+          static_cast<std::uint32_t>(std::atoi(value("--watchdog")));
+    } else if (arg == "--abort-on-brownout") {
+      mission.abortOnBrownout = true;
+    } else if (arg == "--trace-events") {
+      traceEvents = true;
+    } else if (arg == "--json") {
+      jsonOut = value("--json");
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage();
     }
   }
 
-  if (command != "schedule" && paths.size() > 1) {
+  if (!takesFile && !paths.empty()) {
+    std::fprintf(stderr, "%s takes no input file\n", command.c_str());
+    return 1;
+  }
+  if (takesFile && command != "schedule" && paths.size() > 1) {
     std::fprintf(stderr, "%s takes exactly one input file\n",
                  command.c_str());
     return 1;
@@ -606,7 +847,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "repair needs --schedule <file>\n");
       return 1;
     }
-    return cmdRepair(path, schedulePath, now, newPmax);
+    return cmdRepair(path, schedulePath, now, newPmax, newPmin);
+  }
+  if (command == "simulate") {
+    return cmdSimulate(mission, traceEvents, exports.metricsOut);
+  }
+  if (command == "campaign") {
+    return cmdCampaign(mission, missions, jobs, jsonOut,
+                       exports.metricsOut);
   }
   if (command == "dot") return cmdDot(path);
   return usage();
