@@ -1,0 +1,144 @@
+// paws::guard methodology bench (no paper table): the two costs of
+// deadline-aware scheduling.
+//
+//  * Anytime incumbent quality: run the exhaustive branch-and-bound on an
+//    instance far beyond any deadline with 10/50/250 ms wall budgets and
+//    report what the incumbent looks like at the trip — energy cost at
+//    Pmin, finish time, nodes explored. The numbers show the deadline
+//    knob buying monotonically better schedules.
+//  * Clean-path polling overhead: the same completed search with no budget
+//    vs an armed-but-unhit (1 hour) deadline. The strided RunGuard polls
+//    must stay under 1% of wall time — compare the two rows' wall_ns.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+
+#include "bench_report.hpp"
+#include "gen/random_problem.hpp"
+#include "guard/budget.hpp"
+#include "power/profile.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+using namespace paws;
+
+namespace {
+
+/// Calibration note: the per-tick branch-and-bound lives on a knife edge —
+/// 5 tasks completes in ~100 ms, 6 tasks in ~13 s, and anything much
+/// larger never reaches its *first* leaf within an interactive deadline
+/// (a 64-task instance explores 2M nodes in 250 ms with zero incumbents).
+/// The anytime demo therefore uses 8 tasks: first incumbents land within
+/// milliseconds while the full proof of optimality would take hours.
+Problem guardInstance(std::size_t tasks) {
+  GeneratorConfig cfg;
+  cfg.seed = 17;
+  cfg.numTasks = tasks;
+  cfg.numResources = 2;
+  cfg.maxDelay = 4;
+  cfg.witnessJitter = 2;
+  cfg.pmaxHeadroomMw = 500;
+  return generateRandomProblem(cfg).problem;
+}
+
+/// Incumbent quality at a wall-clock deadline of range(0) milliseconds on
+/// an instance the exhaustive search cannot finish (see the calibration
+/// note above). Counters carry the anytime result: incumbent energy cost
+/// (mW·tick at Pmin), finish tick, and nodes explored before the trip.
+void BM_AnytimeIncumbentQuality(benchmark::State& state) {
+  const Problem problem = guardInstance(8);
+  double cost = 0, finish = 0, nodes = 0, found = 0;
+  for (auto _ : state) {
+    ExhaustiveOptions options;
+    options.maxNodes = std::numeric_limits<std::uint64_t>::max();
+    options.budget.timeout = std::chrono::milliseconds(state.range(0));
+    ExhaustiveScheduler scheduler(problem, options);
+    const ScheduleResult r = scheduler.schedule();
+    benchmark::DoNotOptimize(r);
+    nodes = static_cast<double>(scheduler.outcome().nodesExplored);
+    if (r.schedule.has_value()) {
+      found = 1;
+      const PowerProfile profile = profileOf(problem, r.schedule->starts());
+      cost = static_cast<double>(
+          profile.energyAbove(problem.minPower()).milliwattTicks());
+      finish = static_cast<double>(r.schedule->finish().ticks());
+    }
+  }
+  state.counters["incumbent_found"] = found;
+  state.counters["incumbent_cost"] = cost;
+  state.counters["incumbent_finish"] = finish;
+  state.counters["nodes_explored"] = nodes;
+}
+BENCHMARK(BM_AnytimeIncumbentQuality)
+    ->Arg(10)->Arg(50)->Arg(250)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/// The clean path with guards compiled in but no budget set: the baseline
+/// for the polling-overhead comparison.
+void BM_CompletedSearchNoBudget(benchmark::State& state) {
+  const Problem problem = guardInstance(5);
+  for (auto _ : state) {
+    ExhaustiveOptions options;
+    ExhaustiveScheduler scheduler(problem, options);
+    benchmark::DoNotOptimize(scheduler.schedule());
+  }
+}
+BENCHMARK(BM_CompletedSearchNoBudget)->Unit(benchmark::kMillisecond);
+
+/// Same search with an armed 1-hour deadline that never trips: every node
+/// pays the strided poll. The delta vs the no-budget row is the real
+/// polling overhead (budgeted at < 1%).
+void BM_CompletedSearchUnhitDeadline(benchmark::State& state) {
+  const Problem problem = guardInstance(5);
+  for (auto _ : state) {
+    ExhaustiveOptions options;
+    options.budget.timeout = std::chrono::hours(1);
+    ExhaustiveScheduler scheduler(problem, options);
+    benchmark::DoNotOptimize(scheduler.schedule());
+  }
+}
+BENCHMARK(BM_CompletedSearchUnhitDeadline)->Unit(benchmark::kMillisecond);
+
+/// Heuristic-pipeline flavor of the same comparison: the per-iteration
+/// polls sit in the timing/min-power inner loops instead of search nodes.
+void BM_PipelineNoBudget(benchmark::State& state) {
+  const Problem problem = guardInstance(48);
+  for (auto _ : state) {
+    PowerAwareScheduler scheduler(problem);
+    benchmark::DoNotOptimize(scheduler.schedule());
+  }
+}
+BENCHMARK(BM_PipelineNoBudget)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineUnhitDeadline(benchmark::State& state) {
+  const Problem problem = guardInstance(48);
+  for (auto _ : state) {
+    PowerAwareOptions options;
+    options.budget.timeout = std::chrono::hours(1);
+    PowerAwareScheduler scheduler(problem, options);
+    benchmark::DoNotOptimize(scheduler.schedule());
+  }
+}
+BENCHMARK(BM_PipelineUnhitDeadline)->Unit(benchmark::kMillisecond);
+
+void printGuardHeader() {
+  std::printf(
+      "paws::guard — anytime incumbents and polling overhead\n"
+      "  BM_AnytimeIncumbentQuality/N: an exhaustive search that would\n"
+      "  take hours, tripped at an N ms wall deadline; counters =\n"
+      "  incumbent at the trip.\n"
+      "  CompletedSearch/Pipeline pairs: identical work with and without\n"
+      "  an armed-but-unhit deadline; the wall-time delta is the guard\n"
+      "  polling overhead (target < 1%%).\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printGuardHeader();
+  return paws::bench::runBenchMain("guard", argc, argv);
+}

@@ -1,0 +1,34 @@
+// libFuzzer harness for the .paws problem parser (lexer + parser + the
+// structural validators a hostile file can reach). Build with -DPAWS_FUZZ=ON;
+// under clang this links against libFuzzer, under gcc the standalone driver
+// replays (and deterministically mutates) the seed corpus instead.
+//
+// The contract under test: for ANY byte string, parseProblem either returns
+// a Problem that survives validate()/buildGraph(), or a non-empty structured
+// error list — never an abort, uncaught exception, or unbounded allocation
+// (see the limits in io/lexer.hpp and io/parser.hpp).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "graph/longest_path.hpp"
+#include "io/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view source(reinterpret_cast<const char*>(data), size);
+  const paws::io::ParseResult result = paws::io::parseProblem(source);
+  if (!result.ok()) {
+    // A rejected document must explain itself.
+    if (result.errors.empty()) __builtin_trap();
+    return 0;
+  }
+  // An accepted document must be safe to hand to the analysis layers the
+  // CLI runs unconditionally (pawsc check).
+  const paws::Problem& problem = *result.problem;
+  (void)problem.validate();
+  const paws::ConstraintGraph graph = problem.buildGraph();
+  paws::LongestPathEngine engine(graph);
+  (void)engine.compute(paws::kAnchorTask);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// libFuzzer harness for the .sched schedule reader (io/schedule_io.cpp),
+// exercised against a fixed small problem the way `pawsc repair --schedule`
+// would. Accepted schedules must round-trip through writeSchedule and must
+// be safe to validate.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "io/parser.hpp"
+#include "io/schedule_io.hpp"
+#include "validate/validator.hpp"
+
+namespace {
+
+const paws::Problem& fixture() {
+  static const paws::Problem problem = [] {
+    const paws::io::ParseResult r = paws::io::parseProblem(
+        "problem probe {\n"
+        "  pmax 10W\n"
+        "  pmin 1W\n"
+        "  resource cpu\n"
+        "  resource radio\n"
+        "  task warmup  { resource cpu   delay 5 power 2W }\n"
+        "  task sample  { resource cpu   delay 7 power 4W }\n"
+        "  task downlink{ resource radio delay 4 power 6W }\n"
+        "  precedes warmup -> sample\n"
+        "  precedes sample -> downlink 2\n"
+        "  deadline downlink 40\n"
+        "}\n");
+    if (!r.ok()) __builtin_trap();  // the fixture itself must parse
+    return *r.problem;
+  }();
+  return problem;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view source(reinterpret_cast<const char*>(data), size);
+  const paws::Problem& problem = fixture();
+  const paws::io::ScheduleParseResult result =
+      paws::io::parseSchedule(source, problem);
+  if (!result.ok()) {
+    if (result.errors.empty()) __builtin_trap();
+    return 0;
+  }
+  // Accepted schedules: validator must not choke on hostile start times,
+  // and write→re-read must accept its own output.
+  (void)paws::ScheduleValidator(problem).validate(*result.schedule);
+  const std::string text =
+      paws::io::scheduleToText(*result.schedule, result.label);
+  const paws::io::ScheduleParseResult again =
+      paws::io::parseSchedule(text, problem);
+  if (!again.ok()) __builtin_trap();
+  return 0;
+}

@@ -12,6 +12,12 @@
 // call from inside a pool task (the nested loop just runs on the caller;
 // the helper tasks it submitted become no-ops), so composing parallel
 // layers cannot deadlock.
+//
+// Cancellation: pass a guard::CancelToken and workers poll it at chunk
+// boundaries. Once it fires, the remaining chunks are still *claimed* —
+// so the completion barrier releases and every helper drains cleanly —
+// but their iterations are skipped. fn(i) is then never invoked for those
+// indices; parallelMap leaves the corresponding slots default-constructed.
 #pragma once
 
 #include <atomic>
@@ -23,6 +29,7 @@
 #include <vector>
 
 #include "exec/pool.hpp"
+#include "guard/cancel.hpp"
 
 namespace paws::exec {
 
@@ -34,21 +41,26 @@ struct ForState {
   std::size_t numChunks = 0;
   std::atomic<std::size_t> nextChunk{0};
   std::atomic<std::size_t> chunksDone{0};
+  guard::CancelToken cancel;
   std::mutex mu;
   std::condition_variable cv;
 };
 
 /// Claims chunks until the cursor runs dry, running `fn` over each claimed
-/// index range. Returns once no chunk is left to claim.
+/// index range — or skipping it once the token fired, so the chunksDone
+/// barrier still reaches numChunks and the loop drains instead of hanging.
+/// Returns once no chunk is left to claim.
 template <typename Fn>
 void claimChunks(ForState& state, Fn& fn) {
   for (;;) {
     const std::size_t c =
         state.nextChunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= state.numChunks) return;
-    const std::size_t begin = c * state.chunkSize;
-    const std::size_t end = std::min(begin + state.chunkSize, state.n);
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    if (!state.cancel.cancelled()) {
+      const std::size_t begin = c * state.chunkSize;
+      const std::size_t end = std::min(begin + state.chunkSize, state.n);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
     if (state.chunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state.numChunks) {
       {
@@ -63,9 +75,12 @@ void claimChunks(ForState& state, Fn& fn) {
 
 /// Runs fn(i) for every i in [0, n). `fn` must be safe to invoke
 /// concurrently from several threads; `grain` is the minimum indices per
-/// chunk (raise it when fn is tiny). Blocks until all n calls completed.
+/// chunk (raise it when fn is tiny). Blocks until all n calls completed —
+/// or, when `cancel` fires mid-loop, until the remaining chunks have been
+/// drained without invoking fn (workers poll at chunk boundaries).
 template <typename Fn>
-void parallelFor(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1) {
+void parallelFor(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1,
+                 guard::CancelToken cancel = {}) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   const std::size_t workers = pool.numThreads();
@@ -76,7 +91,10 @@ void parallelFor(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1) {
       std::max(grain, (n + targetChunks - 1) / targetChunks);
   const std::size_t numChunks = (n + chunkSize - 1) / chunkSize;
   if (workers <= 1 || numChunks <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel.cancelled()) return;
+      fn(i);
+    }
     return;
   }
 
@@ -84,6 +102,7 @@ void parallelFor(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1) {
   state->n = n;
   state->chunkSize = chunkSize;
   state->numChunks = numChunks;
+  state->cancel = cancel;
 
   // Helper tasks may outlive this frame (a worker can dequeue one after
   // every chunk is done); they capture fn by pointer but only dereference
@@ -105,14 +124,16 @@ void parallelFor(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1) {
 
 /// Ordered map: returns {fn(0), fn(1), ..., fn(n-1)} with fn(i) evaluated
 /// in parallel but stored at index i. The result type must be default-
-/// constructible and movable.
+/// constructible and movable. Slots whose iteration was skipped by a fired
+/// `cancel` token stay default-constructed.
 template <typename Fn>
-auto parallelMap(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1)
+auto parallelMap(Pool& pool, std::size_t n, Fn&& fn, std::size_t grain = 1,
+                 guard::CancelToken cancel = {})
     -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
   using R = std::invoke_result_t<Fn&, std::size_t>;
   std::vector<R> out(n);
   parallelFor(
-      pool, n, [&out, &fn](std::size_t i) { out[i] = fn(i); }, grain);
+      pool, n, [&out, &fn](std::size_t i) { out[i] = fn(i); }, grain, cancel);
   return out;
 }
 

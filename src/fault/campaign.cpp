@@ -39,7 +39,20 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
   const FaultModel model(config.model, std::move(taskNames));
   const runtime::RuntimeExecutor executor(solar_, battery_, bindings_);
 
+  // One absolute deadline for the whole campaign; every worker races it.
+  // `drain` fans the first trip out to the pool so queued missions are
+  // skipped instead of each discovering the deadline on its own.
+  const guard::RunBudget budget = config.budget.resolved();
+  guard::CancelSource drain;
+
   const auto flyMission = [&](std::size_t mission) -> MissionOutcome {
+    MissionOutcome o;
+    o.flown = false;
+    guard::RunGuard entry(budget, /*stride=*/1);
+    if (entry.check() != guard::StopReason::kNone) {
+      drain.cancel();
+      return o;
+    }
     const std::uint64_t missionSeed = mixSeed(config.seed, mission, 0);
     const FaultPlan plan = model.instantiate(missionSeed);
     runtime::ExecutorConfig ec;
@@ -48,9 +61,14 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
     ec.traceTasks = false;
     ec.faults = &plan;
     ec.contingency = config.contingency;
+    ec.budget = budget;
     const runtime::ExecutionResult r = executor.run(ec);
-
-    MissionOutcome o;
+    if (r.stopReason != guard::StopReason::kNone) {
+      // Cut mid-flight: a truncated mission is not a fair survival sample.
+      drain.cancel();
+      return o;
+    }
+    o.flown = true;
     o.seed = missionSeed;
     o.survived = r.complete;
     o.steps = r.steps;
@@ -72,13 +90,24 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
   CampaignResult result;
   {
     exec::Pool pool(config.jobs);
-    result.outcomes = exec::parallelMap(
-        pool, static_cast<std::size_t>(config.missions), flyMission);
+    result.outcomes =
+        exec::parallelMap(pool, static_cast<std::size_t>(config.missions),
+                          flyMission, /*grain=*/1, drain.token());
+  }
+  if (drain.token().cancelled()) {
+    // Recover which guard condition tripped: cancellation stays set and
+    // deadlines do not un-expire, so re-checking now gives the answer.
+    guard::RunGuard post(budget, /*stride=*/1);
+    result.stopReason = post.check() != guard::StopReason::kNone
+                            ? post.reason()
+                            : guard::StopReason::kDeadline;
   }
 
   // Index-order reduction: byte-identical for any worker count.
-  result.missions = config.missions;
+  result.missions = 0;
   for (const MissionOutcome& o : result.outcomes) {
+    if (!o.flown) continue;
+    ++result.missions;
     if (o.survived) ++result.survived;
     result.steps += o.steps;
     result.brownouts += o.brownouts;
@@ -113,6 +142,11 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
     add("campaign.stalled", result.stalled);
     m.set("campaign.survival_permille",
           static_cast<double>(result.survivalPermille()));
+    if (result.stopReason == guard::StopReason::kCancelled) {
+      m.add("guard.cancels");
+    } else if (result.stopReason == guard::StopReason::kDeadline) {
+      m.add("guard.deadline_trips");
+    }
   }
   return result;
 }
@@ -169,8 +203,14 @@ std::string toJson(const CampaignConfig& config,
      << ", \"unrecoverable\": " << result.unrecoverable
      << ", \"stalled\": " << result.stalled << "},\n";
   os << "  \"missions\": [\n";
-  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
-    const MissionOutcome& o = result.outcomes[i];
+  // Only fully-flown missions are reported; on a clean campaign that is
+  // every row, so the report stays byte-identical to the unguarded one.
+  std::vector<const MissionOutcome*> flown;
+  for (const MissionOutcome& o : result.outcomes) {
+    if (o.flown) flown.push_back(&o);
+  }
+  for (std::size_t i = 0; i < flown.size(); ++i) {
+    const MissionOutcome& o = *flown[i];
     os << "    {\"seed\": " << o.seed
        << ", \"survived\": " << boolStr(o.survived)
        << ", \"steps\": " << o.steps
@@ -186,7 +226,7 @@ std::string toJson(const CampaignConfig& config,
        << ", \"depleted\": " << boolStr(o.batteryDepleted)
        << ", \"unrecoverable\": " << boolStr(o.unrecoverable)
        << ", \"stalled\": " << boolStr(o.stalled) << "}"
-       << (i + 1 < result.outcomes.size() ? "," : "") << "\n";
+       << (i + 1 < flown.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   return os.str();

@@ -25,6 +25,7 @@
 
 #include "fault/contingency.hpp"
 #include "fault/model.hpp"
+#include "guard/budget.hpp"
 #include "obs/context.hpp"
 #include "rover/plans.hpp"
 #include "runtime/executor.hpp"
@@ -43,6 +44,12 @@ struct CampaignConfig {
   std::size_t jobs = 1;
   /// Aggregates land in "campaign.*" counters/gauges.
   obs::ObsContext obs;
+  /// Wall-clock deadline / cancellation for the whole campaign. On a trip,
+  /// in-flight missions stop at their next iteration boundary, queued
+  /// missions are skipped, and only fully-flown missions are aggregated —
+  /// a survival rate over truncated samples would be meaningless. Inactive
+  /// (the default) keeps the campaign byte-identical for any `jobs`.
+  guard::RunBudget budget;
 };
 
 /// One mission's outcome, reduced from the executor's ExecutionResult.
@@ -62,6 +69,11 @@ struct MissionOutcome {
   bool batteryDepleted = false;
   bool unrecoverable = false;
   bool stalled = false;
+  /// Set by the campaign only when the mission fully flew. Stays false when
+  /// the RunBudget tripped before (or while) the mission ran — parallelMap
+  /// leaves skipped slots default-constructed, so the default must read
+  /// "not flown". Unflown outcomes are excluded from aggregates and JSON.
+  bool flown = false;
 };
 
 struct CampaignResult {
@@ -78,7 +90,11 @@ struct CampaignResult {
   std::int64_t depletions = 0;
   std::int64_t unrecoverable = 0;
   std::int64_t stalled = 0;
-  /// Per-mission outcomes in mission-index order.
+  /// kNone unless the RunBudget tripped; then `missions` counts only the
+  /// missions that fully flew before the trip (a truncated campaign).
+  guard::StopReason stopReason = guard::StopReason::kNone;
+  /// Per-mission outcomes in mission-index order (including unflown rows,
+  /// so outcome i always carries mission index i).
   std::vector<MissionOutcome> outcomes;
 
   /// Survival rate in permille (integer, so reports stay byte-exact).

@@ -18,9 +18,37 @@ bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
 
 LexResult lex(std::string_view source) {
   LexResult result;
+  if (source.size() > kMaxSourceBytes) {
+    result.errors.push_back(LexError{
+        "input exceeds " + std::to_string(kMaxSourceBytes) + " bytes", 1, 1});
+    result.tokens.push_back(Token{TokenKind::kEof, "", 1, 1});
+    return result;
+  }
   int line = 1;
   int column = 1;
   std::size_t i = 0;
+
+  // Oversized tokens / token floods abort the scan with one structured
+  // error; the truncated token list still ends in kEof so a parser that
+  // ignores lex errors cannot run off the end.
+  bool overflowed = false;
+  const auto tokenBudgetOk = [&]() {
+    if (result.tokens.size() < kMaxTokens) return true;
+    result.errors.push_back(LexError{
+        "input exceeds " + std::to_string(kMaxTokens) + " tokens", line,
+        column});
+    overflowed = true;
+    return false;
+  };
+  const auto tokenLengthOk = [&](const std::string& text, int tline,
+                                 int tcol) {
+    if (text.size() <= kMaxTokenLength) return true;
+    result.errors.push_back(LexError{
+        "token exceeds " + std::to_string(kMaxTokenLength) + " characters",
+        tline, tcol});
+    overflowed = true;
+    return false;
+  };
 
   const auto advance = [&](std::size_t n = 1) {
     for (std::size_t k = 0; k < n && i < source.size(); ++k, ++i) {
@@ -33,7 +61,14 @@ LexResult lex(std::string_view source) {
     }
   };
 
-  while (i < source.size()) {
+  while (i < source.size() && !overflowed) {
+    // A flood of garbage bytes must not become a flood of allocations:
+    // past the error cap the rest of the input is not worth diagnosing.
+    if (result.errors.size() >= kMaxLexErrors) {
+      result.errors.push_back(
+          LexError{"too many lexical errors; giving up", line, column});
+      break;
+    }
     const char c = source[i];
     if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
       advance();
@@ -45,6 +80,7 @@ LexResult lex(std::string_view source) {
     }
 
     const int tline = line, tcol = column;
+    if (!tokenBudgetOk()) break;
     if (c == '{') {
       result.tokens.push_back(Token{TokenKind::kLBrace, "{", tline, tcol});
       advance();
@@ -78,6 +114,7 @@ LexResult lex(std::string_view source) {
         result.errors.push_back(LexError{"unterminated string", tline, tcol});
         continue;
       }
+      if (!tokenLengthOk(text, tline, tcol)) break;
       result.tokens.push_back(
           Token{TokenKind::kString, std::move(text), tline, tcol});
       continue;
@@ -93,6 +130,7 @@ LexResult lex(std::string_view source) {
         text += source[i];
         advance();
       }
+      if (!tokenLengthOk(text, tline, tcol)) break;
       result.tokens.push_back(
           Token{TokenKind::kNumber, std::move(text), tline, tcol});
       continue;
@@ -103,6 +141,7 @@ LexResult lex(std::string_view source) {
         text += source[i];
         advance();
       }
+      if (!tokenLengthOk(text, tline, tcol)) break;
       result.tokens.push_back(
           Token{TokenKind::kIdentifier, std::move(text), tline, tcol});
       continue;

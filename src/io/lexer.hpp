@@ -43,6 +43,15 @@ struct LexResult {
   [[nodiscard]] bool ok() const { return errors.empty(); }
 };
 
+// Input limits (documented in docs/format.md). Untrusted sources hit a
+// structured LexError instead of unbounded allocation: the largest real
+// instance in this repo is ~4 KB, so these bounds are ~3 orders of
+// magnitude of headroom, not a constraint anyone will meet honestly.
+inline constexpr std::size_t kMaxSourceBytes = 8u << 20;  // 8 MiB
+inline constexpr std::size_t kMaxTokenLength = 4096;      // per token text
+inline constexpr std::size_t kMaxTokens = 1u << 20;       // ~1M tokens
+inline constexpr std::size_t kMaxLexErrors = 64;  // then the scan stops
+
 LexResult lex(std::string_view source);
 
 }  // namespace paws::io

@@ -1,5 +1,7 @@
 #include "io/parser.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -41,7 +43,19 @@ class Parser {
   bool at(TokenKind k) const { return peek().kind == k; }
 
   void error(const Token& t, std::string message) {
+    if (fatal_) return;
     errors_.push_back(ParseError{std::move(message), t.line, t.column});
+    if (errors_.size() >= kMaxParseErrors) {
+      errors_.push_back(
+          ParseError{"too many parse errors; giving up", t.line, t.column});
+      fatal_ = true;
+    }
+  }
+
+  /// Irrecoverable structural violation: report and stop consuming input.
+  void fatal(const Token& t, std::string message) {
+    error(t, std::move(message));
+    fatal_ = true;
   }
 
   bool expectIdent(const char* what, std::string* out) {
@@ -84,6 +98,14 @@ class Parser {
         (peek().text == "W" || peek().text == "mW")) {
       if (next().text == "mW") value /= 1000.0;
     }
+    // Range-check before Watts::fromWatts: its double->int64 cast is UB
+    // outside int64 range, and anything past kMaxAbsWatts would overflow
+    // the milliwatt-tick energy arithmetic downstream regardless.
+    if (!std::isfinite(value) || value > kMaxAbsWatts ||
+        value < -kMaxAbsWatts) {
+      error(num, "power value '" + num.text + "' is out of range");
+      return false;
+    }
     *out = Watts::fromWatts(value);
     return true;
   }
@@ -99,8 +121,16 @@ class Parser {
       error(num, "time values must be integral ticks, got '" + num.text + "'");
       return false;
     }
-    *out = std::strtoll(num.text.c_str(), nullptr, 10);
+    errno = 0;
+    const std::int64_t ticks = std::strtoll(num.text.c_str(), nullptr, 10);
     if (at(TokenKind::kIdentifier) && peek().text == "s") next();
+    // strtoll saturates on overflow (ERANGE); the explicit cap keeps every
+    // downstream Time/Duration sum far away from int64 overflow.
+    if (errno == ERANGE || ticks > kMaxAbsTicks || ticks < -kMaxAbsTicks) {
+      error(num, "time value '" + num.text + "' is out of range");
+      return false;
+    }
+    *out = ticks;
     return true;
   }
 
@@ -126,6 +156,14 @@ class Parser {
     return lookupTask(first, a, from) && lookupTask(second, b, to);
   }
 
+  /// Caps the declared constraint count (each keyword adds at most two).
+  bool constraintBudgetOk(const Token& at) {
+    if (problem_.constraints().size() < kMaxConstraints) return true;
+    fatal(at, "too many constraints (limit " +
+                  std::to_string(kMaxConstraints) + ")");
+    return false;
+  }
+
   void skipToNextItem() {
     while (!at(TokenKind::kEof) && !at(TokenKind::kRBrace)) {
       if (at(TokenKind::kIdentifier)) {
@@ -148,7 +186,7 @@ class Parser {
     std::optional<Duration> delay;
     std::optional<Watts> power;
     std::uint8_t criticality = 0;
-    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof) && !fatal_) {
       const Token key = peek();
       std::string kw;
       if (!expectIdent("a task attribute", &kw)) {
@@ -197,6 +235,11 @@ class Parser {
       error(peek(), "duplicate task '" + name + "'");
       return;
     }
+    if (problem_.numVertices() - 1 >= kMaxTasks) {
+      fatal(peek(), "too many tasks (limit " + std::to_string(kMaxTasks) +
+                        ")");
+      return;
+    }
     const TaskId id = problem_.addTask(name, *delay, *power, *resource);
     if (criticality > 0) problem_.setCriticality(id, criticality);
   }
@@ -224,10 +267,16 @@ class Parser {
         error(key, "duplicate resource '" + name + "'");
         return;
       }
+      if (problem_.numResources() >= kMaxResources) {
+        fatal(key, "too many resources (limit " +
+                       std::to_string(kMaxResources) + ")");
+        return;
+      }
       problem_.addResource(name);
     } else if (kw == "task") {
       parseTask();
     } else if (kw == "min" || kw == "max") {
+      if (!constraintBudgetOk(key)) return;
       TaskId from, to;
       if (!parseTaskPair(&from, &to)) {
         skipToNextItem();
@@ -241,6 +290,7 @@ class Parser {
         problem_.maxSeparation(from, to, Duration(ticks));
       }
     } else if (kw == "precedes") {
+      if (!constraintBudgetOk(key)) return;
       TaskId from, to;
       if (!parseTaskPair(&from, &to)) {
         skipToNextItem();
@@ -252,6 +302,7 @@ class Parser {
       }
       problem_.precedes(from, to, Duration(lag));
     } else if (kw == "release" || kw == "deadline" || kw == "pin") {
+      if (!constraintBudgetOk(key)) return;
       const Token where = peek();
       std::string name;
       if (!expectIdent("a task name", &name)) return;
@@ -281,9 +332,10 @@ class Parser {
     if (!expectIdent("a problem name", &name)) return;
     problem_.setName(name);
     if (!expect(TokenKind::kLBrace, "'{'")) return;
-    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof) && !fatal_) {
       parseItem();
     }
+    if (fatal_) return;
     expect(TokenKind::kRBrace, "'}'");
     if (!at(TokenKind::kEof)) {
       error(peek(), "trailing content after problem body");
@@ -294,6 +346,7 @@ class Parser {
   std::size_t pos_ = 0;
   Problem problem_;
   std::vector<ParseError> errors_;
+  bool fatal_ = false;
 };
 
 }  // namespace
@@ -307,16 +360,37 @@ ParseResult parseProblem(std::string_view source) {
     }
     return result;
   }
-  return Parser(std::move(lexed.tokens)).run();
+  // Last line of defense: a Problem precondition the item-level validation
+  // missed must surface as a structured error, never as an escaping
+  // exception — parse errors on untrusted bytes are data, not bugs.
+  try {
+    return Parser(std::move(lexed.tokens)).run();
+  } catch (const CheckError& e) {
+    ParseResult result;
+    result.errors.push_back(
+        ParseError{std::string("invalid problem: ") + e.what(), 1, 1});
+    return result;
+  }
 }
 
 ParseResult parseProblemFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     ParseResult result;
     result.errors.push_back(ParseError{"cannot open file: " + path, 1, 1});
     return result;
   }
+  // Reject oversized files by size before slurping them into memory.
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size >= 0 && static_cast<std::uint64_t>(size) > kMaxSourceBytes) {
+    ParseResult result;
+    result.errors.push_back(ParseError{
+        "file exceeds " + std::to_string(kMaxSourceBytes) + " bytes: " + path,
+        1, 1});
+    return result;
+  }
+  in.seekg(0, std::ios::beg);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return parseProblem(buffer.str());

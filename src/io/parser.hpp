@@ -46,6 +46,21 @@ struct ParseResult {
   [[nodiscard]] bool ok() const { return problem.has_value(); }
 };
 
+// Structural limits on parsed problems (documented in docs/format.md).
+// They exist so untrusted input cannot drive the downstream integer
+// arithmetic (longest path distances, milliwatt-tick energies) anywhere
+// near int64 overflow, nor allocate unbounded graphs: the schedulers are
+// super-linear in tasks, so anything over these caps could never be
+// scheduled anyway.
+inline constexpr std::size_t kMaxTasks = 4096;
+inline constexpr std::size_t kMaxResources = 1024;
+inline constexpr std::size_t kMaxConstraints = 65536;
+inline constexpr std::size_t kMaxParseErrors = 100;
+/// Largest |ticks| accepted for any delay/separation/time literal.
+inline constexpr std::int64_t kMaxAbsTicks = 1'000'000'000'000;  // 1e12
+/// Largest |watts| accepted for any power literal (1 GW).
+inline constexpr double kMaxAbsWatts = 1.0e9;
+
 /// Parses a .paws document.
 ParseResult parseProblem(std::string_view source);
 

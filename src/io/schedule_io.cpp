@@ -1,10 +1,12 @@
 #include "io/schedule_io.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <ostream>
 #include <sstream>
 
 #include "io/lexer.hpp"
+#include "io/parser.hpp"
 
 namespace paws::io {
 
@@ -99,8 +101,16 @@ ScheduleParseResult parseSchedule(std::string_view source,
       fail(nameTok, "task '" + taskName + "' assigned twice");
       continue;
     }
+    errno = 0;
+    const std::int64_t ticks = std::strtoll(num.text.c_str(), nullptr, 10);
+    // Same range discipline as parseTicks in parser.cpp: an untrusted
+    // start time must not push profile/longest-path sums near overflow.
+    if (errno == ERANGE || ticks > kMaxAbsTicks || ticks < -kMaxAbsTicks) {
+      fail(num, "start time '" + num.text + "' is out of range");
+      continue;
+    }
     assigned[id->index()] = true;
-    starts[id->index()] = Time(std::strtoll(num.text.c_str(), nullptr, 10));
+    starts[id->index()] = Time(ticks);
   }
   if (peek().kind == TokenKind::kRBrace) next();
 

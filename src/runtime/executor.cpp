@@ -50,6 +50,8 @@ const char* toString(EventKind kind) {
       return "deadline-missed";
     case EventKind::kStalled:
       return "stalled";
+    case EventKind::kRunInterrupted:
+      return "run-interrupted";
   }
   return "?";
 }
@@ -121,6 +123,11 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
   const auto exportOutcome = [&result, &config]() {
     if (config.obs.metrics == nullptr) return;
     obs::MetricsRegistry& m = *config.obs.metrics;
+    if (result.stopReason == guard::StopReason::kCancelled) {
+      m.add("guard.cancels");
+    } else if (result.stopReason == guard::StopReason::kDeadline) {
+      m.add("guard.deadline_trips");
+    }
     m.add("executor.brownouts", static_cast<std::uint64_t>(result.brownouts));
     if (result.batteryDepleted) m.add("executor.depletions");
     if (result.complete) m.add("executor.missions_complete");
@@ -154,9 +161,24 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
   // shed task stays shed across iterations and case switches.
   std::set<std::string> shed;
 
+  // Iteration boundaries are the executor's cancellation points: between
+  // iterations there is no half-applied battery draw or trace suffix, so a
+  // trip leaves everything consistent. Stride 1 — one clock read per
+  // iteration is already far coarser than the schedulers' polling.
+  guard::RunGuard runGuard(config.budget.resolved(), /*stride=*/1);
+
   for (std::uint64_t iter = 0;
        result.steps < config.targetSteps && iter < config.maxIterations;
        ++iter) {
+    if (runGuard.poll() != guard::StopReason::kNone) {
+      result.stopReason = runGuard.reason();
+      emit(now, EventKind::kRunInterrupted,
+           std::string(guard::toString(result.stopReason)) + " after " +
+               std::to_string(result.steps) + " steps");
+      result.finishedAt = now;
+      exportOutcome();
+      return result;
+    }
     obs::PhaseTimer iterTimer(config.obs, "iteration",
                               static_cast<std::uint32_t>(iter),
                               obs::TraceEventKind::kIteration);

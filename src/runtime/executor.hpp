@@ -35,6 +35,7 @@
 #include "base/units.hpp"
 #include "fault/contingency.hpp"
 #include "fault/fault.hpp"
+#include "guard/budget.hpp"
 #include "obs/context.hpp"
 #include "power/sources.hpp"
 #include "sched/schedule.hpp"
@@ -61,6 +62,8 @@ enum class EventKind : std::uint8_t {
   kBatteryDerated,    ///< an injected derate shrank the battery
   kDeadlineMissed,    ///< iteration blew its nominal span (watchdog)
   kStalled,           ///< an iteration made zero progress — mission ended
+  kRunInterrupted,    ///< wall-clock RunBudget tripped; replay stopped at an
+                      ///< iteration boundary (mission-time state consistent)
 };
 
 const char* toString(EventKind kind);
@@ -97,6 +100,11 @@ struct ExecutorConfig {
   const fault::FaultPlan* faults = nullptr;
   /// Closed-loop responses; default-constructed = all off.
   fault::ContingencyOptions contingency;
+  /// Wall-clock deadline / cancellation for the replay itself. Checked at
+  /// iteration boundaries only, so a trip always leaves the mission-time
+  /// accounting consistent. Inactive (the default) costs one branch per
+  /// iteration and the result is byte-identical to the unguarded replay.
+  guard::RunBudget budget;
 };
 
 struct ExecutionResult {
@@ -115,6 +123,9 @@ struct ExecutionResult {
   int deadlineMisses = 0;   ///< watchdog-flagged iteration overruns
   bool unrecoverable = false;  ///< a critical task exhausted its retries
   bool stalled = false;        ///< a zero-progress iteration ended the run
+  /// kNone unless the RunBudget tripped; then the replay stopped early at
+  /// an iteration boundary and `complete` reports the progress made so far.
+  guard::StopReason stopReason = guard::StopReason::kNone;
   std::vector<Event> trace;
 };
 

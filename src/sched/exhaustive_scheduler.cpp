@@ -7,6 +7,7 @@
 
 #include "base/check.hpp"
 #include "exec/jobs.hpp"
+#include "guard/budget.hpp"
 #include "exec/parallel_for.hpp"
 #include "exec/pool.hpp"
 #include "obs/metrics.hpp"
@@ -41,16 +42,34 @@ std::vector<std::vector<Pair>> buildTouching(const Problem& problem) {
 /// the final optimum on cost — parallel pruning removes only subtrees the
 /// serial reduction would discard anyway, which is what makes the parallel
 /// result bit-identical.
+/// Why the whole search stopped early; the first worker to trip wins (CAS
+/// from kStopNone) so concurrent trips can't overwrite each other's reason.
+enum StopCode : std::uint8_t {
+  kStopNone = 0,
+  kStopNodeBudget = 1,
+  kStopDeadline = 2,
+  kStopCancelled = 3,
+};
+
 struct SearchShared {
   std::atomic<std::int64_t> bestCostMwt{
       std::numeric_limits<std::int64_t>::max()};
   std::atomic<std::uint64_t> nodesExplored{0};
-  std::atomic<bool> budgetTripped{false};
+  std::atomic<std::uint8_t> stop{kStopNone};
   std::uint64_t maxNodes = 0;
   // Aggregated per-worker profile effort (flushed once per worker, not per
   // node — the dfs hot loop stays atomic-free).
   std::atomic<std::uint64_t> profileUpdates{0};
   std::atomic<std::uint64_t> profileRebuilds{0};
+
+  [[nodiscard]] bool stopped() const {
+    return stop.load(std::memory_order_relaxed) != kStopNone;
+  }
+  /// Latch a stop reason; only the first publisher's reason sticks.
+  void publishStop(StopCode code) {
+    std::uint8_t expected = kStopNone;
+    stop.compare_exchange_strong(expected, code, std::memory_order_relaxed);
+  }
 };
 
 /// A worker's chunk-local winner: the first leaf in its DFS order that
@@ -79,7 +98,8 @@ void mergeBest(LocalBest& acc, LocalBest&& lb) {
 class Worker {
  public:
   Worker(const Problem& problem, const std::vector<std::vector<Pair>>& touching,
-         Time horizon, SearchShared& shared, bool incremental)
+         Time horizon, SearchShared& shared, bool incremental,
+         const guard::RunBudget& budget)
       : problem_(problem),
         touching_(touching),
         horizon_(horizon),
@@ -87,6 +107,10 @@ class Worker {
         pmin_(problem.minPower()),
         pmax_(problem.maxPower()),
         incremental_(incremental),
+        // Each worker strides its own clock reads: one steady_clock::now()
+        // per 1024 expanded nodes keeps deadline latency ~microseconds at
+        // search speed while the clean-path overhead stays a branch.
+        guard_(budget, 1024),
         engine_(problem.backgroundPower(), problem.minPower(),
                 problem.maxPower()),
         starts_(problem.numVertices(), Time::zero()) {}
@@ -121,6 +145,7 @@ class Worker {
   const Watts pmin_;
   const Watts pmax_;
   const bool incremental_;
+  guard::RunGuard guard_;
   power::ProfileEngine engine_;  // placed-prefix profile (incremental mode)
   std::uint64_t legacyUpdates_ = 0;
   std::uint64_t legacyRebuilds_ = 0;
@@ -131,7 +156,7 @@ class Worker {
 };
 
 void Worker::dfs(std::size_t k) {
-  if (shared_.budgetTripped.load(std::memory_order_relaxed)) return;
+  if (shared_.stopped()) return;
   const std::size_t n = problem_.numVertices();
   if (k == n) {
     leaf();
@@ -148,7 +173,13 @@ void Worker::dfs(std::size_t k) {
   for (Time t = lo; t <= hi; t += Duration(1)) {
     if (shared_.nodesExplored.fetch_add(1, std::memory_order_relaxed) + 1 >
         shared_.maxNodes) {
-      shared_.budgetTripped.store(true, std::memory_order_relaxed);
+      shared_.publishStop(kStopNodeBudget);
+      return;
+    }
+    if (guard_.poll() != guard::StopReason::kNone) {
+      shared_.publishStop(guard_.reason() == guard::StopReason::kCancelled
+                              ? kStopCancelled
+                              : kStopDeadline);
       return;
     }
     starts_[k] = t;
@@ -190,7 +221,7 @@ void Worker::dfs(std::size_t k) {
       }
       dfs(k + 1);
       engine_.removeTask(v);
-      if (shared_.budgetTripped.load(std::memory_order_relaxed)) return;
+      if (shared_.stopped()) return;
       continue;
     }
 
@@ -214,7 +245,7 @@ void Worker::dfs(std::size_t k) {
     }
 
     dfs(k + 1);
-    if (shared_.budgetTripped.load(std::memory_order_relaxed)) return;
+    if (shared_.stopped()) return;
   }
 }
 
@@ -282,6 +313,10 @@ ScheduleResult ExhaustiveScheduler::schedule() {
   SearchShared shared;
   shared.maxNodes = options_.maxNodes;
 
+  // Pin the relative timeout to one absolute deadline here, so every
+  // worker (and any caller-nested stage) races the same clock.
+  const guard::RunBudget budget = options_.budget.resolved();
+
   // Number of candidate start times for task 1 — the axis the parallel
   // split partitions.
   std::int64_t numT1 = 0;
@@ -293,8 +328,8 @@ ScheduleResult ExhaustiveScheduler::schedule() {
   LocalBest best;
   if (jobs <= 1 || numT1 < 2) {
     // Serial: one worker over the whole range, on the calling thread.
-    Worker w(problem_, touching, horizon, shared,
-             options_.incrementalProfile);
+    Worker w(problem_, touching, horizon, shared, options_.incrementalProfile,
+             budget);
     w.search(Time::zero(), horizon);
     best = w.takeBest();
   } else {
@@ -314,7 +349,7 @@ ScheduleResult ExhaustiveScheduler::schedule() {
               1;
           const Problem clone = problem_;  // worker-private scratch
           Worker w(clone, touching, horizon, shared,
-                   options_.incrementalProfile);
+                   options_.incrementalProfile, budget);
           w.search(Time::zero() + Duration(lo), Time::zero() + Duration(hi));
           return w.takeBest();
         });
@@ -328,9 +363,12 @@ ScheduleResult ExhaustiveScheduler::schedule() {
 
   outcome_.nodesExplored =
       shared.nodesExplored.load(std::memory_order_relaxed);
-  const bool budgetTripped =
-      shared.budgetTripped.load(std::memory_order_relaxed);
-  outcome_.provenOptimal = !budgetTripped;
+  const auto stop =
+      static_cast<StopCode>(shared.stop.load(std::memory_order_relaxed));
+  outcome_.provenOptimal = stop == kStopNone;
+  outcome_.stopReason = stop == kStopDeadline    ? guard::StopReason::kDeadline
+                        : stop == kStopCancelled ? guard::StopReason::kCancelled
+                                                 : guard::StopReason::kNone;
   if (options_.obs.metrics != nullptr) {
     options_.obs.metrics->add("exhaustive.nodes", outcome_.nodesExplored);
     options_.obs.metrics->add(
@@ -339,12 +377,36 @@ ScheduleResult ExhaustiveScheduler::schedule() {
     options_.obs.metrics->add(
         "profile.rebuilds",
         shared.profileRebuilds.load(std::memory_order_relaxed));
+    if (stop == kStopDeadline) {
+      options_.obs.metrics->add("guard.deadline_trips", 1);
+    } else if (stop == kStopCancelled) {
+      options_.obs.metrics->add("guard.cancels", 1);
+    }
+  }
+
+  if (outcome_.stopReason != guard::StopReason::kNone) {
+    // Anytime result: the best incumbent found before the trip, flagged so
+    // callers know it is not proven optimal.
+    out.status = SchedStatus::kDeadlineExceeded;
+    out.message = stop == kStopCancelled
+                      ? "search cancelled"
+                      : "wall-clock deadline exceeded";
+    if (best.have) {
+      out.schedule = Schedule(&problem_, best.starts);
+      out.message += "; returning best incumbent (not proven optimal)";
+      if (options_.obs.metrics != nullptr) {
+        options_.obs.metrics->add("guard.incumbent_returned", 1);
+      }
+    } else {
+      out.message += " before any valid schedule was found";
+    }
+    return out;
   }
 
   if (!best.have) {
-    out.status = budgetTripped ? SchedStatus::kBudgetExhausted
-                               : SchedStatus::kPowerInfeasible;
-    out.message = budgetTripped
+    out.status = stop == kStopNodeBudget ? SchedStatus::kBudgetExhausted
+                                         : SchedStatus::kPowerInfeasible;
+    out.message = stop == kStopNodeBudget
                       ? "node budget exhausted before any valid schedule"
                       : "no valid schedule within the horizon";
     return out;

@@ -33,6 +33,7 @@
 
 #include <optional>
 
+#include "guard/budget.hpp"
 #include "model/problem.hpp"
 #include "obs/context.hpp"
 #include "sched/result.hpp"
@@ -58,11 +59,19 @@ struct ExhaustiveOptions {
   bool incrementalProfile = true;
   /// Metrics sink; parallel runs publish the exec.* pool counters here.
   obs::ObsContext obs;
+  /// Wall-clock deadline / cancellation. When it trips mid-search the
+  /// scheduler returns kDeadlineExceeded with the best incumbent found so
+  /// far (provenOptimal=false). Inactive by default; the clean path stays
+  /// byte-identical for any jobs count.
+  guard::RunBudget budget;
 };
 
 struct ExhaustiveOutcomeStats {
   std::uint64_t nodesExplored = 0;
   bool provenOptimal = false;  // search completed within the node budget
+  /// Why the search stopped early (deadline/cancel); kNone for clean runs
+  /// and plain node-budget trips.
+  guard::StopReason stopReason = guard::StopReason::kNone;
 };
 
 class ExhaustiveScheduler {

@@ -67,6 +67,10 @@ MaxPowerScheduler::Detailed MaxPowerScheduler::scheduleDetailed() {
   profileUpdates_ = 0;
   profileRestores_ = 0;
   options_.timing.obs.inheritFrom(options_.obs);
+  // Pin the deadline once; nested TimingScheduler runs race the same clock.
+  options_.budget = options_.budget.resolved();
+  options_.timing.budget.inheritFrom(options_.budget);
+  guard_ = guard::RunGuard(options_.budget, /*stride=*/16);
   obs::PhaseTimer phase(options_.obs, "max-power");
 
   // Provably infeasible budgets (a single task, alone, over Pmax) fail
@@ -93,6 +97,15 @@ MaxPowerScheduler::Detailed MaxPowerScheduler::scheduleDetailed() {
     options_.obs.metrics->add("profile.rebuilds", profileRebuilds_);
     options_.obs.metrics->add("profile.incremental_updates", profileUpdates_);
     options_.obs.metrics->add("profile.restores", profileRestores_);
+    if (a.result.status == SchedStatus::kDeadlineExceeded) {
+      // The trip may have fired in a nested TimingScheduler's own guard;
+      // re-checking ours recovers the reason (cancellation stays set and
+      // deadlines do not un-expire).
+      options_.obs.metrics->add(
+          guard_.check() == guard::StopReason::kCancelled ? "guard.cancels"
+                                                          : "guard.deadline_trips",
+          1);
+    }
   }
 
   Detailed out;
@@ -133,8 +146,10 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
   TimingScheduler timing(problem_, options_.timing);
   TimingScheduler::Output tOut = timing.run(graph, engine, stats);
   if (!tOut.ok) {
-    a.result.status = tOut.budgetExhausted ? SchedStatus::kBudgetExhausted
-                                           : SchedStatus::kTimingInfeasible;
+    a.result.status = tOut.stopReason != guard::StopReason::kNone
+                          ? SchedStatus::kDeadlineExceeded
+                      : tOut.budgetExhausted ? SchedStatus::kBudgetExhausted
+                                             : SchedStatus::kTimingInfeasible;
     a.result.message = tOut.message;
     return a;
   }
@@ -166,6 +181,17 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
   } flush{*this, pe};
 
   while (true) {
+    // Coarse boundary: one clock read per spike round. The graph, engine
+    // and decision list are all consistent here, so tripping returns a
+    // cleanly rolled-back attempt (the recursion's rollback paths do the
+    // rest on the way out).
+    if (guard_.check() != guard::StopReason::kNone) {
+      a.result.status = SchedStatus::kDeadlineExceeded;
+      a.result.message = guard_.reason() == guard::StopReason::kCancelled
+                             ? "search cancelled during spike elimination"
+                             : "deadline exceeded during spike elimination";
+      return a;
+    }
     std::optional<Time> spikeAt;
     if (incremental) {
       spikeAt = pe.firstSpike(spikeHorizon);
@@ -197,6 +223,16 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
     const std::vector<Duration> slacks = computeSlacks(graph, starts);
     std::vector<Time> localStarts = starts;
     while (true) {
+      if (guard_.poll() != guard::StopReason::kNone) {
+        decisions_.resize(savedDecisions);
+        graph.rollbackTo(graphMark);
+        engine.restore(engineMark);
+        a.result.status = SchedStatus::kDeadlineExceeded;
+        a.result.message = guard_.reason() == guard::StopReason::kCancelled
+                               ? "search cancelled during spike elimination"
+                               : "deadline exceeded during spike elimination";
+        return a;
+      }
       std::vector<TaskId> active;
       if (incremental) {
         if (pe.valueAt(t) <= pmax) break;
@@ -317,7 +353,10 @@ MaxPowerScheduler::Attempt MaxPowerScheduler::attempt(std::uint32_t depth,
       if (sub.result.ok()) return sub;
       decisions_.resize(lockMark);
 
-      if (sub.result.status == SchedStatus::kBudgetExhausted) {
+      // Budget and deadline trips are both terminal: retrying with one more
+      // victim can only burn more of whatever ran out.
+      if (sub.result.status == SchedStatus::kBudgetExhausted ||
+          sub.result.status == SchedStatus::kDeadlineExceeded) {
         decisions_.resize(savedDecisions);
         return sub;
       }

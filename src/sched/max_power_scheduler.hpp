@@ -76,6 +76,7 @@ class MaxPowerScheduler {
   MaxPowerOptions options_;
   std::vector<Decision> decisions_;
   std::uint64_t delaysLeft_ = 0;
+  guard::RunGuard guard_{guard::RunBudget{}};
   std::uint32_t rngState_ = 1;
   // Profile effort accumulated across all recursive attempts (each attempt
   // owns a ProfileEngine; counters are flushed here as attempts unwind and

@@ -53,8 +53,12 @@ MinPowerScheduler::MinPowerScheduler(const Problem& problem,
     : problem_(problem), options_(options) {}
 
 ScheduleResult MinPowerScheduler::schedule() {
+  // Pin the deadline before the first stage runs; every nested stage then
+  // inherits the same absolute time point.
+  options_.budget = options_.budget.resolved();
   MaxPowerOptions maxOptions = options_.maxPower;
   maxOptions.obs.inheritFrom(options_.obs);
+  maxOptions.budget.inheritFrom(options_.budget);
   MaxPowerScheduler maxPower(problem_, maxOptions);
   MaxPowerScheduler::Detailed det = maxPower.scheduleDetailed();
   if (!det.result.ok()) return std::move(det.result);
@@ -106,8 +110,15 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
   ScanOrder scan = options_.scanOrder;
   SlotHeuristic slot = options_.slotHeuristic;
 
+  // Anytime guard: between candidate evaluations `starts` is always a
+  // valid (timing- and Pmax-respecting) schedule — every rejected move is
+  // rolled back before the next one is tried — so a trip mid-improvement
+  // simply stops polishing and returns the current schedule.
+  guard::RunGuard guard(options_.budget.resolved(), /*stride=*/8);
+  bool tripped = false;
+
   for (std::uint32_t pass = 0;
-       pass < options_.maxPasses && rho < 1.0; ++pass) {
+       pass < options_.maxPasses && rho < 1.0 && !tripped; ++pass) {
     ++out.stats.scans;
     PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kScanPass,
                        obs::TraceEvent::kNoTask, /*at=*/0,
@@ -115,7 +126,7 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
     bool improvedInPass = false;
     bool rescan = true;
 
-    while (rescan && rho < 1.0) {
+    while (rescan && rho < 1.0 && !tripped) {
       rescan = false;
       std::vector<Interval> gaps = incremental ? pe.gaps() : profile.gaps(pmin);
       // Slacks depend only on the graph and starts, which change solely on
@@ -159,6 +170,10 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
                          });
 
         for (TaskId v : candidates) {
+          if (guard.poll() != guard::StopReason::kNone) {
+            tripped = true;
+            break;
+          }
           const Task& task = problem_.task(v);
           const Time cur = starts[v.index()];
           // Feasible new-start window that keeps v active at t. Unbounded
@@ -248,7 +263,7 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
           engine.restore(ecp);
           if (incremental) pe.restore(pcp);
         }
-        if (rescan) break;
+        if (rescan || tripped) break;
       }
     }
 
@@ -264,6 +279,26 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
     options_.obs.metrics->add("profile.incremental_updates",
                               pe.incrementalUpdates());
     options_.obs.metrics->add("profile.restores", pe.restores());
+    if (tripped) {
+      options_.obs.metrics->add(
+          guard.reason() == guard::StopReason::kCancelled
+              ? "guard.cancels"
+              : "guard.deadline_trips",
+          1);
+      options_.obs.metrics->add("guard.incumbent_returned", 1);
+    }
+  }
+
+  if (tripped) {
+    // The last consistent schedule — valid, just not polished to the end.
+    out.status = SchedStatus::kDeadlineExceeded;
+    out.message = guard.reason() == guard::StopReason::kCancelled
+                      ? "cancelled during min-power improvement; returning "
+                        "last consistent schedule"
+                      : "deadline exceeded during min-power improvement; "
+                        "returning last consistent schedule";
+    out.schedule = Schedule(&problem_, starts);
+    return out;
   }
 
   out.status = SchedStatus::kOk;

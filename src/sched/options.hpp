@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "guard/budget.hpp"
 #include "obs/context.hpp"
 
 namespace paws {
@@ -49,6 +50,10 @@ struct TimingOptions {
   /// Observability hooks (borrowed; see obs/context.hpp). Outer pipeline
   /// stages propagate their own context into unset nested contexts.
   obs::ObsContext obs;
+  /// Wall-clock deadline / cancellation (guard/budget.hpp). Inherited from
+  /// the outer pipeline stage like `obs`; inactive by default, in which
+  /// case results are byte-identical to a build without guards.
+  guard::RunBudget budget;
 };
 
 struct MaxPowerOptions {
@@ -70,6 +75,8 @@ struct MaxPowerOptions {
   /// can run the legacy rebuild path.
   bool incrementalProfile = true;
   obs::ObsContext obs;
+  /// See TimingOptions::budget; propagated into `timing.budget`.
+  guard::RunBudget budget;
 };
 
 struct MinPowerOptions {
@@ -89,6 +96,8 @@ struct MinPowerOptions {
   /// per candidate. Byte-identical results; see MaxPowerOptions.
   bool incrementalProfile = true;
   obs::ObsContext obs;
+  /// See TimingOptions::budget; propagated into `maxPower.budget`.
+  guard::RunBudget budget;
 };
 
 }  // namespace paws

@@ -32,10 +32,17 @@ ScheduleResult PowerAwareScheduler::schedule() {
   SchedulerStats total;
   std::uint32_t trialsOk = 0;
 
+  // One absolute deadline for every trial; once it trips there is no point
+  // starting the next trial (it would trip at its first poll anyway).
+  options_.budget = options_.budget.resolved();
+  guard::RunGuard trialGuard(options_.budget, /*stride=*/1);
+
   const std::uint32_t trials = std::max<std::uint32_t>(options_.trials, 1);
   for (std::uint32_t k = 0; k < trials; ++k) {
+    if (k > 0 && trialGuard.check() != guard::StopReason::kNone) break;
     MinPowerOptions opts = options_.minPower;
     opts.obs.inheritFrom(options_.obs);
+    opts.budget.inheritFrom(options_.budget);
     opts.randomSeed += k;
     opts.maxPower.randomSeed += k;
     opts.maxPower.timing.randomSeed += k;
@@ -55,7 +62,20 @@ ScheduleResult PowerAwareScheduler::schedule() {
     total += r.stats;
     if (!r.ok()) {
       if (!haveBest) {
-        best = std::move(r);  // Remember the failure diagnostics.
+        // A deadline-tripped trial can still carry an anytime schedule;
+        // keep the best of those unless some trial completes cleanly. A
+        // schedule-less failure only provides diagnostics (last one wins,
+        // as before the guard existed).
+        const bool anytime = r.status == SchedStatus::kDeadlineExceeded &&
+                             r.schedule.has_value();
+        const bool bestAnytime = best.schedule.has_value();
+        if (anytime) {
+          if (!bestAnytime || betterThan(*r.schedule, *best.schedule, pmin)) {
+            best = std::move(r);
+          }
+        } else if (!bestAnytime) {
+          best = std::move(r);  // Remember the failure diagnostics.
+        }
       }
       continue;
     }

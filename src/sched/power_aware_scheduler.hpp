@@ -24,6 +24,11 @@ struct PowerAwareOptions {
   /// When a MetricsRegistry is attached the final stats are exported
   /// under their "search.*" names plus pipeline.trials{,_ok} counters.
   obs::ObsContext obs;
+  /// One deadline for the whole multi-trial run: trials share the absolute
+  /// time point, remaining trials are skipped once it trips, and the best
+  /// anytime result seen so far is returned (kDeadlineExceeded unless some
+  /// trial completed cleanly first).
+  guard::RunBudget budget;
 };
 
 class PowerAwareScheduler {

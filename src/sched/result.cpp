@@ -16,6 +16,8 @@ const char* toString(SchedStatus status) {
       return "budget-exhausted";
     case SchedStatus::kInvalidInput:
       return "invalid-input";
+    case SchedStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }
@@ -24,7 +26,7 @@ std::optional<SchedStatus> schedStatusFromString(std::string_view text) {
   for (const SchedStatus s :
        {SchedStatus::kOk, SchedStatus::kTimingInfeasible,
         SchedStatus::kPowerInfeasible, SchedStatus::kBudgetExhausted,
-        SchedStatus::kInvalidInput}) {
+        SchedStatus::kInvalidInput, SchedStatus::kDeadlineExceeded}) {
     if (text == toString(s)) return s;
   }
   return std::nullopt;

@@ -23,6 +23,10 @@ enum class SchedStatus : std::uint8_t {
   kBudgetExhausted,   ///< search budget (backtracks/delays/depth) ran out
   kInvalidInput,      ///< malformed request (e.g. repair inputs that do not
                       ///< describe the same task set) — rejected up front
+  kDeadlineExceeded,  ///< wall-clock deadline or CancelToken tripped the run
+                      ///< (guard::RunBudget); schedule, if present, is the
+                      ///< best incumbent so far (anytime result, not proven
+                      ///< optimal)
 };
 
 const char* toString(SchedStatus status);

@@ -42,6 +42,10 @@ TimingScheduler::Output TimingScheduler::run(ConstraintGraph& graph,
   visited_[kAnchorTask.index()] = true;  // Anchor is pre-placed at time 0.
   backtracksLeft_ = options_.maxBacktracks;
   budgetExhausted_ = false;
+  stopReason_ = guard::StopReason::kNone;
+  // One clock read per 64 candidate placements; each placement runs a
+  // longest-path pass, so the poll cost disappears into the search.
+  guard_ = guard::RunGuard(options_.budget.resolved(), 64);
   rngState_ = options_.randomSeed == 0 ? 1 : options_.randomSeed;
 
   const ConstraintGraph::Checkpoint entry = graph.checkpoint();
@@ -68,9 +72,16 @@ TimingScheduler::Output TimingScheduler::run(ConstraintGraph& graph,
 
   graph.rollbackTo(entry);
   out.budgetExhausted = budgetExhausted_;
-  out.message = budgetExhausted_
-                    ? "backtrack budget exhausted before finding an order"
-                    : "no serialization order satisfies the constraints";
+  out.stopReason = stopReason_;
+  if (stopReason_ != guard::StopReason::kNone) {
+    out.message = stopReason_ == guard::StopReason::kCancelled
+                      ? "search cancelled before finding an order"
+                      : "deadline exceeded before finding an order";
+  } else {
+    out.message = budgetExhausted_
+                      ? "backtrack budget exhausted before finding an order"
+                      : "no serialization order satisfies the constraints";
+  }
   return out;
 }
 
@@ -104,6 +115,10 @@ bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
   }
 
   for (TaskId c : candidates) {
+    if (guard_.poll() != guard::StopReason::kNone) {
+      stopReason_ = guard_.reason();
+      return false;  // unwinds through every level's rollback path
+    }
     PAWS_TRACE_INSTANT(options_.obs.trace, obs::TraceEventKind::kCandidate,
                        c.value(), /*at=*/0, /*value=*/0,
                        static_cast<std::uint32_t>(numVisited));
@@ -139,6 +154,7 @@ bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
     }
     --backtracksLeft_;
     if (budgetExhausted_) return false;
+    if (stopReason_ != guard::StopReason::kNone) return false;
   }
   return false;
 }

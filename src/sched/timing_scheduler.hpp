@@ -37,6 +37,9 @@ class TimingScheduler {
   struct Output {
     bool ok = false;
     bool budgetExhausted = false;
+    /// kDeadline/kCancelled when options.budget tripped the search; the
+    /// graph is rolled back to its entry state exactly as on any failure.
+    guard::StopReason stopReason = guard::StopReason::kNone;
     /// Vertex-indexed start times (valid when ok).
     std::vector<Time> starts;
     std::string message;
@@ -58,6 +61,8 @@ class TimingScheduler {
   std::vector<std::vector<TaskId>> tasksOnResource_;
   std::uint64_t backtracksLeft_ = 0;
   bool budgetExhausted_ = false;
+  guard::StopReason stopReason_ = guard::StopReason::kNone;
+  guard::RunGuard guard_{guard::RunBudget{}};
   std::uint32_t rngState_ = 1;
 };
 

@@ -1,0 +1,147 @@
+// Unit tests for guard::RunBudget / CancelToken / RunGuard.
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "guard/budget.hpp"
+#include "guard/cancel.hpp"
+
+namespace paws::guard {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+TEST(CancelTokenTest, DefaultTokenNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.connected());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, SourcePropagatesToAllCopies) {
+  CancelSource source;
+  CancelToken a = source.token();
+  CancelToken b = a;  // copies observe the same flag
+  EXPECT_TRUE(a.connected());
+  EXPECT_FALSE(a.cancelled());
+  source.cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  source.cancel();  // idempotent
+  EXPECT_TRUE(a.cancelled());
+}
+
+TEST(RunBudgetTest, DefaultIsInactive) {
+  RunBudget budget;
+  EXPECT_FALSE(budget.active());
+  RunGuard guard(budget);
+  EXPECT_FALSE(guard.active());
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(guard.poll(), StopReason::kNone);
+  }
+  EXPECT_EQ(guard.check(), StopReason::kNone);
+}
+
+TEST(RunBudgetTest, ResolvedPinsTimeoutToAbsoluteDeadline) {
+  RunBudget budget;
+  budget.timeout = milliseconds(50);
+  const auto now = steady_clock::now();
+  const RunBudget resolved = budget.resolved(now);
+  ASSERT_TRUE(resolved.deadlineAt.has_value());
+  EXPECT_EQ(*resolved.deadlineAt, now + milliseconds(50));
+  EXPECT_FALSE(resolved.timeout.has_value());
+  // Idempotent: resolving later must not push the deadline out.
+  const RunBudget again = resolved.resolved(now + milliseconds(10));
+  ASSERT_TRUE(again.deadlineAt.has_value());
+  EXPECT_EQ(*again.deadlineAt, now + milliseconds(50));
+}
+
+TEST(RunBudgetTest, ResolvedKeepsSoonerOfTimeoutAndDeadline) {
+  const auto now = steady_clock::now();
+  RunBudget budget;
+  budget.timeout = milliseconds(10);
+  budget.deadlineAt = now + milliseconds(500);
+  const RunBudget r = budget.resolved(now);
+  EXPECT_EQ(*r.deadlineAt, now + milliseconds(10));
+}
+
+TEST(RunBudgetTest, InheritAdoptsOnlyUnsetLimits) {
+  CancelSource source;
+  RunBudget parent;
+  parent.deadlineAt = steady_clock::now() + milliseconds(100);
+  parent.cancel = source.token();
+
+  RunBudget child;
+  child.inheritFrom(parent);
+  EXPECT_EQ(child.deadlineAt, parent.deadlineAt);
+  EXPECT_TRUE(child.cancel.connected());
+
+  RunBudget own;
+  own.timeout = milliseconds(5);
+  own.inheritFrom(parent);
+  EXPECT_TRUE(own.timeout.has_value());   // kept its own limit
+  EXPECT_FALSE(own.deadlineAt.has_value());
+  EXPECT_TRUE(own.cancel.connected());    // cancel still adopted
+}
+
+TEST(RunGuardTest, ExpiredDeadlineTripsAndLatches) {
+  RunBudget budget;
+  budget.deadlineAt = steady_clock::now() - milliseconds(1);
+  RunGuard guard(budget, /*stride=*/1);
+  EXPECT_TRUE(guard.active());
+  EXPECT_EQ(guard.check(), StopReason::kDeadline);
+  EXPECT_EQ(guard.reason(), StopReason::kDeadline);
+  EXPECT_EQ(guard.poll(), StopReason::kDeadline);  // latched
+}
+
+TEST(RunGuardTest, CancellationWinsOverDeadline) {
+  CancelSource source;
+  source.cancel();
+  RunBudget budget;
+  budget.deadlineAt = steady_clock::now() - milliseconds(1);
+  budget.cancel = source.token();
+  RunGuard guard(budget, /*stride=*/1);
+  EXPECT_EQ(guard.check(), StopReason::kCancelled);
+}
+
+TEST(RunGuardTest, StridedPollSkipsClockReads) {
+  RunBudget budget;
+  budget.deadlineAt = steady_clock::now() - milliseconds(1);
+  RunGuard guard(budget, /*stride=*/64);
+  // The first 63 polls never touch the clock; the 64th does and trips.
+  for (int i = 0; i < 63; ++i) {
+    EXPECT_EQ(guard.poll(), StopReason::kNone) << i;
+  }
+  EXPECT_EQ(guard.poll(), StopReason::kDeadline);
+}
+
+TEST(RunGuardTest, UnresolvedTimeoutIsResolvedAsFallback) {
+  RunBudget budget;
+  budget.timeout = milliseconds(0);
+  RunGuard guard(budget, /*stride=*/1);
+  EXPECT_TRUE(guard.active());
+  std::this_thread::sleep_for(milliseconds(1));
+  EXPECT_EQ(guard.check(), StopReason::kDeadline);
+}
+
+TEST(RunGuardTest, FutureDeadlineEventuallyTrips) {
+  RunBudget budget;
+  budget.timeout = milliseconds(5);
+  RunGuard guard(budget.resolved(), /*stride=*/1);
+  const auto start = steady_clock::now();
+  while (guard.check() == StopReason::kNone) {
+    ASSERT_LT(steady_clock::now() - start, std::chrono::seconds(10));
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_EQ(guard.reason(), StopReason::kDeadline);
+}
+
+TEST(StopReasonTest, ToStringIsStable) {
+  EXPECT_STREQ(toString(StopReason::kNone), "none");
+  EXPECT_STREQ(toString(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(toString(StopReason::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace paws::guard

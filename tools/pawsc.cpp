@@ -38,8 +38,15 @@
 //   pawsc dot <file.paws>
 //       Emit the constraint graph in Graphviz syntax.
 //
-// Exit status: 0 on success, 1 on user/file errors, 2 on scheduling
-// failure.
+// Exit status (one code per error class, stable for scripting):
+//   0  success
+//   1  usage error (bad flags/arguments)
+//   2  input error (parse/lex failure, unreadable file, limit exceeded)
+//   3  infeasible (no valid schedule / mission lost / validation failed)
+//   4  budget or deadline exhausted (--timeout-ms tripped, node budget,
+//      backtrack budget); partial/anytime results may still be printed
+//   5  internal error (uncaught exception)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +59,7 @@
 #include "exec/jobs.hpp"
 #include "exec/parallel_for.hpp"
 #include "exec/pool.hpp"
+#include "guard/budget.hpp"
 #include "fault/campaign.hpp"
 #include "fault/model.hpp"
 #include "fault/rng.hpp"
@@ -85,6 +93,33 @@ using namespace paws;
 
 namespace {
 
+// Exit codes, one per error class (documented in usage() and the file
+// header). Scripts branch on these; keep them stable.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitInput = 2;
+constexpr int kExitInfeasible = 3;
+constexpr int kExitBudget = 4;
+constexpr int kExitInternal = 5;
+
+/// Maps a scheduling failure to its exit class. kOk maps to success, but
+/// callers still gate on validation before returning it.
+int exitForStatus(SchedStatus status) {
+  switch (status) {
+    case SchedStatus::kOk:
+      return kExitOk;
+    case SchedStatus::kBudgetExhausted:
+    case SchedStatus::kDeadlineExceeded:
+      return kExitBudget;
+    case SchedStatus::kInvalidInput:
+      return kExitInput;
+    case SchedStatus::kTimingInfeasible:
+    case SchedStatus::kPowerInfeasible:
+      return kExitInfeasible;
+  }
+  return kExitInternal;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: pawsc <command> [options]\n"
@@ -108,8 +143,20 @@ int usage() {
                "  campaign [--missions N] [--seed S] [--steps N] [--jobs N] "
                "[--contingency|...]\n"
                "           [--json out.json|-] [--metrics out.csv]\n"
-               "  dot      <file.paws>\n");
-  return 1;
+               "  dot      <file.paws>\n"
+               "\n"
+               "schedule/simulate/campaign also take --timeout-ms N: a\n"
+               "wall-clock deadline for the run. On a trip, `schedule\n"
+               "--scheduler optimal` prints the best incumbent found so far\n"
+               "(anytime result, not proven optimal) and campaigns report\n"
+               "only fully-flown missions.\n"
+               "\n"
+               "exit codes: 0 success; 1 usage error; 2 input error (parse\n"
+               "failure, unreadable file, input limit); 3 infeasible (no\n"
+               "valid schedule, mission lost, validation failed); 4 search\n"
+               "budget or --timeout-ms deadline exhausted; 5 internal\n"
+               "error.\n");
+  return kExitUsage;
 }
 
 std::optional<Problem> load(const std::string& path) {
@@ -125,7 +172,7 @@ std::optional<Problem> load(const std::string& path) {
 
 int cmdCheck(const std::string& path) {
   const auto problem = load(path);
-  if (!problem) return 1;
+  if (!problem) return kExitInput;
   std::printf("problem '%s': %zu tasks, %zu resources, %zu constraints\n",
               problem->name().c_str(), problem->numTasks(),
               problem->numResources(), problem->constraints().size());
@@ -151,18 +198,18 @@ int cmdCheck(const std::string& path) {
   }
   const bool ok = issues.empty() && lp.feasible;
   std::printf("%s\n", ok ? "OK" : "NOT SCHEDULABLE AS WRITTEN");
-  return ok ? 0 : 2;
+  return ok ? kExitOk : kExitInfeasible;
 }
 
 int cmdWindows(const std::string& path, std::int64_t horizonTicks) {
   const auto problem = load(path);
-  if (!problem) return 1;
+  if (!problem) return kExitInput;
   const ConstraintGraph g = problem->buildGraph();
   LongestPathEngine engine(g);
   if (!engine.compute(kAnchorTask).feasible) {
     std::fprintf(stderr, "%s\n",
                  explainCycle(*problem, g, engine.result()).c_str());
-    return 2;
+    return kExitInfeasible;
   }
   Time horizon(horizonTicks);
   if (horizonTicks <= 0) {
@@ -211,24 +258,32 @@ struct ScheduleExports {
 ScheduleResult runScheduler(const Problem& problem,
                             const std::string& scheduler,
                             std::uint32_t trials, std::size_t jobs,
-                            const obs::ObsContext& obsCtx) {
+                            const obs::ObsContext& obsCtx,
+                            const guard::RunBudget& budget) {
+  // serial/list are single-pass and finish in microseconds; a wall-clock
+  // guard there would only be polling overhead.
   if (scheduler == "serial") return SerialScheduler(problem).schedule();
   if (scheduler == "list") return ListScheduler(problem).schedule();
   if (scheduler == "optimal") {
     ExhaustiveOptions options;
     options.jobs = jobs == 0 ? exec::resolveJobs(0) : jobs;
     options.obs = obsCtx;
+    options.budget = budget;
     ExhaustiveScheduler optimal(problem, options);
     ScheduleResult r = optimal.schedule();
     if (!optimal.outcome().provenOptimal) {
-      std::fprintf(stderr,
-                   "warning: node budget hit; result may be suboptimal\n");
+      std::fprintf(
+          stderr, "warning: %s; result may be suboptimal\n",
+          optimal.outcome().stopReason == guard::StopReason::kNone
+              ? "node budget hit"
+              : guard::toString(optimal.outcome().stopReason));
     }
     return r;
   }
   PowerAwareOptions options;
   options.trials = trials;
   options.obs = obsCtx;
+  options.budget = budget;
   return PowerAwareScheduler(problem, options).schedule();
 }
 
@@ -290,9 +345,10 @@ void writeObsExports(const ScheduleExports& out, const obs::TraceSink& sink,
 
 int cmdSchedule(const std::string& path, const std::string& scheduler,
                 std::uint32_t trials, std::size_t jobs,
-                const ScheduleExports& out) {
+                const ScheduleExports& out,
+                const guard::RunBudget& budget) {
   const auto problem = load(path);
-  if (!problem) return 1;
+  if (!problem) return kExitInput;
 
   obs::TraceSink sink;
   obs::MetricsRegistry registry;
@@ -302,18 +358,26 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
     obsCtx.metrics = &registry;
   }
   const ScheduleResult r =
-      runScheduler(*problem, scheduler, trials, jobs, obsCtx);
+      runScheduler(*problem, scheduler, trials, jobs, obsCtx, budget);
   // The pipeline exports its own stats; the baselines know nothing of the
   // registry, so bridge their SchedulerStats view in.
   if (out.wantsObs() && scheduler != "pipeline") {
     exportStats(r.stats, registry);
   }
-  if (!r.ok()) {
+  // A deadline trip that still carries a schedule is an anytime result:
+  // report it through the normal path (validator, exports and all) but
+  // exit with the budget code so scripts can tell.
+  const bool anytime =
+      r.status == SchedStatus::kDeadlineExceeded && r.schedule.has_value();
+  if (!r.ok() && !anytime) {
     std::fprintf(stderr, "scheduling failed (%s): %s\n", toString(r.status),
                  r.message.c_str());
     printEffort(stderr, r.stats);
     writeObsExports(out, sink, registry);
-    return 2;
+    return exitForStatus(r.status);
+  }
+  if (anytime) {
+    std::fprintf(stderr, "warning: %s\n", r.message.c_str());
   }
   const Schedule& s = *r.schedule;
   const bool gantt = out.gantt;
@@ -380,7 +444,8 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
                 saveOut.c_str());
   }
   writeObsExports(out, sink, registry);
-  return report.valid() ? 0 : 2;
+  if (anytime) return kExitBudget;
+  return report.valid() ? kExitOk : kExitInfeasible;
 }
 
 /// `pawsc schedule a.paws b.paws ...` — schedule every file concurrently on
@@ -389,10 +454,11 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
 /// (worker-local) Problem, and printing from workers would interleave.
 int cmdScheduleBatch(const std::vector<std::string>& paths,
                      const std::string& scheduler, std::uint32_t trials,
-                     std::size_t jobs) {
+                     std::size_t jobs, const guard::RunBudget& budget) {
   struct Row {
     bool loaded = false;
     bool ok = false;
+    int exit = kExitOk;  // this file's exit class; worst row wins
     std::string status;
     std::string message;  // parse/scheduling errors, reported by the printer
     long long finish = 0;
@@ -406,6 +472,7 @@ int cmdScheduleBatch(const std::vector<std::string>& paths,
         Row row;
         io::ParseResult parsed = io::parseProblemFile(paths[i]);
         if (!parsed.ok()) {
+          row.exit = kExitInput;
           for (const io::ParseError& e : parsed.errors) {
             if (!row.message.empty()) row.message += "; ";
             row.message += io::format(e);
@@ -415,11 +482,14 @@ int cmdScheduleBatch(const std::vector<std::string>& paths,
         row.loaded = true;
         const Problem& problem = *parsed.problem;
         // Files already run in parallel; keep each solve single-threaded.
-        const ScheduleResult r =
-            runScheduler(problem, scheduler, trials, 1, obs::ObsContext{});
+        // Each file gets its own --timeout-ms allowance (the relative
+        // timeout resolves per solve, not once for the whole batch).
+        const ScheduleResult r = runScheduler(problem, scheduler, trials, 1,
+                                              obs::ObsContext{}, budget);
         row.status = toString(r.status);
         row.lpRuns = r.stats.longestPathRuns;
         if (!r.ok()) {
+          row.exit = exitForStatus(r.status);
           row.message = r.message;
           return row;
         }
@@ -433,8 +503,10 @@ int cmdScheduleBatch(const std::vector<std::string>& paths,
   std::printf("%-32s %10s %12s %9s %10s\n", "file", "tau", "Ec(J)", "rho",
               "lp-runs");
   int failures = 0;
+  int worst = kExitOk;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     const Row& row = rows[i];
+    worst = std::max(worst, row.exit);
     if (!row.ok) {
       ++failures;
       std::printf("%-32s %10s %12s %9s %10s  %s\n", paths[i].c_str(), "-",
@@ -453,15 +525,15 @@ int cmdScheduleBatch(const std::vector<std::string>& paths,
   std::printf("scheduled %zu/%zu files (%s, %zu worker threads)\n",
               paths.size() - static_cast<std::size_t>(failures),
               paths.size(), scheduler.c_str(), pool.numThreads());
-  return failures == 0 ? 0 : 2;
+  return worst;
 }
 
 int cmdSweep(const std::string& path, double from, double to, double step) {
   auto problem = load(path);
-  if (!problem) return 1;
+  if (!problem) return kExitInput;
   if (!(from > 0) || to < from || !(step > 0)) {
     std::fprintf(stderr, "bad sweep range\n");
-    return 1;
+    return kExitUsage;
   }
   std::printf("%10s %10s %12s %10s\n", "Pmax(W)", "tau", "Ec(J)", "rho");
   for (double w = from; w <= to + 1e-9; w += step) {
@@ -483,12 +555,12 @@ int cmdSweep(const std::string& path, double from, double to, double step) {
 int cmdRepair(const std::string& path, const std::string& schedulePath,
               std::int64_t nowTicks, double newPmax, double newPmin) {
   const auto problem = load(path);
-  if (!problem) return 1;
+  if (!problem) return kExitInput;
   std::ifstream in(schedulePath);
   if (!in) {
     std::fprintf(stderr, "cannot open schedule file %s\n",
                  schedulePath.c_str());
-    return 1;
+    return kExitInput;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -498,7 +570,7 @@ int cmdRepair(const std::string& path, const std::string& schedulePath,
     for (const io::ParseError& e : parsed.errors) {
       std::fprintf(stderr, "%s\n", io::format(e).c_str());
     }
-    return 1;
+    return kExitInput;
   }
 
   Problem updated(*problem);
@@ -509,7 +581,7 @@ int cmdRepair(const std::string& path, const std::string& schedulePath,
   if (!repaired.ok()) {
     std::fprintf(stderr, "repair failed (%s): %s\n",
                  toString(repaired.status), repaired.message.c_str());
-    return 2;
+    return exitForStatus(repaired.status);
   }
   const Schedule& s = *repaired.schedule;
   std::printf("# repaired at t=%lld%s\n",
@@ -538,7 +610,7 @@ int cmdRepair(const std::string& path, const std::string& schedulePath,
                 os.str().c_str());
   }
   std::printf("# valid: %s\n", futureViolation ? "NO" : "yes");
-  return futureViolation ? 2 : 0;
+  return futureViolation ? kExitInfeasible : kExitOk;
 }
 
 /// Flags shared by `simulate` and `campaign`: they describe one degraded
@@ -565,12 +637,13 @@ void writeMetricsCsv(const std::string& metricsOut,
 }
 
 int cmdSimulate(const MissionFlags& f, bool traceEvents,
-                const std::string& metricsOut) {
+                const std::string& metricsOut,
+                const guard::RunBudget& budget) {
   const rover::CaseSchedules cases = rover::buildCaseSchedules();
   if (!cases.ok) {
     std::fprintf(stderr, "could not build case schedules: %s\n",
                  cases.message.c_str());
-    return 2;
+    return kExitInternal;
   }
   const std::vector<runtime::CaseBinding> bindings =
       fault::roverCaseBindings(cases);
@@ -581,6 +654,7 @@ int cmdSimulate(const MissionFlags& f, bool traceEvents,
   ec.targetSteps = f.steps;
   ec.abortOnBrownout = f.abortOnBrownout;
   ec.contingency = f.contingency;
+  ec.budget = budget;
   obs::MetricsRegistry registry;
   if (!metricsOut.empty()) ec.obs.metrics = &registry;
 
@@ -600,8 +674,15 @@ int cmdSimulate(const MissionFlags& f, bool traceEvents,
   }
 
   const runtime::ExecutionResult r = executor.run(ec);
+  const bool interrupted = r.stopReason != guard::StopReason::kNone;
   std::printf("steps     : %d/%d%s\n", r.steps, f.steps,
-              r.complete ? "" : "  (MISSION LOST)");
+              r.complete    ? ""
+              : interrupted ? "  (RUN INTERRUPTED)"
+                            : "  (MISSION LOST)");
+  if (interrupted) {
+    std::printf("stopped   : %s at an iteration boundary\n",
+                guard::toString(r.stopReason));
+  }
   std::printf("finished  : t=%lld\n",
               static_cast<long long>(r.finishedAt.ticks()));
   std::printf("battery   : %.3fJ drawn%s\n", r.batteryDrawn.joules(),
@@ -623,20 +704,22 @@ int cmdSimulate(const MissionFlags& f, bool traceEvents,
     }
   }
   writeMetricsCsv(metricsOut, registry);
-  return r.complete ? 0 : 2;
+  if (interrupted) return kExitBudget;
+  return r.complete ? kExitOk : kExitInfeasible;
 }
 
 int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
-                const std::string& jsonOut, const std::string& metricsOut) {
+                const std::string& jsonOut, const std::string& metricsOut,
+                const guard::RunBudget& budget) {
   if (missions <= 0) {
     std::fprintf(stderr, "--missions must be positive\n");
-    return 1;
+    return kExitUsage;
   }
   const rover::CaseSchedules cases = rover::buildCaseSchedules();
   if (!cases.ok) {
     std::fprintf(stderr, "could not build case schedules: %s\n",
                  cases.message.c_str());
-    return 2;
+    return kExitInternal;
   }
   const fault::FaultCampaign campaign(rover::missionSolarProfile(),
                                       rover::missionBattery(),
@@ -648,10 +731,12 @@ int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
   cc.abortOnBrownout = f.abortOnBrownout;
   cc.contingency = f.contingency;
   cc.jobs = jobs;  // 0 = exec::defaultJobs(); never affects the results
+  cc.budget = budget;
   obs::MetricsRegistry registry;
   if (!metricsOut.empty()) cc.obs.metrics = &registry;
 
   const fault::CampaignResult result = campaign.run(cc);
+  const bool interrupted = result.stopReason != guard::StopReason::kNone;
   const std::string json = fault::toJson(cc, result);
   if (jsonOut == "-") {
     std::fputs(json.c_str(), stdout);
@@ -659,6 +744,11 @@ int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
     std::printf("campaign  : %d missions, seed %llu, %d steps each\n",
                 result.missions,
                 static_cast<unsigned long long>(cc.seed), cc.targetSteps);
+    if (interrupted) {
+      std::printf("truncated : %s after %d of %d missions\n",
+                  guard::toString(result.stopReason), result.missions,
+                  missions);
+    }
     std::printf("survival  : %d/%d missions (%lld permille)\n",
                 result.survived, result.missions,
                 static_cast<long long>(result.survivalPermille()));
@@ -684,17 +774,17 @@ int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
         std::printf("wrote %s\n", jsonOut.c_str());
       } else {
         std::fprintf(stderr, "could not write %s\n", jsonOut.c_str());
-        return 1;
+        return kExitInput;
       }
     }
   }
   writeMetricsCsv(metricsOut, registry);
-  return 0;
+  return interrupted ? kExitBudget : kExitOk;
 }
 
 int cmdDot(const std::string& path) {
   const auto problem = load(path);
-  if (!problem) return 1;
+  if (!problem) return kExitInput;
   DotOptions opt;
   opt.vertexLabels.resize(problem->numVertices());
   for (TaskId v : problem->taskIds()) {
@@ -704,9 +794,7 @@ int cmdDot(const std::string& path) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int runCli(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   // simulate/campaign replay the built-in rover mission: no input file.
@@ -731,13 +819,14 @@ int main(int argc, char** argv) {
   int missions = 32;
   bool traceEvents = false;
   std::string jsonOut;
+  std::int64_t timeoutMs = 0;  // 0 = no wall-clock deadline
 
   for (int i = takesFile ? 3 : 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s needs a value\n", flag);
-        std::exit(1);
+        std::exit(kExitUsage);
       }
       return argv[++i];
     };
@@ -813,20 +902,31 @@ int main(int argc, char** argv) {
       traceEvents = true;
     } else if (arg == "--json") {
       jsonOut = value("--json");
+    } else if (arg == "--timeout-ms") {
+      timeoutMs = std::atoll(value("--timeout-ms"));
+      if (timeoutMs <= 0) {
+        std::fprintf(stderr, "--timeout-ms needs a positive value\n");
+        return kExitUsage;
+      }
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage();
     }
   }
 
+  guard::RunBudget budget;
+  if (timeoutMs > 0) {
+    budget.timeout = std::chrono::milliseconds(timeoutMs);
+  }
+
   if (!takesFile && !paths.empty()) {
     std::fprintf(stderr, "%s takes no input file\n", command.c_str());
-    return 1;
+    return kExitUsage;
   }
   if (takesFile && command != "schedule" && paths.size() > 1) {
     std::fprintf(stderr, "%s takes exactly one input file\n",
                  command.c_str());
-    return 1;
+    return kExitUsage;
   }
   if (command == "check") return cmdCheck(path);
   if (command == "schedule") {
@@ -834,28 +934,44 @@ int main(int argc, char** argv) {
       if (exports.any()) {
         std::fprintf(stderr,
                      "render/export flags need a single input file\n");
-        return 1;
+        return kExitUsage;
       }
-      return cmdScheduleBatch(paths, scheduler, trials, jobs);
+      return cmdScheduleBatch(paths, scheduler, trials, jobs, budget);
     }
-    return cmdSchedule(path, scheduler, trials, jobs, exports);
+    return cmdSchedule(path, scheduler, trials, jobs, exports, budget);
   }
   if (command == "sweep") return cmdSweep(path, pmaxFrom, pmaxTo, pmaxStep);
   if (command == "windows") return cmdWindows(path, horizon);
   if (command == "repair") {
     if (schedulePath.empty()) {
       std::fprintf(stderr, "repair needs --schedule <file>\n");
-      return 1;
+      return kExitUsage;
     }
     return cmdRepair(path, schedulePath, now, newPmax, newPmin);
   }
   if (command == "simulate") {
-    return cmdSimulate(mission, traceEvents, exports.metricsOut);
+    return cmdSimulate(mission, traceEvents, exports.metricsOut, budget);
   }
   if (command == "campaign") {
-    return cmdCampaign(mission, missions, jobs, jsonOut,
-                       exports.metricsOut);
+    return cmdCampaign(mission, missions, jobs, jsonOut, exports.metricsOut,
+                       budget);
   }
   if (command == "dot") return cmdDot(path);
   return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Anything that escapes as an exception is by definition not one of the
+  // structured failure classes: report it as internal, never as a crash.
+  try {
+    return runCli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternal;
+  } catch (...) {
+    std::fprintf(stderr, "internal error: unknown exception\n");
+    return kExitInternal;
+  }
 }
