@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "bench_report.hpp"
@@ -14,6 +15,7 @@
 #include "exec/parallel_for.hpp"
 #include "exec/pool.hpp"
 #include "gen/random_problem.hpp"
+#include "io/schedule_io.hpp"
 #include "sched/exhaustive_scheduler.hpp"
 #include "sched/power_aware_scheduler.hpp"
 
@@ -120,6 +122,20 @@ void BM_HeuristicOnSameInstances(benchmark::State& state) {
   for (auto _ : state) {
     PowerAwareScheduler heuristic(gp.problem);
     benchmark::DoNotOptimize(heuristic.schedule());
+  }
+  // Determinism witnesses for the bench regression gate (tools/bench_diff):
+  // the pipeline is single-threaded here, so the serialized schedule and
+  // the longest-path run count must be byte-for-byte stable across runs
+  // and machines. Wall time may drift; these may not.
+  PowerAwareScheduler witness(gp.problem);
+  const ScheduleResult r = witness.schedule();
+  if (r.ok()) {
+    std::ostringstream txt;
+    io::writeSchedule(txt, *r.schedule, "bench");
+    state.counters["schedule_bytes"] =
+        static_cast<double>(txt.str().size());
+    state.counters["lp_runs"] =
+        static_cast<double>(r.stats.longestPathRuns);
   }
 }
 BENCHMARK(BM_HeuristicOnSameInstances)->Arg(1)->Arg(2)->Arg(3)

@@ -108,6 +108,15 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
   for (const MissionOutcome& o : result.outcomes) {
     if (!o.flown) continue;
     ++result.missions;
+    if (config.obs.metrics != nullptr) {
+      // Per-mission distributions: the index-order walk makes the bucket
+      // counts deterministic for any worker count.
+      config.obs.metrics->observe("campaign.mission_steps",
+                                  static_cast<double>(o.steps));
+      config.obs.metrics->observe(
+          "campaign.mission_battery_drawn_mwt",
+          static_cast<double>(o.batteryDrawn.milliwattTicks()));
+    }
     if (o.survived) ++result.survived;
     result.steps += o.steps;
     result.brownouts += o.brownouts;

@@ -1,0 +1,169 @@
+#include "obs/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace paws::obs {
+
+namespace {
+
+struct BenchRow {
+  double wallNs = 0;
+  std::map<std::string, double> counters;
+};
+
+using Suite = std::map<std::string, BenchRow>;
+using Results = std::map<std::string, Suite>;
+
+bool parseResults(std::string_view text, Results& out, std::string& error,
+                  std::string_view label) {
+  const json::ParseResult parsed = json::parse(text);
+  if (!parsed.ok) {
+    error = std::string(label) + ": " + parsed.error;
+    return false;
+  }
+  const json::Value* suites = parsed.value.find("suites");
+  if (suites == nullptr || !suites->isObject()) {
+    error = std::string(label) + ": missing \"suites\" object";
+    return false;
+  }
+  for (const auto& [suiteName, suiteValue] : suites->members) {
+    if (!suiteValue.isObject()) continue;
+    Suite& suite = out[suiteName];
+    for (const auto& [benchName, benchValue] : suiteValue.members) {
+      if (!benchValue.isObject()) continue;
+      BenchRow row;
+      if (const json::Value* f = benchValue.find("wall_ns")) {
+        row.wallNs = f->asDouble();
+      }
+      if (const json::Value* c = benchValue.find("counters");
+          c != nullptr && c->isObject()) {
+        for (const auto& [counterName, counterValue] : c->members) {
+          row.counters[counterName] = counterValue.asDouble();
+        }
+      }
+      suite.emplace(benchName, std::move(row));
+    }
+  }
+  return true;
+}
+
+void printCompact(std::ostream& os, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  os << buf;
+}
+
+}  // namespace
+
+BenchComparison compareBenchResults(std::string_view baselineJson,
+                                    std::string_view currentJson,
+                                    const BenchCompareOptions& options) {
+  BenchComparison out;
+  Results baseline;
+  Results current;
+  if (!parseResults(baselineJson, baseline, out.error, "baseline") ||
+      !parseResults(currentJson, current, out.error, "current")) {
+    return out;
+  }
+
+  const auto isExact = [&options](const std::string& name) {
+    return std::find(options.exactCounters.begin(),
+                     options.exactCounters.end(),
+                     name) != options.exactCounters.end();
+  };
+
+  std::vector<BenchComparison::Finding> hard;
+  std::vector<BenchComparison::Finding> soft;
+
+  for (const auto& [suiteName, baseSuite] : baseline) {
+    const auto curSuiteIt = current.find(suiteName);
+    if (curSuiteIt == current.end()) {
+      hard.push_back({suiteName, "", "presence", 1, 0, true,
+                      "suite missing from current run"});
+      continue;
+    }
+    const Suite& curSuite = curSuiteIt->second;
+    for (const auto& [benchName, baseRow] : baseSuite) {
+      const auto curIt = curSuite.find(benchName);
+      if (curIt == curSuite.end()) {
+        hard.push_back({suiteName, benchName, "presence", 1, 0, true,
+                        "benchmark missing from current run"});
+        continue;
+      }
+      const BenchRow& curRow = curIt->second;
+      ++out.benchesCompared;
+
+      for (const auto& [counterName, baseValue] : baseRow.counters) {
+        if (!isExact(counterName)) continue;
+        const auto curCounter = curRow.counters.find(counterName);
+        if (curCounter == curRow.counters.end()) {
+          hard.push_back({suiteName, benchName, counterName, baseValue, 0,
+                          true, "exact counter missing from current run"});
+        } else if (curCounter->second != baseValue) {
+          hard.push_back({suiteName, benchName, counterName, baseValue,
+                          curCounter->second, true,
+                          "exact counter changed (determinism witness)"});
+        }
+      }
+
+      if (baseRow.wallNs > 0 && curRow.wallNs > 0) {
+        const double rel = (curRow.wallNs - baseRow.wallNs) / baseRow.wallNs;
+        if (rel > options.wallTolerance) {
+          char note[80];
+          std::snprintf(note, sizeof note, "%.0f%% slower than baseline",
+                        rel * 100.0);
+          BenchComparison::Finding f{suiteName,    benchName,
+                                     "wall_ns",    baseRow.wallNs,
+                                     curRow.wallNs, options.failOnWall,
+                                     note};
+          (options.failOnWall ? hard : soft).push_back(std::move(f));
+        }
+      }
+    }
+  }
+
+  out.hardCount = hard.size();
+  out.softCount = soft.size();
+  out.findings = std::move(hard);
+  out.findings.insert(out.findings.end(), soft.begin(), soft.end());
+  return out;
+}
+
+std::string renderBenchComparison(const BenchComparison& comparison,
+                                  std::string_view baselineLabel,
+                                  std::string_view currentLabel) {
+  std::ostringstream os;
+  os << "bench diff: baseline=" << baselineLabel
+     << " current=" << currentLabel << "\n";
+  if (!comparison.error.empty()) {
+    os << "error: " << comparison.error << "\n";
+    return os.str();
+  }
+  os << comparison.benchesCompared << " benchmarks compared, "
+     << comparison.hardCount << " hard regressions, " << comparison.softCount
+     << " warnings\n";
+  for (const BenchComparison::Finding& f : comparison.findings) {
+    os << (f.hard ? "FAIL " : "warn ") << f.suite;
+    if (!f.bench.empty()) os << " / " << f.bench;
+    os << " [" << f.metric << "] ";
+    printCompact(os, f.baseline);
+    os << " -> ";
+    printCompact(os, f.current);
+    os << " (" << f.note << ")\n";
+  }
+  if (comparison.ok()) os << "OK: no hard regressions\n";
+  return os.str();
+}
+
+}  // namespace paws::obs

@@ -1,9 +1,10 @@
-// ObsContext — the two observability hooks every instrumented component
-// accepts: an optional TraceSink (typed search events) and an optional
-// MetricsRegistry (named counters/gauges/histograms).
+// ObsContext — the observability hooks every instrumented component
+// accepts: an optional TraceSink (typed search events), an optional
+// MetricsRegistry (named counters/gauges/histograms) and an optional
+// IncumbentLog (the anytime time-vs-quality trajectory).
 //
-// The struct is two raw pointers so it can be embedded by value in the
-// scheduler option structs and copied freely; both pointers are borrowed
+// The struct is three raw pointers so it can be embedded by value in the
+// scheduler option structs and copied freely; all pointers are borrowed
 // and must outlive the run they observe. A default-constructed context is
 // fully disabled: every instrumentation site reduces to one null check
 // (the "null-sink fast path").
@@ -13,13 +14,15 @@ namespace paws::obs {
 
 class TraceSink;
 class MetricsRegistry;
+class IncumbentLog;
 
 struct ObsContext {
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+  IncumbentLog* incumbents = nullptr;
 
   [[nodiscard]] bool enabled() const {
-    return trace != nullptr || metrics != nullptr;
+    return trace != nullptr || metrics != nullptr || incumbents != nullptr;
   }
   /// Fills any unset hook from `parent` — how an outer pipeline stage
   /// propagates its context into nested stages without clobbering hooks
@@ -27,6 +30,7 @@ struct ObsContext {
   void inheritFrom(const ObsContext& parent) {
     if (trace == nullptr) trace = parent.trace;
     if (metrics == nullptr) metrics = parent.metrics;
+    if (incumbents == nullptr) incumbents = parent.incumbents;
   }
 };
 

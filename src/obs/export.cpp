@@ -1,10 +1,14 @@
 #include "obs/export.hpp"
 
 #include <array>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <ostream>
 #include <sstream>
+
+#include "obs/incumbents.hpp"
 
 namespace paws::obs {
 
@@ -123,7 +127,8 @@ std::string searchTraceToJsonl(const TraceSink& sink) {
 }
 
 std::string renderObsSummary(const MetricsRegistry& metrics,
-                             const TraceSink* sink) {
+                             const TraceSink* sink,
+                             const ObsSummaryExtras& extras) {
   std::ostringstream os;
   os << metrics.renderTable();
   if (sink != nullptr && !sink->empty()) {
@@ -137,7 +142,100 @@ std::string renderObsSummary(const MetricsRegistry& metrics,
       os << "  " << toString(static_cast<TraceEventKind>(k)) << ": "
          << byKind[k] << "\n";
     }
+    if (sink->droppedEvents() > 0) {
+      os << "  dropped (cap " << sink->maxEvents()
+         << " events): " << sink->droppedEvents() << "\n";
+    }
   }
+  if (!extras.stopReason.empty() && extras.stopReason != "none") {
+    os << "guard: stopped early (" << extras.stopReason << ")\n";
+  }
+  if (extras.incumbents != nullptr && !extras.incumbents->empty()) {
+    const auto points = extras.incumbents->points();
+    os << "incumbents: " << points.size() << " improvement"
+       << (points.size() == 1 ? "" : "s") << ", final cost "
+       << points.back().costMwt << " mWt\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The registry's
+/// dotted names map dots (and anything else illegal) to underscores.
+std::string sanitizeMetricName(std::string_view prefix,
+                               std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  const auto append = [&out](std::string_view part) {
+    for (const char c : part) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+                      c == ':';
+      out.push_back(ok ? c : '_');
+    }
+  };
+  append(prefix);
+  if (!out.empty() && !name.empty()) out.push_back('_');
+  append(name);
+  return out;
+}
+
+/// `le` labels and sample values: integral doubles print without a
+/// fraction, everything else with enough digits to reparse.
+void printOmValue(std::ostream& os, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  os << buf;
+}
+
+}  // namespace
+
+void writeOpenMetrics(std::ostream& os, const MetricsRegistry& metrics,
+                      std::string_view prefix) {
+  for (const auto& [name, value] : metrics.counters()) {
+    const std::string om = sanitizeMetricName(prefix, name);
+    os << "# TYPE " << om << " counter\n";
+    os << om << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : metrics.gauges()) {
+    const std::string om = sanitizeMetricName(prefix, name);
+    os << "# TYPE " << om << " gauge\n";
+    os << om << " ";
+    printOmValue(os, value);
+    os << "\n";
+  }
+  using HistogramSummary = MetricsRegistry::HistogramSummary;
+  for (const auto& [name, h] : metrics.histograms()) {
+    const std::string om = sanitizeMetricName(prefix, name);
+    os << "# TYPE " << om << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i + 1 < HistogramSummary::kNumBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      os << om << "_bucket{le=\"";
+      printOmValue(os, HistogramSummary::bucketUpperBound(i));
+      os << "\"} " << cumulative << "\n";
+    }
+    cumulative += h.buckets[HistogramSummary::kNumBuckets - 1];
+    if (cumulative < h.count) cumulative = h.count;  // defensive
+    os << om << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << om << "_sum ";
+    printOmValue(os, h.sum);
+    os << "\n" << om << "_count " << h.count << "\n";
+  }
+  os << "# EOF\n";
+}
+
+std::string toOpenMetrics(const MetricsRegistry& metrics,
+                          std::string_view prefix) {
+  std::ostringstream os;
+  writeOpenMetrics(os, metrics, prefix);
   return os.str();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -24,6 +25,80 @@ void printNumber(std::ostream& os, double v) {
 }
 
 }  // namespace
+
+std::size_t MetricsRegistry::HistogramSummary::bucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // < 1, zero, negative, NaN
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp with m in [0.5, 1)
+  // value in [2^(exp-1), 2^exp) -> bucket exp, clamped to the top bucket.
+  if (exp < 1) return 1;
+  return std::min<std::size_t>(static_cast<std::size_t>(exp),
+                               kNumBuckets - 1);
+}
+
+double MetricsRegistry::HistogramSummary::bucketLowerBound(std::size_t i) {
+  if (i == 0) return -std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i) - 1);  // 2^(i-1)
+}
+
+double MetricsRegistry::HistogramSummary::bucketUpperBound(std::size_t i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+void MetricsRegistry::HistogramSummary::observe(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  ++buckets[bucketIndex(value)];
+}
+
+void MetricsRegistry::HistogramSummary::merge(const HistogramSummary& other) {
+  if (other.count == 0) return;  // nothing observed: no envelope to widen
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+double MetricsRegistry::HistogramSummary::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The envelope is tracked exactly; the buckets only refine the interior.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the q-th observation, 1-based (nearest-rank definition).
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] < target) {
+      cumulative += buckets[i];
+      continue;
+    }
+    // The target rank lands in bucket i: interpolate linearly between the
+    // bucket bounds, clamped to the exact observed envelope.
+    const double lo = std::max(bucketLowerBound(i), min);
+    const double hi = std::min(bucketUpperBound(i), max);
+    if (!(hi > lo)) return std::clamp(lo, min, max);
+    const double within = (static_cast<double>(target - cumulative) - 0.5) /
+                          static_cast<double>(buckets[i]);
+    return std::clamp(lo + within * (hi - lo), min, max);
+  }
+  return max;
+}
 
 void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
   auto it = counters_.find(name);
@@ -56,15 +131,19 @@ double MetricsRegistry::gauge(std::string_view name) const {
 void MetricsRegistry::observe(std::string_view name, double value) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    histograms_.emplace(std::string(name),
-                        HistogramSummary{1, value, value, value});
-    return;
+    it = histograms_.emplace(std::string(name), HistogramSummary{}).first;
   }
-  HistogramSummary& h = it->second;
-  ++h.count;
-  h.sum += value;
-  h.min = std::min(h.min, value);
-  h.max = std::max(h.max, value);
+  it->second.observe(value);
+}
+
+void MetricsRegistry::setHistogram(std::string_view name,
+                                   const HistogramSummary& summary) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(std::string(name), summary);
+  } else {
+    it->second = summary;
+  }
 }
 
 MetricsRegistry::HistogramSummary MetricsRegistry::histogram(
@@ -89,25 +168,15 @@ MetricsRegistry& MetricsRegistry::operator+=(const MetricsRegistry& other) {
   for (const auto& [name, h] : other.histograms_) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
-      histograms_.emplace(name, h);
-      continue;
+      it = histograms_.emplace(name, HistogramSummary{}).first;
     }
-    HistogramSummary& mine = it->second;
-    if (h.count == 0) continue;
-    if (mine.count == 0) {
-      mine = h;
-      continue;
-    }
-    mine.count += h.count;
-    mine.sum += h.sum;
-    mine.min = std::min(mine.min, h.min);
-    mine.max = std::max(mine.max, h.max);
+    it->second.merge(h);
   }
   return *this;
 }
 
 void MetricsRegistry::writeCsv(std::ostream& os) const {
-  os << "name,kind,value,count,sum,min,max,mean\n";
+  os << "name,kind,value,count,sum,min,max,mean,p50,p90,p99\n";
   // Merge the three families into one name-sorted listing.
   struct Row {
     std::string_view name;
@@ -125,12 +194,12 @@ void MetricsRegistry::writeCsv(std::ostream& os) const {
     os << row.name << ',';
     switch (row.family) {
       case 0:
-        os << "counter," << counters_.find(row.name)->second << ",,,,,\n";
+        os << "counter," << counters_.find(row.name)->second << ",,,,,,,,\n";
         break;
       case 1:
         os << "gauge,";
         printNumber(os, gauges_.find(row.name)->second);
-        os << ",,,,,\n";
+        os << ",,,,,,,,\n";
         break;
       default: {
         const HistogramSummary& h = histograms_.find(row.name)->second;
@@ -142,6 +211,12 @@ void MetricsRegistry::writeCsv(std::ostream& os) const {
         printNumber(os, h.max);
         os << ',';
         printNumber(os, h.mean());
+        os << ',';
+        printNumber(os, h.quantile(0.50));
+        os << ',';
+        printNumber(os, h.quantile(0.90));
+        os << ',';
+        printNumber(os, h.quantile(0.99));
         os << "\n";
         break;
       }
@@ -173,18 +248,23 @@ std::string MetricsRegistry::renderTable() const {
   if (!histograms_.empty()) {
     os << "timings (and other distributions):\n";
     os << "  " << std::left << std::setw(34) << "name" << std::right
-       << std::setw(8) << "count" << std::setw(12) << "mean"
-       << std::setw(12) << "min" << std::setw(12) << "max" << std::setw(14)
-       << "total" << "\n";
+       << std::setw(7) << "count" << std::setw(11) << "mean"
+       << std::setw(11) << "p50" << std::setw(11) << "p90" << std::setw(11)
+       << "p99" << std::setw(11) << "max" << std::setw(13) << "total"
+       << "\n";
     for (const auto& [name, h] : histograms_) {
       os << "  " << std::left << std::setw(34) << name << std::right
-         << std::setw(8) << h.count << std::setw(12);
+         << std::setw(7) << h.count << std::setw(11);
       printNumber(os, h.mean());
-      os << std::setw(12);
-      printNumber(os, h.min);
-      os << std::setw(12);
+      os << std::setw(11);
+      printNumber(os, h.quantile(0.50));
+      os << std::setw(11);
+      printNumber(os, h.quantile(0.90));
+      os << std::setw(11);
+      printNumber(os, h.quantile(0.99));
+      os << std::setw(11);
       printNumber(os, h.max);
-      os << std::setw(14);
+      os << std::setw(13);
       printNumber(os, h.sum);
       os << "\n";
     }

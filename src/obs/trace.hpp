@@ -15,6 +15,7 @@
 // so "lock-free-enough" means no locks at all, just no shared mutation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -58,10 +59,21 @@ struct TraceEvent {
 
 /// Append-only, single-writer event buffer with a private steady_clock
 /// epoch. Borrowed by every instrumented component via ObsContext.
+///
+/// Memory is bounded: once `maxEvents` events are held, further records
+/// are counted in droppedEvents() and discarded, so an hour-long
+/// exhaustive search or campaign cannot grow the sink without limit. The
+/// default cap (2^20 events, ~56 MB) is generous — a full satellite-pass
+/// pipeline records a few thousand events — and tunable per sink.
 class TraceSink {
  public:
-  TraceSink() : epoch_(std::chrono::steady_clock::now()) {
-    events_.reserve(1024);
+  /// Default cap: 2^20 events. Each TraceEvent is 56 bytes, so a full
+  /// sink tops out near 56 MB.
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
+  explicit TraceSink(std::size_t maxEvents = kDefaultMaxEvents)
+      : epoch_(std::chrono::steady_clock::now()), maxEvents_(maxEvents) {
+    events_.reserve(std::min<std::size_t>(1024, maxEvents));
   }
 
   /// Nanoseconds since this sink was created (steady clock).
@@ -72,12 +84,15 @@ class TraceSink {
   }
 
   /// Records a pre-built event verbatim (spans stamp their own tsNs).
-  void record(const TraceEvent& event) { events_.push_back(event); }
+  void record(const TraceEvent& event) {
+    if (admit()) events_.push_back(event);
+  }
 
   /// Records an instant event stamped with the current time.
   void instant(TraceEventKind kind, std::uint32_t task = TraceEvent::kNoTask,
                std::int64_t at = 0, std::int64_t value = 0,
                std::uint32_t depth = 0, const char* label = "") {
+    if (!admit()) return;
     TraceEvent e;
     e.kind = kind;
     e.tsNs = nowNs();
@@ -93,6 +108,7 @@ class TraceSink {
   void span(TraceEventKind kind, std::int64_t startNs, std::int64_t durNs,
             const char* label, std::uint32_t depth = 0,
             std::int64_t value = 0) {
+    if (!admit()) return;
     TraceEvent e;
     e.kind = kind;
     e.tsNs = startNs;
@@ -108,10 +124,29 @@ class TraceSink {
   }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] bool empty() const { return events_.empty(); }
-  void clear() { events_.clear(); }
+
+  /// Events refused because the cap was reached.
+  [[nodiscard]] std::uint64_t droppedEvents() const { return dropped_; }
+  [[nodiscard]] std::size_t maxEvents() const { return maxEvents_; }
+  /// Adjusts the cap; events already held are kept even if over the new
+  /// cap (only future records are refused).
+  void setMaxEvents(std::size_t maxEvents) { maxEvents_ = maxEvents; }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
  private:
+  [[nodiscard]] bool admit() {
+    if (events_.size() < maxEvents_) return true;
+    ++dropped_;
+    return false;
+  }
+
   std::chrono::steady_clock::time_point epoch_;
+  std::size_t maxEvents_;
+  std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
 };
 

@@ -1,0 +1,364 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace paws::obs {
+
+namespace {
+
+void printCompact(std::ostream& os, double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  os << buf;
+}
+
+std::string summarizeReport(const RunReport& r) {
+  std::ostringstream os;
+  os << "run report (" << r.kind << ")\n";
+  os << "  problem:   " << r.problemName << " — " << r.numTasks << " tasks, "
+     << r.numResources << " resources, " << r.numConstraints
+     << " constraints\n";
+  os << "  options:   scheduler=" << r.scheduler << " trials=" << r.trials
+     << " jobs=" << r.jobs;
+  if (r.timeoutMs >= 0) os << " timeout_ms=" << r.timeoutMs;
+  os << "\n";
+  os << "  outcome:   " << r.status << " (exit " << r.exitClass
+     << ", stop_reason=" << r.stopReason
+     << (r.valid ? ", valid" : "") << ")\n";
+  if (r.hasSchedule) {
+    os << "  schedule:  finish=" << r.finishTicks
+       << " ticks, Ec=" << r.energyCostMwt << " mWt, peak="
+       << r.peakPowerMw << " mW, " << r.scheduleBytes << " bytes\n";
+  }
+  bool anyPhase = false;
+  for (const auto& [name, h] : r.metrics.histograms()) {
+    constexpr std::string_view kPrefix = "phase.";
+    constexpr std::string_view kSuffix = ".wall_us";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    if (!anyPhase) os << "  phases:\n";
+    anyPhase = true;
+    os << "    " << std::left << std::setw(22)
+       << name.substr(kPrefix.size(),
+                      name.size() - kPrefix.size() - kSuffix.size())
+       << std::right << std::setw(6) << h.count << " x " << std::setw(12);
+    printCompact(os, h.sum);
+    os << " us total\n";
+  }
+  os << "  metrics:   " << r.metrics.counters().size() << " counters, "
+     << r.metrics.gauges().size() << " gauges, "
+     << r.metrics.histograms().size() << " histograms\n";
+  if (!r.incumbents.empty()) {
+    os << "  incumbents: " << r.incumbents.size() << " points, first "
+       << r.incumbents.front().costMwt << " mWt -> final "
+       << r.incumbents.back().costMwt << " mWt\n";
+  }
+  return os.str();
+}
+
+std::string summarizeJsonl(std::string_view text,
+                           const TraceSummaryOptions& options,
+                           std::string& error) {
+  std::map<std::string, std::uint64_t> byKind;
+  // label -> (count, total dur) for phase spans.
+  std::map<std::string, std::pair<std::uint64_t, std::int64_t>> phases;
+  // task -> (backtracks, delays).
+  std::map<std::int64_t, std::pair<std::uint64_t, std::uint64_t>> taskHeat;
+  std::uint64_t events = 0;
+  std::size_t lineNo = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineNo;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    const json::ParseResult parsed = json::parse(line);
+    if (!parsed.ok || !parsed.value.isObject()) {
+      error = "line " + std::to_string(lineNo) + ": not a JSON object";
+      return "";
+    }
+    ++events;
+    const json::Value& e = parsed.value;
+    std::string kind;
+    if (const json::Value* f = e.find("kind")) kind = f->asString("?");
+    ++byKind[kind];
+    if (kind == "phase") {
+      std::string label = "(unnamed)";
+      if (const json::Value* f = e.find("label")) label = f->asString(label);
+      auto& slot = phases[label];
+      ++slot.first;
+      if (const json::Value* f = e.find("dur_ns")) slot.second += f->asInt();
+    } else if (kind == "backtrack" || kind == "delay") {
+      if (const json::Value* f = e.find("task")) {
+        auto& heat = taskHeat[f->asInt()];
+        if (kind == "backtrack") {
+          ++heat.first;
+        } else {
+          ++heat.second;
+        }
+      }
+    }
+  }
+  if (events == 0) {
+    // Nothing parsed at all: indistinguishable from a wrong file, and a
+    // silent "0 events" digest would mask it.
+    error = "no trace events found (empty input?)";
+    return "";
+  }
+
+  std::ostringstream os;
+  os << "trace: " << events << " events\n";
+  if (!byKind.empty()) {
+    os << "by kind:\n";
+    for (const auto& [kind, count] : byKind) {
+      os << "  " << std::left << std::setw(16) << kind << std::right
+         << std::setw(10) << count << "\n";
+    }
+  }
+  if (!phases.empty()) {
+    os << "phases:\n";
+    for (const auto& [label, slot] : phases) {
+      os << "  " << std::left << std::setw(22) << label << std::right
+         << std::setw(6) << slot.first << " x " << std::setw(12);
+      printCompact(os, static_cast<double>(slot.second) / 1000.0);
+      os << " us total\n";
+    }
+  }
+  if (!taskHeat.empty()) {
+    struct Hot {
+      std::int64_t task;
+      std::uint64_t backtracks;
+      std::uint64_t delays;
+    };
+    std::vector<Hot> hot;
+    hot.reserve(taskHeat.size());
+    for (const auto& [task, heat] : taskHeat) {
+      hot.push_back({task, heat.first, heat.second});
+    }
+    std::sort(hot.begin(), hot.end(), [](const Hot& a, const Hot& b) {
+      const std::uint64_t ta = a.backtracks + a.delays;
+      const std::uint64_t tb = b.backtracks + b.delays;
+      return ta != tb ? ta > tb : a.task < b.task;
+    });
+    const std::size_t k = std::min(options.topK, hot.size());
+    os << "hottest tasks (backtracks + delays, top " << k << "):\n";
+    for (std::size_t i = 0; i < k; ++i) {
+      os << "  task " << std::setw(5) << hot[i].task << "  "
+         << hot[i].backtracks << " backtracks, " << hot[i].delays
+         << " delays\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+TraceSummary summarizeTraceText(std::string_view text,
+                                const TraceSummaryOptions& options) {
+  TraceSummary out;
+  // A run report is one multi-line JSON object with a "schema" member; a
+  // JSONL trace is one object *per line*. Try the report reading first —
+  // a JSONL file never parses as a single document (trailing lines).
+  const json::ParseResult whole = json::parse(text);
+  if (whole.ok && whole.value.isObject() &&
+      whole.value.find("schema") != nullptr) {
+    const ReportParseResult report = parseRunReport(text);
+    if (!report.ok) {
+      out.error = report.error;
+      return out;
+    }
+    out.ok = true;
+    out.text = summarizeReport(report.report);
+    return out;
+  }
+  std::string error;
+  std::string rendered = summarizeJsonl(text, options, error);
+  if (!error.empty()) {
+    out.error = error;
+    return out;
+  }
+  out.ok = true;
+  out.text = rendered;
+  return out;
+}
+
+bool isDeterministicMetric(std::string_view name) {
+  if (name.rfind("schedule.", 0) == 0) return true;
+  if (name.rfind("problem.", 0) == 0) return true;
+  // The single-threaded pipeline counters (sched/result.hpp's exportStats
+  // names) do not depend on --jobs or wall clock.
+  if (name.rfind("search.", 0) == 0) return true;
+  return false;
+}
+
+namespace {
+
+/// Flattens a report into name -> value rows for the diff: the scalar
+/// schedule/problem digest plus every counter and gauge. Histograms are
+/// compared by count only (their contents are timing).
+std::map<std::string, double> flatten(const RunReport& r) {
+  std::map<std::string, double> out;
+  out["problem.tasks"] = static_cast<double>(r.numTasks);
+  out["problem.resources"] = static_cast<double>(r.numResources);
+  out["problem.constraints"] = static_cast<double>(r.numConstraints);
+  if (r.hasSchedule) {
+    out["schedule.finish_ticks"] = static_cast<double>(r.finishTicks);
+    out["schedule.energy_cost_mwt"] = static_cast<double>(r.energyCostMwt);
+    out["schedule.peak_power_mw"] = static_cast<double>(r.peakPowerMw);
+    out["schedule.bytes"] = static_cast<double>(r.scheduleBytes);
+  }
+  for (const auto& [name, v] : r.metrics.counters()) {
+    out[name] = static_cast<double>(v);
+  }
+  for (const auto& [name, v] : r.metrics.gauges()) out[name] = v;
+  for (const auto& [name, h] : r.metrics.histograms()) {
+    out[name + ".count"] = static_cast<double>(h.count);
+  }
+  return out;
+}
+
+}  // namespace
+
+ReportDiff diffReports(const RunReport& a, const RunReport& b,
+                       const ReportDiffOptions& options) {
+  ReportDiff diff;
+  diff.comparableProblems = a.problemHash == b.problemHash;
+  const std::map<std::string, double> fa = flatten(a);
+  const std::map<std::string, double> fb = flatten(b);
+
+  auto ia = fa.begin();
+  auto ib = fb.begin();
+  while (ia != fa.end() || ib != fb.end()) {
+    ReportDiff::Entry entry;
+    if (ib == fb.end() || (ia != fa.end() && ia->first < ib->first)) {
+      entry.name = ia->first;
+      entry.a = ia->second;
+      entry.onlyInA = true;
+      ++ia;
+    } else if (ia == fa.end() || ib->first < ia->first) {
+      entry.name = ib->first;
+      entry.b = ib->second;
+      entry.onlyInB = true;
+      ++ib;
+    } else {
+      entry.name = ia->first;
+      entry.a = ia->second;
+      entry.b = ib->second;
+      ++ia;
+      ++ib;
+    }
+    entry.deterministic = isDeterministicMetric(entry.name);
+    if (entry.onlyInA || entry.onlyInB) {
+      entry.flagged = entry.deterministic;
+    } else if (entry.deterministic) {
+      entry.flagged = entry.a != entry.b;
+    } else {
+      const double denom = std::max(std::fabs(entry.a), 1.0);
+      entry.flagged = std::fabs(entry.b - entry.a) / denom >
+                      options.relTolerance;
+    }
+    if (entry.flagged) {
+      if (entry.deterministic) {
+        ++diff.deterministicMismatches;
+      } else {
+        ++diff.flaggedCount;
+      }
+    }
+    diff.entries.push_back(std::move(entry));
+  }
+  return diff;
+}
+
+std::string renderReportDiff(const ReportDiff& diff, std::string_view labelA,
+                             std::string_view labelB) {
+  std::ostringstream os;
+  os << "diff: A=" << labelA << " B=" << labelB << "\n";
+  if (!diff.comparableProblems) {
+    os << "warning: problem hashes differ — the reports describe different "
+          "inputs\n";
+  }
+  os << std::left << std::setw(36) << "metric" << std::right << std::setw(14)
+     << "A" << std::setw(14) << "B" << std::setw(14) << "delta"
+     << "  class\n";
+  for (const ReportDiff::Entry& e : diff.entries) {
+    // Quiet rows (equal, not flagged) are elided unless deterministic —
+    // determinism agreements are the point of the comparison.
+    if (!e.flagged && !e.deterministic && e.a == e.b) continue;
+    os << std::left << std::setw(36) << e.name << std::right << std::setw(14);
+    if (e.onlyInB) {
+      os << "-";
+    } else {
+      printCompact(os, e.a);
+    }
+    os << std::setw(14);
+    if (e.onlyInA) {
+      os << "-";
+    } else {
+      printCompact(os, e.b);
+    }
+    os << std::setw(14);
+    if (e.onlyInA || e.onlyInB) {
+      os << "n/a";
+    } else {
+      printCompact(os, e.b - e.a);
+    }
+    os << "  " << (e.deterministic ? "deterministic" : "noisy");
+    if (e.flagged) os << (e.deterministic ? " MISMATCH" : " (over tolerance)");
+    os << "\n";
+  }
+  os << "summary: " << diff.deterministicMismatches
+     << " deterministic mismatches, " << diff.flaggedCount
+     << " noisy metrics over tolerance\n";
+  return os.str();
+}
+
+std::string renderIncumbents(const RunReport& report, bool csv) {
+  std::ostringstream os;
+  if (csv) {
+    os << "ts_ns,cost_mwt\n";
+    for (const IncumbentPoint& p : report.incumbents) {
+      os << p.tsNs << "," << p.costMwt << "\n";
+    }
+    return os.str();
+  }
+  os << "incumbent trajectory (" << report.incumbents.size() << " points)\n";
+  if (report.incumbents.empty()) return os.str();
+  os << std::right << std::setw(14) << "t (ms)" << std::setw(16) << "cost (mWt)"
+     << std::setw(12) << "improved\n";
+  std::int64_t prev = 0;
+  bool first = true;
+  for (const IncumbentPoint& p : report.incumbents) {
+    os << std::setw(14) << std::fixed << std::setprecision(3)
+       << static_cast<double>(p.tsNs) / 1e6 << std::defaultfloat
+       << std::setw(16) << p.costMwt << std::setw(12);
+    if (first) {
+      os << "-";
+    } else {
+      os << (prev - p.costMwt);
+    }
+    os << "\n";
+    prev = p.costMwt;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace paws::obs

@@ -1,0 +1,93 @@
+// Offline analysis of recorded observability artifacts — the engine behind
+// the `pawsc trace` subcommand family:
+//
+//   * summarize — digest a JSONL search trace (writeSearchTraceJsonl) or a
+//     run report: per-kind event counts, the phase breakdown, and the
+//     top-k hottest tasks ranked by backtrack + delay decisions.
+//   * diff      — compare two run reports metric by metric: exact deltas
+//     for every shared counter/gauge/scalar, relative-threshold flagging
+//     for the rest, and a hard "deterministic mismatch" class for metrics
+//     that must be byte-equal between runs of the same problem (schedule
+//     bytes, finish, energy, search.* pipeline counters) regardless of
+//     --jobs or wall-clock noise.
+//   * incumbents — render a report's anytime curve as an aligned table or
+//     CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace paws::obs {
+
+// ----- trace / report summarize ----------------------------------------
+
+struct TraceSummaryOptions {
+  std::size_t topK = 5;  ///< hottest-task listing length
+};
+
+/// Summarizes `text`, which may be either a JSONL search trace (one event
+/// object per line) or a single run-report document (auto-detected).
+/// Returns the rendered summary; parse problems land in `error` (non-empty
+/// = failure, summary text undefined).
+struct TraceSummary {
+  bool ok = false;
+  std::string error;
+  std::string text;
+};
+[[nodiscard]] TraceSummary summarizeTraceText(
+    std::string_view text, const TraceSummaryOptions& options = {});
+
+// ----- report diff ------------------------------------------------------
+
+struct ReportDiffOptions {
+  /// Relative change beyond which a noisy metric is flagged (|b-a| over
+  /// max(|a|, 1)).
+  double relTolerance = 0.10;
+};
+
+struct ReportDiff {
+  struct Entry {
+    std::string name;
+    double a = 0;
+    double b = 0;
+    bool deterministic = false;  ///< must match exactly between runs
+    bool flagged = false;        ///< exceeded tolerance (or any determinism
+                                 ///< mismatch)
+    bool onlyInA = false;
+    bool onlyInB = false;
+  };
+  std::vector<Entry> entries;            ///< sorted by name
+  std::size_t flaggedCount = 0;          ///< noisy metrics over tolerance
+  std::size_t deterministicMismatches = 0;
+  bool comparableProblems = true;  ///< problem hashes matched
+
+  /// True when the two reports agree on everything that must be equal.
+  [[nodiscard]] bool deterministicOk() const {
+    return deterministicMismatches == 0;
+  }
+};
+
+/// True for metric names whose values are run-invariant for a fixed
+/// problem + options: the schedule digest (schedule.*), problem shape
+/// (problem.*) and the single-threaded search.* pipeline counters. Wall
+/// times, guard/executor outcomes and parallel-search node counts are
+/// noisy and only threshold-flagged.
+[[nodiscard]] bool isDeterministicMetric(std::string_view name);
+
+[[nodiscard]] ReportDiff diffReports(const RunReport& a, const RunReport& b,
+                                     const ReportDiffOptions& options = {});
+[[nodiscard]] std::string renderReportDiff(const ReportDiff& diff,
+                                           std::string_view labelA,
+                                           std::string_view labelB);
+
+// ----- incumbent curve --------------------------------------------------
+
+/// The report's anytime curve; `csv` selects machine form
+/// (ts_ns,cost_mwt header + rows) over the aligned human table.
+[[nodiscard]] std::string renderIncumbents(const RunReport& report, bool csv);
+
+}  // namespace paws::obs

@@ -136,6 +136,11 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
     m.set("executor.steps", static_cast<double>(result.steps));
     m.set("executor.battery_drawn_mwticks",
           static_cast<double>(result.batteryDrawn.milliwattTicks()));
+    // Distribution views of the same outcomes: one observation per run, so
+    // campaign-merged registries expose p50/p90/p99 across missions.
+    m.observe("executor.steps_per_run", static_cast<double>(result.steps));
+    m.observe("executor.battery_drawn_per_run_mwt",
+              static_cast<double>(result.batteryDrawn.milliwattTicks()));
   };
 
   // Effective environment: solar transients are overlaid once for the whole

@@ -10,6 +10,7 @@
 #include "guard/budget.hpp"
 #include "exec/parallel_for.hpp"
 #include "exec/pool.hpp"
+#include "obs/incumbents.hpp"
 #include "obs/metrics.hpp"
 #include "power/profile.hpp"
 #include "power/profile_engine.hpp"
@@ -57,6 +58,10 @@ struct SearchShared {
   std::atomic<std::uint64_t> nodesExplored{0};
   std::atomic<std::uint8_t> stop{kStopNone};
   std::uint64_t maxNodes = 0;
+  /// Anytime-curve sink (borrowed, may be null). Recorded only on a
+  /// successful CAS-min, i.e. when a worker genuinely lowered the global
+  /// bound; the log's own monotonicity filter absorbs publication races.
+  obs::IncumbentLog* incumbents = nullptr;
   // Aggregated per-worker profile effort (flushed once per worker, not per
   // node — the dfs hot loop stays atomic-free).
   std::atomic<std::uint64_t> profileUpdates{0};
@@ -276,9 +281,14 @@ void Worker::leaf() {
     // the bound is a pruning accelerator, and a stale read merely prunes
     // less; every stored value is a genuinely achieved leaf cost.
     std::int64_t cur = shared_.bestCostMwt.load(std::memory_order_relaxed);
-    while (cost.milliwattTicks() < cur &&
-           !shared_.bestCostMwt.compare_exchange_weak(
-               cur, cost.milliwattTicks(), std::memory_order_relaxed)) {
+    while (cost.milliwattTicks() < cur) {
+      if (shared_.bestCostMwt.compare_exchange_weak(
+              cur, cost.milliwattTicks(), std::memory_order_relaxed)) {
+        if (shared_.incumbents != nullptr) {
+          shared_.incumbents->record(cost.milliwattTicks());
+        }
+        break;
+      }
     }
   }
 }
@@ -312,6 +322,7 @@ ScheduleResult ExhaustiveScheduler::schedule() {
   const std::vector<std::vector<Pair>> touching = buildTouching(problem_);
   SearchShared shared;
   shared.maxNodes = options_.maxNodes;
+  shared.incumbents = options_.obs.incumbents;
 
   // Pin the relative timeout to one absolute deadline here, so every
   // worker (and any caller-nested stage) races the same clock.

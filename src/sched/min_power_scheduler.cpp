@@ -4,6 +4,7 @@
 
 #include "base/check.hpp"
 #include "graph/longest_path.hpp"
+#include "obs/incumbents.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
@@ -100,6 +101,15 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
                    "improve() requires a power-valid input schedule");
     rho = profile.utilization(pmin);
   }
+  // Anytime curve: the schedule handed to improve() is the first
+  // incumbent; every accepted move below lowers Ec and appends a point.
+  const auto recordIncumbent = [&] {
+    if (options_.obs.incumbents == nullptr) return;
+    const Energy ec = incremental ? pe.energyAbove() : profile.energyAbove(pmin);
+    options_.obs.incumbents->record(ec.milliwattTicks());
+  };
+  recordIncumbent();
+
   LongestPathEngine engine(graph);
   engine.setObs(options_.obs);
   // Seed the engine once so every candidate-move evaluation below runs
@@ -246,6 +256,7 @@ ScheduleResult MinPowerScheduler::improve(ConstraintGraph& graph,
             }
             starts = lp.dist;
             rho = newRho;
+            recordIncumbent();
             ++out.stats.improvements;
             PAWS_TRACE_INSTANT(options_.obs.trace,
                                obs::TraceEventKind::kMoveAccepted, v.value(),

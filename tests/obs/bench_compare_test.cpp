@@ -1,0 +1,137 @@
+// Bench regression gate (tools/bench_diff's engine): exact counters
+// hard-fail, missing suites/benches hard-fail, wall-time drift warns
+// unless promoted, and unreadable input fails closed.
+#include <gtest/gtest.h>
+
+#include "obs/bench_compare.hpp"
+
+namespace paws::obs {
+namespace {
+
+const char* kBaseline = R"({
+  "suites": {
+    "optimality": {
+      "BM_Heuristic/1": {"wall_ns": 1000, "cpu_ns": 900, "iterations": 10,
+        "counters": {"schedule_bytes": 89, "lp_runs": 32, "threads": 1}}
+    },
+    "scalability": {
+      "BM_Pipeline/64": {"wall_ns": 5000, "cpu_ns": 4500, "iterations": 5,
+        "counters": {"lp_runs": 80}}
+    }
+  }
+})";
+
+std::string withChange(const std::string& from, const std::string& to) {
+  std::string s = kBaseline;
+  const auto pos = s.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  s.replace(pos, from.size(), to);
+  return s;
+}
+
+TEST(BenchCompareTest, IdenticalRunsPass) {
+  const BenchComparison c = compareBenchResults(kBaseline, kBaseline);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.hardCount, 0u);
+  EXPECT_EQ(c.softCount, 0u);
+  EXPECT_EQ(c.benchesCompared, 2u);
+}
+
+TEST(BenchCompareTest, ExactCounterMismatchIsHard) {
+  const std::string current =
+      withChange("\"schedule_bytes\": 89", "\"schedule_bytes\": 42");
+  const BenchComparison c = compareBenchResults(kBaseline, current);
+  EXPECT_FALSE(c.ok());
+  ASSERT_GE(c.findings.size(), 1u);
+  EXPECT_TRUE(c.findings[0].hard);
+  EXPECT_EQ(c.findings[0].metric, "schedule_bytes");
+}
+
+TEST(BenchCompareTest, MissingExactCounterIsHard) {
+  const std::string current =
+      withChange("\"schedule_bytes\": 89, ", "");
+  const BenchComparison c = compareBenchResults(kBaseline, current);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(BenchCompareTest, MissingBenchOrSuiteIsHard) {
+  // Whole scalability suite gone.
+  const std::string current = withChange(
+      R"(,
+    "scalability": {
+      "BM_Pipeline/64": {"wall_ns": 5000, "cpu_ns": 4500, "iterations": 5,
+        "counters": {"lp_runs": 80}}
+    })",
+      "");
+  const BenchComparison c = compareBenchResults(kBaseline, current);
+  EXPECT_FALSE(c.ok());
+  EXPECT_GE(c.hardCount, 1u);
+}
+
+TEST(BenchCompareTest, NewBenchesInCurrentAreNotRegressions) {
+  // Baseline missing a suite the current run has: coverage growth, fine.
+  const std::string smallBaseline = withChange(
+      R"(,
+    "scalability": {
+      "BM_Pipeline/64": {"wall_ns": 5000, "cpu_ns": 4500, "iterations": 5,
+        "counters": {"lp_runs": 80}}
+    })",
+      "");
+  EXPECT_TRUE(compareBenchResults(smallBaseline, kBaseline).ok());
+}
+
+TEST(BenchCompareTest, WallSlowdownIsSoftUnlessPromoted) {
+  const std::string current =
+      withChange("\"wall_ns\": 1000", "\"wall_ns\": 3000");  // 3x slower
+  const BenchComparison soft = compareBenchResults(kBaseline, current);
+  EXPECT_TRUE(soft.ok());  // warn-only by default
+  EXPECT_GE(soft.softCount, 1u);
+
+  BenchCompareOptions options;
+  options.failOnWall = true;
+  const BenchComparison hard =
+      compareBenchResults(kBaseline, current, options);
+  EXPECT_FALSE(hard.ok());
+
+  // A speedup never warns.
+  const std::string faster =
+      withChange("\"wall_ns\": 1000", "\"wall_ns\": 200");
+  EXPECT_EQ(compareBenchResults(kBaseline, faster).softCount, 0u);
+}
+
+TEST(BenchCompareTest, WallToleranceIsConfigurable) {
+  const std::string current =
+      withChange("\"wall_ns\": 1000", "\"wall_ns\": 1300");  // +30%
+  EXPECT_EQ(compareBenchResults(kBaseline, current).softCount, 0u);
+  BenchCompareOptions tight;
+  tight.wallTolerance = 0.1;
+  EXPECT_GE(compareBenchResults(kBaseline, current, tight).softCount, 1u);
+}
+
+TEST(BenchCompareTest, ParseFailureFailsClosed) {
+  const BenchComparison bad = compareBenchResults("not json", kBaseline);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.error.empty());
+  const BenchComparison noSuites =
+      compareBenchResults("{\"nope\": 1}", kBaseline);
+  EXPECT_FALSE(noSuites.ok());
+}
+
+TEST(BenchCompareTest, RenderListsHardFindingsFirst) {
+  // One hard (exact counter) and one soft (10x wall) finding together.
+  std::string current = withChange("\"wall_ns\": 5000", "\"wall_ns\": 50000");
+  current.replace(current.find("\"schedule_bytes\": 89"),
+                  std::string("\"schedule_bytes\": 89").size(),
+                  "\"schedule_bytes\": 42");
+  const BenchComparison c = compareBenchResults(kBaseline, current);
+  const std::string text = renderBenchComparison(c, "base", "cur");
+  // Line-anchored: the summary line's "N warnings" must not match.
+  const auto fail = text.find("\nFAIL ");
+  const auto warn = text.find("\nwarn ");
+  ASSERT_NE(fail, std::string::npos) << text;
+  ASSERT_NE(warn, std::string::npos) << text;
+  EXPECT_LT(fail, warn);
+}
+
+}  // namespace
+}  // namespace paws::obs

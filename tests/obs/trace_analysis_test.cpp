@@ -1,0 +1,138 @@
+// Offline trace/report analysis: summarize (JSONL + report auto-detect),
+// report diff with the deterministic-metric classification, and the
+// incumbent-curve rendering behind `pawsc trace incumbents`.
+#include <gtest/gtest.h>
+
+#include "obs/report.hpp"
+#include "obs/trace_analysis.hpp"
+
+namespace paws::obs {
+namespace {
+
+RunReport makeReport(std::int64_t energy, std::uint64_t backtracks,
+                     double wallUs) {
+  RunReport r;
+  r.kind = "schedule";
+  r.problemName = "p";
+  r.problemHash = 0x1234;
+  r.numTasks = 5;
+  r.numResources = 2;
+  r.numConstraints = 3;
+  r.scheduler = "pipeline";
+  r.status = "ok";
+  r.hasSchedule = true;
+  r.finishTicks = 40;
+  r.energyCostMwt = energy;
+  r.peakPowerMw = 17000;
+  r.scheduleBytes = 167;
+  r.metrics.add("search.backtracks", backtracks);
+  r.metrics.observe("phase.timing.wall_us", wallUs);
+  r.incumbents.push_back({100, energy + 1000});
+  r.incumbents.push_back({200, energy});
+  return r;
+}
+
+TEST(TraceAnalysisTest, SummarizeAutoDetectsRunReports) {
+  const RunReport r = makeReport(213000, 7, 25.0);
+  const TraceSummary s = summarizeTraceText(runReportToJson(r));
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_NE(s.text.find("run report"), std::string::npos);
+  EXPECT_NE(s.text.find("5 tasks"), std::string::npos);
+  EXPECT_NE(s.text.find("pipeline"), std::string::npos);
+  EXPECT_NE(s.text.find("incumbents"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, SummarizeCountsJsonlEventsPhasesAndHotTasks) {
+  const std::string jsonl =
+      "{\"kind\":\"phase\",\"ts_ns\":1,\"dur_ns\":500,\"label\":\"timing\"}\n"
+      "{\"kind\":\"backtrack\",\"ts_ns\":2,\"task\":3}\n"
+      "{\"kind\":\"backtrack\",\"ts_ns\":3,\"task\":3}\n"
+      "{\"kind\":\"delay\",\"ts_ns\":4,\"task\":1}\n"
+      "{\"kind\":\"candidate\",\"ts_ns\":5,\"task\":2}\n";
+  const TraceSummary s = summarizeTraceText(jsonl);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_NE(s.text.find("backtrack"), std::string::npos);
+  EXPECT_NE(s.text.find("timing"), std::string::npos);
+  // Task 3 (2 backtracks) outranks task 1 (1 delay).
+  const auto hot3 = s.text.find("task     3");
+  const auto hot1 = s.text.find("task     1");
+  ASSERT_NE(hot3, std::string::npos);
+  ASSERT_NE(hot1, std::string::npos);
+  EXPECT_LT(hot3, hot1);
+}
+
+TEST(TraceAnalysisTest, SummarizeRejectsGarbage) {
+  EXPECT_FALSE(summarizeTraceText("").ok);
+  EXPECT_FALSE(summarizeTraceText("not json at all").ok);
+}
+
+TEST(TraceAnalysisTest, DeterministicMetricClassification) {
+  EXPECT_TRUE(isDeterministicMetric("schedule.bytes"));
+  EXPECT_TRUE(isDeterministicMetric("schedule.energy_cost_mwt"));
+  EXPECT_TRUE(isDeterministicMetric("problem.tasks"));
+  EXPECT_TRUE(isDeterministicMetric("search.backtracks"));
+  EXPECT_FALSE(isDeterministicMetric("exhaustive.nodes"));
+  EXPECT_FALSE(isDeterministicMetric("phase.timing.wall_us.count"));
+  EXPECT_FALSE(isDeterministicMetric("guard.deadline_trips"));
+  EXPECT_FALSE(isDeterministicMetric("executor.steps_per_run.count"));
+}
+
+TEST(TraceAnalysisTest, DiffIsCleanForIdenticalReports) {
+  const RunReport a = makeReport(213000, 7, 25.0);
+  const ReportDiff diff = diffReports(a, a);
+  EXPECT_TRUE(diff.deterministicOk());
+  EXPECT_EQ(diff.flaggedCount, 0u);
+  EXPECT_TRUE(diff.comparableProblems);
+}
+
+TEST(TraceAnalysisTest, DiffFlagsDeterministicMismatchButToleratesNoise) {
+  const RunReport a = makeReport(213000, 7, 25.0);
+  // Different energy (deterministic -> hard) and wildly different wall
+  // time (noisy -> tolerated: timing never hard-fails).
+  RunReport b = makeReport(99000, 7, 2500.0);
+  const ReportDiff diff = diffReports(a, b);
+  EXPECT_FALSE(diff.deterministicOk());
+  EXPECT_GE(diff.deterministicMismatches, 1u);
+
+  // Same energy, noisy metric moved beyond tolerance: flagged, not a
+  // deterministic failure.
+  RunReport c = makeReport(213000, 7, 25.0);
+  c.metrics.add("exhaustive.nodes", 1000);
+  RunReport d = makeReport(213000, 7, 25.0);
+  d.metrics.add("exhaustive.nodes", 2000);
+  const ReportDiff noisy = diffReports(c, d);
+  EXPECT_TRUE(noisy.deterministicOk());
+  EXPECT_GE(noisy.flaggedCount, 1u);
+}
+
+TEST(TraceAnalysisTest, DiffMarksDifferentProblems) {
+  const RunReport a = makeReport(213000, 7, 25.0);
+  RunReport b = makeReport(213000, 7, 25.0);
+  b.problemHash = 0x9999;
+  EXPECT_FALSE(diffReports(a, b).comparableProblems);
+}
+
+TEST(TraceAnalysisTest, RenderDiffMentionsMismatchedMetric) {
+  const RunReport a = makeReport(213000, 7, 25.0);
+  const RunReport b = makeReport(99000, 7, 25.0);
+  const std::string text = renderReportDiff(diffReports(a, b), "A", "B");
+  EXPECT_NE(text.find("schedule.energy_cost_mwt"), std::string::npos);
+  EXPECT_NE(text.find("MISMATCH"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, RenderIncumbentsTableAndCsv) {
+  const RunReport r = makeReport(213000, 7, 25.0);
+  const std::string csv = renderIncumbents(r, /*csv=*/true);
+  EXPECT_EQ(csv.rfind("ts_ns,cost_mwt\n", 0), 0u);
+  EXPECT_NE(csv.find("100,214000"), std::string::npos);
+  EXPECT_NE(csv.find("200,213000"), std::string::npos);
+  const std::string table = renderIncumbents(r, /*csv=*/false);
+  EXPECT_NE(table.find("2 points"), std::string::npos);
+  EXPECT_NE(table.find("214000"), std::string::npos);
+  // Empty curve renders a note, not an empty string.
+  RunReport empty;
+  EXPECT_FALSE(renderIncumbents(empty, false).empty());
+}
+
+}  // namespace
+}  // namespace paws::obs

@@ -65,6 +65,36 @@ TEST(TraceSinkTest, SpanRecordsDurationVerbatim) {
   EXPECT_EQ(e.task, TraceEvent::kNoTask);
 }
 
+TEST(TraceSinkTest, CapDropsAndCountsInsteadOfGrowing) {
+  TraceSink sink(/*maxEvents=*/2);
+  sink.instant(TraceEventKind::kCandidate, 1);
+  sink.instant(TraceEventKind::kCandidate, 2);
+  EXPECT_EQ(sink.droppedEvents(), 0u);
+  sink.instant(TraceEventKind::kCandidate, 3);
+  sink.span(TraceEventKind::kPhase, 0, 10, "late");
+  EXPECT_EQ(sink.size(), 2u);  // held events stop at the cap
+  EXPECT_EQ(sink.droppedEvents(), 2u);
+  EXPECT_EQ(sink.events()[1].task, 2u);  // the first two survived verbatim
+
+  // Raising the cap admits new events again; clear() resets the counter.
+  sink.setMaxEvents(3);
+  sink.instant(TraceEventKind::kCandidate, 4);
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.droppedEvents(), 2u);
+  sink.clear();
+  EXPECT_EQ(sink.droppedEvents(), 0u);
+
+  // The dropped line surfaces in the summary only when events were lost.
+  TraceSink tiny(1);
+  tiny.instant(TraceEventKind::kDelay);
+  tiny.instant(TraceEventKind::kDelay);
+  MetricsRegistry metrics;
+  const std::string summary = renderObsSummary(metrics, &tiny);
+  EXPECT_NE(summary.find("dropped (cap 1 events): 1"), std::string::npos);
+  EXPECT_EQ(renderObsSummary(metrics, &sink).find("dropped"),
+            std::string::npos);
+}
+
 TEST(TraceMacrosTest, NullSinkIsANoOp) {
   TraceSink* sink = nullptr;
   // Must compile and do nothing — this is the disabled-by-default hot path.

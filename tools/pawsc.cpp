@@ -35,8 +35,19 @@
 //       Monte-Carlo mission-survival campaign over the rover mission;
 //       byte-identical output for any --jobs value. --json - prints the
 //       report to stdout (and suppresses the human summary).
+//   pawsc trace summarize <trace.jsonl | report.json> [--top K]
+//   pawsc trace diff <a.json> <b.json> [--tolerance PCT]
+//   pawsc trace incumbents <report.json> [--csv]
+//       Offline analysis of recorded runs: digest a search trace or run
+//       report, compare two run reports (non-zero exit on a deterministic
+//       mismatch), or print the anytime incumbent curve.
 //   pawsc dot <file.paws>
 //       Emit the constraint graph in Graphviz syntax.
+//
+// schedule/simulate/campaign additionally take --report out.json (the full
+// structured RunReport: problem hash, options, outcome, metrics snapshot
+// and incumbent trajectory; `-` = stdout) and --openmetrics out.txt (the
+// metrics registry in Prometheus/OpenMetrics text form; `-` = stdout).
 //
 // Exit status (one code per error class, stable for scripting):
 //   0  success
@@ -53,6 +64,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -69,8 +81,11 @@
 #include "gantt/ascii_gantt.hpp"
 #include "gantt/html_report.hpp"
 #include "obs/export.hpp"
+#include "obs/incumbents.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
 #include "gantt/svg_gantt.hpp"
 #include "graph/dot.hpp"
 #include "graph/longest_path.hpp"
@@ -132,6 +147,7 @@ int usage() {
                "           [--search-trace out.json] [--search-jsonl "
                "out.jsonl]\n"
                "           [--metrics out.csv] [--obs-summary]\n"
+               "           [--report out.json|-] [--openmetrics out.txt|-]\n"
                "  sweep    <file.paws> --pmax-from W --pmax-to W [--step W]\n"
                "  windows  <file.paws> [--horizon T]\n"
                "  repair   <file.paws> --schedule plan.sched --at T "
@@ -143,7 +159,13 @@ int usage() {
                "  campaign [--missions N] [--seed S] [--steps N] [--jobs N] "
                "[--contingency|...]\n"
                "           [--json out.json|-] [--metrics out.csv]\n"
+               "  trace    summarize <trace.jsonl|report.json> [--top K]\n"
+               "  trace    diff <a.json> <b.json> [--tolerance PCT]\n"
+               "  trace    incumbents <report.json> [--csv]\n"
                "  dot      <file.paws>\n"
+               "\n"
+               "simulate/campaign also take --report/--openmetrics; trace\n"
+               "diff exits 3 when deterministic metrics disagree.\n"
                "\n"
                "schedule/simulate/campaign also take --timeout-ms N: a\n"
                "wall-clock deadline for the run. On a trip, `schedule\n"
@@ -238,12 +260,14 @@ struct ScheduleExports {
   bool obsSummary = false;
   std::string svgOut, csvOut, htmlOut, traceOut, saveOut;
   std::string searchTraceOut, searchJsonlOut, metricsOut;
+  std::string reportOut, openMetricsOut;
 
   /// Observability hooks are attached only when something consumes them,
   /// keeping the default run on the null-sink fast path.
   [[nodiscard]] bool wantsObs() const {
     return obsSummary || !searchTraceOut.empty() ||
-           !searchJsonlOut.empty() || !metricsOut.empty();
+           !searchJsonlOut.empty() || !metricsOut.empty() ||
+           !reportOut.empty() || !openMetricsOut.empty();
   }
 
   /// True when any render/export was requested at all. Batch mode refuses
@@ -259,7 +283,8 @@ ScheduleResult runScheduler(const Problem& problem,
                             const std::string& scheduler,
                             std::uint32_t trials, std::size_t jobs,
                             const obs::ObsContext& obsCtx,
-                            const guard::RunBudget& budget) {
+                            const guard::RunBudget& budget,
+                            guard::StopReason* stopOut = nullptr) {
   // serial/list are single-pass and finish in microseconds; a wall-clock
   // guard there would only be polling overhead.
   if (scheduler == "serial") return SerialScheduler(problem).schedule();
@@ -271,6 +296,7 @@ ScheduleResult runScheduler(const Problem& problem,
     options.budget = budget;
     ExhaustiveScheduler optimal(problem, options);
     ScheduleResult r = optimal.schedule();
+    if (stopOut != nullptr) *stopOut = optimal.outcome().stopReason;
     if (!optimal.outcome().provenOptimal) {
       std::fprintf(
           stderr, "warning: %s; result may be suboptimal\n",
@@ -301,10 +327,66 @@ void printEffort(std::FILE* f, const SchedulerStats& st) {
                static_cast<unsigned long long>(st.improvements));
 }
 
+/// The report's stop-reason string: the scheduler's own verdict when it
+/// exposes one, else whatever the guard counters recorded, else inferred
+/// from the status. Every trip path lands in exactly one of these.
+std::string deriveStopReason(guard::StopReason fromScheduler,
+                             const obs::MetricsRegistry& registry,
+                             SchedStatus status) {
+  if (fromScheduler != guard::StopReason::kNone) {
+    return guard::toString(fromScheduler);
+  }
+  if (registry.counter("guard.cancels") > 0) return "cancelled";
+  if (registry.counter("guard.deadline_trips") > 0) return "deadline";
+  if (status == SchedStatus::kDeadlineExceeded) return "deadline";
+  return "none";
+}
+
+std::int64_t timeoutMsOf(const guard::RunBudget& budget) {
+  return budget.timeout.has_value() ? budget.timeout->count() : -1;
+}
+
+/// Stamps and writes a run report; `-` streams to stdout.
+void writeReportOut(const std::string& path, obs::RunReport& report) {
+  if (path.empty()) return;
+  obs::stampVolatile(report);
+  if (path == "-") {
+    std::fputs(obs::runReportToJson(report).c_str(), stdout);
+    return;
+  }
+  std::ofstream o(path);
+  if (o) {
+    obs::writeRunReport(o, report);
+    std::printf("wrote %s (run report; inspect with pawsc trace)\n",
+                path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+  }
+}
+
+/// OpenMetrics text exposition of the registry; `-` streams to stdout.
+void writeOpenMetricsOut(const std::string& path,
+                         const obs::MetricsRegistry& registry) {
+  if (path.empty()) return;
+  if (path == "-") {
+    std::fputs(obs::toOpenMetrics(registry).c_str(), stdout);
+    return;
+  }
+  std::ofstream o(path);
+  if (o) {
+    obs::writeOpenMetrics(o, registry);
+    std::printf("wrote %s (OpenMetrics, %zu metrics)\n", path.c_str(),
+                registry.size());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+  }
+}
+
 /// Writes the observability exports; valid on success AND failure runs —
 /// a failed search is exactly when the effort trace matters most.
 void writeObsExports(const ScheduleExports& out, const obs::TraceSink& sink,
-                     const obs::MetricsRegistry& registry) {
+                     const obs::MetricsRegistry& registry,
+                     const obs::ObsSummaryExtras& extras = {}) {
   if (!out.searchTraceOut.empty()) {
     std::ofstream o(out.searchTraceOut);
     if (o) {
@@ -338,8 +420,10 @@ void writeObsExports(const ScheduleExports& out, const obs::TraceSink& sink,
       std::fprintf(stderr, "could not write %s\n", out.metricsOut.c_str());
     }
   }
+  writeOpenMetricsOut(out.openMetricsOut, registry);
   if (out.obsSummary) {
-    std::printf("\n%s", obs::renderObsSummary(registry, &sink).c_str());
+    std::printf("\n%s",
+                obs::renderObsSummary(registry, &sink, extras).c_str());
   }
 }
 
@@ -352,17 +436,56 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
 
   obs::TraceSink sink;
   obs::MetricsRegistry registry;
+  obs::IncumbentLog incumbents;
   obs::ObsContext obsCtx;
   if (out.wantsObs()) {
     obsCtx.trace = &sink;
     obsCtx.metrics = &registry;
+    obsCtx.incumbents = &incumbents;
   }
-  const ScheduleResult r =
-      runScheduler(*problem, scheduler, trials, jobs, obsCtx, budget);
+  guard::StopReason schedulerStop = guard::StopReason::kNone;
+  const ScheduleResult r = runScheduler(*problem, scheduler, trials, jobs,
+                                        obsCtx, budget, &schedulerStop);
   // The pipeline exports its own stats; the baselines know nothing of the
   // registry, so bridge their SchedulerStats view in.
   if (out.wantsObs() && scheduler != "pipeline") {
     exportStats(r.stats, registry);
+  }
+  const std::string stopReason =
+      deriveStopReason(schedulerStop, registry, r.status);
+  const obs::ObsSummaryExtras extras{&incumbents, stopReason};
+
+  // One report covers success, anytime and failure runs alike; the
+  // schedule digest and validator verdict are filled in below once known.
+  obs::RunReport report;
+  const bool wantsReport = !out.reportOut.empty();
+  if (wantsReport) {
+    report.kind = "schedule";
+    report.problemName = problem->name();
+    report.problemHash = obs::fnv1a64(io::problemToText(*problem));
+    report.numTasks = problem->numTasks();
+    report.numResources = problem->numResources();
+    report.numConstraints = problem->constraints().size();
+    report.scheduler = scheduler;
+    report.trials = static_cast<std::int64_t>(trials);
+    report.jobs = static_cast<std::int64_t>(jobs);
+    report.timeoutMs = timeoutMsOf(budget);
+    report.status = toString(r.status);
+    report.stopReason = stopReason;
+    report.message = r.message;
+    report.metrics = registry;
+    report.incumbents = incumbents.points();
+    if (r.schedule.has_value()) {
+      const Schedule& s = *r.schedule;
+      report.hasSchedule = true;
+      report.finishTicks = s.finish().ticks();
+      report.energyCostMwt =
+          s.energyCost(problem->minPower()).milliwattTicks();
+      report.peakPowerMw = ScheduleAnalysis::minimalValidPmax(s).milliwatts();
+      std::ostringstream txt;
+      io::writeSchedule(txt, s, scheduler);
+      report.scheduleBytes = txt.str().size();
+    }
   }
   // A deadline trip that still carries a schedule is an anytime result:
   // report it through the normal path (validator, exports and all) but
@@ -373,7 +496,11 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
     std::fprintf(stderr, "scheduling failed (%s): %s\n", toString(r.status),
                  r.message.c_str());
     printEffort(stderr, r.stats);
-    writeObsExports(out, sink, registry);
+    writeObsExports(out, sink, registry, extras);
+    if (wantsReport) {
+      report.exitClass = exitForStatus(r.status);
+      writeReportOut(out.reportOut, report);
+    }
     return exitForStatus(r.status);
   }
   if (anytime) {
@@ -387,7 +514,7 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
   const std::string& htmlOut = out.htmlOut;
   const std::string& traceOut = out.traceOut;
   const std::string& saveOut = out.saveOut;
-  const ValidationReport report = ScheduleValidator(*problem).validate(s);
+  const ValidationReport validation = ScheduleValidator(*problem).validate(s);
   std::printf("scheduler : %s\n", scheduler.c_str());
   std::printf("finish    : %lld ticks\n",
               static_cast<long long>(s.finish().ticks()));
@@ -398,9 +525,9 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
               100.0 * s.utilization(problem->minPower()));
   std::printf("peak      : %.3fW (schedule valid for any Pmax >= this)\n",
               ScheduleAnalysis::minimalValidPmax(s).watts());
-  std::printf("valid     : %s\n", report.valid() ? "yes" : "NO");
+  std::printf("valid     : %s\n", validation.valid() ? "yes" : "NO");
   printEffort(stdout, r.stats);
-  for (const Violation& v : report.violations) {
+  for (const Violation& v : validation.violations) {
     std::ostringstream os;
     os << v;
     std::printf("  violation: %s\n", os.str().c_str());
@@ -443,9 +570,15 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
     std::printf("wrote %s (re-load with pawsc repair --schedule)\n",
                 saveOut.c_str());
   }
-  writeObsExports(out, sink, registry);
-  if (anytime) return kExitBudget;
-  return report.valid() ? kExitOk : kExitInfeasible;
+  writeObsExports(out, sink, registry, extras);
+  const int exitCode =
+      anytime ? kExitBudget : (validation.valid() ? kExitOk : kExitInfeasible);
+  if (wantsReport) {
+    report.valid = validation.valid();
+    report.exitClass = exitCode;
+    writeReportOut(out.reportOut, report);
+  }
+  return exitCode;
 }
 
 /// `pawsc schedule a.paws b.paws ...` — schedule every file concurrently on
@@ -636,9 +769,28 @@ void writeMetricsCsv(const std::string& metricsOut,
   }
 }
 
+/// Shared report skeleton for the rover-mission commands: the mission
+/// problem (worst-case binding 0 is the canonical identity) plus options.
+obs::RunReport missionReport(const char* kind, const Problem& missionProblem,
+                             const MissionFlags& f,
+                             const guard::RunBudget& budget) {
+  obs::RunReport report;
+  report.kind = kind;
+  report.problemName = missionProblem.name();
+  report.problemHash = obs::fnv1a64(io::problemToText(missionProblem));
+  report.numTasks = missionProblem.numTasks();
+  report.numResources = missionProblem.numResources();
+  report.numConstraints = missionProblem.constraints().size();
+  report.scheduler = "runtime";
+  report.trials = 1;
+  report.timeoutMs = timeoutMsOf(budget);
+  (void)f;
+  return report;
+}
+
 int cmdSimulate(const MissionFlags& f, bool traceEvents,
-                const std::string& metricsOut,
-                const guard::RunBudget& budget) {
+                const ScheduleExports& out, const guard::RunBudget& budget) {
+  const std::string& metricsOut = out.metricsOut;
   const rover::CaseSchedules cases = rover::buildCaseSchedules();
   if (!cases.ok) {
     std::fprintf(stderr, "could not build case schedules: %s\n",
@@ -656,7 +808,9 @@ int cmdSimulate(const MissionFlags& f, bool traceEvents,
   ec.contingency = f.contingency;
   ec.budget = budget;
   obs::MetricsRegistry registry;
-  if (!metricsOut.empty()) ec.obs.metrics = &registry;
+  const bool wantsRegistry = !metricsOut.empty() || !out.reportOut.empty() ||
+                             !out.openMetricsOut.empty();
+  if (wantsRegistry) ec.obs.metrics = &registry;
 
   // With --faults the mission flies under the plan campaign seed `seed`
   // would give its mission 0 — `pawsc simulate --faults --seed S` replays
@@ -704,13 +858,29 @@ int cmdSimulate(const MissionFlags& f, bool traceEvents,
     }
   }
   writeMetricsCsv(metricsOut, registry);
-  if (interrupted) return kExitBudget;
-  return r.complete ? kExitOk : kExitInfeasible;
+  writeOpenMetricsOut(out.openMetricsOut, registry);
+  const int exitCode = interrupted ? kExitBudget
+                       : r.complete ? kExitOk
+                                    : kExitInfeasible;
+  if (!out.reportOut.empty()) {
+    obs::RunReport report =
+        missionReport("simulate", *bindings[0].problem, f, budget);
+    report.status = r.complete      ? "complete"
+                    : interrupted   ? "interrupted"
+                                    : "mission-lost";
+    report.stopReason = guard::toString(r.stopReason);
+    report.exitClass = exitCode;
+    report.valid = r.complete;
+    report.metrics = registry;
+    writeReportOut(out.reportOut, report);
+  }
+  return exitCode;
 }
 
 int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
-                const std::string& jsonOut, const std::string& metricsOut,
+                const std::string& jsonOut, const ScheduleExports& out,
                 const guard::RunBudget& budget) {
+  const std::string& metricsOut = out.metricsOut;
   if (missions <= 0) {
     std::fprintf(stderr, "--missions must be positive\n");
     return kExitUsage;
@@ -721,9 +891,11 @@ int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
                  cases.message.c_str());
     return kExitInternal;
   }
+  const std::vector<runtime::CaseBinding> bindings =
+      fault::roverCaseBindings(cases);
+  const Problem& missionProblem = *bindings.front().problem;
   const fault::FaultCampaign campaign(rover::missionSolarProfile(),
-                                      rover::missionBattery(),
-                                      fault::roverCaseBindings(cases));
+                                      rover::missionBattery(), bindings);
   fault::CampaignConfig cc;
   cc.missions = missions;
   cc.seed = f.seed;
@@ -733,7 +905,9 @@ int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
   cc.jobs = jobs;  // 0 = exec::defaultJobs(); never affects the results
   cc.budget = budget;
   obs::MetricsRegistry registry;
-  if (!metricsOut.empty()) cc.obs.metrics = &registry;
+  const bool wantsRegistry = !metricsOut.empty() || !out.reportOut.empty() ||
+                             !out.openMetricsOut.empty();
+  if (wantsRegistry) cc.obs.metrics = &registry;
 
   const fault::CampaignResult result = campaign.run(cc);
   const bool interrupted = result.stopReason != guard::StopReason::kNone;
@@ -779,7 +953,125 @@ int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
     }
   }
   writeMetricsCsv(metricsOut, registry);
-  return interrupted ? kExitBudget : kExitOk;
+  writeOpenMetricsOut(out.openMetricsOut, registry);
+  const int exitCode = interrupted ? kExitBudget : kExitOk;
+  if (!out.reportOut.empty()) {
+    obs::RunReport report = missionReport("campaign", missionProblem, f, budget);
+    report.jobs = static_cast<std::int64_t>(jobs);
+    report.status = interrupted ? "interrupted" : "complete";
+    report.stopReason = guard::toString(result.stopReason);
+    report.exitClass = exitCode;
+    report.valid = !interrupted;
+    report.metrics = registry;
+    writeReportOut(out.reportOut, report);
+  }
+  return exitCode;
+}
+
+std::optional<std::string> readTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// `pawsc trace <summarize|diff|incumbents>` — offline analysis of run
+/// reports and JSONL search traces. Parses its own flags: the main loop's
+/// flags (--csv takes a value there) do not apply to recorded artifacts.
+int cmdTrace(int argc, char** argv) {
+  const auto traceUsage = [] {
+    std::fprintf(stderr,
+                 "usage: pawsc trace summarize <trace.jsonl|report.json> "
+                 "[--top K]\n"
+                 "       pawsc trace diff <a.json> <b.json> "
+                 "[--tolerance PCT]\n"
+                 "       pawsc trace incumbents <report.json> [--csv]\n");
+    return kExitUsage;
+  };
+  if (argc < 3) return traceUsage();
+  const std::string sub = argv[2];
+  std::vector<std::string> files;
+  std::size_t topK = 5;
+  double tolerancePct = 10.0;
+  bool csv = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (!arg.empty() && arg[0] != '-') {
+      files.push_back(arg);
+    } else if (arg == "--top") {
+      topK = static_cast<std::size_t>(std::atoll(value("--top")));
+    } else if (arg == "--tolerance") {
+      tolerancePct = std::atof(value("--tolerance"));
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return traceUsage();
+    }
+  }
+
+  if (sub == "summarize") {
+    if (files.size() != 1) return traceUsage();
+    const auto text = readTextFile(files[0]);
+    if (!text) return kExitInput;
+    obs::TraceSummaryOptions options;
+    options.topK = topK;
+    const obs::TraceSummary summary = obs::summarizeTraceText(*text, options);
+    if (!summary.ok) {
+      std::fprintf(stderr, "%s: %s\n", files[0].c_str(),
+                   summary.error.c_str());
+      return kExitInput;
+    }
+    std::fputs(summary.text.c_str(), stdout);
+    return kExitOk;
+  }
+  if (sub == "diff") {
+    if (files.size() != 2) return traceUsage();
+    obs::ReportParseResult a = obs::loadRunReport(files[0]);
+    obs::ReportParseResult b = obs::loadRunReport(files[1]);
+    if (!a.ok || !b.ok) {
+      if (!a.ok) {
+        std::fprintf(stderr, "%s: %s\n", files[0].c_str(), a.error.c_str());
+      }
+      if (!b.ok) {
+        std::fprintf(stderr, "%s: %s\n", files[1].c_str(), b.error.c_str());
+      }
+      return kExitInput;
+    }
+    obs::ReportDiffOptions options;
+    options.relTolerance = tolerancePct / 100.0;
+    const obs::ReportDiff diff =
+        obs::diffReports(a.report, b.report, options);
+    std::fputs(obs::renderReportDiff(diff, files[0], files[1]).c_str(),
+               stdout);
+    // A deterministic mismatch means the two runs disagree on something
+    // that must be byte-equal for a fixed problem — the regression class
+    // scripts gate on. Noise over tolerance is reported but not fatal.
+    return diff.deterministicOk() ? kExitOk : kExitInfeasible;
+  }
+  if (sub == "incumbents") {
+    if (files.size() != 1) return traceUsage();
+    obs::ReportParseResult parsed = obs::loadRunReport(files[0]);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "%s: %s\n", files[0].c_str(),
+                   parsed.error.c_str());
+      return kExitInput;
+    }
+    std::fputs(obs::renderIncumbents(parsed.report, csv).c_str(), stdout);
+    return kExitOk;
+  }
+  return traceUsage();
 }
 
 int cmdDot(const std::string& path) {
@@ -797,6 +1089,9 @@ int cmdDot(const std::string& path) {
 int runCli(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  // trace reads recorded artifacts, not .paws files, and its --csv flag is
+  // a boolean where the main loop's takes a value: it parses its own args.
+  if (command == "trace") return cmdTrace(argc, argv);
   // simulate/campaign replay the built-in rover mission: no input file.
   const bool takesFile = command != "simulate" && command != "campaign";
   if (takesFile && argc < 3) return usage();
@@ -858,6 +1153,10 @@ int runCli(int argc, char** argv) {
       exports.searchJsonlOut = value("--search-jsonl");
     } else if (arg == "--metrics") {
       exports.metricsOut = value("--metrics");
+    } else if (arg == "--report") {
+      exports.reportOut = value("--report");
+    } else if (arg == "--openmetrics") {
+      exports.openMetricsOut = value("--openmetrics");
     } else if (arg == "--obs-summary") {
       exports.obsSummary = true;
     } else if (arg == "--pmax-from") {
@@ -950,11 +1249,10 @@ int runCli(int argc, char** argv) {
     return cmdRepair(path, schedulePath, now, newPmax, newPmin);
   }
   if (command == "simulate") {
-    return cmdSimulate(mission, traceEvents, exports.metricsOut, budget);
+    return cmdSimulate(mission, traceEvents, exports, budget);
   }
   if (command == "campaign") {
-    return cmdCampaign(mission, missions, jobs, jsonOut, exports.metricsOut,
-                       budget);
+    return cmdCampaign(mission, missions, jobs, jsonOut, exports, budget);
   }
   if (command == "dot") return cmdDot(path);
   return usage();
