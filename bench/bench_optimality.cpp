@@ -112,6 +112,19 @@ void BM_ExhaustiveOracle(benchmark::State& state) {
     ExhaustiveScheduler oracle(gp.problem);
     benchmark::DoNotOptimize(oracle.schedule());
   }
+  // Determinism witnesses for the bench regression gate (tools/bench_diff):
+  // the serial pruned search visits an exact, machine-independent node set,
+  // so the node and pruning counters must be byte-for-byte stable.
+  ExhaustiveScheduler witness(gp.problem);
+  benchmark::DoNotOptimize(witness.schedule());
+  const ExhaustiveOutcomeStats& stats = witness.outcome();
+  state.counters["nodes_explored"] =
+      static_cast<double>(stats.nodesExplored);
+  state.counters["pruned_dominance"] =
+      static_cast<double>(stats.prunedDominance);
+  state.counters["pruned_symmetry"] =
+      static_cast<double>(stats.prunedSymmetry);
+  state.counters["pruned_bound"] = static_cast<double>(stats.prunedBound);
 }
 BENCHMARK(BM_ExhaustiveOracle)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);

@@ -11,6 +11,9 @@ namespace paws {
 
 namespace {
 constexpr EdgeId kNoParent = static_cast<EdgeId>(-1);
+// First parent-cycle probe after this many improvements of one vertex;
+// later probes escalate geometrically (see nextCheck_).
+constexpr std::uint32_t kFirstCycleCheck = 8;
 }
 
 LongestPathEngine::LongestPathEngine(const ConstraintGraph& graph)
@@ -134,6 +137,7 @@ const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
   parentEdge_.assign(n, kNoParent);
   relaxCount_.assign(n, 0);
   inQueue_.assign(n, 0);
+  nextCheck_.assign(n, kFirstCycleCheck);
   queue_.clear();
   queue_.reserve(n);
 
@@ -197,18 +201,46 @@ const LongestPathResult& LongestPathEngine::runImpl(TaskId source,
                    queue_.begin() + static_cast<std::ptrdiff_t>(head));
       head = 0;
     }
-    for (EdgeId eid : graph_.outEdges(u)) {
-      const TaskId improved = relax(eid);
-      if (!improved.isValid()) continue;
-      if (++relaxCount_[improved.index()] > relaxLimit) {
-        extractPositiveCycle(improved);
-        hasValidRun_ = false;
-        result_.feasible = false;
-        return result_;
+    // A dequeued vertex always has a finite distance (vertices are only
+    // enqueued when improved), so the tail distance is hoisted and each
+    // adjacency entry carries the head and weight inline — the relaxation
+    // loop walks contiguous arena chunks without touching the edge pool.
+    const Time du = result_.dist[u.index()];
+    for (const AdjEntry& ae : graph_.outEdges(u)) {
+      const Time candidate = du + ae.weight;
+      const std::size_t to = ae.other.index();
+      if (candidate <= result_.dist[to]) continue;
+      if (record) {
+        undoLog_.push_back(
+            Undo{static_cast<std::uint32_t>(to), result_.dist[to]});
       }
-      if (!inQueue_[improved.index()]) {
-        inQueue_[improved.index()] = 1;
-        queue_.push_back(improved);
+      result_.dist[to] = candidate;
+      parentEdge_[to] = ae.id;
+      const std::uint32_t improvements = ++relaxCount_[to];
+      if (improvements >= nextCheck_[to]) {
+        // A vertex improving this often is suspicious: probe the parent
+        // chain for a cycle now instead of pumping all the way to the
+        // classic (n+1)-improvement bound — infeasible serializations are
+        // the common case during scheduler backtracking, and each extra
+        // pump lap re-relaxes the whole downstream subgraph.
+        if (improvements > relaxLimit) {
+          extractPositiveCycle(ae.other);
+          hasValidRun_ = false;
+          result_.feasible = false;
+          return result_;
+        }
+        const TaskId onCycle = findParentCycle(ae.other);
+        if (onCycle.isValid()) {
+          collectCycleAt(onCycle);
+          hasValidRun_ = false;
+          result_.feasible = false;
+          return result_;
+        }
+        nextCheck_[to] = improvements * 4;
+      }
+      if (!inQueue_[to]) {
+        inQueue_[to] = 1;
+        queue_.push_back(ae.other);
       }
     }
   }
@@ -234,18 +266,40 @@ void LongestPathEngine::extractPositiveCycle(TaskId overRelaxed) {
     }
     x = graph_.edge(pe).from;
   }
-  // Collect vertices until x repeats.
+  collectCycleAt(x);
+}
+
+TaskId LongestPathEngine::findParentCycle(TaskId v) {
+  const std::size_t n = graph_.numVertices();
+  if (walkStamp_.size() != n) walkStamp_.assign(n, 0);
+  if (++walkEpoch_ == 0) {  // epoch wrapped: flush stale stamps
+    walkStamp_.assign(n, 0);
+    walkEpoch_ = 1;
+  }
+  TaskId x = v;
+  for (std::size_t i = 0; i <= n; ++i) {
+    if (walkStamp_[x.index()] == walkEpoch_) return x;  // revisit => cycle
+    walkStamp_[x.index()] = walkEpoch_;
+    const EdgeId pe = parentEdge_[x.index()];
+    if (pe == kNoParent) return TaskId::invalid();
+    x = graph_.edge(pe).from;
+  }
+  return TaskId::invalid();
+}
+
+void LongestPathEngine::collectCycleAt(TaskId onCycle) {
+  // Collect vertices until onCycle repeats.
   std::vector<TaskId> path;
   std::vector<EdgeId> pathEdges;
-  TaskId y = x;
+  TaskId y = onCycle;
   do {
     const EdgeId pe = parentEdge_[y.index()];
     if (pe == kNoParent) return;
     path.push_back(y);
     pathEdges.push_back(pe);
     y = graph_.edge(pe).from;
-  } while (y != x);
-  path.push_back(x);
+  } while (y != onCycle);
+  path.push_back(onCycle);
   std::reverse(path.begin(), path.end());
   std::reverse(pathEdges.begin(), pathEdges.end());
   result_.cycle = std::move(path);

@@ -108,6 +108,12 @@ class LongestPathEngine {
   const LongestPathResult& run(TaskId source, bool incremental);
   const LongestPathResult& runImpl(TaskId source, bool incremental);
   void extractPositiveCycle(TaskId overRelaxed);
+  /// Stamped walk up the parent chain from `v`; returns a vertex on a
+  /// parent-graph cycle, or invalid if the chain is currently acyclic.
+  [[nodiscard]] TaskId findParentCycle(TaskId v);
+  /// Fills result_.cycle/cycleEdges by looping the parent chain from a
+  /// vertex known to lie on a parent-graph cycle.
+  void collectCycleAt(TaskId onCycle);
 
   const ConstraintGraph& graph_;
   LongestPathResult result_;
@@ -120,6 +126,16 @@ class LongestPathEngine {
   std::vector<std::uint32_t> relaxCount_;
   std::vector<std::uint8_t> inQueue_;
   std::vector<TaskId> queue_;
+  // Early positive-cycle detection: when a vertex reaches nextCheck_
+  // improvements, walk its parent chain (stamped with walkEpoch_) looking
+  // for a cycle. A cycle in the parent graph is always a strictly positive
+  // cycle — every parent edge was a strict improvement when assigned, and
+  // distances only grow, so a zero-weight cycle cannot close. Checks
+  // escalate geometrically per vertex; the blind n-step walk at the
+  // classic (n+1)-improvement bound remains the guaranteed fallback.
+  std::vector<std::uint32_t> nextCheck_;
+  std::vector<std::uint32_t> walkStamp_;
+  std::uint32_t walkEpoch_ = 0;
 
   // Overwrite log for restore(): (vertex, previous distance), popped LIFO.
   struct Undo {

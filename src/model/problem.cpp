@@ -11,6 +11,9 @@ Problem::Problem(std::string name) : name_(std::move(name)) {
   // contributes to the profile; no resource so it never serializes.
   tasks_.push_back(
       Task{"<anchor>", Duration::zero(), Watts::zero(), ResourceId::invalid()});
+  delays_.push_back(Duration::zero());
+  powers_.push_back(Watts::zero());
+  taskResources_.push_back(ResourceId::invalid());
 }
 
 ResourceId Problem::addResource(std::string name) {
@@ -38,6 +41,9 @@ TaskId Problem::addTask(std::string name, Duration delay, Watts power,
   const TaskId id(static_cast<std::uint32_t>(tasks_.size()));
   taskByName_.emplace(name, id);
   tasks_.push_back(Task{std::move(name), delay, power, resource});
+  delays_.push_back(delay);
+  powers_.push_back(power);
+  taskResources_.push_back(resource);
   return id;
 }
 
@@ -92,6 +98,7 @@ void Problem::setTaskPower(TaskId v, Watts power) {
                  "task '" << tasks_[v.index()].name
                           << "' needs non-negative power");
   tasks_[v.index()].power = power;
+  powers_[v.index()] = power;
 }
 
 const Task& Problem::task(TaskId id) const {
@@ -124,13 +131,14 @@ std::vector<ResourceId> Problem::resourceIds() const {
 }
 
 std::optional<TaskId> Problem::findTask(std::string_view name) const {
-  auto it = taskByName_.find(std::string(name));
+  // Transparent hashing: no std::string temporary per lookup.
+  auto it = taskByName_.find(name);
   if (it == taskByName_.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<ResourceId> Problem::findResource(std::string_view name) const {
-  auto it = resourceByName_.find(std::string(name));
+  auto it = resourceByName_.find(name);
   if (it == resourceByName_.end()) return std::nullopt;
   return it->second;
 }
@@ -183,6 +191,7 @@ std::vector<std::string> Problem::validate() const {
 
 ConstraintGraph Problem::buildGraph() const {
   ConstraintGraph g(tasks_.size());
+  g.reserveEdges(tasks_.size() - 1 + constraints_.size());
   for (std::size_t i = 1; i < tasks_.size(); ++i) {
     g.addEdge(kAnchorTask, TaskId(static_cast<std::uint32_t>(i)),
               Duration::zero(), EdgeKind::kRelease);

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -29,6 +31,24 @@
 #include "graph/constraint_graph.hpp"
 
 namespace paws {
+
+/// Heterogeneous (transparent) string hashing for name maps: lets
+/// `find(string_view)` probe an `unordered_map<std::string, …>` without
+/// materializing a temporary std::string per query.
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Name → id map with allocation-free string_view lookup.
+template <typename Id>
+using NameIndex =
+    std::unordered_map<std::string, Id, TransparentStringHash, std::equal_to<>>;
 
 /// A non-preemptive task (vertex of the constraint graph).
 struct Task {
@@ -132,6 +152,18 @@ class Problem {
   [[nodiscard]] const Task& task(TaskId id) const;
   [[nodiscard]] const Resource& resource(ResourceId id) const;
 
+  // Dense structure-of-arrays views over the hot per-task fields, indexed
+  // by TaskId::index() (slot 0 is the anchor: zero delay/power, invalid
+  // resource). Search inner loops read these instead of striding through
+  // the Task records so delay/power/resource probes stay cache-linear.
+  [[nodiscard]] std::span<const Duration> taskDelays() const {
+    return delays_;
+  }
+  [[nodiscard]] std::span<const Watts> taskPowers() const { return powers_; }
+  [[nodiscard]] std::span<const ResourceId> taskResources() const {
+    return taskResources_;
+  }
+
   /// Ids of all real tasks (anchor excluded), in creation order.
   [[nodiscard]] std::vector<TaskId> taskIds() const;
   /// All resource ids in creation order.
@@ -170,10 +202,15 @@ class Problem {
 
   std::string name_;
   std::vector<Task> tasks_;
+  // SoA mirrors of tasks_ (same indexing), kept in sync by addTask /
+  // setTaskPower; see taskDelays()/taskPowers()/taskResources().
+  std::vector<Duration> delays_;
+  std::vector<Watts> powers_;
+  std::vector<ResourceId> taskResources_;
   std::vector<Resource> resources_;
   std::vector<TimingConstraint> constraints_;
-  std::unordered_map<std::string, TaskId> taskByName_;
-  std::unordered_map<std::string, ResourceId> resourceByName_;
+  NameIndex<TaskId> taskByName_;
+  NameIndex<ResourceId> resourceByName_;
   Watts pmax_ = Watts::max();
   Watts pmin_ = Watts::zero();
   Watts background_ = Watts::zero();

@@ -29,7 +29,11 @@ struct BenchCompareOptions {
   /// Promote wall-time findings to hard regressions.
   bool failOnWall = false;
   /// Counter names that must match exactly between baseline and current.
-  std::vector<std::string> exactCounters = {"schedule_bytes", "lp_runs"};
+  /// nodes_explored and the pruned_* counters come from the serial pruned
+  /// exhaustive search, whose visit set is machine-independent.
+  std::vector<std::string> exactCounters = {
+      "schedule_bytes", "lp_runs",         "nodes_explored",
+      "pruned_dominance", "pruned_symmetry", "pruned_bound"};
 };
 
 struct BenchComparison {

@@ -1,8 +1,11 @@
 #include "sched/exhaustive_scheduler.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <limits>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "base/check.hpp"
@@ -10,6 +13,7 @@
 #include "guard/budget.hpp"
 #include "exec/parallel_for.hpp"
 #include "exec/pool.hpp"
+#include "graph/longest_path.hpp"
 #include "obs/incumbents.hpp"
 #include "obs/metrics.hpp"
 #include "power/profile.hpp"
@@ -35,6 +39,209 @@ std::vector<std::vector<Pair>> buildTouching(const Problem& problem) {
     touching[c.to.index()].push_back(Pair{c.from, c.separation, true, isMin});
   }
   return touching;
+}
+
+/// Static pruning tables, computed once per schedule() call and shared
+/// read-only by every worker.
+struct PruneTables {
+  /// Earliest feasible start per task: the longest path from the anchor
+  /// over the user-constraint graph. Any valid assignment satisfies
+  /// sigma(v) >= windowLo[v], so smaller starts lead to subtrees without a
+  /// single valid leaf. When the constraint system itself has a positive
+  /// cycle, windowLo is set past the horizon so every range empties — the
+  /// unpruned search would explore and find no valid leaf either.
+  std::vector<Time> windowLo;
+  /// Latest feasible start per task, from the longest path over the
+  /// reversed edges: an original path v -> anchor of weight W forces
+  /// sigma(v) <= -W. hasHi marks tasks with any such path; the rest are
+  /// bounded by the horizon alone.
+  std::vector<Time> windowHi;
+  std::vector<std::uint8_t> hasHi;
+  /// suffixFloorMwt[k] = sum over tasks i >= k of the minimum energy above
+  /// Pmin that placing task i must add to any profile that sits at or
+  /// above the background level everywhere:
+  ///     d_i * (max(0, bg + p_i - Pmin) - max(0, bg - Pmin)).
+  /// The increment of x -> max(0, x - Pmin) is non-decreasing in x, so the
+  /// cheapest placement lands on bare background. Size n + 1.
+  std::vector<std::int64_t> suffixFloorMwt;
+  /// tailFinish[k] = max over tasks i >= k of windowLo[i] + d_i — a lower
+  /// bound on the finish time of every completion. Size n + 1.
+  std::vector<Time> tailFinish;
+  /// prevEquiv[k] = largest j < k interchangeable with task k (0 = none);
+  /// symmetry canonicalization raises k's start lower bound to starts[j].
+  std::vector<std::uint32_t> prevEquiv;
+  /// lastDependent[i] = largest task index whose placement can still read
+  /// starts[i]: constraint partners, later same-resource tasks, and later
+  /// members of i's symmetry class. Placed tasks with lastDependent <= k
+  /// are invisible to every completion past depth k and stay out of the
+  /// dominance signature.
+  std::vector<std::uint32_t> lastDependent;
+};
+
+PruneTables buildPruneTables(const Problem& problem, Time horizon,
+                             const std::vector<std::vector<Pair>>& touching) {
+  const std::size_t n = problem.numVertices();
+  PruneTables t;
+  t.windowLo.assign(n, Time::zero());
+  t.windowHi.assign(n, Time::zero());
+  t.hasHi.assign(n, 0);
+  t.suffixFloorMwt.assign(n + 1, 0);
+  t.tailFinish.assign(n + 1, Time::minusInfinity());
+  t.prevEquiv.assign(n, 0);
+  t.lastDependent.assign(n, 0);
+
+  const std::span<const Duration> delays = problem.taskDelays();
+  const std::span<const Watts> powers = problem.taskPowers();
+  const std::span<const ResourceId> resources = problem.taskResources();
+
+  // Start windows from the user-constraint graph (release + min/max edges
+  // only — the exhaustive search adds no serialization edges, it checks
+  // resource overlap directly, so these longest paths bound every leaf).
+  ConstraintGraph fwdGraph = problem.buildGraph();
+  LongestPathEngine fwd(fwdGraph);
+  const LongestPathResult& fwdRes = fwd.compute(kAnchorTask);
+  ConstraintGraph revGraph(n);
+  revGraph.reserveEdges(fwdGraph.numEdges());
+  for (const ConstraintEdge& e : fwdGraph.edges()) {
+    revGraph.addEdge(e.to, e.from, e.weight, e.kind);
+  }
+  LongestPathEngine bwd(revGraph);
+  const LongestPathResult& bwdRes = bwd.compute(kAnchorTask);
+  if (!fwdRes.feasible || !bwdRes.feasible) {
+    for (std::size_t i = 1; i < n; ++i) {
+      t.windowLo[i] = horizon + Duration(1);
+    }
+  } else {
+    for (std::size_t i = 1; i < n; ++i) {
+      t.windowLo[i] = std::max(Time::zero(), fwdRes.dist[i]);
+      const Time back = bwdRes.dist[i];
+      if (back != Time::minusInfinity()) {
+        t.hasHi[i] = 1;
+        t.windowHi[i] = Time::zero() - (back - Time::zero());
+      }
+    }
+  }
+
+  // Remaining-task cost floor and critical-path tail finish, accumulated
+  // back to front.
+  const std::int64_t bgMw = problem.backgroundPower().milliwatts();
+  const std::int64_t pminMw = problem.minPower().milliwatts();
+  const auto clampPos = [](std::int64_t x) { return x > 0 ? x : 0; };
+  for (std::size_t i = n; i-- > 1;) {
+    const std::int64_t floorMw =
+        clampPos(bgMw + powers[i].milliwatts() - pminMw) -
+        clampPos(bgMw - pminMw);
+    t.suffixFloorMwt[i] =
+        t.suffixFloorMwt[i + 1] + delays[i].ticks() * floorMw;
+    t.tailFinish[i] = std::max(t.tailFinish[i + 1], t.windowLo[i] + delays[i]);
+  }
+
+  // Interchangeable-task classes for symmetry breaking: identical delay,
+  // power and resource, identical constraint profile towards every other
+  // task, and no constraint within the pair (swapping mutually-constrained
+  // tasks is not an invariance). Swapping starts inside such a class maps
+  // valid leaves to valid leaves with the same (cost, finish). Classes are
+  // grown with an all-members check so membership is pairwise.
+  std::vector<std::vector<std::array<std::int64_t, 4>>> csig(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (const Pair& pr : touching[i]) {
+      csig[i].push_back({static_cast<std::int64_t>(pr.other.value()),
+                         pr.otherIsFrom ? 1 : 0, pr.isMin ? 1 : 0,
+                         pr.sep.ticks()});
+    }
+    std::sort(csig[i].begin(), csig[i].end());
+  }
+  const auto constrained = [&touching](std::size_t i, std::size_t j) {
+    for (const Pair& pr : touching[i]) {
+      if (pr.other.index() == j) return true;
+    }
+    return false;
+  };
+  const auto interchangeable = [&](std::size_t i, std::size_t j) {
+    return delays[i] == delays[j] && powers[i] == powers[j] &&
+           resources[i] == resources[j] && csig[i] == csig[j] &&
+           !constrained(i, j);
+  };
+  std::vector<std::vector<std::uint32_t>> classes;
+  for (std::size_t i = 1; i < n; ++i) {
+    bool placed = false;
+    for (std::vector<std::uint32_t>& cls : classes) {
+      bool fitsAll = true;
+      for (std::uint32_t m : cls) {
+        if (!interchangeable(m, i)) {
+          fitsAll = false;
+          break;
+        }
+      }
+      if (fitsAll) {
+        t.prevEquiv[i] = cls.back();
+        cls.push_back(static_cast<std::uint32_t>(i));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) classes.push_back({static_cast<std::uint32_t>(i)});
+  }
+  std::vector<std::uint32_t> lastEquiv(n, 0);
+  for (const std::vector<std::uint32_t>& cls : classes) {
+    for (std::uint32_t m : cls) lastEquiv[m] = cls.back();
+  }
+
+  for (std::size_t i = 1; i < n; ++i) {
+    std::uint32_t last = static_cast<std::uint32_t>(i);
+    for (const Pair& pr : touching[i]) {
+      last = std::max(last, pr.other.value());
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (resources[j] == resources[i]) {
+        last = std::max(last, static_cast<std::uint32_t>(j));
+      }
+    }
+    t.lastDependent[i] = std::max(last, lastEquiv[i]);
+  }
+  return t;
+}
+
+/// Which prunings a worker applies, plus the shared read-only tables.
+struct PruneConfig {
+  bool dominance = false;
+  bool symmetry = false;
+  bool bounds = false;
+  const PruneTables* tables = nullptr;
+};
+
+/// Canonical state signature for the dominance table: 128 bits mixed from
+/// (depth, merged placed-prefix profile, constraint-relevant frontier
+/// starts). A collision would silently drop a live subtree; at the table's
+/// entry cap the 128-bit birthday bound keeps that probability ~2^-85.
+struct Sig {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool operator==(const Sig&) const = default;
+};
+struct SigHash {
+  std::size_t operator()(const Sig& s) const {
+    return static_cast<std::size_t>(s.a ^ (s.b * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Per-worker dominance-table entry cap (16 B per entry): beyond it the
+/// table stops growing but keeps serving probes, so memory stays bounded
+/// and the search stays deterministic.
+constexpr std::size_t kMaxDominanceEntries = std::size_t(1) << 20;
+
+/// Mirrors ProfileEngine::mixState on an immutable profile (segments are
+/// already merged), so legacy-mode signatures equal incremental-mode ones
+/// and both modes make identical dominance decisions.
+void mixProfile(const PowerProfile& p, std::uint64_t& h1, std::uint64_t& h2) {
+  power::ProfileEngine::mixHash(h1, h2,
+                                static_cast<std::uint64_t>(p.finish().ticks()));
+  for (const PowerSegment& s : p.segments()) {
+    power::ProfileEngine::mixHash(
+        h1, h2, static_cast<std::uint64_t>(s.interval.begin().ticks()));
+    power::ProfileEngine::mixHash(
+        h1, h2, static_cast<std::uint64_t>(s.power.milliwatts()));
+  }
 }
 
 /// State shared by every worker of one search. The cost bound only ever
@@ -66,6 +273,10 @@ struct SearchShared {
   // node — the dfs hot loop stays atomic-free).
   std::atomic<std::uint64_t> profileUpdates{0};
   std::atomic<std::uint64_t> profileRebuilds{0};
+  // Aggregated pruning counters, flushed per worker like the profile ones.
+  std::atomic<std::uint64_t> prunedDominance{0};
+  std::atomic<std::uint64_t> prunedSymmetry{0};
+  std::atomic<std::uint64_t> prunedBound{0};
 
   [[nodiscard]] bool stopped() const {
     return stop.load(std::memory_order_relaxed) != kStopNone;
@@ -104,7 +315,7 @@ class Worker {
  public:
   Worker(const Problem& problem, const std::vector<std::vector<Pair>>& touching,
          Time horizon, SearchShared& shared, bool incremental,
-         const guard::RunBudget& budget)
+         const PruneConfig& prune, const guard::RunBudget& budget)
       : problem_(problem),
         touching_(touching),
         horizon_(horizon),
@@ -112,12 +323,16 @@ class Worker {
         pmin_(problem.minPower()),
         pmax_(problem.maxPower()),
         incremental_(incremental),
+        prune_(prune),
         // Each worker strides its own clock reads: one steady_clock::now()
         // per 1024 expanded nodes keeps deadline latency ~microseconds at
         // search speed while the clean-path overhead stays a branch.
         guard_(budget, 1024),
         engine_(problem.backgroundPower(), problem.minPower(),
                 problem.maxPower()),
+        delays_(problem.taskDelays()),
+        powers_(problem.taskPowers()),
+        resources_(problem.taskResources()),
         starts_(problem.numVertices(), Time::zero()) {}
 
   ~Worker() {
@@ -127,6 +342,11 @@ class Worker {
                                      std::memory_order_relaxed);
     shared_.profileRebuilds.fetch_add(engine_.rebuilds() + legacyRebuilds_,
                                       std::memory_order_relaxed);
+    shared_.prunedDominance.fetch_add(prunedDominance_,
+                                      std::memory_order_relaxed);
+    shared_.prunedSymmetry.fetch_add(prunedSymmetry_,
+                                     std::memory_order_relaxed);
+    shared_.prunedBound.fetch_add(prunedBound_, std::memory_order_relaxed);
   }
 
   /// Explores task 1's start over [t1Lo, t1Hi] (inclusive, additionally
@@ -142,6 +362,19 @@ class Worker {
  private:
   void dfs(std::size_t k);
   void leaf();
+  /// Incumbent-relative cost/finish pruning for the placed prefix [1..k]
+  /// with energy-above `aboveMwt` and span end `prefixFinish`. With
+  /// pruneBounds off this is exactly the baseline "prefix already costs
+  /// more than the bound" check (uncounted); with it on, the remaining-
+  /// task floor and the finish tie-break are added and rejections count
+  /// into prunedBound_.
+  bool costBoundPrunes(std::size_t k, std::int64_t aboveMwt,
+                       Time prefixFinish);
+  /// Mixes depth and the constraint-relevant placed starts; the caller
+  /// then mixes the prefix-profile fingerprint on top.
+  [[nodiscard]] Sig frontierSig(std::size_t k) const;
+  /// Probes (and below the cap, populates) the dominance table.
+  bool dominated(const Sig& sig);
 
   const Problem& problem_;
   const std::vector<std::vector<Pair>>& touching_;
@@ -150,15 +383,78 @@ class Worker {
   const Watts pmin_;
   const Watts pmax_;
   const bool incremental_;
+  const PruneConfig prune_;
   guard::RunGuard guard_;
   power::ProfileEngine engine_;  // placed-prefix profile (incremental mode)
+  std::span<const Duration> delays_;
+  std::span<const Watts> powers_;
+  std::span<const ResourceId> resources_;
+  std::unordered_set<Sig, SigHash> tt_;  // dominance transposition table
   std::uint64_t legacyUpdates_ = 0;
   std::uint64_t legacyRebuilds_ = 0;
+  std::uint64_t prunedDominance_ = 0;
+  std::uint64_t prunedSymmetry_ = 0;
+  std::uint64_t prunedBound_ = 0;
   Time t1Lo_;
   Time t1Hi_;
   std::vector<Time> starts_;
   LocalBest best_;
 };
+
+bool Worker::costBoundPrunes(std::size_t k, std::int64_t aboveMwt,
+                             Time prefixFinish) {
+  const std::int64_t bound =
+      shared_.bestCostMwt.load(std::memory_order_relaxed);
+  if (!prune_.bounds) return aboveMwt > bound;
+  const PruneTables& tb = *prune_.tables;
+  // The shared bound only ever holds achieved leaf costs (>= the optimal
+  // cost), and the floor only discards leaves strictly above it, so a
+  // subtree containing the final winner is never cut.
+  const std::int64_t costLb = aboveMwt + tb.suffixFloorMwt[k + 1];
+  bool pruned = costLb > bound;
+  if (!pruned && best_.have) {
+    const std::int64_t bestMwt = best_.cost.milliwattTicks();
+    if (costLb > bestMwt) {
+      // Every leaf below costs strictly more than the local incumbent —
+      // none can pass the strict-improvement rule.
+      pruned = true;
+    } else if (costLb == bestMwt) {
+      // Cost can at best tie; the finish lower bound must then beat the
+      // incumbent strictly for any leaf below to matter. On the path to
+      // the lex-first optimal leaf, best_.finish is strictly larger than
+      // that leaf's finish (an equal incumbent would be a lex-earlier
+      // optimum), so that path is never cut here.
+      const Time finishLb = std::max(prefixFinish, tb.tailFinish[k + 1]);
+      pruned = finishLb >= best_.finish;
+    }
+  }
+  if (pruned) ++prunedBound_;
+  return pruned;
+}
+
+Sig Worker::frontierSig(std::size_t k) const {
+  Sig s{0xcbf29ce484222325ULL, 0x9e3779b97f4a7c15ULL};
+  power::ProfileEngine::mixHash(s.a, s.b, static_cast<std::uint64_t>(k));
+  const PruneTables& tb = *prune_.tables;
+  for (std::size_t i = 1; i <= k; ++i) {
+    if (tb.lastDependent[i] <= k) continue;
+    power::ProfileEngine::mixHash(s.a, s.b, static_cast<std::uint64_t>(i));
+    power::ProfileEngine::mixHash(
+        s.a, s.b, static_cast<std::uint64_t>(starts_[i].ticks()));
+  }
+  return s;
+}
+
+bool Worker::dominated(const Sig& sig) {
+  if (tt_.size() >= kMaxDominanceEntries) {
+    const bool hit = tt_.contains(sig);
+    if (hit) ++prunedDominance_;
+    return hit;
+  }
+  const bool repeat = !tt_.insert(sig).second;
+  if (repeat) ++prunedDominance_;
+  return repeat;
+}
 
 void Worker::dfs(std::size_t k) {
   if (shared_.stopped()) return;
@@ -168,12 +464,39 @@ void Worker::dfs(std::size_t k) {
     return;
   }
   const TaskId v(static_cast<std::uint32_t>(k));
-  const Task& task = problem_.task(v);
+  const Duration delay = delays_[k];
+  const Watts power = powers_[k];
+  const ResourceId resource = resources_[k];
   Time lo = Time::zero();
-  Time hi = horizon_ - task.delay;  // inclusive upper bound
+  Time hi = horizon_ - delay;  // inclusive upper bound
   if (k == 1) {
     lo = std::max(lo, t1Lo_);
     hi = std::min(hi, t1Hi_);
+  }
+  const auto rangeSize = [](Time rlo, Time rhi) -> std::int64_t {
+    const std::int64_t ticks = (rhi - rlo).ticks() + 1;
+    return ticks > 0 ? ticks : 0;
+  };
+  if (prune_.bounds) {
+    // Clamp to the task's static feasibility window; starts outside it
+    // violate some user constraint in every completion.
+    const PruneTables& tb = *prune_.tables;
+    const std::int64_t before = rangeSize(lo, hi);
+    lo = std::max(lo, tb.windowLo[k]);
+    if (tb.hasHi[k]) hi = std::min(hi, tb.windowHi[k]);
+    prunedBound_ += static_cast<std::uint64_t>(before - rangeSize(lo, hi));
+  }
+  if (prune_.symmetry) {
+    const std::uint32_t prev = prune_.tables->prevEquiv[k];
+    if (prev != 0) {
+      // Canonical order inside a symmetry class: non-decreasing starts in
+      // task-index order. The lex-first optimal leaf is the lex-smallest
+      // member of its orbit, which is exactly the canonical one.
+      const std::int64_t before = rangeSize(lo, hi);
+      lo = std::max(lo, starts_[prev]);
+      prunedSymmetry_ +=
+          static_cast<std::uint64_t>(before - rangeSize(lo, hi));
+    }
   }
   for (Time t = lo; t <= hi; t += Duration(1)) {
     if (shared_.nodesExplored.fetch_add(1, std::memory_order_relaxed) + 1 >
@@ -201,25 +524,33 @@ void Worker::dfs(std::size_t k) {
       }
     }
     if (violated) continue;
+    const Interval placed(t, t + delay);
     for (std::size_t j = 1; j < k && !violated; ++j) {
-      const TaskId u(static_cast<std::uint32_t>(j));
-      if (problem_.task(u).resource != task.resource) continue;
-      const Interval a(t, t + task.delay);
-      const Interval b(starts_[j], starts_[j] + problem_.task(u).delay);
-      violated = a.overlaps(b);
+      if (resources_[j] != resource) continue;
+      const Interval b(starts_[j], starts_[j] + delays_[j]);
+      violated = placed.overlaps(b);
     }
     if (violated) continue;
 
     // Monotone power prunings on the placed prefix. Incremental mode keeps
     // the prefix profile alive in the engine — one addTask per placement,
     // one removeTask per backtrack, O(log k + touched segments) each — and
-    // reads both pruning quantities from cached aggregates.
+    // reads both pruning quantities from cached aggregates. The final
+    // profile dominates the prefix pointwise (tasks only add power, and
+    // the final span only extends the background), so the prefix's energy
+    // above pmin lower-bounds the final energy cost.
     if (incremental_) {
-      engine_.addTask(v, Interval(t, t + task.delay), task.power);
-      const bool pruned =
-          engine_.firstSpike().has_value() ||
-          engine_.energyAbove().milliwattTicks() >
-              shared_.bestCostMwt.load(std::memory_order_relaxed);
+      engine_.addTask(v, placed, power);
+      bool pruned = engine_.firstSpike().has_value();
+      if (!pruned) {
+        pruned = costBoundPrunes(k, engine_.energyAbove().milliwattTicks(),
+                                 engine_.finish());
+      }
+      if (!pruned && prune_.dominance && k + 1 < n) {
+        Sig sig = frontierSig(k);
+        engine_.mixState(sig.a, sig.b);
+        pruned = dominated(sig);
+      }
       if (pruned) {
         engine_.removeTask(v);
         continue;
@@ -233,20 +564,20 @@ void Worker::dfs(std::size_t k) {
     const PowerProfile prefix = [&] {
       PowerProfileBuilder b;
       for (std::size_t i = 1; i <= k; ++i) {
-        const TaskId u(static_cast<std::uint32_t>(i));
-        b.add(Interval(starts_[i], starts_[i] + problem_.task(u).delay),
-              problem_.task(u).power);
+        b.add(Interval(starts_[i], starts_[i] + delays_[i]), powers_[i]);
       }
       return b.build(problem_.backgroundPower());
     }();
     ++legacyRebuilds_;
     if (prefix.firstSpike(pmax_)) continue;
-    // The final profile dominates the prefix pointwise (tasks only add
-    // power, and the final span only extends the background), so the
-    // prefix's energy above pmin lower-bounds the final energy cost.
-    if (prefix.energyAbove(pmin_).milliwattTicks() >
-        shared_.bestCostMwt.load(std::memory_order_relaxed)) {
+    if (costBoundPrunes(k, prefix.energyAbove(pmin_).milliwattTicks(),
+                        prefix.finish())) {
       continue;
+    }
+    if (prune_.dominance && k + 1 < n) {
+      Sig sig = frontierSig(k);
+      mixProfile(prefix, sig.a, sig.b);
+      if (dominated(sig)) continue;
     }
 
     dfs(k + 1);
@@ -320,6 +651,16 @@ ScheduleResult ExhaustiveScheduler::schedule() {
   }
 
   const std::vector<std::vector<Pair>> touching = buildTouching(problem_);
+  PruneTables tables;
+  PruneConfig prune;
+  prune.tables = &tables;
+  if (options_.pruneDominance || options_.pruneSymmetry ||
+      options_.pruneBounds) {
+    tables = buildPruneTables(problem_, horizon, touching);
+    prune.dominance = options_.pruneDominance;
+    prune.symmetry = options_.pruneSymmetry;
+    prune.bounds = options_.pruneBounds;
+  }
   SearchShared shared;
   shared.maxNodes = options_.maxNodes;
   shared.incumbents = options_.obs.incumbents;
@@ -340,7 +681,7 @@ ScheduleResult ExhaustiveScheduler::schedule() {
   if (jobs <= 1 || numT1 < 2) {
     // Serial: one worker over the whole range, on the calling thread.
     Worker w(problem_, touching, horizon, shared, options_.incrementalProfile,
-             budget);
+             prune, budget);
     w.search(Time::zero(), horizon);
     best = w.takeBest();
   } else {
@@ -360,7 +701,7 @@ ScheduleResult ExhaustiveScheduler::schedule() {
               1;
           const Problem clone = problem_;  // worker-private scratch
           Worker w(clone, touching, horizon, shared,
-                   options_.incrementalProfile, budget);
+                   options_.incrementalProfile, prune, budget);
           w.search(Time::zero() + Duration(lo), Time::zero() + Duration(hi));
           return w.takeBest();
         });
@@ -374,6 +715,11 @@ ScheduleResult ExhaustiveScheduler::schedule() {
 
   outcome_.nodesExplored =
       shared.nodesExplored.load(std::memory_order_relaxed);
+  outcome_.prunedDominance =
+      shared.prunedDominance.load(std::memory_order_relaxed);
+  outcome_.prunedSymmetry =
+      shared.prunedSymmetry.load(std::memory_order_relaxed);
+  outcome_.prunedBound = shared.prunedBound.load(std::memory_order_relaxed);
   const auto stop =
       static_cast<StopCode>(shared.stop.load(std::memory_order_relaxed));
   outcome_.provenOptimal = stop == kStopNone;
@@ -382,6 +728,12 @@ ScheduleResult ExhaustiveScheduler::schedule() {
                                                  : guard::StopReason::kNone;
   if (options_.obs.metrics != nullptr) {
     options_.obs.metrics->add("exhaustive.nodes", outcome_.nodesExplored);
+    options_.obs.metrics->add("exhaustive.pruned_dominance",
+                              outcome_.prunedDominance);
+    options_.obs.metrics->add("exhaustive.pruned_symmetry",
+                              outcome_.prunedSymmetry);
+    options_.obs.metrics->add("exhaustive.pruned_bound",
+                              outcome_.prunedBound);
     options_.obs.metrics->add(
         "profile.incremental_updates",
         shared.profileUpdates.load(std::memory_order_relaxed));

@@ -9,13 +9,21 @@
 // from the true optimum.
 //
 // Search space: integer start times in [0, horizon] for every task,
-// explored by DFS in task order with three sound prunings:
+// explored by DFS in task order with sound prunings:
 //   * pairwise violation of user constraints / resource overlap against
 //     already-placed tasks;
 //   * partial power profile: placed tasks alone exceeding Pmax can never
 //     be repaired by placing more tasks (power only adds up);
 //   * partial energy cost already at/above the incumbent (Ec is monotone
-//     in the set of placed tasks).
+//     in the set of placed tasks);
+//   * per-task start windows from the constraint graph's longest paths,
+//     a remaining-task energy floor and critical-path finish bound
+//     (pruneBounds), canonical ordering of interchangeable tasks
+//     (pruneSymmetry), and a per-worker dominance transposition table
+//     over canonical state signatures (pruneDominance).
+// Each pruning only discards subtrees that cannot contain the leaf the
+// unpruned search would return, so the result — including tie-breaks — is
+// byte-identical to the unpruned search for any flag combination.
 // Leaves are verified with the independent ScheduleValidator. The search
 // is exhaustive within the horizon, so the returned schedule minimizes
 // (energy cost at Pmin, finish time) lexicographically among all valid
@@ -57,6 +65,28 @@ struct ExhaustiveOptions {
   /// rebuilding it at every node. Bit-identical search; the flag keeps the
   /// rebuild path alive for the equivalence tests.
   bool incrementalProfile = true;
+  /// Dominance pruning: each worker keeps a transposition table keyed on a
+  /// canonical signature of the search state (depth, merged placed-prefix
+  /// power profile, and the start times of placed tasks that can still
+  /// interact with unplaced ones) and skips re-expanding states it has
+  /// already expanded. The first expansion of a state enumerates — or
+  /// proves globally irrelevant — every completion, and it is the earliest
+  /// in DFS order, so skipping repeats never changes the returned winner.
+  bool pruneDominance = true;
+  /// Symmetry breaking: interchangeable tasks (identical delay, power and
+  /// resource, identical constraint profile, no constraint between them)
+  /// are explored only in the canonical non-decreasing start order. The
+  /// first-found optimal leaf is the lexicographically smallest member of
+  /// its symmetry orbit, which is exactly the canonical one, so the winner
+  /// is unchanged.
+  bool pruneSymmetry = true;
+  /// Tighter lower bounds: start-time windows from the constraint graph's
+  /// longest paths (forward = earliest start, reversed = latest start), a
+  /// remaining-task energy floor added to the placed prefix's cost before
+  /// comparing against the incumbent, and a critical-path finish bound for
+  /// the cost-tie case. All three only discard subtrees that cannot
+  /// contain the winner.
+  bool pruneBounds = true;
   /// Metrics sink; parallel runs publish the exec.* pool counters here.
   obs::ObsContext obs;
   /// Wall-clock deadline / cancellation. When it trips mid-search the
@@ -68,6 +98,12 @@ struct ExhaustiveOptions {
 
 struct ExhaustiveOutcomeStats {
   std::uint64_t nodesExplored = 0;
+  /// Subtrees skipped by the dominance transposition table.
+  std::uint64_t prunedDominance = 0;
+  /// Candidate start times skipped by symmetry canonicalization.
+  std::uint64_t prunedSymmetry = 0;
+  /// Candidate start times cut by windows / cost floors / finish bounds.
+  std::uint64_t prunedBound = 0;
   bool provenOptimal = false;  // search completed within the node budget
   /// Why the search stopped early (deadline/cancel); kNone for clean runs
   /// and plain node-budget trips.

@@ -10,11 +10,11 @@ Duration slackOf(const ConstraintGraph& graph, const std::vector<Time>& sigma,
                  TaskId v) {
   PAWS_CHECK(v.index() < sigma.size());
   Duration slack = Duration::max();
-  for (EdgeId eid : graph.outEdges(v)) {
-    const ConstraintEdge& e = graph.edge(eid);
+  const Time sv = sigma[v.index()];
+  for (const AdjEntry& ae : graph.outEdges(v)) {
     // sigma(u) - sigma(v) >= w must keep holding as sigma(v) grows:
     // sigma(v) may rise to sigma(u) - w.
-    const Duration room = (sigma[e.to.index()] - e.weight) - sigma[v.index()];
+    const Duration room = (sigma[ae.other.index()] - ae.weight) - sv;
     slack = std::min(slack, room);
   }
   return slack;

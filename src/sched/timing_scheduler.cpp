@@ -25,9 +25,9 @@ std::uint32_t nextRand(std::uint32_t& state) {
 TimingScheduler::TimingScheduler(const Problem& problem, TimingOptions options)
     : problem_(problem), options_(options) {
   tasksOnResource_.resize(problem.numResources());
+  const std::span<const ResourceId> resources = problem.taskResources();
   for (TaskId v : problem.taskIds()) {
-    const ResourceId r = problem.task(v).resource;
-    tasksOnResource_[r.index()].push_back(v);
+    tasksOnResource_[resources[v.index()].index()].push_back(v);
   }
 }
 
@@ -90,8 +90,13 @@ bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
   const std::size_t n = problem_.numVertices();
   if (numVisited == n) return true;
 
-  // Collect candidates (unvisited vertices) in heuristic order.
-  std::vector<TaskId> candidates;
+  // Collect candidates (unvisited vertices) in heuristic order, into the
+  // per-depth scratch buffer (capacity survives backtracks).
+  if (candidateScratch_.size() < numVisited + 1) {
+    candidateScratch_.resize(numVisited + 1);
+  }
+  std::vector<TaskId>& candidates = candidateScratch_[numVisited];
+  candidates.clear();
   candidates.reserve(n - numVisited);
   for (std::size_t i = 1; i < n; ++i) {
     if (!visited_[i]) candidates.push_back(TaskId(static_cast<std::uint32_t>(i)));
@@ -125,10 +130,11 @@ bool TimingScheduler::visit(ConstraintGraph& graph, LongestPathEngine& engine,
     const ConstraintGraph::Checkpoint cp = graph.checkpoint();
     const LongestPathEngine::Checkpoint ecp = engine.checkpoint();
     // Serialize c before every unvisited task sharing its resource.
-    const ResourceId r = problem_.task(c).resource;
+    const ResourceId r = problem_.taskResources()[c.index()];
+    const Duration dc = problem_.taskDelays()[c.index()];
     for (TaskId u : tasksOnResource_[r.index()]) {
       if (u == c || visited_[u.index()]) continue;
-      graph.addEdge(c, u, problem_.task(c).delay, EdgeKind::kSerialization);
+      graph.addEdge(c, u, dc, EdgeKind::kSerialization);
     }
     visited_[c.index()] = true;
 

@@ -59,6 +59,9 @@ class TimingScheduler {
   TimingOptions options_;
   std::vector<bool> visited_;
   std::vector<std::vector<TaskId>> tasksOnResource_;
+  /// Per-depth candidate buffers, reused across backtracks so the hot
+  /// visit() loop never reallocates.
+  std::vector<std::vector<TaskId>> candidateScratch_;
   std::uint64_t backtracksLeft_ = 0;
   bool budgetExhausted_ = false;
   guard::StopReason stopReason_ = guard::StopReason::kNone;

@@ -60,14 +60,16 @@ std::vector<StartWindow> computeStartWindows(const Problem& problem,
       head = 0;
     }
     // Tighten predecessors through their out-edges into v's current LST.
-    for (EdgeId eid : graph.inEdges(v)) {
-      const ConstraintEdge& e = graph.edge(eid);
-      const Time bound = lst[v.index()] - e.weight;
-      if (bound < lst[e.from.index()]) {
-        lst[e.from.index()] = bound;
-        if (!inQueue[e.from.index()]) {
-          inQueue[e.from.index()] = true;
-          queue.push_back(e.from);
+    // In-adjacency entries carry the predecessor (`other` = from) inline.
+    const Time lv = lst[v.index()];
+    for (const AdjEntry& ae : graph.inEdges(v)) {
+      const Time bound = lv - ae.weight;
+      const std::size_t from = ae.other.index();
+      if (bound < lst[from]) {
+        lst[from] = bound;
+        if (!inQueue[from]) {
+          inQueue[from] = true;
+          queue.push_back(ae.other);
         }
       }
     }

@@ -85,12 +85,16 @@ ValidationReport ScheduleValidator::validate(const Schedule& schedule) const {
     }
   }
 
-  // Resource exclusivity: sort per resource by start, adjacent overlap check.
-  std::map<ResourceId, std::vector<TaskId>> byResource;
-  for (TaskId v : problem_.taskIds()) {
-    byResource[problem_.task(v).resource].push_back(v);
+  // Resource exclusivity: group per resource (dense vectors indexed by
+  // resource id — no tree map), sort by start, adjacent overlap check.
+  const std::span<const ResourceId> taskResources = problem_.taskResources();
+  std::vector<std::vector<TaskId>> byResource(problem_.numResources());
+  for (std::size_t i = 1; i < problem_.numVertices(); ++i) {
+    byResource[taskResources[i].index()].push_back(
+        TaskId(static_cast<std::uint32_t>(i)));
   }
-  for (auto& [res, tasks] : byResource) {
+  for (std::size_t r = 0; r < byResource.size(); ++r) {
+    std::vector<TaskId>& tasks = byResource[r];
     std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
       return schedule.start(a) < schedule.start(b);
     });
@@ -101,7 +105,9 @@ ValidationReport ScheduleValidator::validate(const Schedule& schedule) const {
         add(Violation::Kind::kResourceOverlap, "'",
             problem_.task(prev).name, "' ", schedule.interval(prev),
             " and '", problem_.task(cur).name, "' ", schedule.interval(cur),
-            " overlap on resource '", problem_.resource(res).name, "'");
+            " overlap on resource '",
+            problem_.resource(ResourceId(static_cast<std::uint32_t>(r))).name,
+            "'");
       }
     }
   }

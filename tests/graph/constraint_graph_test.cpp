@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "base/check.hpp"
 
 namespace paws {
@@ -22,9 +25,15 @@ TEST(ConstraintGraphTest, AddEdgeAndAdjacency) {
                               EdgeKind::kUserMax);
   EXPECT_EQ(g.numEdges(), 2u);
   ASSERT_EQ(g.outEdges(TaskId(0)).size(), 1u);
-  EXPECT_EQ(g.outEdges(TaskId(0))[0], e0);
+  const AdjEntry& out0 = *g.outEdges(TaskId(0)).begin();
+  EXPECT_EQ(out0.id, e0);
+  EXPECT_EQ(out0.other, TaskId(1));
+  EXPECT_EQ(out0.weight, Duration(5));
   ASSERT_EQ(g.inEdges(TaskId(2)).size(), 1u);
-  EXPECT_EQ(g.inEdges(TaskId(2))[0], e1);
+  const AdjEntry& in2 = *g.inEdges(TaskId(2)).begin();
+  EXPECT_EQ(in2.id, e1);
+  EXPECT_EQ(in2.other, TaskId(1));
+  EXPECT_EQ(in2.weight, Duration(-3));
   EXPECT_EQ(g.edge(e1).weight.ticks(), -3);
   EXPECT_EQ(g.edge(e1).kind, EdgeKind::kUserMax);
 }
@@ -97,6 +106,89 @@ TEST(ConstraintGraphTest, AddVerticesGrowsAndBumpsGeneration) {
 TEST(ConstraintGraphTest, RollbackBeyondTrailThrows) {
   ConstraintGraph g(2);
   EXPECT_THROW(g.rollbackTo(7), CheckError);
+}
+
+// Reference model for the chunked-arena adjacency: the old nested-vector
+// layout, updated with the same textbook push_back/pop_back trail logic.
+struct NestedVectorModel {
+  std::vector<ConstraintEdge> edges;
+  std::vector<std::vector<EdgeId>> out;
+  std::vector<std::vector<EdgeId>> in;
+
+  explicit NestedVectorModel(std::size_t n) : out(n), in(n) {}
+
+  void addEdge(TaskId from, TaskId to, Duration weight) {
+    const EdgeId id = static_cast<EdgeId>(edges.size());
+    edges.push_back(ConstraintEdge{from, to, weight, EdgeKind::kUserMin});
+    out[from.index()].push_back(id);
+    in[to.index()].push_back(id);
+  }
+
+  void rollbackTo(std::size_t cp) {
+    while (edges.size() > cp) {
+      const ConstraintEdge& e = edges.back();
+      out[e.from.index()].pop_back();
+      in[e.to.index()].pop_back();
+      edges.pop_back();
+    }
+  }
+};
+
+void expectSameAdjacency(const ConstraintGraph& g,
+                         const NestedVectorModel& model) {
+  ASSERT_EQ(g.numEdges(), model.edges.size());
+  for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+    const TaskId id(v);
+    std::vector<EdgeId> outIds;
+    for (const AdjEntry& ae : g.outEdges(id)) {
+      EXPECT_EQ(ae.other, g.edge(ae.id).to);
+      EXPECT_EQ(ae.weight, g.edge(ae.id).weight);
+      outIds.push_back(ae.id);
+    }
+    EXPECT_EQ(outIds, model.out[v]) << "out-adjacency of vertex " << v;
+    std::vector<EdgeId> inIds;
+    for (const AdjEntry& ae : g.inEdges(id)) {
+      EXPECT_EQ(ae.other, g.edge(ae.id).from);
+      EXPECT_EQ(ae.weight, g.edge(ae.id).weight);
+      inIds.push_back(ae.id);
+    }
+    EXPECT_EQ(inIds, model.in[v]) << "in-adjacency of vertex " << v;
+  }
+}
+
+// Property: random add/checkpoint/rollback sequences leave the chunked
+// arena byte-equivalent (same edge ids, same order, same endpoints) to the
+// nested-vector reference model at every step.
+TEST(ConstraintGraphTest, ArenaMatchesNestedVectorModelUnderRandomTrails) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937 rng(seed);
+    const std::uint32_t n = 2 + rng() % 12;
+    ConstraintGraph g(n);
+    NestedVectorModel model(n);
+    std::vector<ConstraintGraph::Checkpoint> checkpoints;
+
+    for (int step = 0; step < 400; ++step) {
+      const std::uint32_t op = rng() % 10;
+      if (op < 6) {  // add an edge (biased so lists grow past chunk size)
+        const TaskId from(rng() % n);
+        const TaskId to(rng() % n);
+        const Duration w(static_cast<std::int64_t>(rng() % 21) - 10);
+        g.addEdge(from, to, w, EdgeKind::kUserMin);
+        model.addEdge(from, to, w);
+      } else if (op < 8 || checkpoints.empty()) {
+        checkpoints.push_back(g.checkpoint());
+      } else {  // rollback to a random open checkpoint
+        const std::size_t pick = rng() % checkpoints.size();
+        g.rollbackTo(checkpoints[pick]);
+        model.rollbackTo(checkpoints[pick]);
+        checkpoints.resize(pick + 1);
+      }
+      expectSameAdjacency(g, model);
+    }
+    g.rollbackTo(0);
+    model.rollbackTo(0);
+    expectSameAdjacency(g, model);
+  }
 }
 
 TEST(EdgeKindTest, Names) {

@@ -1,0 +1,184 @@
+// Byte-identical equivalence of the pruned exhaustive search against the
+// fully unpruned one. Dominance, symmetry and bound pruning (the defaults)
+// may only discard subtrees that cannot contain the leaf the unpruned
+// search returns — so flipping the flags, individually or together, and
+// varying the worker count must never change a single field of the result:
+// status, proven-optimality, start vector, energy cost, finish time.
+//
+// Coverage is deliberate per pruning: the random sweep and the paper
+// example exercise the window/floor bounds, a replicated-task instance
+// exercises symmetry canonicalization, and an equal-power multi-resource
+// instance exercises the dominance table (profile-identical states with an
+// empty frontier). The crafted tests also assert their pruning actually
+// fired, so a regression that silently disables one cannot pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gen/random_problem.hpp"
+#include "model/paper_example.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+
+namespace paws {
+namespace {
+
+struct Outcome {
+  SchedStatus status = SchedStatus::kOk;
+  bool provenOptimal = false;
+  std::vector<Time> starts;
+  std::int64_t costMwt = 0;
+  std::int64_t finishTicks = 0;
+  std::uint64_t prunedDominance = 0;
+  std::uint64_t prunedSymmetry = 0;
+  std::uint64_t prunedBound = 0;
+
+  // Pruning counters are effort, not semantics — they stay out of the
+  // equality the tests assert.
+  bool operator==(const Outcome& o) const {
+    return status == o.status && provenOptimal == o.provenOptimal &&
+           starts == o.starts && costMwt == o.costMwt &&
+           finishTicks == o.finishTicks;
+  }
+};
+
+struct Flags {
+  bool dominance = false;
+  bool symmetry = false;
+  bool bounds = false;
+};
+
+Outcome runSearch(const Problem& problem, Flags flags, std::size_t jobs,
+                  std::optional<Time> horizon = std::nullopt) {
+  ExhaustiveOptions opts;
+  opts.jobs = jobs;
+  opts.horizon = horizon;
+  opts.pruneDominance = flags.dominance;
+  opts.pruneSymmetry = flags.symmetry;
+  opts.pruneBounds = flags.bounds;
+  ExhaustiveScheduler sched(problem, opts);
+  const ScheduleResult r = sched.schedule();
+  Outcome out;
+  out.status = r.status;
+  out.provenOptimal = sched.outcome().provenOptimal;
+  out.prunedDominance = sched.outcome().prunedDominance;
+  out.prunedSymmetry = sched.outcome().prunedSymmetry;
+  out.prunedBound = sched.outcome().prunedBound;
+  if (r.schedule.has_value()) {
+    out.starts = r.schedule->starts();
+    out.costMwt = r.schedule->energyCost(problem.minPower()).milliwattTicks();
+    out.finishTicks = r.schedule->finish().ticks();
+  }
+  return out;
+}
+
+constexpr Flags kAllOff{};
+constexpr Flags kAllOn{true, true, true};
+
+void expectPrunedMatchesUnpruned(const Problem& problem,
+                                 std::optional<Time> horizon,
+                                 const char* what) {
+  const Outcome reference = runSearch(problem, kAllOff, 1, horizon);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{8}}) {
+    EXPECT_EQ(runSearch(problem, kAllOn, jobs, horizon), reference)
+        << what << " all prunings, jobs=" << jobs;
+  }
+  // Each pruning alone must also be invisible.
+  EXPECT_EQ(runSearch(problem, Flags{true, false, false}, 1, horizon),
+            reference)
+      << what << " dominance only";
+  EXPECT_EQ(runSearch(problem, Flags{false, true, false}, 1, horizon),
+            reference)
+      << what << " symmetry only";
+  EXPECT_EQ(runSearch(problem, Flags{false, false, true}, 1, horizon),
+            reference)
+      << what << " bounds only";
+}
+
+GeneratorConfig smallConfig(std::uint32_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.numTasks = 4;
+  cfg.numResources = 2;
+  cfg.maxDelay = 3;
+  cfg.witnessJitter = 2;
+  cfg.pmaxHeadroomMw = 400;
+  return cfg;
+}
+
+TEST(PruningEquivalence, PaperExampleBitIdentical) {
+  // Horizon 30 keeps the *unpruned* 9-task search tractable (~500k nodes)
+  // while still containing the optimum.
+  const Problem problem = makePaperExampleProblem();
+  const Outcome reference = runSearch(problem, kAllOff, 1, Time(30));
+  ASSERT_EQ(reference.status, SchedStatus::kOk);
+  ASSERT_TRUE(reference.provenOptimal);
+  expectPrunedMatchesUnpruned(problem, Time(30), "paper example");
+  // The default bounds pruning must actually engage on the paper example.
+  EXPECT_GT(runSearch(problem, kAllOn, 1, Time(30)).prunedBound, 0u);
+}
+
+TEST(PruningEquivalence, RandomInstancesBitIdentical) {
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    const GeneratedProblem gp = generateRandomProblem(smallConfig(seed));
+    expectPrunedMatchesUnpruned(gp.problem, std::nullopt, "random");
+  }
+}
+
+TEST(PruningEquivalence, SymmetricReplicasBitIdentical) {
+  // Three interchangeable replicas on one resource (identical delay,
+  // power, no constraints among them) plus a distinct downstream task:
+  // symmetry canonicalization must fire and stay invisible.
+  Problem problem("symmetric_replicas");
+  const ResourceId r1 = problem.addResource("r1");
+  const ResourceId r2 = problem.addResource("r2");
+  const TaskId rep1 = problem.addTask("rep1", Duration(2),
+                                      Watts::fromWatts(4.0), r1);
+  problem.addTask("rep2", Duration(2), Watts::fromWatts(4.0), r1);
+  problem.addTask("rep3", Duration(2), Watts::fromWatts(4.0), r1);
+  const TaskId sink = problem.addTask("sink", Duration(3),
+                                      Watts::fromWatts(2.0), r2);
+  problem.minSeparation(rep1, sink, Duration(2));
+  problem.setMaxPower(Watts::fromWatts(20.0));
+  problem.setMinPower(Watts::fromWatts(3.0));
+
+  expectPrunedMatchesUnpruned(problem, std::nullopt, "symmetric replicas");
+  EXPECT_GT(runSearch(problem, kAllOn, 1).prunedSymmetry, 0u);
+}
+
+TEST(PruningEquivalence, EqualPowerResourcesHitDominance) {
+  // Equal tasks on three *distinct* resources: not a symmetry class (the
+  // canonical order only covers same-resource replicas), but different
+  // placements reach identical merged profiles with an empty frontier, so
+  // the dominance table must fire and stay invisible.
+  Problem problem("equal_power_lanes");
+  const ResourceId ra = problem.addResource("ra");
+  const ResourceId rb = problem.addResource("rb");
+  const ResourceId rc = problem.addResource("rc");
+  problem.addTask("lane_a", Duration(2), Watts::fromWatts(4.0), ra);
+  problem.addTask("lane_b", Duration(2), Watts::fromWatts(4.0), rb);
+  problem.addTask("lane_c", Duration(2), Watts::fromWatts(4.0), rc);
+  problem.setMaxPower(Watts::fromWatts(20.0));
+  problem.setMinPower(Watts::fromWatts(3.0));
+
+  expectPrunedMatchesUnpruned(problem, std::nullopt, "equal-power lanes");
+  EXPECT_GT(runSearch(problem, kAllOn, 1).prunedDominance, 0u);
+}
+
+TEST(PruningEquivalence, InfeasibleHorizonAgrees) {
+  // A horizon too small for any schedule: the pruned search empties every
+  // start window up front but must report the same infeasibility verdict.
+  const GeneratedProblem gp = generateRandomProblem(smallConfig(3));
+  const Outcome reference = runSearch(gp.problem, kAllOff, 1, Time(1));
+  EXPECT_EQ(reference.status, SchedStatus::kPowerInfeasible);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{8}}) {
+    EXPECT_EQ(runSearch(gp.problem, kAllOn, jobs, Time(1)), reference)
+        << "infeasible horizon, jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace paws
