@@ -1,0 +1,241 @@
+// paws::cache methodology bench (no paper table): what schedule reuse
+// buys, with determinism witnesses the regression gate can hold exact.
+//
+//  * Hit-path latency: BM_CacheHitPipeline / BM_CacheHitOptimal serve a
+//    pre-populated exact entry per iteration (canonicalize + lookup +
+//    rebind + revalidate). Compare against BM_PipelineColdSolve — the
+//    work a hit replaces.
+//  * Batch reuse: BM_BatchFirstPass / BM_BatchSecondPass run the pawsc
+//    batch workload over examples/data twice; the wall-time ratio of the
+//    two rows is the second-pass speedup, and the cache_hits /
+//    cache_misses counters pin the traffic exactly (first pass all
+//    misses, second pass 100% hits).
+//  * Warm starts: BM_ColdExhaustivePaper / BM_WarmExhaustivePaper run the
+//    paper-example branch-and-bound cold and seeded with the polished
+//    heuristic incumbent. nodes_explored is exact in both rows; the warm
+//    row must stay strictly below the cold row (byte-identical result,
+//    fewer nodes — the tentpole claim).
+//
+// cache_hits, cache_misses and nodes_explored are in bench_diff's exact
+// counter set: any drift is a hard CI failure, not a wall-time warning.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "cache/cached_solve.hpp"
+#include "cache/canonical.hpp"
+#include "cache/schedule_cache.hpp"
+#include "io/parser.hpp"
+#include "model/paper_example.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/polish.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "sched/serial_scheduler.hpp"
+#include "validate/validator.hpp"
+
+using namespace paws;
+
+namespace {
+
+/// The pawsc batch workload: every bundled example, parsed once.
+const std::vector<Problem>& exampleProblems() {
+  static const std::vector<Problem> problems = [] {
+    std::vector<Problem> out;
+    for (const char* path : {"examples/data/deep_space_probe.paws",
+                             "examples/data/satellite.paws",
+                             "examples/data/sensor_node.paws"}) {
+      io::ParseResult parsed = io::parseProblemFile(path);
+      if (parsed.ok()) out.push_back(std::move(*parsed.problem));
+    }
+    return out;
+  }();
+  return problems;
+}
+
+/// Per-iteration traffic deltas, reported as exact counters.
+struct TrafficProbe {
+  cache::CacheStats before;
+  explicit TrafficProbe(const cache::ScheduleCache& c) : before(c.stats()) {}
+  void report(benchmark::State& state, const cache::ScheduleCache& c) const {
+    const cache::CacheStats after = c.stats();
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["cache_hits"] =
+        static_cast<double>(after.hits - before.hits) / iters;
+    state.counters["cache_misses"] =
+        static_cast<double>(after.misses - before.misses) / iters;
+  }
+};
+
+void BM_PipelineColdSolve(benchmark::State& state) {
+  const Problem problem = makePaperExampleProblem();
+  cache::SolveSpec spec;  // pipeline
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache::solveThroughCache(nullptr, problem, spec));
+  }
+}
+BENCHMARK(BM_PipelineColdSolve)->Unit(benchmark::kMicrosecond);
+
+void BM_CacheHitPipeline(benchmark::State& state) {
+  const Problem problem = makePaperExampleProblem();
+  cache::ScheduleCache cache;
+  cache::SolveSpec spec;  // pipeline
+  cache::solveThroughCache(&cache, problem, spec);  // populate
+  const TrafficProbe probe(cache);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache::solveThroughCache(&cache, problem, spec));
+  }
+  probe.report(state, cache);
+}
+BENCHMARK(BM_CacheHitPipeline)->Unit(benchmark::kMicrosecond);
+
+void BM_CacheHitOptimal(benchmark::State& state) {
+  const Problem problem = makePaperExampleProblem();
+  cache::ScheduleCache cache;
+  cache::SolveSpec spec;
+  spec.scheduler = "optimal";
+  spec.jobs = 1;
+  cache::solveThroughCache(&cache, problem, spec);  // cold solve + insert
+  const TrafficProbe probe(cache);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache::solveThroughCache(&cache, problem, spec));
+  }
+  probe.report(state, cache);
+}
+BENCHMARK(BM_CacheHitOptimal)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchFirstPass(benchmark::State& state) {
+  const std::vector<Problem>& problems = exampleProblems();
+  if (problems.size() != 3) {
+    state.SkipWithError("examples/data not found (run from the repo root)");
+    return;
+  }
+  cache::SolveSpec spec;  // pipeline, like the pawsc batch default
+  double hits = 0, misses = 0;
+  for (auto _ : state) {
+    cache::ScheduleCache cache;  // every pass starts cold
+    for (const Problem& p : problems) {
+      benchmark::DoNotOptimize(cache::solveThroughCache(&cache, p, spec));
+    }
+    const cache::CacheStats stats = cache.stats();
+    hits = static_cast<double>(stats.hits);
+    misses = static_cast<double>(stats.misses);
+  }
+  state.counters["cache_hits"] = hits;
+  state.counters["cache_misses"] = misses;
+}
+BENCHMARK(BM_BatchFirstPass)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchSecondPass(benchmark::State& state) {
+  const std::vector<Problem>& problems = exampleProblems();
+  if (problems.size() != 3) {
+    state.SkipWithError("examples/data not found (run from the repo root)");
+    return;
+  }
+  cache::SolveSpec spec;
+  cache::ScheduleCache cache;
+  for (const Problem& p : problems) {
+    cache::solveThroughCache(&cache, p, spec);  // first pass, off the clock
+  }
+  const TrafficProbe probe(cache);
+  for (auto _ : state) {
+    for (const Problem& p : problems) {
+      benchmark::DoNotOptimize(cache::solveThroughCache(&cache, p, spec));
+    }
+  }
+  const cache::CacheStats after = cache.stats();
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["cache_hits"] =
+      static_cast<double>(after.hits - probe.before.hits) / iters;
+  state.counters["cache_misses"] =
+      static_cast<double>(after.misses - probe.before.misses) / iters;
+  state.counters["hit_rate"] =
+      after.hits - probe.before.hits == 0
+          ? 0.0
+          : static_cast<double>(after.hits - probe.before.hits) /
+                (static_cast<double>(after.hits - probe.before.hits) +
+                 static_cast<double>(after.misses - probe.before.misses));
+}
+BENCHMARK(BM_BatchSecondPass)->Unit(benchmark::kMicrosecond);
+
+/// The warm-start seed solveThroughCache builds for the paper example:
+/// lex-best of {pipeline, serial} within the horizon, polished.
+std::optional<Schedule> paperSeed(const Problem& problem, Time horizon) {
+  ScheduleValidator validator(problem);
+  std::optional<Schedule> best;
+  const auto offer = [&](ScheduleResult r) {
+    if (!r.ok() || r.schedule->finish() > horizon) return;
+    if (!validator.validate(*r.schedule).valid()) return;
+    const Energy cost = r.schedule->energyCost(problem.minPower());
+    if (!best.has_value() || cost < best->energyCost(problem.minPower()) ||
+        (cost == best->energyCost(problem.minPower()) &&
+         r.schedule->finish() < best->finish())) {
+      best = *r.schedule;
+    }
+  };
+  offer(PowerAwareScheduler(problem).schedule());
+  offer(SerialScheduler(problem).schedule());
+  if (!best.has_value()) return std::nullopt;
+  PolishOptions options;
+  options.horizon = horizon;
+  return polishSchedule(problem, *best, options);
+}
+
+void runPaperExhaustive(benchmark::State& state, bool warm) {
+  const Problem problem = makePaperExampleProblem();
+  const Time horizon(30);  // same setting as the equivalence suites
+  std::optional<Schedule> seed;
+  if (warm) {
+    seed = paperSeed(problem, horizon);
+    if (!seed.has_value()) {
+      state.SkipWithError("no valid in-horizon seed");
+      return;
+    }
+  }
+  double nodes = 0;
+  for (auto _ : state) {
+    ExhaustiveOptions options;
+    options.jobs = 1;  // deterministic node counts
+    options.horizon = horizon;
+    if (seed.has_value()) {
+      options.initialIncumbent = seed->energyCost(problem.minPower());
+      options.initialIncumbentFinish = seed->finish();
+    }
+    ExhaustiveScheduler scheduler(problem, options);
+    benchmark::DoNotOptimize(scheduler.schedule());
+    nodes = static_cast<double>(scheduler.outcome().nodesExplored);
+  }
+  state.counters["nodes_explored"] = nodes;
+}
+
+void BM_ColdExhaustivePaper(benchmark::State& state) {
+  runPaperExhaustive(state, /*warm=*/false);
+}
+BENCHMARK(BM_ColdExhaustivePaper)->Unit(benchmark::kMillisecond);
+
+void BM_WarmExhaustivePaper(benchmark::State& state) {
+  runPaperExhaustive(state, /*warm=*/true);
+}
+BENCHMARK(BM_WarmExhaustivePaper)->Unit(benchmark::kMillisecond);
+
+void printCacheHeader() {
+  std::printf(
+      "paws::cache — schedule reuse and warm starts\n"
+      "  CacheHit rows: exact-hit serve latency vs PipelineColdSolve.\n"
+      "  Batch rows: pawsc batch over examples/data, cold then hot; the\n"
+      "  wall ratio is the second-pass speedup, counters pin the traffic\n"
+      "  (first pass all misses, second pass 100%% hits).\n"
+      "  Exhaustive rows: paper-example search cold vs warm-started; the\n"
+      "  warm row's nodes_explored must stay strictly below cold.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printCacheHeader();
+  return paws::bench::runBenchMain("cache", argc, argv);
+}

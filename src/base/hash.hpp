@@ -1,0 +1,36 @@
+// Shared content hashing — one FNV-1a-64 definition for the whole repo.
+//
+// Three subsystems hash problem/report content and must agree bit-for-bit:
+// the schedule cache keys (`cache/canonical.hpp`), the RunReport
+// `problem_hash` field (`obs/report.hpp`), and `pawsc trace diff`, which
+// refuses to compare reports whose problem hashes differ. Keeping a single
+// definition here pins them together; the constants are the standard
+// FNV-1a 64-bit offset basis and prime, so hashes are stable across
+// platforms and releases.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace paws {
+
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
+
+/// Folds `text` into a running FNV-1a-64 state — the streaming form, for
+/// hashing content assembled in pieces without materializing one string.
+[[nodiscard]] constexpr std::uint64_t fnv1a64Append(
+    std::uint64_t state, std::string_view text) noexcept {
+  for (unsigned char c : text) {
+    state ^= c;
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+/// FNV-1a 64-bit of `text` from the canonical offset basis.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) noexcept {
+  return fnv1a64Append(kFnv1a64OffsetBasis, text);
+}
+
+}  // namespace paws

@@ -1,0 +1,83 @@
+// solveThroughCache — the cache-aware solve entry point.
+//
+// One function wraps the pawsc scheduler dispatch (pipeline / serial /
+// list / optimal) with the full reuse ladder, cheapest rung first:
+//
+//   1. exact hit  — canonical key present: rebind the cached schedule by
+//      task name, re-validate it against the querying problem (a 64-bit
+//      hash collision must cost a miss, never a wrong answer) and serve.
+//      Byte-identical to the solve that produced the entry, microseconds.
+//   2. near-miss  — pipeline only: an entry with the same structural
+//      skeleton but different limits / task costs. Rebind and validate
+//      under the NEW problem; when still valid, polish with a MinPower
+//      improvement pass warm-started from it (gap filling under the new
+//      Pmin); when invalid, rebuild from it via repairSchedule. Either
+//      way the served schedule is validator-checked against the querying
+//      problem. Counted as cache.revalidations. Results are heuristic-
+//      grade like the pipeline itself, but orders of magnitude cheaper
+//      than a cold solve on near-duplicate traffic.
+//   3. warm start — optimal only: a cold exhaustive solve is seeded with
+//      `ExhaustiveOptions::{initialIncumbent, initialIncumbentFinish}`
+//      from the lex-best of the pipeline heuristic (or a cached pipeline
+//      entry) and the serial schedule, sharpened by polishSchedule, so
+//      branch-and-bound prunes against a real (cost, finish) incumbent
+//      from node 0. Byte-identical result, strictly fewer nodes. Counted
+//      as cache.warm_starts.
+//   4. cold solve — no cache, or nothing reusable.
+//
+// Clean, fully-solved results (status kOk, no budget/deadline trip, and
+// for `optimal` a proven-optimal verdict) are inserted back. With
+// `cache == nullptr` the function degrades to the plain dispatch and is
+// behavior-identical to the historical pawsc runScheduler path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/schedule_cache.hpp"
+#include "guard/budget.hpp"
+#include "model/problem.hpp"
+#include "obs/context.hpp"
+#include "sched/result.hpp"
+
+namespace paws::cache {
+
+struct SolveSpec {
+  /// pawsc dispatch name: pipeline | serial | list | optimal.
+  std::string scheduler = "pipeline";
+  /// Pipeline restarts (PowerAwareOptions::trials).
+  std::uint32_t trials = 4;
+  /// Worker threads for the exhaustive search (already resolved; 0 is
+  /// passed through to exec::resolveJobs).
+  std::size_t jobs = 1;
+  /// Seed cold exhaustive solves from the pipeline heuristic (rung 3).
+  bool warmStart = true;
+  /// Serve structural hits through revalidation/repair (rung 2).
+  bool nearMiss = true;
+  obs::ObsContext obs;
+  guard::RunBudget budget;
+};
+
+/// How the result was produced — pawsc reporting reads this.
+struct SolveInfo {
+  bool cacheHit = false;      ///< served from an exact cache entry
+  bool revalidated = false;   ///< served through the near-miss path
+  bool warmStarted = false;   ///< cold solve ran with a seeded incumbent
+  /// Exhaustive verdict (true for serves of proven-optimal entries).
+  bool provenOptimal = false;
+  /// Stop reason of a cold optimal solve (kNone for serves).
+  guard::StopReason stopReason = guard::StopReason::kNone;
+  /// Nodes the cold optimal solve explored (0 for serves).
+  std::uint64_t nodesExplored = 0;
+  [[nodiscard]] bool servedFromCache() const {
+    return cacheHit || revalidated;
+  }
+};
+
+/// Solves `problem` through `cache` (nullptr = always cold). The returned
+/// schedule is bound to `problem`.
+ScheduleResult solveThroughCache(ScheduleCache* cache, const Problem& problem,
+                                 const SolveSpec& spec,
+                                 SolveInfo* infoOut = nullptr);
+
+}  // namespace paws::cache

@@ -7,6 +7,7 @@
 
 #include "io/lexer.hpp"
 #include "io/parser.hpp"
+#include "io/writer.hpp"
 
 namespace paws::io {
 
@@ -129,8 +130,8 @@ void writeSchedule(std::ostream& os, const Schedule& schedule,
   const Problem& p = schedule.problem();
   os << "schedule \"" << label << "\" of \"" << p.name() << "\" {\n";
   for (TaskId v : p.taskIds()) {
-    os << "  at " << p.task(v).name << " " << schedule.start(v).ticks()
-       << "\n";
+    os << "  at " << nameToken(p.task(v).name) << " "
+       << schedule.start(v).ticks() << "\n";
   }
   os << "}\n";
 }

@@ -1,6 +1,7 @@
 #include "io/writer.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -14,7 +15,34 @@ void writeWatts(std::ostream& os, Watts w) {
   os << w;  // operator<< already prints e.g. "14.9W" / "0.025W"
 }
 
+/// Mirrors the lexer's identifier rules (lexer.cpp): leading alpha/'_',
+/// then alnum/'_'/'.'.
+bool isPlainIdentifier(std::string_view name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) ||
+        name[0] == '_')) {
+    return false;
+  }
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.')) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+std::string nameToken(std::string_view name) {
+  if (isPlainIdentifier(name)) return std::string(name);
+  std::string quoted;
+  quoted.reserve(name.size() + 2);
+  quoted += '"';
+  quoted += name;
+  quoted += '"';
+  return quoted;
+}
 
 void writeProblem(std::ostream& os, const Problem& problem) {
   os << "problem \"" << problem.name() << "\" {\n";
@@ -35,14 +63,14 @@ void writeProblem(std::ostream& os, const Problem& problem) {
   }
   os << "\n";
   for (ResourceId r : problem.resourceIds()) {
-    os << "  resource " << problem.resource(r).name << "\n";
+    os << "  resource " << nameToken(problem.resource(r).name) << "\n";
   }
   os << "\n";
   for (TaskId v : problem.taskIds()) {
     const Task& t = problem.task(v);
-    os << "  task " << t.name << " { resource "
-       << problem.resource(t.resource).name << "  delay " << t.delay.ticks()
-       << "  power ";
+    os << "  task " << nameToken(t.name) << " { resource "
+       << nameToken(problem.resource(t.resource).name) << "  delay "
+       << t.delay.ticks() << "  power ";
     writeWatts(os, t.power);
     if (t.droppable()) {
       os << "  droppable " << static_cast<int>(t.criticality);
@@ -53,22 +81,20 @@ void writeProblem(std::ostream& os, const Problem& problem) {
   for (const TimingConstraint& c : problem.constraints()) {
     const char* kw =
         c.kind == TimingConstraint::Kind::kMinSeparation ? "min" : "max";
-    const std::string& from = c.from == kAnchorTask
-                                  ? "anchor"
-                                  : problem.task(c.from).name;
     if (c.from == kAnchorTask) {
       // Anchor-relative constraints round-trip through release/deadline.
       if (c.kind == TimingConstraint::Kind::kMinSeparation) {
-        os << "  release " << problem.task(c.to).name << " "
+        os << "  release " << nameToken(problem.task(c.to).name) << " "
            << c.separation.ticks() << "\n";
       } else {
-        os << "  deadline " << problem.task(c.to).name << " "
+        os << "  deadline " << nameToken(problem.task(c.to).name) << " "
            << (c.separation + problem.task(c.to).delay).ticks() << "\n";
       }
       continue;
     }
-    os << "  " << kw << " " << from << " -> " << problem.task(c.to).name
-       << " " << c.separation.ticks() << "\n";
+    os << "  " << kw << " " << nameToken(problem.task(c.from).name) << " -> "
+       << nameToken(problem.task(c.to).name) << " " << c.separation.ticks()
+       << "\n";
   }
   os << "}\n";
 }

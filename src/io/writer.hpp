@@ -10,9 +10,15 @@
 
 namespace paws::io {
 
+/// `name` spelled so the lexer reads back exactly this name: bare when it
+/// is a plain identifier, quoted otherwise. Names containing '"' or a
+/// newline are not representable in .paws (strings have no escapes).
+std::string nameToken(std::string_view name);
+
 /// Serializes `problem` in .paws syntax. parseProblem(writeProblem(p))
 /// reconstructs an equivalent problem (same tasks, resources, constraints
-/// and power limits).
+/// and power limits), and re-serializing that reconstruction yields the
+/// same text (the writer output is a parse/print fixed point).
 void writeProblem(std::ostream& os, const Problem& problem);
 std::string problemToText(const Problem& problem);
 

@@ -30,10 +30,13 @@ struct BenchCompareOptions {
   bool failOnWall = false;
   /// Counter names that must match exactly between baseline and current.
   /// nodes_explored and the pruned_* counters come from the serial pruned
-  /// exhaustive search, whose visit set is machine-independent.
+  /// exhaustive search, whose visit set is machine-independent; the
+  /// cache_* traffic counters count resolver decisions, which are a pure
+  /// function of the request sequence.
   std::vector<std::string> exactCounters = {
       "schedule_bytes", "lp_runs",         "nodes_explored",
-      "pruned_dominance", "pruned_symmetry", "pruned_bound"};
+      "pruned_dominance", "pruned_symmetry", "pruned_bound",
+      "cache_hits",       "cache_misses"};
 };
 
 struct BenchComparison {

@@ -76,15 +76,6 @@ bool isTimingName(std::string_view name) {
 
 }  // namespace
 
-std::uint64_t fnv1a64(std::string_view text) {
-  std::uint64_t hash = 14695981039346656037ull;
-  for (unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
-
 void stampVolatile(RunReport& report) {
   report.createdUnixMs =
       std::chrono::duration_cast<std::chrono::milliseconds>(

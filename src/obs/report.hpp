@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/hash.hpp"
 #include "obs/incumbents.hpp"
 #include "obs/metrics.hpp"
 
@@ -81,8 +82,10 @@ struct RunReport {
   [[nodiscard]] bool operator==(const RunReport&) const = default;
 };
 
-/// FNV-1a 64-bit over `text` — the problem-content hash.
-[[nodiscard]] std::uint64_t fnv1a64(std::string_view text);
+/// FNV-1a 64-bit over `text` — the problem-content hash. The definition
+/// lives in base/hash.hpp (shared with the schedule cache); this alias
+/// keeps the historical obs:: spelling working for report call sites.
+using paws::fnv1a64;
 
 /// Stamps the volatile meta fields (wall clock, host name).
 void stampVolatile(RunReport& report);

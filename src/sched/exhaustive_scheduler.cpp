@@ -295,6 +295,9 @@ struct LocalBest {
   Energy cost;
   Time finish;
   bool have = false;
+  /// True while `have` reflects a warm-start phantom (empty `starts`)
+  /// rather than a leaf this worker reached; cleared on first acceptance.
+  bool phantom = false;
 };
 
 /// Folds `lb` into `acc` with the same strict-improvement rule the serial
@@ -357,7 +360,25 @@ class Worker {
     dfs(1);
   }
 
-  LocalBest takeBest() { return std::move(best_); }
+  /// Pre-loads the local incumbent with the warm-start phantom
+  /// (cost, finish + 1) so the cost-tie finish cut is armed from node 0.
+  /// See ExhaustiveOptions::initialIncumbentFinish for the identity proof.
+  void seedIncumbent(Energy cost, Time finish) {
+    best_.starts.clear();
+    best_.cost = cost;
+    best_.finish = finish + Duration(1);
+    best_.have = true;
+    best_.phantom = true;
+  }
+
+  LocalBest takeBest() {
+    // A phantom no leaf improved on must not escape: it has no starts and
+    // only exists to prune. The chunk reports "nothing found" instead,
+    // which is merge-identical — any unbeaten phantom is lex-above the
+    // global winner, so cold search would discard this chunk's result too.
+    if (best_.phantom) return LocalBest{};
+    return std::move(best_);
+  }
 
  private:
   void dfs(std::size_t k);
@@ -608,6 +629,7 @@ void Worker::leaf() {
     best_.cost = cost;
     best_.finish = finish;
     best_.have = true;
+    best_.phantom = false;
     // Publish to the shared pruning bound (CAS-min). Relaxed is enough:
     // the bound is a pruning accelerator, and a stale read merely prunes
     // less; every stored value is a genuinely achieved leaf cost.
@@ -664,6 +686,20 @@ ScheduleResult ExhaustiveScheduler::schedule() {
   SearchShared shared;
   shared.maxNodes = options_.maxNodes;
   shared.incumbents = options_.obs.incumbents;
+  if (options_.initialIncumbent.has_value()) {
+    // Warm start: prime the shared cost bound with the caller's known-valid
+    // schedule cost (see ExhaustiveOptions::initialIncumbent for why this
+    // keeps the result byte-identical). Not published to the incumbent
+    // log — only costs achieved by leaves of this search are incumbents.
+    shared.bestCostMwt.store(options_.initialIncumbent->milliwattTicks(),
+                             std::memory_order_relaxed);
+  }
+  // With the seed's finish too, each worker's local incumbent can start as
+  // the phantom (cost, finish + 1) and arm the cost-tie finish cut from
+  // node 0 — the shared bound alone cannot cut cost ties. Identity proof
+  // at ExhaustiveOptions::initialIncumbentFinish.
+  const bool seedLocal = options_.initialIncumbent.has_value() &&
+                         options_.initialIncumbentFinish.has_value();
 
   // Pin the relative timeout to one absolute deadline here, so every
   // worker (and any caller-nested stage) races the same clock.
@@ -682,6 +718,10 @@ ScheduleResult ExhaustiveScheduler::schedule() {
     // Serial: one worker over the whole range, on the calling thread.
     Worker w(problem_, touching, horizon, shared, options_.incrementalProfile,
              prune, budget);
+    if (seedLocal) {
+      w.seedIncumbent(*options_.initialIncumbent,
+                      *options_.initialIncumbentFinish);
+    }
     w.search(Time::zero(), horizon);
     best = w.takeBest();
   } else {
@@ -702,6 +742,10 @@ ScheduleResult ExhaustiveScheduler::schedule() {
           const Problem clone = problem_;  // worker-private scratch
           Worker w(clone, touching, horizon, shared,
                    options_.incrementalProfile, prune, budget);
+          if (seedLocal) {
+            w.seedIncumbent(*options_.initialIncumbent,
+                            *options_.initialIncumbentFinish);
+          }
           w.search(Time::zero() + Duration(lo), Time::zero() + Duration(hi));
           return w.takeBest();
         });

@@ -87,6 +87,31 @@ struct ExhaustiveOptions {
   /// the cost-tie case. All three only discard subtrees that cannot
   /// contain the winner.
   bool pruneBounds = true;
+  /// Warm-start incumbent: the energy cost (above Pmin, background
+  /// included — exactly Schedule::energyCost(pmin)) of a schedule of THIS
+  /// problem that is already known valid and finishes within the horizon.
+  /// It primes the shared atomic cost bound before the first node, so the
+  /// search prunes against a real incumbent from node 0 instead of
+  /// discovering one. Every cost pruning compares strictly-greater against
+  /// the bound and the seed is >= the optimal cost by construction, so no
+  /// subtree containing the winner (or any cost-tying leaf) is cut: the
+  /// returned schedule is byte-identical to a cold run, with at most —
+  /// in practice strictly — fewer nodes explored. The seed is a bound,
+  /// not a result: it is never recorded in the incumbent log and never
+  /// returned. Seeding with a cost below the true optimum violates the
+  /// precondition and leaves the result unspecified; callers obtain seeds
+  /// from validated schedules only (see cache/cached_solve.cpp).
+  std::optional<Energy> initialIncumbent;
+  /// Finish time of the same known-valid schedule as `initialIncumbent`
+  /// (ignored without it). Unlocks the cost-tie finish cut from node 0:
+  /// each worker's local incumbent is pre-seeded with the phantom pair
+  /// (cost, finish + 1 tick). The lex-first optimum (C*, t*) satisfies
+  /// (C*, t*) <= (cost, finish) < (cost, finish + 1), so it strictly
+  /// improves the phantom and is accepted, published and returned exactly
+  /// as in a cold run; on its path the finish lower bound is <= t* <=
+  /// finish < finish + 1, so the tie-break can never cut it. A phantom
+  /// that no real leaf beat is discarded, never returned.
+  std::optional<Time> initialIncumbentFinish;
   /// Metrics sink; parallel runs publish the exec.* pool counters here.
   obs::ObsContext obs;
   /// Wall-clock deadline / cancellation. When it trips mid-search the

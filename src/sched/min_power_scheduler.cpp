@@ -57,6 +57,37 @@ ScheduleResult MinPowerScheduler::schedule() {
   // Pin the deadline before the first stage runs; every nested stage then
   // inherits the same absolute time point.
   options_.budget = options_.budget.resolved();
+  // Warm start: a caller-provided valid schedule skips the timing and
+  // max-power stages and goes straight to gap-filling improvement (see
+  // MinPowerOptions::initialStarts). The vector is pinned into the graph
+  // as anchor->v delay edges: for a timing-feasible start vector the
+  // longest-path ASAP solution then equals the vector exactly, which is
+  // the invariant improve() builds its slack evaluation on. Any validation
+  // failure falls through to the cold pipeline.
+  if (options_.initialStarts.has_value()) {
+    const std::vector<Time>& starts = *options_.initialStarts;
+    if (starts.size() == problem_.numVertices() && !starts.empty() &&
+        starts[0] == Time::zero()) {
+      ConstraintGraph graph = problem_.buildGraph();
+      for (TaskId v : problem_.taskIds()) {
+        graph.addEdge(kAnchorTask, v, starts[v.index()] - Time::zero(),
+                      EdgeKind::kDelay);
+      }
+      LongestPathEngine probe(graph);
+      const LongestPathResult& lp = probe.compute(kAnchorTask);
+      bool pinned = lp.feasible;
+      for (std::size_t i = 0; pinned && i < starts.size(); ++i) {
+        pinned = lp.dist[i] == starts[i];
+      }
+      if (pinned && !profileOf(problem_, starts)
+                         .firstSpike(problem_.maxPower())
+                         .has_value()) {
+        SchedulerStats stats;
+        stats.longestPathRuns = 1;  // the pinning probe above
+        return improve(graph, Schedule(&problem_, starts), stats);
+      }
+    }
+  }
   MaxPowerOptions maxOptions = options_.maxPower;
   maxOptions.obs.inheritFrom(options_.obs);
   maxOptions.budget.inheritFrom(options_.budget);

@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <vector>
 
+#include "base/time.hpp"
 #include "guard/budget.hpp"
 #include "obs/context.hpp"
 
@@ -90,6 +93,17 @@ struct MinPowerOptions {
   /// Rotate scan order / slot heuristic between passes (paper's "altering
   /// some of the heuristics during each scan").
   bool rotateHeuristics = true;
+  /// Warm start: a vertex-indexed start vector (slot 0 = anchor at 0) for
+  /// a schedule of this problem that is already timing- AND Pmax-valid.
+  /// When set, MinPowerScheduler::schedule() skips the timing + max-power
+  /// stages entirely and runs only the gap-filling improvement from these
+  /// starts, pinned into the constraint graph as anchor->v delay edges so
+  /// the graph's ASAP solution equals the vector exactly. An infeasible,
+  /// mis-sized or power-invalid vector is ignored (the full cold pipeline
+  /// runs instead) — a stale warm start can cost time, never correctness.
+  /// Used by the cache near-miss path (cache/cached_solve.cpp) to polish a
+  /// revalidated schedule under changed Pmin instead of re-solving.
+  std::optional<std::vector<Time>> initialStarts;
   std::uint32_t randomSeed = 1;
   /// Evaluate candidate gap-filling moves with power::ProfileEngine deltas
   /// (checkpoint / moveTask / restore) instead of a full profile rebuild

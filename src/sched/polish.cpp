@@ -1,0 +1,140 @@
+#include "sched/polish.hpp"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace paws {
+
+namespace {
+
+/// Feasibility of a full start vector: pairwise timing constraints,
+/// per-resource exclusivity, and the Pmax ceiling — the same admissibility
+/// the exhaustive search and the validator enforce. O(n^2 + profile).
+bool feasible(const Problem& problem, const std::vector<Time>& starts) {
+  for (const TimingConstraint& c : problem.constraints()) {
+    const Duration gap = starts[c.to.index()] - starts[c.from.index()];
+    if (c.kind == TimingConstraint::Kind::kMinSeparation ? gap < c.separation
+                                                         : gap > c.separation) {
+      return false;
+    }
+  }
+  const std::vector<TaskId> tasks = problem.taskIds();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Task& a = problem.task(tasks[i]);
+    const Interval ia(starts[tasks[i].index()],
+                      starts[tasks[i].index()] + a.delay);
+    for (std::size_t j = i + 1; j < tasks.size(); ++j) {
+      const Task& b = problem.task(tasks[j]);
+      if (a.resource != b.resource) continue;
+      const Interval ib(starts[tasks[j].index()],
+                        starts[tasks[j].index()] + b.delay);
+      if (ia.overlaps(ib)) return false;
+    }
+  }
+  return !profileOf(problem, starts).firstSpike(problem.maxPower());
+}
+
+struct LexValue {
+  Energy cost;
+  Time finish;
+};
+
+LexValue valueOf(const Problem& problem, const std::vector<Time>& starts) {
+  return {profileOf(problem, starts).energyAbove(problem.minPower()),
+          finishOf(problem, starts)};
+}
+
+bool lexBetter(const LexValue& a, const LexValue& b) {
+  return a.cost < b.cost || (a.cost == b.cost && a.finish < b.finish);
+}
+
+/// One candidate slot assignment: task `v` moved to start `at`.
+struct Slot {
+  TaskId task;
+  Time at;
+};
+
+/// Every (task, start) pair within the horizon, in deterministic scan
+/// order. A task whose delay no longer fits keeps only its current slot.
+std::vector<Slot> candidateSlots(const Problem& problem,
+                                 const std::vector<Time>& starts,
+                                 Time horizon) {
+  std::vector<Slot> slots;
+  for (TaskId v : problem.taskIds()) {
+    const Duration delay = problem.task(v).delay;
+    if (Time::zero() + delay > horizon) {
+      slots.push_back({v, starts[v.index()]});
+      continue;
+    }
+    for (Time at = Time::zero(); at + delay <= horizon; at += Duration(1)) {
+      slots.push_back({v, at});
+    }
+  }
+  return slots;
+}
+
+}  // namespace
+
+Schedule polishSchedule(const Problem& problem, const Schedule& start,
+                        const PolishOptions& options, PolishStats* stats) {
+  std::vector<Time> best = start.starts();
+  LexValue bestValue = valueOf(problem, best);
+  PolishStats local;
+  std::vector<Time> scratch;
+
+  // Returns true when a strictly lex-improving assignment was applied.
+  const auto tryApply = [&](const std::vector<Time>& cand) {
+    if (!feasible(problem, cand)) return false;
+    const LexValue v = valueOf(problem, cand);
+    if (!lexBetter(v, bestValue)) return false;
+    best = cand;
+    bestValue = v;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && local.singleMoves + local.pairMoves < options.maxMoves) {
+    improved = false;
+    const std::vector<Slot> slots = candidateSlots(problem, best, options.horizon);
+
+    // Tier 1: first-improvement single moves.
+    for (const Slot& s : slots) {
+      if (s.at == best[s.task.index()]) continue;
+      scratch = best;
+      scratch[s.task.index()] = s.at;
+      if (tryApply(scratch)) {
+        ++local.singleMoves;
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+
+    // Tier 2: first-improvement pair moves — the coordinated step single
+    // moves cannot take (each half is typically cost-neutral alone).
+    if (slots.size() > options.maxPairCandidates) break;
+    for (std::size_t i = 0; i < slots.size() && !improved; ++i) {
+      const Slot& a = slots[i];
+      if (a.at == best[a.task.index()]) continue;
+      for (std::size_t j = i + 1; j < slots.size(); ++j) {
+        const Slot& b = slots[j];
+        if (b.task == a.task) continue;
+        if (b.at == best[b.task.index()]) continue;
+        scratch = best;
+        scratch[a.task.index()] = a.at;
+        scratch[b.task.index()] = b.at;
+        if (tryApply(scratch)) {
+          ++local.pairMoves;
+          improved = true;
+          break;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return Schedule(&problem, std::move(best));
+}
+
+}  // namespace paws

@@ -1,0 +1,297 @@
+// Warm-start and cached-solve properties.
+//
+// The load-bearing claim: seeding the branch-and-bound search with a valid
+// schedule's (cost, finish) is *invisible* in the result. The shared bound
+// holds the cost (strictly-greater pruning never cuts a cost-tying leaf)
+// and each worker's local incumbent starts as the phantom (cost, finish+1),
+// which the lex-first optimum always strictly improves — so no node on the
+// path to the optimum is ever cut, while the node count can only shrink.
+// The tests pin byte-identity (starts, cost, finish) and demand a strict
+// node reduction on the paper example and on at least 8 random instances.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "base/units.hpp"
+#include "cache/cached_solve.hpp"
+#include "cache/canonical.hpp"
+#include "cache/schedule_cache.hpp"
+#include "gen/random_problem.hpp"
+#include "io/schedule_io.hpp"
+#include "model/paper_example.hpp"
+#include "sched/exhaustive_scheduler.hpp"
+#include "sched/polish.hpp"
+#include "sched/power_aware_scheduler.hpp"
+#include "sched/serial_scheduler.hpp"
+#include "validate/validator.hpp"
+
+namespace paws::cache {
+namespace {
+
+using namespace paws::literals;
+
+struct SearchRun {
+  std::vector<Time> starts;
+  std::int64_t costMwt = 0;
+  std::int64_t finishTicks = 0;
+  bool provenOptimal = false;
+  std::uint64_t nodes = 0;
+};
+
+struct Seed {
+  Energy cost;
+  Time finish;
+};
+
+SearchRun runExhaustive(const Problem& problem, std::optional<Seed> seed,
+                        std::optional<Time> horizon = std::nullopt) {
+  ExhaustiveOptions options;
+  options.jobs = 1;  // deterministic node counts
+  options.horizon = horizon;
+  if (seed.has_value()) {
+    options.initialIncumbent = seed->cost;
+    options.initialIncumbentFinish = seed->finish;
+  }
+  ExhaustiveScheduler scheduler(problem, options);
+  const ScheduleResult r = scheduler.schedule();
+  SearchRun run;
+  run.provenOptimal = scheduler.outcome().provenOptimal;
+  run.nodes = scheduler.outcome().nodesExplored;
+  if (r.ok()) {
+    run.starts = r.schedule->starts();
+    run.costMwt = r.schedule->energyCost(problem.minPower()).milliwattTicks();
+    run.finishTicks = r.schedule->finish().ticks();
+  }
+  return run;
+}
+
+/// The exhaustive scheduler's default horizon, for instances that do not
+/// pass one explicitly (mirrors ExhaustiveScheduler::schedule()).
+Time defaultHorizon(const Problem& problem) {
+  Duration total = Duration::zero();
+  for (TaskId v : problem.taskIds()) total += problem.task(v).delay;
+  Duration maxSep = Duration::zero();
+  for (const TimingConstraint& c : problem.constraints()) {
+    maxSep = std::max(maxSep, c.separation);
+  }
+  return Time::zero() + total + maxSep;
+}
+
+/// The warm-start seed solveThroughCache builds: the lex-best valid
+/// in-horizon schedule of {pipeline, serial}, polished.
+std::optional<Seed> warmSeed(const Problem& problem, Time horizon) {
+  ScheduleValidator validator(problem);
+  std::optional<Schedule> best;
+  const auto offer = [&](ScheduleResult r) {
+    if (!r.ok() || r.schedule->finish() > horizon) return;
+    if (!validator.validate(*r.schedule).valid()) return;
+    const Energy cost = r.schedule->energyCost(problem.minPower());
+    if (!best.has_value() || cost < best->energyCost(problem.minPower()) ||
+        (cost == best->energyCost(problem.minPower()) &&
+         r.schedule->finish() < best->finish())) {
+      best = *r.schedule;
+    }
+  };
+  offer(PowerAwareScheduler(problem).schedule());
+  offer(SerialScheduler(problem).schedule());
+  if (!best.has_value()) return std::nullopt;
+  PolishOptions options;
+  options.horizon = horizon;
+  Schedule polished = polishSchedule(problem, *best, options);
+  EXPECT_TRUE(validator.validate(polished).valid());
+  EXPECT_LE(polished.finish(), horizon);
+  return Seed{polished.energyCost(problem.minPower()), polished.finish()};
+}
+
+GeneratorConfig smallConfig(std::uint32_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.numTasks = 5;
+  cfg.numResources = 2;
+  cfg.maxDelay = 3;
+  cfg.witnessJitter = 2;
+  cfg.pmaxHeadroomMw = 400;
+  return cfg;
+}
+
+TEST(WarmStartTest, PaperExampleByteIdenticalAndStrictlyFewerNodes) {
+  // Horizon 30 keeps the 9-task search tractable while containing the
+  // optimum (same setting as the pruning-equivalence suite).
+  const Problem problem = makePaperExampleProblem();
+  const std::optional<Seed> seed = warmSeed(problem, Time(30));
+  ASSERT_TRUE(seed.has_value());
+  ASSERT_LE(seed->finish, Time(30));  // the seed must fit the horizon
+  const SearchRun cold = runExhaustive(problem, std::nullopt, Time(30));
+  const SearchRun warm = runExhaustive(problem, seed, Time(30));
+  ASSERT_TRUE(cold.provenOptimal);
+  ASSERT_TRUE(warm.provenOptimal);
+  EXPECT_EQ(warm.starts, cold.starts);
+  EXPECT_EQ(warm.costMwt, cold.costMwt);
+  EXPECT_EQ(warm.finishTicks, cold.finishTicks);
+  EXPECT_LT(warm.nodes, cold.nodes);
+}
+
+TEST(WarmStartTest, RandomInstancesByteIdenticalAndStrictlyFewerNodes) {
+  int strictlyFewer = 0;
+  for (std::uint32_t seed = 1; seed <= 12; ++seed) {
+    const GeneratedProblem gp = generateRandomProblem(smallConfig(seed));
+    const std::optional<Seed> incumbent =
+        warmSeed(gp.problem, defaultHorizon(gp.problem));
+    ASSERT_TRUE(incumbent.has_value()) << "seed " << seed;
+    const SearchRun cold = runExhaustive(gp.problem, std::nullopt);
+    const SearchRun warm = runExhaustive(gp.problem, incumbent);
+    EXPECT_EQ(warm.starts, cold.starts) << "seed " << seed;
+    EXPECT_EQ(warm.costMwt, cold.costMwt) << "seed " << seed;
+    EXPECT_EQ(warm.finishTicks, cold.finishTicks) << "seed " << seed;
+    EXPECT_LE(warm.nodes, cold.nodes) << "seed " << seed;
+    if (warm.nodes < cold.nodes) ++strictlyFewer;
+  }
+  EXPECT_GE(strictlyFewer, 8)
+      << "the warm start must actually prune on most instances";
+}
+
+TEST(CachedSolveTest, SecondSolveIsAnExactHitWithIdenticalBytes) {
+  ScheduleCache cache;
+  const GeneratedProblem gp = generateRandomProblem(smallConfig(3));
+  SolveSpec spec;  // pipeline
+  SolveInfo first, second;
+  const ScheduleResult a =
+      solveThroughCache(&cache, gp.problem, spec, &first);
+  const ScheduleResult b =
+      solveThroughCache(&cache, gp.problem, spec, &second);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(first.cacheHit);
+  EXPECT_TRUE(second.cacheHit);
+  EXPECT_EQ(io::scheduleToText(*a.schedule, "x"),
+            io::scheduleToText(*b.schedule, "x"));
+  // A hit reprints the producing solve's effort numbers.
+  EXPECT_EQ(b.stats.longestPathRuns, a.stats.longestPathRuns);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CachedSolveTest, CacheOnAndOffAreByteIdenticalAcrossJobs) {
+  const GeneratedProblem gp = generateRandomProblem(smallConfig(5));
+  for (const char* scheduler : {"pipeline", "optimal"}) {
+    for (const std::size_t jobs :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      SolveSpec spec;
+      spec.scheduler = scheduler;
+      spec.jobs = jobs;
+      const ScheduleResult off =
+          solveThroughCache(nullptr, gp.problem, spec);
+      ScheduleCache cache;  // fresh: first solve may warm-start, never hit
+      const ScheduleResult on =
+          solveThroughCache(&cache, gp.problem, spec);
+      ASSERT_TRUE(off.ok());
+      ASSERT_TRUE(on.ok());
+      EXPECT_EQ(io::scheduleToText(*on.schedule, "x"),
+                io::scheduleToText(*off.schedule, "x"))
+          << scheduler << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(CachedSolveTest, OptimalSolveWarmStartsThenHits) {
+  ScheduleCache cache;
+  const GeneratedProblem gp = generateRandomProblem(smallConfig(7));
+  SolveSpec spec;
+  spec.scheduler = "optimal";
+  SolveInfo first, second;
+  const ScheduleResult a =
+      solveThroughCache(&cache, gp.problem, spec, &first);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(first.warmStarted);
+  EXPECT_TRUE(first.provenOptimal);
+  EXPECT_EQ(cache.stats().warmStarts, 1u);
+  const ScheduleResult b =
+      solveThroughCache(&cache, gp.problem, spec, &second);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(second.cacheHit);
+  EXPECT_TRUE(second.provenOptimal);
+  EXPECT_EQ(io::scheduleToText(*b.schedule, "x"),
+            io::scheduleToText(*a.schedule, "x"));
+}
+
+TEST(CachedSolveTest, NearMissRevalidatesOnALimitsDelta) {
+  ScheduleCache cache;
+  const GeneratedProblem gp = generateRandomProblem(smallConfig(9));
+  SolveSpec spec;  // pipeline
+  ASSERT_TRUE(solveThroughCache(&cache, gp.problem, spec).ok());
+
+  // Same skeleton, different Pmin: full canonical hash moves, structural
+  // hash does not — the near-miss path must serve via revalidation.
+  Problem delta = gp.problem;
+  delta.setMinPower(delta.minPower() + Watts::fromWatts(0.5));
+  ASSERT_NE(canonicalize(delta).hash, canonicalize(gp.problem).hash);
+  ASSERT_EQ(canonicalize(delta).structuralHash,
+            canonicalize(gp.problem).structuralHash);
+  SolveInfo info;
+  const ScheduleResult r = solveThroughCache(&cache, delta, spec, &info);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(info.revalidated);
+  EXPECT_TRUE(ScheduleValidator(delta).validate(*r.schedule).valid());
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+
+  // The revalidated result is inserted under its own key: the same delta
+  // problem now hits exactly.
+  SolveInfo again;
+  ASSERT_TRUE(solveThroughCache(&cache, delta, spec, &again).ok());
+  EXPECT_TRUE(again.cacheHit);
+}
+
+TEST(CachedSolveTest, NearMissRepairsWhenTheCachedPlanTurnedInvalid) {
+  ScheduleCache cache;
+  // Two tasks on one resource, serial by construction.
+  Problem base("nm");
+  const ResourceId r1 = base.addResource("r1");
+  const TaskId a = base.addTask("a", 2_s, 2_W, r1);
+  const TaskId b = base.addTask("b", 2_s, 2_W, r1);
+  base.minSeparation(a, b, 2_s);
+  base.setMaxPower(5_W);
+  SolveSpec spec;
+  ASSERT_TRUE(solveThroughCache(&cache, base, spec).ok());
+
+  // Rebuild with a longer "a": delay is NOT structural, so this is a near
+  // miss, but the cached starts now overlap on r1 — the resolver must fall
+  // through to repairSchedule and still serve a valid plan.
+  Problem longer("nm");
+  const ResourceId r2 = longer.addResource("r1");
+  const TaskId a2 = longer.addTask("a", 4_s, 2_W, r2);
+  const TaskId b2 = longer.addTask("b", 2_s, 2_W, r2);
+  longer.minSeparation(a2, b2, 2_s);
+  longer.setMaxPower(5_W);
+  ASSERT_EQ(canonicalize(longer).structuralHash,
+            canonicalize(base).structuralHash);
+  SolveInfo info;
+  const ScheduleResult r = solveThroughCache(&cache, longer, spec, &info);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(info.revalidated);
+  EXPECT_TRUE(ScheduleValidator(longer).validate(*r.schedule).valid());
+}
+
+TEST(CachedSolveTest, HashCollisionServesAMissNotAWrongAnswer) {
+  // Force the pathological case by inserting an entry whose schedule text
+  // cannot rebind to the querying problem under the right key: the resolver
+  // must fall through to a cold solve, never serve garbage.
+  ScheduleCache cache;
+  const GeneratedProblem gp = generateRandomProblem(smallConfig(11));
+  SolveSpec spec;
+  const CanonicalForm form = canonicalize(gp.problem);
+  CacheEntry poisoned;
+  poisoned.scheduleText = "schedule \"x\" of \"some_other_problem\" {\n}\n";
+  poisoned.structuralHash = form.structuralHash;
+  cache.insert(CacheKey{form.hash, optionsFingerprint("pipeline", 4)},
+               poisoned);
+  SolveInfo info;
+  const ScheduleResult r = solveThroughCache(&cache, gp.problem, spec, &info);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(info.cacheHit);
+  EXPECT_TRUE(ScheduleValidator(gp.problem).validate(*r.schedule).valid());
+}
+
+}  // namespace
+}  // namespace paws::cache

@@ -179,11 +179,54 @@ void expectEquivalent(const Problem& a, const Problem& b) {
   }
 }
 
+/// text -> parse -> text must be a fixed point: the schedule cache keys
+/// problems by canonical text, and tools re-save what they loaded, so a
+/// drifting writer would silently split cache keys and churn diffs.
+void expectFixedPoint(const Problem& p) {
+  const std::string t1 = problemToText(p);
+  const ParseResult r = parseProblem(t1);
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? t1 : format(r.errors[0]));
+  EXPECT_EQ(problemToText(*r.problem), t1);
+}
+
 TEST(WriterTest, PaperExampleRoundTrips) {
   const Problem original = makePaperExampleProblem();
   const ParseResult r = parseProblem(problemToText(original));
   ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : format(r.errors[0]));
   expectEquivalent(original, *r.problem);
+}
+
+TEST(WriterTest, TextIsAParsePrintFixedPoint) {
+  expectFixedPoint(makePaperExampleProblem());
+  expectFixedPoint(rover::makeRoverProblem(rover::RoverCase::kWorst, 2));
+  Problem p("rd");
+  const ResourceId r1 = p.addResource("r1");
+  const TaskId t = p.addTask("t", 5_s, 2_W, r1);
+  p.release(t, Time(7));
+  p.deadline(t, Time(40));
+  p.setCriticality(t, 3);
+  p.setBackgroundPower(Watts::fromMilliwatts(1));
+  expectFixedPoint(p);
+}
+
+TEST(WriterTest, NonIdentifierNamesAreQuotedAndRoundTrip) {
+  // Names the lexer cannot read bare: spaces, dashes, leading digits. The
+  // writer must quote them (regression: it used to emit them bare, and the
+  // reparse failed — text -> parse -> text was not even defined).
+  Problem p("awkward");
+  const ResourceId r1 = p.addResource("main bus");
+  const TaskId a = p.addTask("warm-up", 2_s, 1_W, r1);
+  const TaskId b = p.addTask("2nd pass", 3_s, 2_W, r1);
+  p.minSeparation(a, b, 1_s);
+  p.release(b, Time(2));
+  const std::string t1 = problemToText(p);
+  EXPECT_NE(t1.find("\"warm-up\""), std::string::npos) << t1;
+  EXPECT_NE(t1.find("\"2nd pass\""), std::string::npos) << t1;
+  EXPECT_NE(t1.find("\"main bus\""), std::string::npos) << t1;
+  const ParseResult r = parseProblem(t1);
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? t1 : format(r.errors[0]));
+  expectEquivalent(p, *r.problem);
+  EXPECT_EQ(problemToText(*r.problem), t1);
 }
 
 TEST(WriterTest, RoverProblemRoundTrips) {

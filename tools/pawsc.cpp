@@ -13,6 +13,11 @@
 //       backtrack/delay/lock/min-power decisions with wall-clock phase
 //       spans as chrome://tracing JSON, --metrics dumps the metrics
 //       registry as CSV, --obs-summary prints the human-readable table.
+//       --cache-dir DIR persists solved schedules (keyed by the problem's
+//       canonical form) so repeated invocations serve hits, structurally
+//       matching near misses revalidate through repair, and exhaustive
+//       runs warm-start from the pipeline heuristic; batch mode shares
+//       one cache across its workers even without --cache-dir.
 //   pawsc sweep <file.paws> --pmax-from W --pmax-to W [--step W]
 //       Re-schedule across a budget range (design-space exploration).
 //   pawsc windows <file.paws> [--horizon T]
@@ -61,6 +66,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -68,6 +74,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cached_solve.hpp"
 #include "exec/jobs.hpp"
 #include "exec/parallel_for.hpp"
 #include "exec/pool.hpp"
@@ -148,6 +155,8 @@ int usage() {
                "out.jsonl]\n"
                "           [--metrics out.csv] [--obs-summary]\n"
                "           [--report out.json|-] [--openmetrics out.txt|-]\n"
+               "           [--cache-dir DIR]  (reuse solved schedules "
+               "across invocations)\n"
                "  sweep    <file.paws> --pmax-from W --pmax-to W [--step W]\n"
                "  windows  <file.paws> [--horizon T]\n"
                "  repair   <file.paws> --schedule plan.sched --at T "
@@ -279,38 +288,76 @@ struct ScheduleExports {
   }
 };
 
-ScheduleResult runScheduler(const Problem& problem,
+/// One solve through the cache resolver (`scheduleCache == nullptr` is the
+/// historical always-cold dispatch, bit-for-bit), keeping pawsc's
+/// suboptimality warning for budget-tripped exhaustive runs. Entries served
+/// from the cache are proven-optimal by construction, so no warning there.
+ScheduleResult runScheduler(cache::ScheduleCache* scheduleCache,
+                            const Problem& problem,
                             const std::string& scheduler,
                             std::uint32_t trials, std::size_t jobs,
                             const obs::ObsContext& obsCtx,
                             const guard::RunBudget& budget,
-                            guard::StopReason* stopOut = nullptr) {
-  // serial/list are single-pass and finish in microseconds; a wall-clock
-  // guard there would only be polling overhead.
-  if (scheduler == "serial") return SerialScheduler(problem).schedule();
-  if (scheduler == "list") return ListScheduler(problem).schedule();
-  if (scheduler == "optimal") {
-    ExhaustiveOptions options;
-    options.jobs = jobs == 0 ? exec::resolveJobs(0) : jobs;
-    options.obs = obsCtx;
-    options.budget = budget;
-    ExhaustiveScheduler optimal(problem, options);
-    ScheduleResult r = optimal.schedule();
-    if (stopOut != nullptr) *stopOut = optimal.outcome().stopReason;
-    if (!optimal.outcome().provenOptimal) {
-      std::fprintf(
-          stderr, "warning: %s; result may be suboptimal\n",
-          optimal.outcome().stopReason == guard::StopReason::kNone
-              ? "node budget hit"
-              : guard::toString(optimal.outcome().stopReason));
-    }
-    return r;
+                            cache::SolveInfo* infoOut = nullptr) {
+  cache::SolveSpec spec;
+  spec.scheduler = scheduler;
+  spec.trials = trials;
+  spec.jobs = jobs;
+  spec.obs = obsCtx;
+  spec.budget = budget;
+  cache::SolveInfo info;
+  ScheduleResult r =
+      cache::solveThroughCache(scheduleCache, problem, spec, &info);
+  if (scheduler == "optimal" && !info.servedFromCache() &&
+      !info.provenOptimal) {
+    std::fprintf(stderr, "warning: %s; result may be suboptimal\n",
+                 info.stopReason == guard::StopReason::kNone
+                     ? "node budget hit"
+                     : guard::toString(info.stopReason));
   }
-  PowerAwareOptions options;
-  options.trials = trials;
-  options.obs = obsCtx;
-  options.budget = budget;
-  return PowerAwareScheduler(problem, options).schedule();
+  if (infoOut != nullptr) *infoOut = info;
+  return r;
+}
+
+/// Resolves a --cache-dir into the cache file path, creating the directory
+/// if needed. Empty argument (flag not given) resolves to an empty path.
+std::string cacheFilePath(const std::string& cacheDir) {
+  if (cacheDir.empty()) return {};
+  std::error_code ec;
+  std::filesystem::create_directories(cacheDir, ec);
+  return (std::filesystem::path(cacheDir) /
+          cache::ScheduleCache::kFileName())
+      .string();
+}
+
+void loadCacheFile(cache::ScheduleCache& scheduleCache,
+                   const std::string& cachePath) {
+  if (cachePath.empty()) return;
+  std::string err;
+  if (!scheduleCache.load(cachePath, &err) && !err.empty()) {
+    std::fprintf(stderr, "warning: %s\n", err.c_str());
+  }
+}
+
+/// Persists the cache (when --cache-dir was given) and prints the run's
+/// cache traffic to stderr, keeping stdout byte-identical between cold and
+/// warm passes — scripts diff stdout.
+void finishCache(const cache::ScheduleCache& scheduleCache,
+                 const std::string& cachePath) {
+  const cache::CacheStats s = scheduleCache.stats();
+  std::fprintf(stderr,
+               "cache: %llu hits, %llu misses, %llu insertions, "
+               "%llu revalidations, %llu warm starts\n",
+               static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.misses),
+               static_cast<unsigned long long>(s.insertions),
+               static_cast<unsigned long long>(s.revalidations),
+               static_cast<unsigned long long>(s.warmStarts));
+  if (cachePath.empty()) return;
+  std::string err;
+  if (!scheduleCache.save(cachePath, &err)) {
+    std::fprintf(stderr, "warning: %s\n", err.c_str());
+  }
 }
 
 void printEffort(std::FILE* f, const SchedulerStats& st) {
@@ -430,9 +477,19 @@ void writeObsExports(const ScheduleExports& out, const obs::TraceSink& sink,
 int cmdSchedule(const std::string& path, const std::string& scheduler,
                 std::uint32_t trials, std::size_t jobs,
                 const ScheduleExports& out,
-                const guard::RunBudget& budget) {
+                const guard::RunBudget& budget,
+                const std::string& cacheDir) {
   const auto problem = load(path);
   if (!problem) return kExitInput;
+
+  // Single-file mode engages the cache only when asked: without a
+  // --cache-dir there is nothing to reuse across one solve.
+  std::optional<cache::ScheduleCache> scheduleCache;
+  const std::string cachePath = cacheFilePath(cacheDir);
+  if (!cacheDir.empty()) {
+    scheduleCache.emplace();
+    loadCacheFile(*scheduleCache, cachePath);
+  }
 
   obs::TraceSink sink;
   obs::MetricsRegistry registry;
@@ -443,13 +500,18 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
     obsCtx.metrics = &registry;
     obsCtx.incumbents = &incumbents;
   }
-  guard::StopReason schedulerStop = guard::StopReason::kNone;
-  const ScheduleResult r = runScheduler(*problem, scheduler, trials, jobs,
-                                        obsCtx, budget, &schedulerStop);
+  cache::SolveInfo solveInfo;
+  const ScheduleResult r = runScheduler(
+      scheduleCache.has_value() ? &*scheduleCache : nullptr, *problem,
+      scheduler, trials, jobs, obsCtx, budget, &solveInfo);
+  const guard::StopReason schedulerStop = solveInfo.stopReason;
   // The pipeline exports its own stats; the baselines know nothing of the
   // registry, so bridge their SchedulerStats view in.
   if (out.wantsObs() && scheduler != "pipeline") {
     exportStats(r.stats, registry);
+  }
+  if (out.wantsObs() && scheduleCache.has_value()) {
+    scheduleCache->exportMetrics(registry);
   }
   const std::string stopReason =
       deriveStopReason(schedulerStop, registry, r.status);
@@ -501,6 +563,7 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
       report.exitClass = exitForStatus(r.status);
       writeReportOut(out.reportOut, report);
     }
+    if (scheduleCache.has_value()) finishCache(*scheduleCache, cachePath);
     return exitForStatus(r.status);
   }
   if (anytime) {
@@ -578,6 +641,7 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
     report.exitClass = exitCode;
     writeReportOut(out.reportOut, report);
   }
+  if (scheduleCache.has_value()) finishCache(*scheduleCache, cachePath);
   return exitCode;
 }
 
@@ -587,7 +651,8 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
 /// (worker-local) Problem, and printing from workers would interleave.
 int cmdScheduleBatch(const std::vector<std::string>& paths,
                      const std::string& scheduler, std::uint32_t trials,
-                     std::size_t jobs, const guard::RunBudget& budget) {
+                     std::size_t jobs, const guard::RunBudget& budget,
+                     const std::string& cacheDir) {
   struct Row {
     bool loaded = false;
     bool ok = false;
@@ -599,6 +664,12 @@ int cmdScheduleBatch(const std::vector<std::string>& paths,
     double rho = 0;
     std::uint64_t lpRuns = 0;
   };
+  // One cache shared by every worker: duplicate (or near-duplicate) files
+  // in the batch pay for one solve. --cache-dir additionally carries the
+  // entries across invocations.
+  cache::ScheduleCache scheduleCache;
+  const std::string cachePath = cacheFilePath(cacheDir);
+  loadCacheFile(scheduleCache, cachePath);
   exec::Pool pool(exec::resolveJobs(jobs));
   const std::vector<Row> rows = exec::parallelMap(
       pool, paths.size(), [&](std::size_t i) -> Row {
@@ -617,8 +688,9 @@ int cmdScheduleBatch(const std::vector<std::string>& paths,
         // Files already run in parallel; keep each solve single-threaded.
         // Each file gets its own --timeout-ms allowance (the relative
         // timeout resolves per solve, not once for the whole batch).
-        const ScheduleResult r = runScheduler(problem, scheduler, trials, 1,
-                                              obs::ObsContext{}, budget);
+        const ScheduleResult r =
+            runScheduler(&scheduleCache, problem, scheduler, trials, 1,
+                         obs::ObsContext{}, budget);
         row.status = toString(r.status);
         row.lpRuns = r.stats.longestPathRuns;
         if (!r.ok()) {
@@ -658,6 +730,7 @@ int cmdScheduleBatch(const std::vector<std::string>& paths,
   std::printf("scheduled %zu/%zu files (%s, %zu worker threads)\n",
               paths.size() - static_cast<std::size_t>(failures),
               paths.size(), scheduler.c_str(), pool.numThreads());
+  finishCache(scheduleCache, cachePath);
   return worst;
 }
 
@@ -1114,6 +1187,7 @@ int runCli(int argc, char** argv) {
   int missions = 32;
   bool traceEvents = false;
   std::string jsonOut;
+  std::string cacheDir;  // empty = no persistent schedule cache
   std::int64_t timeoutMs = 0;  // 0 = no wall-clock deadline
 
   for (int i = takesFile ? 3 : 2; i < argc; ++i) {
@@ -1201,6 +1275,8 @@ int runCli(int argc, char** argv) {
       traceEvents = true;
     } else if (arg == "--json") {
       jsonOut = value("--json");
+    } else if (arg == "--cache-dir") {
+      cacheDir = value("--cache-dir");
     } else if (arg == "--timeout-ms") {
       timeoutMs = std::atoll(value("--timeout-ms"));
       if (timeoutMs <= 0) {
@@ -1235,9 +1311,11 @@ int runCli(int argc, char** argv) {
                      "render/export flags need a single input file\n");
         return kExitUsage;
       }
-      return cmdScheduleBatch(paths, scheduler, trials, jobs, budget);
+      return cmdScheduleBatch(paths, scheduler, trials, jobs, budget,
+                              cacheDir);
     }
-    return cmdSchedule(path, scheduler, trials, jobs, exports, budget);
+    return cmdSchedule(path, scheduler, trials, jobs, exports, budget,
+                       cacheDir);
   }
   if (command == "sweep") return cmdSweep(path, pmaxFrom, pmaxTo, pmaxStep);
   if (command == "windows") return cmdWindows(path, horizon);
