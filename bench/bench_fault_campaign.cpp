@@ -13,9 +13,12 @@
 #include "fault/model.hpp"
 #include "fault/rng.hpp"
 #include "rover/rover_model.hpp"
+#include "sched/battery_refine.hpp"
+#include "sched/max_power_scheduler.hpp"
 
 using namespace paws;
 using namespace paws::fault;
+using namespace paws::literals;
 
 namespace {
 
@@ -27,6 +30,71 @@ struct Fixture {
 const Fixture& fixture() {
   static Fixture instance;
   return instance;
+}
+
+/// Pmax-clamped ASAP plans (TimingScheduler + MaxPowerScheduler, no
+/// MinPower gap filling): timing- and budget-valid, but tasks with slack
+/// stack into tall bursts. This is the plan shape the rate-capacity model
+/// punishes — the full pipeline's MinPower stage already flattens, so on
+/// the regular fixture() plans batteryRefine() is a verified no-op.
+const Fixture& stackedFixture() {
+  static Fixture* instance = [] {
+    auto* f = new Fixture();
+    f->cases.schedules.clear();
+    f->cases.problems.clear();
+    f->cases.ok = true;
+    for (const rover::RoverCase c :
+         {rover::RoverCase::kBest, rover::RoverCase::kTypical,
+          rover::RoverCase::kWorst}) {
+      f->cases.problems.push_back(std::make_unique<Problem>(
+          rover::makeRoverProblem(c, /*iterations=*/1)));
+      MaxPowerScheduler scheduler(*f->cases.problems.back());
+      ScheduleResult r = scheduler.schedule();
+      if (!r.ok()) {
+        f->cases.ok = false;
+        f->cases.message = r.message;
+        break;
+      }
+      f->cases.schedules.push_back(std::move(*r.schedule));
+    }
+    return f;
+  }();
+  return *instance;
+}
+
+/// The stacked plans post-processed by batteryRefine() against the mission
+/// rate-capacity model (the Khan & Vemuri loop the realism study measures).
+const Fixture& refinedFixture() {
+  static Fixture* instance = [] {
+    auto* f = new Fixture();
+    const Fixture& stacked = stackedFixture();
+    f->cases.schedules.clear();
+    f->cases.problems.clear();
+    f->cases.ok = stacked.cases.ok;
+    BatteryRefineOptions refine;
+    refine.model = rover::missionBatteryTraits();
+    for (std::size_t i = 0; i < stacked.cases.schedules.size(); ++i) {
+      f->cases.problems.push_back(
+          std::make_unique<Problem>(*stacked.cases.problems[i]));
+      Schedule moved(f->cases.problems.back().get(),
+                     stacked.cases.schedules[i].starts());
+      f->cases.schedules.push_back(
+          batteryRefine(*f->cases.problems.back(), moved, refine));
+    }
+    return f;
+  }();
+  return *instance;
+}
+
+/// Mission criticality ranks applied (wheel heaters 3, steering heaters 2)
+/// so ModePolicy::missionDefault() has a service class to shed.
+const Fixture& missionFixture() {
+  static Fixture* instance = [] {
+    auto* f = new Fixture();
+    for (auto& p : f->cases.problems) rover::applyMissionCriticality(*p);
+    return f;
+  }();
+  return *instance;
 }
 
 FaultCampaign makeCampaign() {
@@ -83,6 +151,112 @@ void printSurvivalStudy() {
   std::printf("\n");
 }
 
+FaultModelConfig cleanModel() {
+  FaultModelConfig clean;
+  clean.overrunPermille = 0;
+  clean.failurePermille = 0;
+  clean.clouds = 0;
+  clean.storms = 0;
+  clean.deratePermille = 0;
+  return clean;
+}
+
+/// The pack the realism/mode studies fly on: small enough that a 48-step
+/// mission starves mid-flight, so delivered length is the discriminator.
+constexpr std::int64_t kStarvedPackMwt = 2900LL * 1000;  // 2900 J
+
+Battery starvedPack(bool rate) {
+  const Energy cap = Energy::fromMilliwattTicks(kStarvedPackMwt);
+  return rate ? rover::missionBattery(cap, rover::missionBatteryTraits())
+              : rover::missionBattery(cap);
+}
+
+/// One clean (fault-free) mission on a starved pack, flown on the stacked
+/// (Pmax-clamped ASAP) plans: how many steps does each battery model /
+/// schedule variant deliver before the charge runs out? The rate-capacity
+/// model must cost steps vs linear, and the batteryRefine() plans must
+/// claw some of them back.
+void printBatteryRealismStudy() {
+  if (!stackedFixture().cases.ok) {
+    std::printf("battery realism study skipped: %s\n\n",
+                stackedFixture().cases.message.c_str());
+    return;
+  }
+  std::printf("=== delivered mission length by battery model "
+              "(clean mission, stacked plans, 2900 J pack, 48-step target) "
+              "===\n");
+  std::printf("  %-22s %8s %12s %12s\n", "variant", "steps", "drawn(J)",
+              "depleted@");
+  struct Row {
+    const char* name;
+    bool rate;
+    bool refined;
+  };
+  const Row rows[] = {
+      {"linear", false, false},
+      {"rate-capacity", true, false},
+      {"rate + refine", true, true},
+  };
+  for (const Row& row : rows) {
+    const Fixture& fix = row.refined ? refinedFixture() : stackedFixture();
+    const FaultCampaign campaign(rover::missionSolarProfile(),
+                                 starvedPack(row.rate),
+                                 roverCaseBindings(fix.cases));
+    CampaignConfig config;
+    config.missions = 1;
+    config.targetSteps = 48;
+    config.model = cleanModel();
+    config.batteryModel = row.rate ? "rate" : "linear";
+    const CampaignResult r = campaign.run(config);
+    std::printf("  %-22s %5lld/48 %12.1f %12lld\n", row.name,
+                static_cast<long long>(r.steps),
+                static_cast<double>(r.outcomes[0].batteryDrawn.joules()),
+                static_cast<long long>(r.outcomes[0].depletedAt));
+  }
+  std::printf("\n");
+}
+
+/// Mission survival by degradation policy on the starved rate-capacity
+/// pack under fault stress: criticality-mode ladders must strictly beat
+/// per-task shed-only contingencies — a mode change re-budgets the whole
+/// mission instead of dropping one victim per infeasible repair.
+void printModeSurvivalStudy() {
+  std::printf("=== mission survival by degradation policy "
+              "(rate-capacity 2900 J pack, 40 seeded missions) ===\n");
+  std::printf("  %-18s %9s %8s %8s %8s %8s\n", "policy", "survival",
+              "steps", "shed", "modeshed", "esc");
+  struct Row {
+    const char* name;
+    ContingencyOptions contingency;
+    bool modes;
+  };
+  ContingencyOptions shedOnly;
+  shedOnly.replan = shedOnly.shed = true;
+  const Row rows[] = {
+      {"open-loop", {}, false},
+      {"shed-only", shedOnly, false},
+      {"modes", {}, true},
+      {"modes+contingency", ContingencyOptions::all(), true},
+  };
+  const FaultCampaign campaign(rover::missionSolarProfile(),
+                               starvedPack(/*rate=*/true),
+                               roverCaseBindings(missionFixture().cases));
+  for (const Row& row : rows) {
+    CampaignConfig config = baseConfig();
+    config.contingency = row.contingency;
+    if (row.modes) config.modePolicy = ModePolicy::missionDefault();
+    config.batteryModel = "rate";
+    const CampaignResult r = campaign.run(config);
+    std::printf("  %-18s %5lld/1000 %8lld %8lld %8lld %8lld\n", row.name,
+                static_cast<long long>(r.survivalPermille()),
+                static_cast<long long>(r.steps),
+                static_cast<long long>(r.shedTasks),
+                static_cast<long long>(r.modeShedTasks),
+                static_cast<long long>(r.modeEscalations));
+  }
+  std::printf("\n");
+}
+
 void BM_FaultPlanInstantiation(benchmark::State& state) {
   std::vector<std::string> names;
   const Problem& p = *fixture().cases.problems[0];
@@ -122,6 +296,57 @@ void BM_CampaignFanOut(benchmark::State& state) {
 BENCHMARK(BM_CampaignFanOut)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Deterministic mission counters (campaigns are byte-exact for any worker
+// count), gated exactly by tools/bench_diff against bench/baseline.json.
+
+void BM_BatteryDelivery(benchmark::State& state) {
+  // Stacked plans throughout: 0 = linear pack, 1 = rate-capacity,
+  // 2 = rate-capacity on the batteryRefine()d plans.
+  const int variant = static_cast<int>(state.range(0));
+  const Fixture& fix = variant == 2 ? refinedFixture() : stackedFixture();
+  const FaultCampaign campaign(rover::missionSolarProfile(),
+                               starvedPack(variant != 0),
+                               roverCaseBindings(fix.cases));
+  CampaignConfig config;
+  config.missions = 1;
+  config.targetSteps = 48;
+  config.model = cleanModel();
+  CampaignResult r;
+  for (auto _ : state) {
+    r = campaign.run(config);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["delivered_steps"] = static_cast<double>(r.steps);
+}
+BENCHMARK(BM_BatteryDelivery)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ModeSurvival(benchmark::State& state) {
+  // 0 = per-task shed-only contingency, 1 = the mission mode ladder.
+  const bool modes = state.range(0) != 0;
+  const FaultCampaign campaign(rover::missionSolarProfile(),
+                               starvedPack(/*rate=*/true),
+                               roverCaseBindings(missionFixture().cases));
+  CampaignConfig config = baseConfig();
+  if (modes) {
+    config.modePolicy = ModePolicy::missionDefault();
+    config.contingency = ContingencyOptions::all();
+  } else {
+    config.contingency.replan = config.contingency.shed = true;
+  }
+  config.batteryModel = "rate";
+  CampaignResult r;
+  for (auto _ : state) {
+    r = campaign.run(config);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["survival_permille"] =
+      static_cast<double>(r.survivalPermille());
+  state.counters["mode_escalations"] =
+      static_cast<double>(r.modeEscalations);
+}
+BENCHMARK(BM_ModeSurvival)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,5 +356,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   printSurvivalStudy();
+  printBatteryRealismStudy();
+  printModeSurvivalStudy();
   return paws::bench::runBenchMain("fault_campaign", argc, argv);
 }

@@ -112,6 +112,34 @@ CanonicalForm canonicalize(const Problem& problem, CanonicalParts parts) {
   full += " background=";
   appendNum(full, problem.backgroundPower().milliwatts());
   full += "\n";
+  // Battery/mode lines render only when declared, so every pre-existing
+  // problem keeps its canonical text (and cache hash) bit-for-bit.
+  if (problem.battery().has_value()) {
+    const BatteryTraits& traits = *problem.battery();
+    full += "battery";
+    for (const RateBand& band : traits.bands) {
+      full += " rate=";
+      appendNum(full, band.threshold.milliwatts());
+      full += ":";
+      appendNum(full, band.factorPermille);
+    }
+    full += " recoverable=";
+    appendNum(full, traits.recoverablePermille);
+    full += " recovery=";
+    appendNum(full, traits.recoveryRate.milliwatts());
+    full += "\n";
+  }
+  for (const SystemMode& mode : problem.modes()) {
+    full += "mode ";
+    full += mode.name;
+    full += " ceiling=";
+    appendNum(full, static_cast<int>(mode.ceiling));
+    full += " pmax=";
+    appendNum(full, mode.pmaxPct);
+    full += " pmin=";
+    appendNum(full, mode.pminPct);
+    full += "\n";
+  }
   for (ResourceId r : resources) {
     full += "resource ";
     full += problem.resource(r).name;

@@ -61,6 +61,7 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
     ec.traceTasks = false;
     ec.faults = &plan;
     ec.contingency = config.contingency;
+    ec.modes = config.modePolicy;
     ec.budget = budget;
     const runtime::ExecutionResult r = executor.run(ec);
     if (r.stopReason != guard::StopReason::kNone) {
@@ -84,6 +85,12 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
     o.batteryDepleted = r.batteryDepleted;
     o.unrecoverable = r.unrecoverable;
     o.stalled = r.stalled;
+    o.modeEscalations = r.modeEscalations;
+    o.modeDeescalations = r.modeDeescalations;
+    o.modeShedTasks = r.modeShedTasks;
+    o.finalMode = r.finalMode;
+    o.modeInfeasible = r.modeInfeasible;
+    o.depletedAt = r.depletedAt.has_value() ? r.depletedAt->ticks() : -1;
     return o;
   };
 
@@ -129,6 +136,10 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
     if (o.batteryDepleted) ++result.depletions;
     if (o.unrecoverable) ++result.unrecoverable;
     if (o.stalled) ++result.stalled;
+    result.modeEscalations += o.modeEscalations;
+    result.modeDeescalations += o.modeDeescalations;
+    result.modeShedTasks += o.modeShedTasks;
+    if (o.modeInfeasible) ++result.modeInfeasible;
   }
 
   if (config.obs.metrics != nullptr) {
@@ -149,6 +160,12 @@ CampaignResult FaultCampaign::run(const CampaignConfig& config) const {
     add("campaign.depletions", result.depletions);
     add("campaign.unrecoverable", result.unrecoverable);
     add("campaign.stalled", result.stalled);
+    if (config.modePolicy.enabled()) {
+      add("campaign.mode_escalations", result.modeEscalations);
+      add("campaign.mode_deescalations", result.modeDeescalations);
+      add("campaign.mode_shed_tasks", result.modeShedTasks);
+      add("campaign.mode_infeasible", result.modeInfeasible);
+    }
     m.set("campaign.survival_permille",
           static_cast<double>(result.survivalPermille()));
     if (result.stopReason == guard::StopReason::kCancelled) {
@@ -197,7 +214,9 @@ std::string toJson(const CampaignConfig& config,
      << ", \"replan\": " << boolStr(config.contingency.replan)
      << ", \"shed\": " << boolStr(config.contingency.shed)
      << ", \"watchdog_slack_pct\": " << config.contingency.watchdogSlackPct
-     << "}},\n";
+     << "},\n    \"mode_policy\": \""
+     << (config.modePolicy.enabled() ? config.modePolicy.name : "off")
+     << "\", \"battery_model\": \"" << config.batteryModel << "\"},\n";
   os << "  \"aggregate\": {\"survived\": " << result.survived
      << ", \"survival_permille\": " << result.survivalPermille()
      << ", \"steps\": " << result.steps
@@ -210,7 +229,11 @@ std::string toJson(const CampaignConfig& config,
      << ", \"shed_tasks\": " << result.shedTasks
      << ", \"deadline_misses\": " << result.deadlineMisses
      << ", \"unrecoverable\": " << result.unrecoverable
-     << ", \"stalled\": " << result.stalled << "},\n";
+     << ", \"stalled\": " << result.stalled
+     << ", \"mode_escalations\": " << result.modeEscalations
+     << ", \"mode_deescalations\": " << result.modeDeescalations
+     << ", \"mode_shed_tasks\": " << result.modeShedTasks
+     << ", \"mode_infeasible\": " << result.modeInfeasible << "},\n";
   os << "  \"missions\": [\n";
   // Only fully-flown missions are reported; on a clean campaign that is
   // every row, so the report stays byte-identical to the unguarded one.
@@ -233,8 +256,13 @@ std::string toJson(const CampaignConfig& config,
        << ", \"shed\": " << o.shedTasks
        << ", \"deadline_misses\": " << o.deadlineMisses
        << ", \"depleted\": " << boolStr(o.batteryDepleted)
+       << ", \"depleted_at\": " << o.depletedAt
        << ", \"unrecoverable\": " << boolStr(o.unrecoverable)
-       << ", \"stalled\": " << boolStr(o.stalled) << "}"
+       << ", \"stalled\": " << boolStr(o.stalled)
+       << ", \"mode_escalations\": " << o.modeEscalations
+       << ", \"mode_shed\": " << o.modeShedTasks
+       << ", \"final_mode\": " << o.finalMode
+       << ", \"mode_infeasible\": " << boolStr(o.modeInfeasible) << "}"
        << (i + 1 < flown.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

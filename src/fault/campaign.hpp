@@ -39,6 +39,13 @@ struct CampaignConfig {
   bool abortOnBrownout = false;
   ContingencyOptions contingency;
   FaultModelConfig model;
+  /// System criticality modes for every mission (default: disabled — the
+  /// campaign is then byte-identical to a mode-unaware build).
+  ModePolicy modePolicy;
+  /// Label echoed into the JSON report for the battery model the missions
+  /// flew ("linear" or "rate"); the model itself lives in the Battery
+  /// handed to the campaign constructor.
+  std::string batteryModel = "linear";
   /// Worker threads for the mission fan-out: 1 = serial (default),
   /// 0 = exec::defaultJobs(). The results never depend on this.
   std::size_t jobs = 1;
@@ -69,6 +76,13 @@ struct MissionOutcome {
   bool batteryDepleted = false;
   bool unrecoverable = false;
   bool stalled = false;
+  int modeEscalations = 0;
+  int modeDeescalations = 0;
+  int modeShedTasks = 0;
+  int finalMode = 0;
+  bool modeInfeasible = false;
+  /// Mission tick the battery ran dry, -1 when it ended with charge left.
+  std::int64_t depletedAt = -1;
   /// Set by the campaign only when the mission fully flew. Stays false when
   /// the RunBudget tripped before (or while) the mission ran — parallelMap
   /// leaves skipped slots default-constructed, so the default must read
@@ -90,6 +104,10 @@ struct CampaignResult {
   std::int64_t depletions = 0;
   std::int64_t unrecoverable = 0;
   std::int64_t stalled = 0;
+  std::int64_t modeEscalations = 0;
+  std::int64_t modeDeescalations = 0;
+  std::int64_t modeShedTasks = 0;
+  std::int64_t modeInfeasible = 0;
   /// kNone unless the RunBudget tripped; then `missions` counts only the
   /// missions that fully flew before the trip (a truncated campaign).
   guard::StopReason stopReason = guard::StopReason::kNone;

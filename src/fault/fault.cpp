@@ -140,8 +140,14 @@ SolarSource applySolarFaults(const SolarSource& base, const FaultPlan& plan) {
 Battery derate(const Battery& battery, const Fault& fault) {
   PAWS_CHECK(fault.kind == FaultKind::kBatteryDerate);
   Battery derated(scalePct(battery.maxOutput(), fault.outputPct),
-                  scalePct(battery.capacity(), fault.capacityPct));
-  if (battery.drawn() > Energy::zero()) derated.draw(battery.drawn());
+                  scalePct(battery.capacity(), fault.capacityPct),
+                  battery.model());
+  derated.inheritAccounting(battery);
+  // Re-draw the spent charge against the shrunken capacity; a clamp here
+  // means the derate itself killed the pack at the fault instant.
+  if (battery.drawn() > Energy::zero()) {
+    derated.draw(battery.drawn(), fault.at);
+  }
   return derated;
 }
 

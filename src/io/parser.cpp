@@ -134,6 +134,28 @@ class Parser {
     return true;
   }
 
+  /// Bare integer NUMBER (no unit suffix).
+  bool parseInteger(const char* what, std::int64_t* out) {
+    if (!at(TokenKind::kNumber)) {
+      error(peek(), std::string("expected ") + what);
+      return false;
+    }
+    const Token num = next();
+    if (num.text.find('.') != std::string::npos) {
+      error(num, std::string(what) + " must be integral, got '" + num.text +
+                     "'");
+      return false;
+    }
+    errno = 0;
+    const std::int64_t value = std::strtoll(num.text.c_str(), nullptr, 10);
+    if (errno == ERANGE || value > kMaxAbsTicks || value < -kMaxAbsTicks) {
+      error(num, "value '" + num.text + "' is out of range");
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+
   bool lookupTask(const Token& where, const std::string& name, TaskId* out) {
     const auto id = problem_.findTask(name);
     if (!id) {
@@ -170,7 +192,8 @@ class Parser {
         const std::string& t = peek().text;
         if (t == "task" || t == "resource" || t == "min" || t == "max" ||
             t == "precedes" || t == "release" || t == "deadline" ||
-            t == "pin" || t == "pmax" || t == "pmin" || t == "background") {
+            t == "pin" || t == "pmax" || t == "pmin" || t == "background" ||
+            t == "battery" || t == "mode") {
           return;
         }
       }
@@ -244,6 +267,140 @@ class Parser {
     if (criticality > 0) problem_.setCriticality(id, criticality);
   }
 
+  /// battery { rate POWER PERMILLE ... recoverable PERMILLE recovery POWER }
+  ///
+  /// Each `rate` pair declares one rate-capacity band: draws strictly above
+  /// the threshold drain factor/1000 times the nominal charge. Bands must be
+  /// listed with strictly increasing thresholds.
+  void parseBattery(const Token& key) {
+    if (!expect(TokenKind::kLBrace, "'{'")) return;
+    BatteryTraits traits;
+    bool bad = false;
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof) && !fatal_) {
+      const Token attr = peek();
+      std::string kw;
+      if (!expectIdent("a battery attribute", &kw)) {
+        next();
+        continue;
+      }
+      if (kw == "rate") {
+        Watts threshold;
+        if (!parsePower(&threshold)) continue;
+        std::int64_t factor = 0;
+        if (!parseInteger("a permille factor", &factor)) continue;
+        if (threshold < Watts::zero()) {
+          error(attr, "rate band threshold must be >= 0");
+          bad = true;
+          continue;
+        }
+        if (factor < 1000 || factor > 1'000'000) {
+          error(attr, "rate factor must be in [1000, 1000000] permille");
+          bad = true;
+          continue;
+        }
+        if (traits.bands.size() >= kMaxRateBands) {
+          error(attr, "too many rate bands (limit " +
+                          std::to_string(kMaxRateBands) + ")");
+          bad = true;
+          continue;
+        }
+        if (!traits.bands.empty() &&
+            threshold <= traits.bands.back().threshold) {
+          error(attr, "rate band thresholds must strictly increase");
+          bad = true;
+          continue;
+        }
+        traits.bands.push_back(RateBand{threshold, factor});
+      } else if (kw == "recoverable") {
+        std::int64_t permille = 0;
+        if (!parseInteger("a permille fraction", &permille)) continue;
+        if (permille < 0 || permille > 1000) {
+          error(attr, "recoverable fraction must be in [0, 1000] permille");
+          bad = true;
+          continue;
+        }
+        traits.recoverablePermille = permille;
+      } else if (kw == "recovery") {
+        Watts w;
+        if (!parsePower(&w)) continue;
+        if (w < Watts::zero()) {
+          error(attr, "recovery rate must be >= 0");
+          bad = true;
+          continue;
+        }
+        traits.recoveryRate = w;
+      } else {
+        error(attr, "unknown battery attribute '" + kw + "'");
+      }
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    if (bad) return;
+    if (problem_.battery().has_value()) {
+      error(key, "duplicate battery declaration");
+      return;
+    }
+    problem_.setBattery(std::move(traits));
+  }
+
+  /// mode NAME { ceiling INT pmax_scale PCT pmin_scale PCT }
+  ///
+  /// Modes form the escalation ladder in declaration order; ceilings must
+  /// not increase down the ladder (checked by Problem::validate, reported
+  /// to the caller alongside other semantic issues).
+  void parseMode(const Token& key) {
+    std::string name;
+    if (!expectIdent("a mode name", &name)) return;
+    if (!expect(TokenKind::kLBrace, "'{'")) return;
+    SystemMode mode;
+    mode.name = name;
+    bool bad = false;
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof) && !fatal_) {
+      const Token attr = peek();
+      std::string kw;
+      if (!expectIdent("a mode attribute", &kw)) {
+        next();
+        continue;
+      }
+      std::int64_t value = 0;
+      if (kw == "ceiling") {
+        if (!parseInteger("a criticality ceiling", &value)) continue;
+        if (value < 0 || value > 255) {
+          error(attr, "mode ceiling must be in [0, 255]");
+          bad = true;
+          continue;
+        }
+        mode.ceiling = static_cast<std::uint8_t>(value);
+      } else if (kw == "pmax_scale" || kw == "pmin_scale") {
+        if (!parseInteger("a percentage", &value)) continue;
+        if (value < 0 || value > 100) {
+          error(attr, "mode power scale must be in [0, 100] percent");
+          bad = true;
+          continue;
+        }
+        if (kw == "pmax_scale") {
+          mode.pmaxPct = static_cast<std::uint32_t>(value);
+        } else {
+          mode.pminPct = static_cast<std::uint32_t>(value);
+        }
+      } else {
+        error(attr, "unknown mode attribute '" + kw + "'");
+      }
+    }
+    expect(TokenKind::kRBrace, "'}'");
+    if (bad) return;
+    for (const SystemMode& m : problem_.modes()) {
+      if (m.name == mode.name) {
+        error(key, "duplicate mode '" + name + "'");
+        return;
+      }
+    }
+    if (problem_.modes().size() >= kMaxModes) {
+      fatal(key, "too many modes (limit " + std::to_string(kMaxModes) + ")");
+      return;
+    }
+    problem_.addMode(std::move(mode));
+  }
+
   void parseItem() {
     const Token key = peek();
     std::string kw;
@@ -275,6 +432,10 @@ class Parser {
       problem_.addResource(name);
     } else if (kw == "task") {
       parseTask();
+    } else if (kw == "battery") {
+      parseBattery(key);
+    } else if (kw == "mode") {
+      parseMode(key);
     } else if (kw == "min" || kw == "max") {
       if (!constraintBudgetOk(key)) return;
       TaskId from, to;

@@ -8,6 +8,12 @@
 //              | "resource" name
 //              | "task" name "{" "resource" name "delay" dur
 //                               "power" power "}"
+//              | "battery" "{" ("rate" power permille
+//                              | "recoverable" permille
+//                              | "recovery" power)* "}"
+//              | "mode" name "{" ("ceiling" int
+//                                | "pmax_scale" pct
+//                                | "pmin_scale" pct)* "}"
 //              | "min" name "->" name dur        # min separation
 //              | "max" name "->" name dur        # max separation
 //              | "precedes" name "->" name [dur] # completion + lag
@@ -60,6 +66,10 @@ inline constexpr std::size_t kMaxParseErrors = 100;
 inline constexpr std::int64_t kMaxAbsTicks = 1'000'000'000'000;  // 1e12
 /// Largest |watts| accepted for any power literal (1 GW).
 inline constexpr double kMaxAbsWatts = 1.0e9;
+/// Most rate-capacity bands a battery declaration may carry.
+inline constexpr std::size_t kMaxRateBands = 8;
+/// Most system modes a problem may declare.
+inline constexpr std::size_t kMaxModes = 8;
 
 /// Parses a .paws document.
 ParseResult parseProblem(std::string_view source);

@@ -61,6 +61,28 @@ void writeProblem(std::ostream& os, const Problem& problem) {
     writeWatts(os, problem.backgroundPower());
     os << "\n";
   }
+  if (problem.battery().has_value()) {
+    const BatteryTraits& traits = *problem.battery();
+    os << "  battery {";
+    for (const RateBand& band : traits.bands) {
+      os << " rate ";
+      writeWatts(os, band.threshold);
+      os << " " << band.factorPermille;
+    }
+    if (traits.recoverablePermille > 0) {
+      os << " recoverable " << traits.recoverablePermille;
+    }
+    if (traits.recoveryRate > Watts::zero()) {
+      os << " recovery ";
+      writeWatts(os, traits.recoveryRate);
+    }
+    os << " }\n";
+  }
+  for (const SystemMode& mode : problem.modes()) {
+    os << "  mode " << nameToken(mode.name) << " { ceiling "
+       << static_cast<int>(mode.ceiling) << "  pmax_scale " << mode.pmaxPct
+       << "  pmin_scale " << mode.pminPct << " }\n";
+  }
   os << "\n";
   for (ResourceId r : problem.resourceIds()) {
     os << "  resource " << nameToken(problem.resource(r).name) << "\n";

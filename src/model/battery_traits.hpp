@@ -1,0 +1,71 @@
+// Rate-capacity battery characteristics (declared per problem, consumed by
+// the power layer's Battery and the battery-aware refinement pass).
+//
+// Khan & Vemuri ("An Iterative Algorithm for Battery-Aware Task
+// Scheduling") model the two dominant non-idealities of real cells:
+//
+//   * rate-capacity effect — the effective charge drawn grows
+//     superlinearly with the instantaneous draw once it exceeds the rated
+//     current. We keep this exact with a small piecewise-constant lookup:
+//     a draw strictly above band i's threshold costs factorPermille[i]/1000
+//     of its nominal rate (integer milliwatts, floored), so every mission
+//     integral stays fixed-point and byte-reproducible;
+//   * charge recovery — part of the superlinear excess is not lost for
+//     good: during idle gaps a bounded recoverable fraction flows back at
+//     a limited rate.
+//
+// An empty band list is the linear model: effectiveRate(r) == r, nothing
+// recoverable — bit-identical to the pre-rate-capacity battery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/units.hpp"
+
+namespace paws {
+
+/// One lookup band: draws strictly above `threshold` cost
+/// `factorPermille`/1000 of their nominal rate (>= 1000; the effect only
+/// ever makes draws more expensive).
+struct RateBand {
+  Watts threshold;
+  std::int64_t factorPermille = 1000;
+
+  [[nodiscard]] bool operator==(const RateBand&) const = default;
+};
+
+struct BatteryTraits {
+  /// Sorted by strictly increasing threshold; the band with the largest
+  /// threshold strictly below the draw rules. Empty = linear battery.
+  std::vector<RateBand> bands;
+  /// Fraction (permille) of the rate-capacity excess banked as
+  /// recoverable charge instead of being lost outright.
+  std::int64_t recoverablePermille = 0;
+  /// Cap on how fast banked charge flows back during idle gaps.
+  Watts recoveryRate = Watts::zero();
+
+  [[nodiscard]] bool linear() const { return bands.empty(); }
+
+  /// Lookup factor for an instantaneous draw (1000 below every band).
+  [[nodiscard]] std::int64_t factorFor(Watts rate) const {
+    std::int64_t factor = 1000;
+    for (const RateBand& band : bands) {
+      if (rate > band.threshold) factor = band.factorPermille;
+    }
+    return factor;
+  }
+
+  /// Effective charge-drain rate for a nominal draw: rate scaled by the
+  /// band factor, floored to exact milliwatts.
+  [[nodiscard]] Watts effectiveRate(Watts rate) const {
+    if (bands.empty() || rate <= Watts::zero()) return rate;
+    const std::int64_t factor = factorFor(rate);
+    if (factor == 1000) return rate;
+    return Watts::fromMilliwatts(rate.milliwatts() * factor / 1000);
+  }
+
+  [[nodiscard]] bool operator==(const BatteryTraits&) const = default;
+};
+
+}  // namespace paws

@@ -1,0 +1,21 @@
+#include "model/mode_policy.hpp"
+
+namespace paws {
+
+ModePolicy ModePolicy::missionDefault() {
+  ModePolicy policy;
+  policy.name = "mission";
+  // Ceilings match rover::applyMissionCriticality: wheel heaters rank 3,
+  // steering heaters rank 2, everything else mission-critical (0).
+  policy.modes = {
+      SystemMode{"nominal", 255, 100, 100},
+      SystemMode{"degraded", 2, 100, 75},
+      SystemMode{"survival", 0, 90, 0},
+  };
+  policy.escalateOnBrownout = true;
+  policy.overrunSlackPct = 25;
+  policy.depletionRiskPermille = 250;
+  return policy;
+}
+
+}  // namespace paws

@@ -1,0 +1,72 @@
+// System criticality modes (mixed-criticality graceful degradation).
+//
+// A ModePolicy is an ordered ladder of system modes — e.g. nominal ->
+// degraded -> survival — each defining a criticality ceiling and amended
+// power budgets. The runtime executor escalates one rung per iteration
+// when a trigger fires (brownouts, iteration overrun, depletion risk),
+// sheds every task whose criticality exceeds the new ceiling *wholesale*,
+// and repairs the surviving schedule under the amended Pmax/Pmin. This is
+// the system-level counterpart of per-task shedding: instead of dropping
+// one victim per infeasible repair, a mode change drops a whole service
+// class at once and re-budgets the mission around what is left.
+//
+// De-escalation on sustained slack is optional and off by default: a
+// mission that recovers its margin can climb back up the ladder, restoring
+// mode-shed tasks (fault-shed tasks stay shed — their faults are real).
+//
+// An empty policy (no modes) disables the machinery entirely; the executor
+// then behaves bit-identically to the mode-unaware code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paws {
+
+/// One rung of the mode ladder.
+struct SystemMode {
+  std::string name;
+  /// Tasks with criticality strictly above the ceiling are shed wholesale
+  /// on entry (255 = keep everything, 0 = only mission-critical tasks).
+  std::uint8_t ceiling = 255;
+  /// Amended hard budget: Pmax' = (solar + battery max output) * pmaxPct%.
+  std::uint32_t pmaxPct = 100;
+  /// Amended soft floor: Pmin' = solar * pminPct%.
+  std::uint32_t pminPct = 100;
+
+  [[nodiscard]] bool operator==(const SystemMode&) const = default;
+};
+
+struct ModePolicy {
+  /// Policy label for reports and campaign JSON ("off" when disabled).
+  std::string name = "off";
+  /// Ordered rungs, index 0 = the starting (nominal) mode. Empty = the
+  /// mode machinery is off.
+  std::vector<SystemMode> modes;
+
+  // ----- escalation triggers (evaluated at iteration boundaries) --------
+  /// Escalate when any brownout struck during the previous iteration.
+  bool escalateOnBrownout = true;
+  /// Escalate when the previous iteration overran its nominal span by more
+  /// than this percentage (0 = trigger disabled).
+  std::uint32_t overrunSlackPct = 0;
+  /// Escalate when battery remaining falls below this permille of
+  /// capacity (0 = trigger disabled).
+  std::int64_t depletionRiskPermille = 0;
+
+  // ----- optional de-escalation (off by default) ------------------------
+  /// After this many consecutive trigger-free iterations, climb one rung
+  /// back up and restore that rung's mode-shed tasks (0 = never).
+  std::uint32_t deescalateAfterClean = 0;
+
+  [[nodiscard]] bool enabled() const { return !modes.empty(); }
+
+  /// The rover mission ladder: nominal (all tasks) -> degraded (wheel
+  /// heaters shed) -> survival (all droppable tasks shed, Pmax trimmed).
+  [[nodiscard]] static ModePolicy missionDefault();
+
+  [[nodiscard]] bool operator==(const ModePolicy&) const = default;
+};
+
+}  // namespace paws

@@ -174,6 +174,38 @@ std::vector<std::string> Problem::validate() const {
              " — no schedule can be power-valid");
     }
   }
+  if (battery_.has_value()) {
+    for (std::size_t i = 0; i < battery_->bands.size(); ++i) {
+      const RateBand& band = battery_->bands[i];
+      if (band.factorPermille < 1000) {
+        report("battery rate band above ", band.threshold,
+               " has factor ", band.factorPermille,
+               " permille — the rate-capacity effect cannot make draws "
+               "cheaper");
+      }
+      if (i > 0 && band.threshold <= battery_->bands[i - 1].threshold) {
+        report("battery rate band thresholds must strictly increase (",
+               battery_->bands[i - 1].threshold, " then ", band.threshold,
+               ")");
+      }
+    }
+    if (battery_->recoverablePermille < 0 ||
+        battery_->recoverablePermille > 1000) {
+      report("battery recoverable fraction ", battery_->recoverablePermille,
+             " permille is outside [0, 1000]");
+    }
+  }
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    const SystemMode& m = modes_[i];
+    if (m.pmaxPct > 100 || m.pminPct > 100) {
+      report("mode '", m.name, "' scales a power budget above 100% (pmax ",
+             m.pmaxPct, "%, pmin ", m.pminPct, "%)");
+    }
+    if (i > 0 && m.ceiling > modes_[i - 1].ceiling) {
+      report("mode '", m.name, "' raises the criticality ceiling over '",
+             modes_[i - 1].name, "' — escalation must shed, not restore");
+    }
+  }
   // Contradictory min/max pairs on the same ordered task pair.
   for (const TimingConstraint& a : constraints_) {
     if (a.kind != TimingConstraint::Kind::kMinSeparation) continue;

@@ -29,6 +29,8 @@
 #include "base/time.hpp"
 #include "base/units.hpp"
 #include "graph/constraint_graph.hpp"
+#include "model/battery_traits.hpp"
+#include "model/mode_policy.hpp"
 
 namespace paws {
 
@@ -141,6 +143,15 @@ class Problem {
   /// models the rover's CPU which is "constant" in Table 2.
   void setBackgroundPower(Watts w) { background_ = w; }
 
+  /// Declares the platform battery's rate-capacity characteristics
+  /// (`battery { ... }` in .paws). Purely declarative for the schedulers;
+  /// the runtime stack and the battery-aware refinement consume it.
+  void setBattery(BatteryTraits traits) { battery_ = std::move(traits); }
+
+  /// Appends one rung to the problem's system-mode ladder (`mode name
+  /// { ... }` in .paws), in declaration order.
+  void addMode(SystemMode mode) { modes_.push_back(std::move(mode)); }
+
   // ----- queries -------------------------------------------------------
 
   /// Number of task slots *including* the anchor (= graph vertex count).
@@ -181,6 +192,15 @@ class Problem {
   [[nodiscard]] Watts minPower() const { return pmin_; }
   [[nodiscard]] Watts backgroundPower() const { return background_; }
 
+  /// Declared battery characteristics, if any (nullopt = linear battery).
+  [[nodiscard]] const std::optional<BatteryTraits>& battery() const {
+    return battery_;
+  }
+  /// Declared system-mode ladder in declaration order (empty = no modes).
+  [[nodiscard]] const std::vector<SystemMode>& modes() const {
+    return modes_;
+  }
+
   /// Sum of all task energies plus nothing for background (background
   /// depends on the schedule makespan).
   [[nodiscard]] Energy totalTaskEnergy() const;
@@ -214,6 +234,8 @@ class Problem {
   Watts pmax_ = Watts::max();
   Watts pmin_ = Watts::zero();
   Watts background_ = Watts::zero();
+  std::optional<BatteryTraits> battery_;
+  std::vector<SystemMode> modes_;
 };
 
 }  // namespace paws

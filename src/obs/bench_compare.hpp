@@ -33,10 +33,13 @@ struct BenchCompareOptions {
   /// exhaustive search, whose visit set is machine-independent; the
   /// cache_* traffic counters count resolver decisions, which are a pure
   /// function of the request sequence.
+  /// delivered_steps / survival_permille / mode_escalations come from
+  /// fault campaigns, which are byte-exact for any worker count.
   std::vector<std::string> exactCounters = {
       "schedule_bytes", "lp_runs",         "nodes_explored",
       "pruned_dominance", "pruned_symmetry", "pruned_bound",
-      "cache_hits",       "cache_misses"};
+      "cache_hits",       "cache_misses",    "delivered_steps",
+      "survival_permille", "mode_escalations"};
 };
 
 struct BenchComparison {

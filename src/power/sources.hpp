@@ -15,6 +15,7 @@
 #include "base/check.hpp"
 #include "base/time.hpp"
 #include "base/units.hpp"
+#include "model/battery_traits.hpp"
 
 namespace paws {
 
@@ -47,9 +48,17 @@ class SolarSource {
 
 /// Non-rechargeable battery: bounded instantaneous output and finite
 /// capacity. `draw()` performs the accounting a mission simulator needs.
+///
+/// With a non-linear BatteryTraits model the battery additionally applies
+/// the rate-capacity effect — `drawAt()` drains `effectiveRate(rate)`
+/// instead of `rate`, banking the configured fraction of the superlinear
+/// excess as recoverable charge that `recover()` refunds during idle gaps.
+/// The default (linear) model makes every one of these paths an exact
+/// identity, so pre-rate-capacity accounting is bit-preserved.
 class Battery {
  public:
   Battery(Watts maxOutput, Energy capacity);
+  Battery(Watts maxOutput, Energy capacity, BatteryTraits model);
 
   [[nodiscard]] Watts maxOutput() const { return maxOutput_; }
   [[nodiscard]] Energy capacity() const { return capacity_; }
@@ -57,17 +66,75 @@ class Battery {
   [[nodiscard]] Energy remaining() const { return capacity_ - drawn_; }
   [[nodiscard]] bool depleted() const { return drawn_ >= capacity_; }
 
+  [[nodiscard]] const BatteryTraits& model() const { return model_; }
+  /// Effective charge-drain rate for a nominal draw under the model.
+  [[nodiscard]] Watts effectiveRate(Watts rate) const {
+    return model_.effectiveRate(rate);
+  }
+  /// Banked recoverable charge (always zero under the linear model).
+  [[nodiscard]] Energy recoverable() const { return recoverable_; }
+  /// Total rate-capacity excess drained so far (effective minus nominal).
+  [[nodiscard]] Energy rateExcess() const { return rateExcess_; }
+  /// Total charge refunded by idle-gap recovery so far.
+  [[nodiscard]] Energy recovered() const { return recovered_; }
+
+  /// Mission tick at which the charge ran out, latched by the first
+  /// clamping draw (or explicitly via markDepleted for exact mid-slice
+  /// depletion instants). nullopt while the battery still holds charge.
+  [[nodiscard]] const std::optional<Time>& depletedAt() const {
+    return depletedAt_;
+  }
+  /// Latches the depletion instant without drawing (the mission simulator
+  /// computes the exact mid-slice death tick before the final draw).
+  void markDepleted(Time at) {
+    if (!depletedAt_.has_value()) depletedAt_ = at;
+  }
+
   /// Records `energy` drawn from the battery. Returns false (and clamps to
   /// capacity) when the draw exceeds the remaining charge.
   bool draw(Energy energy);
 
+  /// As draw(Energy), latching `at` as the depletion tick on a clamp.
+  bool draw(Energy energy, Time at);
+
+  /// Draws at nominal `rate` over `span` with the rate-capacity effect
+  /// applied: effectiveRate(rate) * span leaves the battery and the
+  /// recoverable fraction of the excess is banked. Identical to
+  /// draw(rate * span, at) under the linear model.
+  bool drawAt(Watts rate, Duration span, Time at);
+
+  /// Idle-gap recovery: refunds banked charge at the model's recovery
+  /// rate over `span` (a no-op under the linear model).
+  void recover(Duration span);
+
+  /// Carries the non-charge accounting (recoverable pool, rate-capacity
+  /// totals, depletion latch) over from a predecessor battery — used when
+  /// a fault derates the pack mid-mission into a fresh Battery object.
+  void inheritAccounting(const Battery& from) {
+    recoverable_ = from.recoverable_;
+    rateExcess_ = from.rateExcess_;
+    recovered_ = from.recovered_;
+    depletedAt_ = from.depletedAt_;
+  }
+
   /// Resets the accounting (fresh battery).
-  void reset() { drawn_ = Energy::zero(); }
+  void reset() {
+    drawn_ = Energy::zero();
+    recoverable_ = Energy::zero();
+    rateExcess_ = Energy::zero();
+    recovered_ = Energy::zero();
+    depletedAt_.reset();
+  }
 
  private:
   Watts maxOutput_;
   Energy capacity_;
   Energy drawn_;
+  BatteryTraits model_;
+  Energy recoverable_;
+  Energy rateExcess_;
+  Energy recovered_;
+  std::optional<Time> depletedAt_;
 };
 
 /// A platform power supply: one free source plus one costly source.

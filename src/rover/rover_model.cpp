@@ -136,4 +136,28 @@ SolarSource missionSolarProfile() {
 
 Battery missionBattery(Energy capacity) { return Battery(10_W, capacity); }
 
+BatteryTraits missionBatteryTraits() {
+  BatteryTraits traits;
+  traits.bands.push_back(RateBand{2_W, 1250});
+  traits.bands.push_back(RateBand{6_W, 1600});
+  traits.recoverablePermille = 300;
+  traits.recoveryRate = Watts::fromMilliwatts(500);
+  return traits;
+}
+
+Battery missionBattery(Energy capacity, const BatteryTraits& traits) {
+  return Battery(10_W, capacity, traits);
+}
+
+void applyMissionCriticality(Problem& p) {
+  for (TaskId v : p.taskIds()) {
+    const std::string& name = p.task(v).name;
+    if (name.rfind("heat_wheel", 0) == 0) {
+      p.setCriticality(v, 3);
+    } else if (name.rfind("heat_steer", 0) == 0) {
+      p.setCriticality(v, 2);
+    }
+  }
+}
+
 }  // namespace paws::rover

@@ -83,4 +83,20 @@ SolarSource missionSolarProfile();
 Battery missionBattery(Energy capacity = Energy::fromMilliwattTicks(
                            static_cast<std::int64_t>(40) * 3600 * 1000));
 
+/// Rate-capacity traits for the mission battery: draws above 2 W cost 25%
+/// extra charge, above 6 W 60% extra (a LiSOCl2-style primary cell pushed
+/// past its rated current), with 30% of the superlinear excess recoverable
+/// at 0.5 W during free-powered gaps.
+BatteryTraits missionBatteryTraits();
+
+/// As missionBattery(capacity) with a rate-capacity model installed.
+Battery missionBattery(Energy capacity, const BatteryTraits& traits);
+
+/// Installs the mission criticality ladder on a rover problem: wheel
+/// heaters rank 3 (shed first — driving keeps the motors warm), steering
+/// heaters rank 2; hazard/steer/drive stay mission-critical (rank 0).
+/// Matches ModePolicy::missionDefault()'s ceilings. Criticality does not
+/// affect start times, so this is safe after schedules are built.
+void applyMissionCriticality(Problem& p);
+
 }  // namespace paws::rover

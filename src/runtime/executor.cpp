@@ -1,8 +1,10 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 #include "base/check.hpp"
 #include "obs/metrics.hpp"
@@ -52,6 +54,12 @@ const char* toString(EventKind kind) {
       return "stalled";
     case EventKind::kRunInterrupted:
       return "run-interrupted";
+    case EventKind::kModeEscalated:
+      return "mode-escalated";
+    case EventKind::kModeDeescalated:
+      return "mode-deescalated";
+    case EventKind::kModeInfeasible:
+      return "mode-infeasible";
   }
   return "?";
 }
@@ -113,6 +121,26 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
   static const fault::FaultPlan kEmptyPlan;
   const fault::FaultPlan& plan = haveFaults ? *config.faults : kEmptyPlan;
 
+  // ---- System criticality-mode state (model/mode_policy.hpp) ----
+  const ModePolicy& policy = config.modes;
+  const bool modesOn = policy.enabled();
+  std::size_t modeIdx = 0;              // current rung on the ladder
+  bool pendingTrigger = false;          // brownout/overrun seen last iteration
+  std::string pendingWhy;
+  std::uint32_t cleanIters = 0;         // trigger-free streak (de-escalation)
+  bool modeInfeasibleEmitted = false;   // one kModeInfeasible per stuck rung
+  // Names shed by mode ceilings -> the rung that shed them, so optional
+  // de-escalation can restore exactly the tasks its rung removed. Every
+  // entry is mirrored into `shed` (the executor's effective shed set).
+  std::map<std::string, std::size_t> modeShed;
+  // Mode-repaired start vectors, keyed by (binding, rung, solar mw, battery
+  // max-output mw, shed count) — every input that shapes the amended
+  // problem. nullopt caches an infeasible repair. Deterministic: the key is
+  // pure mission state, never wall-clock or allocation order.
+  using RepairKey = std::tuple<const CaseBinding*, std::size_t, std::int64_t,
+                               std::int64_t, std::size_t>;
+  std::map<RepairKey, std::optional<std::vector<Time>>> modeRepairCache;
+
   const auto emit = [&result](Time at, EventKind kind, std::string detail) {
     result.trace.push_back(Event{at, kind, std::move(detail)});
   };
@@ -120,9 +148,33 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
     if (config.obs.metrics != nullptr) config.obs.metrics->add(name);
   };
   // Final outcome gauges/counters; called once on every exit path.
-  const auto exportOutcome = [&result, &config]() {
+  const auto exportOutcome = [&]() {
+    result.finalMode = static_cast<int>(modeIdx);
+    if (!result.depletedAt.has_value() && battery.depletedAt().has_value()) {
+      result.depletedAt = battery.depletedAt();
+    }
     if (config.obs.metrics == nullptr) return;
     obs::MetricsRegistry& m = *config.obs.metrics;
+    if (modesOn) {
+      m.add("mode.escalations",
+            static_cast<std::uint64_t>(result.modeEscalations));
+      m.add("mode.deescalations",
+            static_cast<std::uint64_t>(result.modeDeescalations));
+      m.add("mode.shed_tasks",
+            static_cast<std::uint64_t>(result.modeShedTasks));
+      if (result.modeInfeasible) m.add("mode.infeasible");
+      m.set("mode.final", static_cast<double>(result.finalMode));
+    }
+    if (!battery.model().linear()) {
+      m.set("battery.rate_excess_mwt",
+            static_cast<double>(battery.rateExcess().milliwattTicks()));
+      m.set("battery.recovered_mwt",
+            static_cast<double>(battery.recovered().milliwattTicks()));
+    }
+    if (result.depletedAt.has_value()) {
+      m.set("executor.depleted_at_tick",
+            static_cast<double>(result.depletedAt->ticks()));
+    }
     if (result.stopReason == guard::StopReason::kCancelled) {
       m.add("guard.cancels");
     } else if (result.stopReason == guard::StopReason::kDeadline) {
@@ -215,6 +267,124 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
     const Problem& prob = *binding->problem;
     const Time iterStart = now;
     const int stepsBefore = result.steps;
+    const int brownoutsBefore = result.brownouts;
+
+    // ---- Mode ladder: trigger evaluation, wholesale shed, plan repair ----
+    bool modeActiveThisIter = false;
+    std::optional<std::vector<Time>> modeStarts;
+    if (modesOn) {
+      // Depletion risk is a state-of-charge trigger evaluated fresh each
+      // boundary; brownout/overrun triggers carry over from last iteration.
+      bool trigger = pendingTrigger;
+      std::string why = pendingWhy;
+      if (policy.depletionRiskPermille > 0 &&
+          battery.remaining().milliwattTicks() * 1000 <
+              battery.capacity().milliwattTicks() *
+                  policy.depletionRiskPermille) {
+        trigger = true;
+        why = "depletion risk";
+      }
+      pendingTrigger = false;
+      pendingWhy.clear();
+      if (trigger) {
+        cleanIters = 0;
+        if (modeIdx + 1 < policy.modes.size()) {
+          ++modeIdx;
+          modeInfeasibleEmitted = false;
+          ++result.modeEscalations;
+          bump("mode.escalation_events");
+          const SystemMode& entered = policy.modes[modeIdx];
+          emit(now, EventKind::kModeEscalated, entered.name + " (" + why + ")");
+          // Wholesale shed: every task above the new ceiling, across all
+          // case bindings, leaves the mission in one stroke.
+          for (const CaseBinding& b : bindings_) {
+            for (TaskId v : b.problem->taskIds()) {
+              const Task& t = b.problem->task(v);
+              if (t.criticality <= entered.ceiling) continue;
+              if (modeShed.count(t.name) > 0 || shed.count(t.name) > 0) {
+                continue;
+              }
+              modeShed.emplace(t.name, modeIdx);
+              shed.insert(t.name);
+              ++result.modeShedTasks;
+              bump("mode.shed_events");
+              emit(now, EventKind::kTaskShed,
+                   t.name + " (mode " + entered.name + ")");
+            }
+          }
+        }
+      } else if (policy.deescalateAfterClean > 0 && modeIdx > 0) {
+        ++cleanIters;
+        if (cleanIters >= policy.deescalateAfterClean) {
+          // Sustained slack: climb one rung and restore the tasks that
+          // rung (and only that rung) had shed.
+          cleanIters = 0;
+          for (auto it = modeShed.begin(); it != modeShed.end();) {
+            if (it->second > modeIdx - 1) {
+              shed.erase(it->first);
+              it = modeShed.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          --modeIdx;
+          modeInfeasibleEmitted = false;
+          ++result.modeDeescalations;
+          bump("mode.deescalation_events");
+          emit(now, EventKind::kModeDeescalated, policy.modes[modeIdx].name);
+        }
+      }
+
+      const SystemMode& mode = policy.modes[modeIdx];
+      const bool amendedBudget = mode.pmaxPct < 100 || mode.pminPct < 100;
+      modeActiveThisIter = modeIdx > 0 || amendedBudget || !modeShed.empty();
+      if (modeActiveThisIter && (amendedBudget || !modeShed.empty())) {
+        // Repair the survivors under the rung's amended budget. The repair
+        // runs at local time zero — nothing of this iteration has executed
+        // yet, so nothing is pinned and the whole plan may move.
+        const RepairKey key{binding, modeIdx, solarNow.milliwatts(),
+                            battery.maxOutput().milliwatts(), shed.size()};
+        auto cached = modeRepairCache.find(key);
+        if (cached == modeRepairCache.end()) {
+          Problem amended(prob);
+          const Watts pmaxBase = solarNow + battery.maxOutput();
+          amended.setMaxPower(Watts::fromMilliwatts(
+              pmaxBase.milliwatts() * mode.pmaxPct / 100));
+          amended.setMinPower(Watts::fromMilliwatts(
+              std::min(prob.minPower(), solarNow).milliwatts() *
+              mode.pminPct / 100));
+          for (const std::string& name : shed) {
+            if (const auto id = amended.findTask(name)) {
+              amended.setTaskPower(*id, Watts::zero());
+            }
+          }
+          const ScheduleResult repaired = repairSchedule(
+              RepairInput{&amended, &binding->schedule, Time::zero()});
+          cached = modeRepairCache
+                       .emplace(key, repaired.ok()
+                                         ? std::optional<std::vector<Time>>(
+                                               repaired.schedule->starts())
+                                         : std::nullopt)
+                       .first;
+        }
+        if (cached->second.has_value()) {
+          modeStarts = cached->second;
+        } else if (modeIdx + 1 < policy.modes.size()) {
+          // A deeper rung remains: escalate again next boundary.
+          pendingTrigger = true;
+          pendingWhy = "mode repair infeasible";
+        } else if (!modeInfeasibleEmitted) {
+          // Structured dead end (satellite: no abort): even the survival
+          // task set cannot fit the amended budget. Keep flying the
+          // unrepaired plan minus shed tasks and say so once.
+          modeInfeasibleEmitted = true;
+          result.modeInfeasible = true;
+          bump("mode.infeasible_events");
+          emit(now, EventKind::kModeInfeasible,
+               mode.name + ": survivors cannot fit amended budget");
+        }
+      }
+    }
 
     // Collect this iteration's task faults (addressed by name; a name the
     // selected case does not know — or one already shed — is inert).
@@ -259,7 +429,15 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
       }
     }
 
-    if (!taskFaultsThisIter && !config.contingency.any()) {
+    // Planned-vs-actual span baseline for the mode overrun trigger: the
+    // plan actually in force this iteration (mode-repaired when one is).
+    const Duration nominalSpan =
+        (modeStarts.has_value() ? finishOf(prob, *modeStarts)
+                                : binding->schedule.finish()) -
+        Time::zero();
+
+    if (!taskFaultsThisIter && !config.contingency.any() &&
+        !modeActiveThisIter) {
       // ---- Clean fast path: byte-identical to the fault-unaware replay ----
       if (config.traceTasks) {
         // Task start/finish events in time order.
@@ -318,23 +496,30 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
 
           if (seg.power > solarHere) {
             const Watts rate = seg.power - solarHere;
+            const Watts effRate = battery.effectiveRate(rate);
             const Duration span = sliceEnd - cursor;
-            const Energy need = rate * span;
+            const Energy need = effRate * span;
             if (need > battery.remaining()) {
-              // Deplete mid-slice: afford floor(remaining / rate) ticks.
+              // Deplete mid-slice: afford floor(remaining / effective rate)
+              // ticks.
               const std::int64_t affordable =
-                  battery.remaining().milliwattTicks() / rate.milliwatts();
+                  battery.remaining().milliwattTicks() / effRate.milliwatts();
               const Time deathAt = cursor + Duration(affordable);
-              battery.draw(rate * Duration(affordable));
+              battery.drawAt(rate, Duration(affordable), deathAt);
+              battery.markDepleted(deathAt);
               result.batteryDrawn = battery.drawn();
               result.batteryDepleted = true;
+              result.depletedAt = deathAt;
               emit(deathAt, EventKind::kBatteryDepleted,
                    "mid-iteration depletion");
               result.finishedAt = deathAt;
               exportOutcome();
               return result;
             }
-            battery.draw(need);
+            battery.drawAt(rate, span, cursor);
+          } else {
+            // Free-powered slice: a rate-capacity recovery window.
+            battery.recover(sliceEnd - cursor);
           }
           cursor = sliceEnd;
         }
@@ -347,7 +532,8 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
       now = iterationEnd;
     } else {
       // ---- Degraded path: explicit task instances, rebuilt on replan ----
-      std::vector<Time> plannedStarts = binding->schedule.starts();
+      std::vector<Time> plannedStarts =
+          modeStarts.has_value() ? *modeStarts : binding->schedule.starts();
       std::vector<Instance> instances;
       PowerProfile builtProfile;
       Time fatalAt = Time::max();  // iteration-local instant the mission dies
@@ -505,22 +691,27 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
 
           if (seg.power > solarHere) {
             const Watts rate = seg.power - solarHere;
+            const Watts effRate = battery.effectiveRate(rate);
             const Duration span = sliceEnd - cursor;
-            const Energy need = rate * span;
+            const Energy need = effRate * span;
             if (need > battery.remaining()) {
               const std::int64_t affordable =
-                  battery.remaining().milliwattTicks() / rate.milliwatts();
+                  battery.remaining().milliwattTicks() / effRate.milliwatts();
               const Time deathAt = cursor + Duration(affordable);
-              battery.draw(rate * Duration(affordable));
+              battery.drawAt(rate, Duration(affordable), deathAt);
+              battery.markDepleted(deathAt);
               result.batteryDrawn = battery.drawn();
               result.batteryDepleted = true;
+              result.depletedAt = deathAt;
               emit(deathAt, EventKind::kBatteryDepleted,
                    "mid-iteration depletion");
               result.finishedAt = deathAt;
               exportOutcome();
               return result;
             }
-            battery.draw(need);
+            battery.drawAt(rate, span, cursor);
+          } else {
+            battery.recover(sliceEnd - cursor);
           }
           cursor = sliceEnd;
         }
@@ -607,6 +798,22 @@ ExecutionResult RuntimeExecutor::run(const ExecutorConfig& config) const {
         }
       }
       now = iterationEnd;
+    }
+
+    // Arm next iteration's mode triggers from what this one experienced.
+    if (modesOn && !pendingTrigger) {
+      if (policy.escalateOnBrownout && result.brownouts > brownoutsBefore) {
+        pendingTrigger = true;
+        pendingWhy = "brownout";
+      } else if (policy.overrunSlackPct > 0) {
+        const Duration actual = now - iterStart;
+        if (actual.ticks() * 100 >
+            nominalSpan.ticks() *
+                (100 + static_cast<std::int64_t>(policy.overrunSlackPct))) {
+          pendingTrigger = true;
+          pendingWhy = "overrun";
+        }
+      }
     }
 
     // Zero-progress guard: an iteration that neither advanced time nor

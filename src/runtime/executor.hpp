@@ -29,6 +29,7 @@
 // the fault-unaware code: same trace, same battery accounting.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "fault/contingency.hpp"
 #include "fault/fault.hpp"
 #include "guard/budget.hpp"
+#include "model/mode_policy.hpp"
 #include "obs/context.hpp"
 #include "power/sources.hpp"
 #include "sched/schedule.hpp"
@@ -64,6 +66,12 @@ enum class EventKind : std::uint8_t {
   kStalled,           ///< an iteration made zero progress — mission ended
   kRunInterrupted,    ///< wall-clock RunBudget tripped; replay stopped at an
                       ///< iteration boundary (mission-time state consistent)
+  // System criticality-mode events (model/mode_policy.hpp).
+  kModeEscalated,     ///< a trigger pushed the system one rung down the
+                      ///< mode ladder; tasks above the new ceiling shed
+  kModeDeescalated,   ///< sustained slack restored the previous mode
+  kModeInfeasible,    ///< even the survival task set cannot fit the amended
+                      ///< budget — mission continues on the unrepaired plan
 };
 
 const char* toString(EventKind kind);
@@ -100,6 +108,13 @@ struct ExecutorConfig {
   const fault::FaultPlan* faults = nullptr;
   /// Closed-loop responses; default-constructed = all off.
   fault::ContingencyOptions contingency;
+  /// System criticality modes (model/mode_policy.hpp). Default-constructed
+  /// = disabled: the replay is then bit-identical to a mode-unaware build.
+  /// When enabled, overrun/brownout/depletion-risk triggers escalate the
+  /// mode one rung per iteration, shedding every task above the new
+  /// rung's criticality ceiling wholesale and repairing the survivors
+  /// under the rung's amended Pmax/Pmin.
+  ModePolicy modes;
   /// Wall-clock deadline / cancellation for the replay itself. Checked at
   /// iteration boundaries only, so a trip always leaves the mission-time
   /// accounting consistent. Inactive (the default) costs one branch per
@@ -123,6 +138,16 @@ struct ExecutionResult {
   int deadlineMisses = 0;   ///< watchdog-flagged iteration overruns
   bool unrecoverable = false;  ///< a critical task exhausted its retries
   bool stalled = false;        ///< a zero-progress iteration ended the run
+  // System-mode accounting (all zero / empty when ExecutorConfig::modes is
+  // disabled).
+  int modeEscalations = 0;     ///< rungs descended over the mission
+  int modeDeescalations = 0;   ///< rungs re-ascended on sustained slack
+  int modeShedTasks = 0;       ///< tasks shed wholesale by mode ceilings
+  int finalMode = 0;           ///< mode ladder index at mission end
+  bool modeInfeasible = false; ///< last rung's repair came back infeasible
+  /// Exact mission tick the battery charge ran out (from the Battery's
+  /// latch); nullopt when the mission ended with charge to spare.
+  std::optional<Time> depletedAt;
   /// kNone unless the RunBudget tripped; then the replay stopped early at
   /// an iteration boundary and `complete` reports the progress made so far.
   guard::StopReason stopReason = guard::StopReason::kNone;

@@ -1,0 +1,144 @@
+#include "sched/battery_refine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "sched/windows.hpp"
+
+namespace paws {
+
+Energy effectiveDrawnCharge(const PowerProfile& profile, Watts pmin,
+                            const BatteryTraits& model) {
+  Energy total;
+  for (const PowerSegment& s : profile.segments()) {
+    if (s.power <= pmin) continue;
+    const Watts draw = s.power - pmin;
+    total += model.effectiveRate(draw) *
+             (s.interval.end() - s.interval.begin());
+  }
+  return total;
+}
+
+namespace {
+
+/// Same admissibility polishSchedule enforces: pairwise timing
+/// constraints, per-resource exclusivity, and the Pmax ceiling.
+bool feasible(const Problem& problem, const std::vector<Time>& starts) {
+  for (const TimingConstraint& c : problem.constraints()) {
+    const Duration gap = starts[c.to.index()] - starts[c.from.index()];
+    if (c.kind == TimingConstraint::Kind::kMinSeparation
+            ? gap < c.separation
+            : gap > c.separation) {
+      return false;
+    }
+  }
+  const std::vector<TaskId> tasks = problem.taskIds();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Task& a = problem.task(tasks[i]);
+    const Interval ia(starts[tasks[i].index()],
+                      starts[tasks[i].index()] + a.delay);
+    for (std::size_t j = i + 1; j < tasks.size(); ++j) {
+      const Task& b = problem.task(tasks[j]);
+      if (a.resource != b.resource) continue;
+      const Interval ib(starts[tasks[j].index()],
+                        starts[tasks[j].index()] + b.delay);
+      if (ia.overlaps(ib)) return false;
+    }
+  }
+  return !profileOf(problem, starts).firstSpike(problem.maxPower());
+}
+
+/// Candidate starts for task `v`: its window endpoints plus every profile
+/// breakpoint alignment (start at a breakpoint, or finish at one) inside
+/// [EST, LST] — the only instants where the piecewise-constant objective
+/// can change shape. Sorted and deduplicated, so the scan order (task id,
+/// then start time) is deterministic.
+std::vector<Time> candidateStarts(const Task& task, const StartWindow& window,
+                                  const PowerProfile& profile, Time horizon) {
+  std::vector<Time> cands;
+  Time latest = window.latest;
+  if (latest + task.delay > horizon) latest = horizon - task.delay;
+  const Time earliest = window.earliest;
+  if (earliest > latest) return cands;
+  cands.push_back(earliest);
+  cands.push_back(latest);
+  for (const PowerSegment& s : profile.segments()) {
+    for (const Time edge : {s.interval.begin(), s.interval.end()}) {
+      if (edge >= earliest && edge <= latest) cands.push_back(edge);
+      const Time aligned = edge - task.delay;
+      if (aligned >= earliest && aligned <= latest) cands.push_back(aligned);
+    }
+  }
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  return cands;
+}
+
+}  // namespace
+
+Schedule batteryRefine(const Problem& problem, const Schedule& start,
+                       const BatteryRefineOptions& options,
+                       BatteryRefineStats* stats) {
+  BatteryRefineStats local;
+  if (options.model.linear()) {
+    // Effective == nominal charge: MinPower already minimized it.
+    if (stats != nullptr) *stats = local;
+    return start;
+  }
+  obs::PhaseTimer phase(options.obs, "battery_refine");
+
+  const Watts pmin = problem.minPower();
+  const Time horizon = start.finish();
+  std::vector<Time> best = start.starts();
+  Energy bestCharge =
+      effectiveDrawnCharge(profileOf(problem, best), pmin, options.model);
+  const Energy inputCharge = bestCharge;
+
+  const std::vector<StartWindow> windows =
+      computeStartWindows(problem, problem.buildGraph(), horizon);
+
+  std::vector<Time> scratch;
+  bool improved = true;
+  for (std::uint32_t pass = 0;
+       pass < options.maxPasses && improved && local.moves < options.maxMoves;
+       ++pass) {
+    improved = false;
+    // The profile shifts after every kept move; recompute the breakpoint
+    // set per round so candidates chase the current landscape.
+    const PowerProfile profile = profileOf(problem, best);
+    for (TaskId v : problem.taskIds()) {
+      if (local.moves >= options.maxMoves) break;
+      const Task& task = problem.task(v);
+      for (const Time at :
+           candidateStarts(task, windows[v.index()], profile, horizon)) {
+        if (at == best[v.index()]) continue;
+        scratch = best;
+        scratch[v.index()] = at;
+        if (finishOf(problem, scratch) > horizon) continue;
+        if (!feasible(problem, scratch)) continue;
+        const Energy charge = effectiveDrawnCharge(
+            profileOf(problem, scratch), pmin, options.model);
+        if (charge >= bestCharge) continue;
+        best = scratch;
+        bestCharge = charge;
+        ++local.moves;
+        improved = true;
+        break;  // first improvement; rescan this task against the new shape
+      }
+    }
+  }
+
+  local.saved = inputCharge - bestCharge;
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics->add("battery.refine_moves", local.moves);
+    options.obs.metrics->add(
+        "battery.refine_saved_mwt",
+        static_cast<std::uint64_t>(local.saved.milliwattTicks()));
+  }
+  if (stats != nullptr) *stats = local;
+  return Schedule(&problem, std::move(best));
+}
+
+}  // namespace paws

@@ -1,0 +1,64 @@
+// Rate-capacity battery refinement — Khan & Vemuri's post-pass.
+//
+// Under a linear battery, charge leaves the pack exactly as fast as the
+// schedule draws it, so MinPower's Ec(Pmin) objective is already the
+// delivered-lifetime objective. Under the rate-capacity effect the two
+// diverge: drawing 2x watts for t costs MORE charge than drawing x watts
+// for 2t, because the effective drain grows superlinearly above the rated
+// current. A schedule that stacks tasks into tall bursts can therefore be
+// Ec-optimal yet die early in flight.
+//
+// batteryRefine() closes that gap with a deterministic local search on top
+// of the pipeline's best schedule: tasks are moved between power-profile
+// breakpoints inside their feasible [EST, LST] windows, and a move is kept
+// only when it strictly reduces the *effective* drawn charge — the exact
+// fixed-point integral the mission simulator's Battery will drain. The
+// refined schedule is never worse on that objective, stays timing-,
+// resource- and Pmax-valid, and never finishes later than the input.
+// Everything is exact int64 milliwatt-tick arithmetic; byte-determinism is
+// preserved. With a linear model the pass is an immediate no-op.
+#pragma once
+
+#include <cstdint>
+
+#include "base/units.hpp"
+#include "model/battery_traits.hpp"
+#include "model/problem.hpp"
+#include "obs/context.hpp"
+#include "power/profile.hpp"
+#include "sched/schedule.hpp"
+
+namespace paws {
+
+struct BatteryRefineOptions {
+  /// Rate-capacity model to optimize against. A linear model (no bands)
+  /// makes the pass return the input schedule untouched.
+  BatteryTraits model;
+  /// Improvement rounds; each round scans every candidate move once.
+  std::uint32_t maxPasses = 8;
+  /// Cap on kept (strictly improving) moves across all passes.
+  std::uint32_t maxMoves = 64;
+  obs::ObsContext obs;
+};
+
+struct BatteryRefineStats {
+  std::uint32_t moves = 0;   ///< strictly improving moves kept
+  Energy saved;              ///< effective charge cut vs the input schedule
+};
+
+/// Effective battery charge a mission drains replaying `profile` against a
+/// free-power floor of `pmin`: for every segment drawing above pmin, the
+/// battery share (power - pmin) is inflated through the model's
+/// rate-capacity lookup before integrating. Exact milliwatt-ticks; equals
+/// profile.energyAbove(pmin) under a linear model.
+Energy effectiveDrawnCharge(const PowerProfile& profile, Watts pmin,
+                            const BatteryTraits& model);
+
+/// Refines `start` against the rate-capacity objective. The input must be
+/// valid (timing + resources + Pmax); the result is valid, finishes no
+/// later than the input, and its effectiveDrawnCharge is never larger.
+Schedule batteryRefine(const Problem& problem, const Schedule& start,
+                       const BatteryRefineOptions& options,
+                       BatteryRefineStats* stats = nullptr);
+
+}  // namespace paws

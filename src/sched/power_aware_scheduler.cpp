@@ -86,6 +86,11 @@ ScheduleResult PowerAwareScheduler::schedule() {
       haveBest = true;
     }
   }
+  if (best.ok() && options_.batteryRefine.has_value()) {
+    BatteryRefineOptions refineOpts = *options_.batteryRefine;
+    refineOpts.obs.inheritFrom(options_.obs);
+    best.schedule = batteryRefine(problem_, *best.schedule, refineOpts);
+  }
   best.stats = total;
   if (options_.obs.metrics != nullptr) {
     obs::MetricsRegistry& m = *options_.obs.metrics;

@@ -9,7 +9,10 @@
 // utilization.
 #pragma once
 
+#include <optional>
+
 #include "model/problem.hpp"
+#include "sched/battery_refine.hpp"
 #include "sched/options.hpp"
 #include "sched/result.hpp"
 
@@ -17,6 +20,11 @@ namespace paws {
 
 struct PowerAwareOptions {
   MinPowerOptions minPower;
+  /// Rate-capacity battery refinement (sched/battery_refine.hpp), applied
+  /// to the winning trial's schedule. Off by default: without it — or with
+  /// a linear model — the pipeline's output is byte-identical to previous
+  /// releases.
+  std::optional<BatteryRefineOptions> batteryRefine;
   /// Pipeline trials; trial k reseeds the heuristics with seed base+k and
   /// alternates the min-power scan order.
   std::uint32_t trials = 4;

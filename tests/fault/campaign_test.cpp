@@ -155,5 +155,94 @@ TEST_F(CampaignTest, JsonNamesEveryAggregateField) {
   EXPECT_EQ(json.find("jobs"), std::string::npos);
 }
 
+// ------------------------------------------------- modes & battery realism
+
+TEST_F(CampaignTest, ModeCampaignIsByteIdenticalForAnyWorkerCount) {
+  for (auto& p : cases_.problems) rover::applyMissionCriticality(*p);
+  const FaultCampaign campaign(
+      rover::missionSolarProfile(),
+      rover::missionBattery(2000_J, rover::missionBatteryTraits()),
+      roverCaseBindings(cases_));
+  CampaignConfig config;
+  config.missions = 8;
+  config.seed = 42;
+  config.targetSteps = 16;
+  config.contingency = ContingencyOptions::all();
+  config.modePolicy = ModePolicy::missionDefault();
+  config.batteryModel = "rate";
+
+  std::string reports[3];
+  const std::size_t jobs[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    config.jobs = jobs[i];
+    reports[i] = toJson(config, campaign.run(config));
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+  // The report names the policy and battery model it flew.
+  EXPECT_NE(reports[0].find("\"mode_policy\": \"mission\""),
+            std::string::npos);
+  EXPECT_NE(reports[0].find("\"battery_model\": \"rate\""),
+            std::string::npos);
+}
+
+TEST_F(CampaignTest, JsonNamesTheModeAndBatteryFields) {
+  CampaignConfig config;
+  config.missions = 2;
+  config.targetSteps = 4;
+  const std::string json = toJson(config, makeCampaign().run(config));
+  for (const char* key :
+       {"\"mode_policy\": \"off\"", "\"battery_model\": \"linear\"",
+        "\"mode_escalations\"", "\"mode_deescalations\"",
+        "\"mode_shed_tasks\"", "\"mode_infeasible\"", "\"depleted_at\"",
+        "\"final_mode\"", "\"mode_shed\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST_F(CampaignTest, DisabledPolicyKeepsModeCountersZero) {
+  CampaignConfig config;
+  config.missions = 4;
+  config.targetSteps = 8;
+  config.contingency = ContingencyOptions::all();
+  const CampaignResult r = makeCampaign().run(config);
+  EXPECT_EQ(r.modeEscalations, 0);
+  EXPECT_EQ(r.modeDeescalations, 0);
+  EXPECT_EQ(r.modeShedTasks, 0);
+  EXPECT_EQ(r.modeInfeasible, 0);
+  for (const MissionOutcome& o : r.outcomes) {
+    EXPECT_EQ(o.finalMode, 0);
+    EXPECT_FALSE(o.modeInfeasible);
+  }
+}
+
+TEST_F(CampaignTest, ModeAggregatesMatchTheOutcomeRows) {
+  for (auto& p : cases_.problems) rover::applyMissionCriticality(*p);
+  const FaultCampaign campaign(
+      rover::missionSolarProfile(),
+      rover::missionBattery(2000_J, rover::missionBatteryTraits()),
+      roverCaseBindings(cases_));
+  CampaignConfig config;
+  config.missions = 6;
+  config.seed = 11;
+  config.targetSteps = 16;
+  config.contingency = ContingencyOptions::all();
+  config.modePolicy = ModePolicy::missionDefault();
+  const CampaignResult r = campaign.run(config);
+  std::int64_t esc = 0, deesc = 0, shed = 0, infeasible = 0;
+  for (const MissionOutcome& o : r.outcomes) {
+    esc += o.modeEscalations;
+    deesc += o.modeDeescalations;
+    shed += o.modeShedTasks;
+    if (o.modeInfeasible) ++infeasible;
+  }
+  EXPECT_EQ(r.modeEscalations, esc);
+  EXPECT_EQ(r.modeDeescalations, deesc);
+  EXPECT_EQ(r.modeShedTasks, shed);
+  EXPECT_EQ(r.modeInfeasible, infeasible);
+  // The starved pack under contingency stress must exercise the ladder.
+  EXPECT_GT(esc, 0);
+}
+
 }  // namespace
 }  // namespace paws::fault

@@ -262,6 +262,117 @@ TEST(WriterTest, DroppableRankRoundTrips) {
   EXPECT_TRUE(r.problem->task(*r.problem->findTask("optional")).droppable());
 }
 
+TEST(ParserTest, ParsesBatteryAndModeBlocks) {
+  const ParseResult r = parseProblem(R"(
+problem "mission" {
+  pmax 19W
+  pmin 9W
+  resource r
+  task t { resource r delay 5 power 11W }
+  battery {
+    rate 2W 1250
+    rate 6W 1600
+    recoverable 300
+    recovery 500mW
+  }
+  mode nominal  { ceiling 255 pmax_scale 100 pmin_scale 100 }
+  mode survival { ceiling 0   pmax_scale 90  pmin_scale 0 }
+}
+)");
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : format(r.errors[0]));
+  const Problem& p = *r.problem;
+  ASSERT_TRUE(p.battery().has_value());
+  ASSERT_EQ(p.battery()->bands.size(), 2u);
+  EXPECT_EQ(p.battery()->bands[0].threshold, 2_W);
+  EXPECT_EQ(p.battery()->bands[0].factorPermille, 1250);
+  EXPECT_EQ(p.battery()->bands[1].threshold, 6_W);
+  EXPECT_EQ(p.battery()->bands[1].factorPermille, 1600);
+  EXPECT_EQ(p.battery()->recoverablePermille, 300);
+  EXPECT_EQ(p.battery()->recoveryRate, Watts::fromMilliwatts(500));
+  ASSERT_EQ(p.modes().size(), 2u);
+  EXPECT_EQ(p.modes()[0].name, "nominal");
+  EXPECT_EQ(p.modes()[0].ceiling, 255);
+  EXPECT_EQ(p.modes()[1].name, "survival");
+  EXPECT_EQ(p.modes()[1].ceiling, 0);
+  EXPECT_EQ(p.modes()[1].pmaxPct, 90u);
+  EXPECT_EQ(p.modes()[1].pminPct, 0u);
+}
+
+TEST(WriterTest, BatteryAndModesRoundTrip) {
+  Problem p("mission");
+  p.setMaxPower(19_W);
+  p.setMinPower(9_W);
+  const ResourceId r = p.addResource("r");
+  p.addTask("t", Duration(5), 11_W, r);
+  BatteryTraits traits;
+  traits.bands.push_back(RateBand{2_W, 1250});
+  traits.bands.push_back(RateBand{6_W, 1600});
+  traits.recoverablePermille = 300;
+  traits.recoveryRate = Watts::fromMilliwatts(500);
+  p.setBattery(traits);
+  p.addMode(SystemMode{"nominal", 255, 100, 100});
+  p.addMode(SystemMode{"survival", 0, 90, 0});
+
+  const std::string t1 = problemToText(p);
+  const ParseResult parsed = parseProblem(t1);
+  ASSERT_TRUE(parsed.ok())
+      << (parsed.errors.empty() ? "" : format(parsed.errors[0]));
+  ASSERT_TRUE(parsed.problem->battery().has_value());
+  EXPECT_EQ(*parsed.problem->battery(), traits);
+  EXPECT_EQ(parsed.problem->modes(), p.modes());
+  // Parse-print fixed point.
+  EXPECT_EQ(problemToText(*parsed.problem), t1);
+}
+
+TEST(WriterTest, ProblemsWithoutBatteryOrModesEmitNoSuchBlocks) {
+  const Problem p = rover::makeRoverProblem(rover::RoverCase::kTypical);
+  const std::string text = problemToText(p);
+  EXPECT_EQ(text.find("battery"), std::string::npos);
+  EXPECT_EQ(text.find("mode "), std::string::npos);
+}
+
+TEST(ParserTest, RejectsRateFactorBelowUnity) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r battery { rate 2W 900 } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("[1000, 1000000]"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsNonIncreasingRateThresholds) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r battery { rate 6W 1600 rate 2W 1250 } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("strictly increase"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsDuplicateBattery) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r battery { rate 2W 1250 } battery { } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("duplicate battery"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsModeCeilingOutOfRange) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r mode m { ceiling 300 } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("[0, 255]"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsDuplicateModeName) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r mode m { ceiling 2 } mode m { ceiling 1 } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("duplicate mode"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsRecoverableFractionOutOfRange) {
+  const ParseResult r = parseProblem(
+      "problem p { resource r battery { recoverable 1500 } }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("[0, 1000]"), std::string::npos);
+}
+
 TEST(ParserTest, BareDroppableMeansRankOne) {
   const ParseResult r = parseProblem(
       "problem p {\n  resource r1\n"

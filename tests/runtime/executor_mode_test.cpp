@@ -1,0 +1,313 @@
+// System criticality-mode tests: escalation triggers, wholesale shedding,
+// amended-budget repair, the structured-infeasible dead end, de-escalation
+// recovery, and the bit-identity of mode-unaware runs.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "rover/rover_model.hpp"
+#include "runtime/executor.hpp"
+#include "sched/power_aware_scheduler.hpp"
+
+namespace paws::runtime {
+namespace {
+
+using namespace paws::literals;
+using fault::FaultPlan;
+using rover::RoverCase;
+
+std::string renderTrace(const ExecutionResult& r) {
+  std::string out;
+  for (const Event& e : r.trace) {
+    out += std::to_string(e.at.ticks());
+    out += ' ';
+    out += toString(e.kind);
+    out += ' ';
+    out += e.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+int countEvents(const ExecutionResult& r, EventKind kind) {
+  int n = 0;
+  for (const Event& e : r.trace) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+/// Rover fixture carrying the mission criticality ladder (wheel heaters
+/// rank 3, steering heaters rank 2 — ModePolicy::missionDefault()'s prey).
+class MissionModes : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const RoverCase c :
+         {RoverCase::kBest, RoverCase::kTypical, RoverCase::kWorst}) {
+      problems_.push_back(
+          std::make_unique<Problem>(rover::makeRoverProblem(c, 1)));
+      rover::applyMissionCriticality(*problems_.back());
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+      PowerAwareScheduler scheduler(*problems_[i]);
+      ScheduleResult r = scheduler.schedule();
+      ASSERT_TRUE(r.ok());
+      schedules_.push_back(std::move(*r.schedule));
+    }
+  }
+
+  std::vector<CaseBinding> roverBindings() {
+    return {
+        {"best", Watts::fromWatts(14.9), problems_[0].get(), schedules_[0], 2},
+        {"typical", 12_W, problems_[1].get(), schedules_[1], 2},
+        {"worst", Watts::zero(), problems_[2].get(), schedules_[2], 2},
+    };
+  }
+
+  ExecutionResult run(const ModePolicy& policy, int targetSteps = 8,
+                      const FaultPlan* plan = nullptr,
+                      Battery battery = rover::missionBattery(),
+                      obs::MetricsRegistry* metrics = nullptr) {
+    RuntimeExecutor executor(rover::missionSolarProfile(), std::move(battery),
+                             roverBindings());
+    ExecutorConfig config;
+    config.targetSteps = targetSteps;
+    config.traceTasks = false;
+    config.faults = plan;
+    config.modes = policy;
+    if (metrics != nullptr) config.obs.metrics = metrics;
+    return executor.run(config);
+  }
+
+  std::vector<std::unique_ptr<Problem>> problems_;
+  std::vector<Schedule> schedules_;
+};
+
+// ------------------------------------------------------------- bit identity
+
+TEST_F(MissionModes, DisabledPolicyMatchesModeUnawareRunExactly) {
+  const ExecutionResult off = run(ModePolicy{});
+  const ExecutionResult plain = run(ModePolicy{});  // same default again
+  RuntimeExecutor executor(rover::missionSolarProfile(),
+                           rover::missionBattery(), roverBindings());
+  ExecutorConfig config;  // config.modes left at its default (disabled)
+  config.targetSteps = 8;
+  config.traceTasks = false;
+  const ExecutionResult unset = executor.run(config);
+  EXPECT_EQ(renderTrace(off), renderTrace(unset));
+  EXPECT_EQ(renderTrace(off), renderTrace(plain));
+  EXPECT_EQ(off.batteryDrawn, unset.batteryDrawn);
+  EXPECT_EQ(off.finishedAt, unset.finishedAt);
+  EXPECT_EQ(off.finalMode, 0);
+  EXPECT_EQ(off.modeEscalations, 0);
+  EXPECT_EQ(off.modeShedTasks, 0);
+}
+
+TEST_F(MissionModes, QuietNominalRungNeverPerturbsACleanMission) {
+  // A permissive policy that never triggers must leave the mission
+  // bit-identical to a policy-free run (the clean fast path still rules).
+  ModePolicy quiet = ModePolicy::missionDefault();
+  quiet.depletionRiskPermille = 0;  // default battery never gets that low
+  const ExecutionResult with = run(quiet);
+  const ExecutionResult without = run(ModePolicy{});
+  EXPECT_EQ(renderTrace(with), renderTrace(without));
+  EXPECT_EQ(with.batteryDrawn, without.batteryDrawn);
+  EXPECT_EQ(with.modeEscalations, 0);
+  EXPECT_EQ(with.finalMode, 0);
+}
+
+// ---------------------------------------------------------------- triggers
+
+TEST_F(MissionModes, DepletionRiskEscalatesAndShedsWholesale) {
+  ModePolicy policy = ModePolicy::missionDefault();
+  policy.depletionRiskPermille = 1000;  // any draw at all arms the trigger
+  obs::MetricsRegistry metrics;
+  const ExecutionResult r = run(policy, 8, nullptr, rover::missionBattery(),
+                                &metrics);
+  EXPECT_GE(r.modeEscalations, 1);
+  EXPECT_GE(r.finalMode, 1);
+  // Entering degraded sheds the three wheel heaters in one stroke.
+  EXPECT_GE(r.modeShedTasks, 3);
+  bool sawEscalation = false;
+  int wholesaleShed = 0;
+  for (const Event& e : r.trace) {
+    if (e.kind == EventKind::kModeEscalated) {
+      sawEscalation = true;
+      EXPECT_NE(e.detail.find("depletion risk"), std::string::npos);
+    }
+    if (e.kind == EventKind::kTaskShed &&
+        e.detail.find("(mode ") != std::string::npos) {
+      ++wholesaleShed;
+    }
+  }
+  EXPECT_TRUE(sawEscalation);
+  EXPECT_EQ(wholesaleShed, r.modeShedTasks);
+  EXPECT_EQ(metrics.counter("mode.escalation_events"),
+            static_cast<std::uint64_t>(r.modeEscalations));
+  EXPECT_EQ(metrics.counter("mode.shed_events"),
+            static_cast<std::uint64_t>(r.modeShedTasks));
+}
+
+TEST_F(MissionModes, BrownoutArmsTheNextBoundaryEscalation) {
+  // A mid-iteration solar collapse browns the mission out; the policy
+  // escalates at the following iteration boundary.
+  FaultPlan plan;
+  plan.faults.push_back(
+      FaultPlan::solarTransient(Interval(Time(10), Time(200)), 40));
+  ModePolicy policy = ModePolicy::missionDefault();
+  const ExecutionResult r = run(policy, 8, &plan);
+  ASSERT_GT(r.brownouts, 0);
+  ASSERT_GE(r.modeEscalations, 1);
+  bool sawBrownoutWhy = false;
+  for (const Event& e : r.trace) {
+    if (e.kind == EventKind::kModeEscalated &&
+        e.detail.find("brownout") != std::string::npos) {
+      sawBrownoutWhy = true;
+    }
+  }
+  EXPECT_TRUE(sawBrownoutWhy);
+}
+
+TEST_F(MissionModes, OverrunBeyondSlackEscalates) {
+  FaultPlan plan;
+  // Stretch the iteration well past missionDefault's 25% slack.
+  plan.faults.push_back(FaultPlan::overrun("drive1", 0, 300, Duration(20)));
+  plan.faults.push_back(FaultPlan::overrun("drive2", 0, 300, Duration(20)));
+  ModePolicy policy = ModePolicy::missionDefault();
+  policy.escalateOnBrownout = false;  // isolate the overrun trigger
+  const ExecutionResult r = run(policy, 8, &plan);
+  ASSERT_GE(r.modeEscalations, 1);
+  bool sawOverrunWhy = false;
+  for (const Event& e : r.trace) {
+    if (e.kind == EventKind::kModeEscalated &&
+        e.detail.find("overrun") != std::string::npos) {
+      sawOverrunWhy = true;
+    }
+  }
+  EXPECT_TRUE(sawOverrunWhy);
+}
+
+// ------------------------------------------------- structured infeasibility
+
+TEST_F(MissionModes, LastRungRepairInfeasibleIsStructuredNotFatal) {
+  // Survival trims Pmax below what even the critical chain needs: the
+  // executor must report the dead end once and keep flying, not abort.
+  ModePolicy policy;
+  policy.name = "starved";
+  policy.modes.push_back(SystemMode{"nominal", 255, 100, 100});
+  policy.modes.push_back(SystemMode{"survival", 0, 10, 0});
+  policy.depletionRiskPermille = 1000;  // escalate as soon as anything drew
+  const ExecutionResult r = run(policy, 8);
+  EXPECT_TRUE(r.modeInfeasible);
+  EXPECT_EQ(r.finalMode, 1);
+  EXPECT_GE(countEvents(r, EventKind::kModeInfeasible), 1);
+  // The mission kept making progress on the unrepaired plan minus shed.
+  EXPECT_GT(r.steps, 0);
+  EXPECT_FALSE(r.stalled);
+}
+
+TEST_F(MissionModes, MidRungInfeasibilityFallsThroughToTheNextRung) {
+  // The middle rung cannot fit its budget; the executor must escalate
+  // past it instead of wedging ("mode repair infeasible" re-arms the
+  // trigger), and the last rung's ample budget then repairs fine.
+  ModePolicy policy;
+  policy.name = "ladder";
+  policy.modes.push_back(SystemMode{"nominal", 255, 100, 100});
+  policy.modes.push_back(SystemMode{"squeezed", 2, 10, 0});
+  policy.modes.push_back(SystemMode{"survival", 0, 95, 0});
+  policy.depletionRiskPermille = 1000;
+  const ExecutionResult r = run(policy, 8);
+  EXPECT_GE(r.modeEscalations, 2);
+  EXPECT_EQ(r.finalMode, 2);
+  EXPECT_GT(r.steps, 0);
+}
+
+// ------------------------------------------------------ shed-then-recover
+
+TEST_F(MissionModes, DeescalationRestoresModeShedTasks) {
+  // One brownout burst, then clean sailing: with de-escalation armed the
+  // mission climbs back to nominal and the heaters return.
+  FaultPlan plan;
+  plan.faults.push_back(
+      FaultPlan::solarTransient(Interval(Time(10), Time(100)), 40));
+  ModePolicy policy = ModePolicy::missionDefault();
+  policy.deescalateAfterClean = 1;
+  const ExecutionResult r = run(policy, 24, &plan);
+  ASSERT_GE(r.modeEscalations, 1);
+  EXPECT_GE(r.modeDeescalations, 1);
+  EXPECT_GE(countEvents(r, EventKind::kModeDeescalated), 1);
+  EXPECT_EQ(r.finalMode, 0);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST_F(MissionModes, ShedThenRecoverReplaysDeterministically) {
+  // Satellite: after an escalate/shed/de-escalate cycle the executor's
+  // bookkeeping must stay consistent — replaying the exact same mission
+  // gives a byte-identical trace and identical accounting.
+  FaultPlan plan;
+  plan.faults.push_back(
+      FaultPlan::solarTransient(Interval(Time(10), Time(100)), 40));
+  ModePolicy policy = ModePolicy::missionDefault();
+  policy.deescalateAfterClean = 2;
+  const ExecutionResult a = run(policy, 24, &plan);
+  const ExecutionResult b = run(policy, 24, &plan);
+  EXPECT_EQ(renderTrace(a), renderTrace(b));
+  EXPECT_EQ(a.batteryDrawn, b.batteryDrawn);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.modeEscalations, b.modeEscalations);
+  EXPECT_EQ(a.modeDeescalations, b.modeDeescalations);
+  EXPECT_EQ(a.modeShedTasks, b.modeShedTasks);
+}
+
+// --------------------------------------------------------- battery realism
+
+TEST_F(MissionModes, RateCapacityModelDrawsStrictlyMoreThanLinear) {
+  const Energy cap = 4000_J;
+  const ExecutionResult linear =
+      run(ModePolicy{}, 8, nullptr, rover::missionBattery(cap));
+  const ExecutionResult rate =
+      run(ModePolicy{}, 8, nullptr,
+          rover::missionBattery(cap, rover::missionBatteryTraits()));
+  // The mission leans on the battery above the rated 2 W band, so the
+  // rate-capacity model must cost strictly more charge.
+  EXPECT_GT(rate.batteryDrawn, linear.batteryDrawn);
+  // Timing is untouched: only the charge accounting differs.
+  EXPECT_EQ(rate.finishedAt, linear.finishedAt);
+  EXPECT_EQ(rate.steps, linear.steps);
+}
+
+TEST_F(MissionModes, DepletionUnderRateModelLatchesTheDeathTick) {
+  // A tiny pack dies mid-mission; the exact tick must land in the result.
+  const Energy cap = 300_J;
+  const ExecutionResult r =
+      run(ModePolicy{}, 48, nullptr,
+          rover::missionBattery(cap, rover::missionBatteryTraits()));
+  EXPECT_TRUE(r.batteryDepleted);
+  ASSERT_TRUE(r.depletedAt.has_value());
+  EXPECT_GT(*r.depletedAt, Time::zero());
+  EXPECT_LE(*r.depletedAt, r.finishedAt);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST_F(MissionModes, ModePolicyExtendsALowBatteryMission) {
+  // Acceptance shape: on a starved pack, shedding the heater class under
+  // the mission ladder must deliver at least as many steps as flying the
+  // full task set open-loop.
+  const Energy cap = 1500_J;
+  const auto traits = rover::missionBatteryTraits();
+  const ExecutionResult open =
+      run(ModePolicy{}, 48, nullptr, rover::missionBattery(cap, traits));
+  const ExecutionResult moded = run(ModePolicy::missionDefault(), 48, nullptr,
+                                    rover::missionBattery(cap, traits));
+  EXPECT_GE(moded.steps, open.steps);
+  EXPECT_GE(moded.modeEscalations, 1);
+}
+
+TEST(EventKindModeTest, Names) {
+  EXPECT_STREQ(toString(EventKind::kModeEscalated), "mode-escalated");
+  EXPECT_STREQ(toString(EventKind::kModeDeescalated), "mode-deescalated");
+  EXPECT_STREQ(toString(EventKind::kModeInfeasible), "mode-infeasible");
+}
+
+}  // namespace
+}  // namespace paws::runtime

@@ -31,12 +31,17 @@
 //   pawsc simulate [--steps N] [--faults] [--seed S] [--contingency]
 //                  [--retry] [--replan] [--shed] [--watchdog PCT]
 //                  [--abort-on-brownout] [--trace-events] [--metrics out.csv]
+//                  [--mode-policy off|mission] [--battery-model linear|rate]
+//                  [--battery-wh N]
 //       Replay the rover mission on the runtime executor, optionally under
-//       a model-sampled fault plan and with contingency layers armed.
+//       a model-sampled fault plan, with contingency layers armed, under
+//       the mission criticality-mode ladder, and/or on the rate-capacity
+//       battery model.
 //   pawsc campaign [--missions N] [--seed S] [--steps N] [--jobs N]
 //                  [--contingency] [--retry] [--replan] [--shed]
 //                  [--watchdog PCT] [--abort-on-brownout] [--json out.json]
-//                  [--metrics out.csv]
+//                  [--metrics out.csv] [--mode-policy off|mission]
+//                  [--battery-model linear|rate] [--battery-wh N]
 //       Monte-Carlo mission-survival campaign over the rover mission;
 //       byte-identical output for any --jobs value. --json - prints the
 //       report to stdout (and suppresses the human summary).
@@ -165,9 +170,13 @@ int usage() {
                "[--contingency|--retry|--replan|--shed|--watchdog PCT]\n"
                "           [--abort-on-brownout] [--trace-events] "
                "[--metrics out.csv]\n"
+               "           [--mode-policy off|mission] "
+               "[--battery-model linear|rate] [--battery-wh N]\n"
                "  campaign [--missions N] [--seed S] [--steps N] [--jobs N] "
                "[--contingency|...]\n"
                "           [--json out.json|-] [--metrics out.csv]\n"
+               "           [--mode-policy off|mission] "
+               "[--battery-model linear|rate] [--battery-wh N]\n"
                "  trace    summarize <trace.jsonl|report.json> [--top K]\n"
                "  trace    diff <a.json> <b.json> [--tolerance PCT]\n"
                "  trace    incumbents <report.json> [--csv]\n"
@@ -827,7 +836,24 @@ struct MissionFlags {
   bool faults = false;
   fault::ContingencyOptions contingency;
   bool abortOnBrownout = false;
+  /// --mode-policy mission: arm the criticality-mode ladder (and install
+  /// the mission criticality ranks on the rover problems).
+  bool missionModes = false;
+  /// --battery-model rate: fly on the rate-capacity battery model.
+  bool rateBattery = false;
+  /// --battery-wh N: battery capacity in watt-hours (Pathfinder's ~40).
+  double batteryWh = 40.0;
 };
+
+/// The mission battery as the flags describe it. The defaults reproduce
+/// rover::missionBattery() exactly, keeping unflagged runs byte-identical.
+Battery missionBatteryFor(const MissionFlags& f) {
+  const Energy cap = Energy::fromMilliwattTicks(
+      static_cast<std::int64_t>(f.batteryWh * 3600.0 * 1000.0));
+  return f.rateBattery
+             ? rover::missionBattery(cap, rover::missionBatteryTraits())
+             : rover::missionBattery(cap);
+}
 
 void writeMetricsCsv(const std::string& metricsOut,
                      const obs::MetricsRegistry& registry) {
@@ -864,21 +890,25 @@ obs::RunReport missionReport(const char* kind, const Problem& missionProblem,
 int cmdSimulate(const MissionFlags& f, bool traceEvents,
                 const ScheduleExports& out, const guard::RunBudget& budget) {
   const std::string& metricsOut = out.metricsOut;
-  const rover::CaseSchedules cases = rover::buildCaseSchedules();
+  rover::CaseSchedules cases = rover::buildCaseSchedules();
   if (!cases.ok) {
     std::fprintf(stderr, "could not build case schedules: %s\n",
                  cases.message.c_str());
     return kExitInternal;
   }
+  if (f.missionModes) {
+    for (auto& p : cases.problems) rover::applyMissionCriticality(*p);
+  }
   const std::vector<runtime::CaseBinding> bindings =
       fault::roverCaseBindings(cases);
   const runtime::RuntimeExecutor executor(rover::missionSolarProfile(),
-                                          rover::missionBattery(), bindings);
+                                          missionBatteryFor(f), bindings);
 
   runtime::ExecutorConfig ec;
   ec.targetSteps = f.steps;
   ec.abortOnBrownout = f.abortOnBrownout;
   ec.contingency = f.contingency;
+  if (f.missionModes) ec.modes = ModePolicy::missionDefault();
   ec.budget = budget;
   obs::MetricsRegistry registry;
   const bool wantsRegistry = !metricsOut.empty() || !out.reportOut.empty() ||
@@ -912,8 +942,21 @@ int cmdSimulate(const MissionFlags& f, bool traceEvents,
   }
   std::printf("finished  : t=%lld\n",
               static_cast<long long>(r.finishedAt.ticks()));
-  std::printf("battery   : %.3fJ drawn%s\n", r.batteryDrawn.joules(),
-              r.batteryDepleted ? ", DEPLETED" : "");
+  if (r.depletedAt.has_value()) {
+    std::printf("battery   : %.3fJ drawn, DEPLETED at t=%lld\n",
+                r.batteryDrawn.joules(),
+                static_cast<long long>(r.depletedAt->ticks()));
+  } else {
+    std::printf("battery   : %.3fJ drawn%s\n", r.batteryDrawn.joules(),
+                r.batteryDepleted ? ", DEPLETED" : "");
+  }
+  if (f.missionModes) {
+    std::printf("modes     : final %d, %d escalations, %d de-escalations, "
+                "%d mode-shed%s\n",
+                r.finalMode, r.modeEscalations, r.modeDeescalations,
+                r.modeShedTasks,
+                r.modeInfeasible ? " (repair infeasible)" : "");
+  }
   std::printf("faults    : %d injected (%zu scripted), %d brownouts\n",
               r.faultsInjected, plan.faults.size(), r.brownouts);
   std::printf("responses : %d retries, %d replans (%d failed), %d shed, "
@@ -958,23 +1001,28 @@ int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
     std::fprintf(stderr, "--missions must be positive\n");
     return kExitUsage;
   }
-  const rover::CaseSchedules cases = rover::buildCaseSchedules();
+  rover::CaseSchedules cases = rover::buildCaseSchedules();
   if (!cases.ok) {
     std::fprintf(stderr, "could not build case schedules: %s\n",
                  cases.message.c_str());
     return kExitInternal;
   }
+  if (f.missionModes) {
+    for (auto& p : cases.problems) rover::applyMissionCriticality(*p);
+  }
   const std::vector<runtime::CaseBinding> bindings =
       fault::roverCaseBindings(cases);
   const Problem& missionProblem = *bindings.front().problem;
   const fault::FaultCampaign campaign(rover::missionSolarProfile(),
-                                      rover::missionBattery(), bindings);
+                                      missionBatteryFor(f), bindings);
   fault::CampaignConfig cc;
   cc.missions = missions;
   cc.seed = f.seed;
   cc.targetSteps = f.steps;
   cc.abortOnBrownout = f.abortOnBrownout;
   cc.contingency = f.contingency;
+  if (f.missionModes) cc.modePolicy = ModePolicy::missionDefault();
+  cc.batteryModel = f.rateBattery ? "rate" : "linear";
   cc.jobs = jobs;  // 0 = exec::defaultJobs(); never affects the results
   cc.budget = budget;
   obs::MetricsRegistry registry;
@@ -1014,6 +1062,14 @@ int cmdCampaign(const MissionFlags& f, int missions, std::size_t jobs,
     std::printf("lost      : %lld unrecoverable, %lld stalled\n",
                 static_cast<long long>(result.unrecoverable),
                 static_cast<long long>(result.stalled));
+    if (cc.modePolicy.enabled()) {
+      std::printf("modes     : %lld escalations, %lld de-escalations, "
+                  "%lld mode-shed, %lld repair-infeasible\n",
+                  static_cast<long long>(result.modeEscalations),
+                  static_cast<long long>(result.modeDeescalations),
+                  static_cast<long long>(result.modeShedTasks),
+                  static_cast<long long>(result.modeInfeasible));
+    }
     if (!jsonOut.empty()) {
       std::ofstream o(jsonOut);
       if (o) {
@@ -1269,6 +1325,32 @@ int runCli(int argc, char** argv) {
     } else if (arg == "--watchdog") {
       mission.contingency.watchdogSlackPct =
           static_cast<std::uint32_t>(std::atoi(value("--watchdog")));
+    } else if (arg == "--mode-policy") {
+      const std::string v = value("--mode-policy");
+      if (v == "mission") {
+        mission.missionModes = true;
+      } else if (v == "off") {
+        mission.missionModes = false;
+      } else {
+        std::fprintf(stderr, "--mode-policy takes off|mission\n");
+        return kExitUsage;
+      }
+    } else if (arg == "--battery-model") {
+      const std::string v = value("--battery-model");
+      if (v == "rate") {
+        mission.rateBattery = true;
+      } else if (v == "linear") {
+        mission.rateBattery = false;
+      } else {
+        std::fprintf(stderr, "--battery-model takes linear|rate\n");
+        return kExitUsage;
+      }
+    } else if (arg == "--battery-wh") {
+      mission.batteryWh = std::atof(value("--battery-wh"));
+      if (mission.batteryWh <= 0) {
+        std::fprintf(stderr, "--battery-wh needs a positive value\n");
+        return kExitUsage;
+      }
     } else if (arg == "--abort-on-brownout") {
       mission.abortOnBrownout = true;
     } else if (arg == "--trace-events") {
