@@ -1,0 +1,65 @@
+// libFuzzer harness for pawsd's wire surface: the frame decoder plus the
+// request-payload parser — everything a hostile client can put on the
+// socket before the daemon does any real work. Build with -DPAWS_FUZZ=ON;
+// under clang this links against libFuzzer, under gcc the standalone
+// driver replays (and deterministically mutates) the seed corpus instead.
+//
+// The contract under test: for ANY byte string fed in adversarially-sized
+// chunks, the decoder either keeps yielding complete frames or latches a
+// failure with a non-empty stable reason — never an abort, overflow, or
+// unbounded allocation (lengths are capped before the payload buffer is
+// ever reserved). Every kRequest payload that comes out must then either
+// parse or name its rejection, and re-encoding a parsed request must
+// survive a second decode+parse round trip (idempotence of the codec).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/frame.hpp"
+#include "serve/protocol.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const char* bytes = reinterpret_cast<const char*>(data);
+  paws::serve::FrameDecoder decoder;
+  // Feed in chunks whose sizes are themselves derived from the input, so
+  // the fuzzer explores reassembly boundaries, not just payload bytes.
+  std::size_t offset = 0;
+  std::size_t salt = size;
+  bool poisoned = false;
+  while (offset < size && !poisoned) {
+    salt = salt * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::size_t chunk =
+        1 + static_cast<std::size_t>(salt % 97) % (size - offset);
+    if (!decoder.feed(bytes + offset, chunk)) {
+      // A latched failure must explain itself and stay latched.
+      if (decoder.error().empty()) __builtin_trap();
+      if (!decoder.failed()) __builtin_trap();
+      if (decoder.feed(bytes, size > 0 ? 1 : 0)) __builtin_trap();
+      poisoned = true;
+    }
+    offset += chunk;
+  }
+  paws::serve::Frame frame;
+  while (decoder.next(frame)) {
+    if (frame.type != paws::serve::FrameType::kRequest) continue;
+    const paws::serve::ParseRequestResult parsed =
+        paws::serve::parseRequest(frame.payload);
+    if (!parsed.ok) {
+      // A rejected payload must name its reason.
+      if (parsed.error.empty()) __builtin_trap();
+      continue;
+    }
+    // Round trip: format -> decode -> parse must accept its own output.
+    const std::string wire = paws::serve::encodeFrame(
+        paws::serve::FrameType::kRequest,
+        paws::serve::formatRequest(parsed.request));
+    paws::serve::FrameDecoder second;
+    if (!second.feed(wire.data(), wire.size())) __builtin_trap();
+    paws::serve::Frame again;
+    if (!second.next(again)) __builtin_trap();
+    if (!paws::serve::parseRequest(again.payload).ok) __builtin_trap();
+  }
+  return 0;
+}

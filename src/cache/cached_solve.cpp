@@ -158,18 +158,10 @@ ScheduleResult solveThroughCache(ScheduleCache* cache, const Problem& problem,
                      optionsFingerprint(spec.scheduler, spec.trials)};
 
   // Rung 1: exact hit.
-  if (std::optional<CacheEntry> entry = cache->lookup(key)) {
-    if (std::optional<Schedule> schedule = rebind(*entry, problem)) {
-      info.cacheHit = true;
-      info.provenOptimal = entry->provenOptimal;
-      ScheduleResult r;
-      r.status = SchedStatus::kOk;
-      r.schedule = std::move(schedule);
-      r.stats = entry->stats;
-      r.message = "served from schedule cache";
-      if (infoOut != nullptr) *infoOut = info;
-      return r;
-    }
+  if (std::optional<ScheduleResult> served =
+          tryServeExact(*cache, problem, spec, &info)) {
+    if (infoOut != nullptr) *infoOut = info;
+    return std::move(*served);
   }
 
   // Past the exact probe: the structural hash is needed from here on
@@ -303,6 +295,31 @@ ScheduleResult solveThroughCache(ScheduleCache* cache, const Problem& problem,
   }
   if (infoOut != nullptr) *infoOut = info;
   return r;
+}
+
+std::optional<ScheduleResult> tryServeExact(ScheduleCache& cache,
+                                            const Problem& problem,
+                                            const SolveSpec& spec,
+                                            SolveInfo* infoOut) {
+  const CanonicalForm canonical =
+      canonicalize(problem, CanonicalParts::kKeyOnly);
+  const CacheKey key{canonical.hash,
+                     optionsFingerprint(spec.scheduler, spec.trials)};
+  if (std::optional<CacheEntry> entry = cache.lookup(key)) {
+    if (std::optional<Schedule> schedule = rebind(*entry, problem)) {
+      if (infoOut != nullptr) {
+        infoOut->cacheHit = true;
+        infoOut->provenOptimal = entry->provenOptimal;
+      }
+      ScheduleResult r;
+      r.status = SchedStatus::kOk;
+      r.schedule = std::move(schedule);
+      r.stats = entry->stats;
+      r.message = "served from schedule cache";
+      return r;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace paws::cache

@@ -80,4 +80,14 @@ ScheduleResult solveThroughCache(ScheduleCache* cache, const Problem& problem,
                                  const SolveSpec& spec,
                                  SolveInfo* infoOut = nullptr);
 
+/// Rung 1 alone: serve an exact cache hit, or return nullopt WITHOUT
+/// solving. This is pawsd's cache-only overload rung — under shedding the
+/// daemon still answers repeated traffic in microseconds while refusing
+/// anything that would cost a solve. Identical serve semantics to the
+/// exact-hit rung of solveThroughCache (rebind by name + revalidate).
+std::optional<ScheduleResult> tryServeExact(ScheduleCache& cache,
+                                            const Problem& problem,
+                                            const SolveSpec& spec,
+                                            SolveInfo* infoOut = nullptr);
+
 }  // namespace paws::cache

@@ -21,7 +21,10 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
-std::uint64_t parseHex64(std::string_view s) {
+/// Strict hex: false on empty, overlong, or non-hex input — a corrupt key
+/// must skip its entry, not silently alias to key 0.
+bool parseHex64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
   std::uint64_t v = 0;
   for (char c : s) {
     int digit;
@@ -32,11 +35,12 @@ std::uint64_t parseHex64(std::string_view s) {
     } else if (c >= 'A' && c <= 'F') {
       digit = c - 'A' + 10;
     } else {
-      return 0;
+      return false;
     }
     v = (v << 4) | static_cast<std::uint64_t>(digit);
   }
-  return v;
+  out = v;
+  return true;
 }
 
 /// Defensive cap on persisted entries: a multi-gigabyte cache file should
@@ -123,6 +127,8 @@ CacheStats ScheduleCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.revalidations = revalidations_.load(std::memory_order_relaxed);
   s.warmStarts = warmStarts_.load(std::memory_order_relaxed);
+  s.loadRejectedFiles = loadRejectedFiles_.load(std::memory_order_relaxed);
+  s.loadSkippedEntries = loadSkippedEntries_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -143,6 +149,8 @@ void ScheduleCache::exportMetrics(obs::MetricsRegistry& registry) const {
   registry.add("cache.evictions", s.evictions);
   registry.add("cache.revalidations", s.revalidations);
   registry.add("cache.warm_starts", s.warmStarts);
+  registry.add("cache.load_rejected_files", s.loadRejectedFiles);
+  registry.add("cache.load_skipped_entries", s.loadSkippedEntries);
 }
 
 bool ScheduleCache::save(const std::string& path, std::string* error) const {
@@ -199,13 +207,25 @@ bool ScheduleCache::load(const std::string& path, std::string* error) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) {
+    loadRejectedFiles_.fetch_add(1, std::memory_order_relaxed);
+    if (error != nullptr) *error = "read error on cache file " + path;
+    return false;
+  }
   const obs::json::ParseResult parsed = obs::json::parse(buffer.str());
   if (!parsed.ok || !parsed.value.isObject()) {
-    if (error != nullptr) *error = "unparseable cache file " + path;
+    loadRejectedFiles_.fetch_add(1, std::memory_order_relaxed);
+    if (error != nullptr) {
+      *error = "unparseable cache file " + path +
+               (parsed.ok ? "" : ": " + parsed.error);
+    }
     return false;
   }
   const obs::json::Value* schema = parsed.value.find("schema");
   if (schema == nullptr || schema->asInt() != 1) {
+    // Wrong *or newer* schema: refuse the whole file rather than guess at
+    // fields a future writer may have re-defined.
+    loadRejectedFiles_.fetch_add(1, std::memory_order_relaxed);
     if (error != nullptr) *error = "unknown cache schema in " + path;
     return false;
   }
@@ -213,21 +233,29 @@ bool ScheduleCache::load(const std::string& path, std::string* error) {
   if (entries == nullptr || !entries->isArray()) return true;  // empty
   std::size_t loaded = 0;
   for (const obs::json::Value& v : entries->items) {
-    if (!v.isObject() || loaded >= kMaxLoadEntries) break;
-    const obs::json::Value* ph = v.find("problem_hash");
-    const obs::json::Value* fp = v.find("options_fp");
-    const obs::json::Value* text = v.find("schedule");
-    if (ph == nullptr || fp == nullptr || text == nullptr ||
-        !text->isString()) {
-      continue;  // malformed entry: skip, never fail the whole load
+    if (loaded >= kMaxLoadEntries) {
+      loadSkippedEntries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
+    const obs::json::Value* ph = v.isObject() ? v.find("problem_hash") : nullptr;
+    const obs::json::Value* fp = v.isObject() ? v.find("options_fp") : nullptr;
+    const obs::json::Value* text = v.isObject() ? v.find("schedule") : nullptr;
     CacheKey key;
-    key.problemHash = parseHex64(ph->asString());
-    key.optionsFp = parseHex64(fp->asString());
+    if (ph == nullptr || fp == nullptr || text == nullptr ||
+        !ph->isString() || !fp->isString() || !text->isString() ||
+        !parseHex64(ph->asString(), key.problemHash) ||
+        !parseHex64(fp->asString(), key.optionsFp)) {
+      // Malformed entry: a structured skip, never a failed load.
+      loadSkippedEntries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     CacheEntry e;
     e.scheduleText = text->asString();
     if (const auto* f = v.find("structural_hash")) {
-      e.structuralHash = parseHex64(f->asString());
+      // Key fields gate the entry; a damaged structural hash only costs
+      // the near-miss index, so degrade it to "absent" instead of
+      // skipping an otherwise-servable entry.
+      if (!parseHex64(f->asString(), e.structuralHash)) e.structuralHash = 0;
     }
     if (const auto* f = v.find("cost_mwt")) e.costMwt = f->asInt();
     if (const auto* f = v.find("finish")) e.finish = Time(f->asInt());

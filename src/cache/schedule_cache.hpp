@@ -88,6 +88,12 @@ struct CacheStats {
   std::uint64_t revalidations = 0;
   /// Cold solves that ran with a cache/heuristic-seeded incumbent.
   std::uint64_t warmStarts = 0;
+  /// Persisted files refused whole (unparseable, wrong/newer schema,
+  /// stream error) — each is a structured skip, never an abort.
+  std::uint64_t loadRejectedFiles = 0;
+  /// Individual persisted entries dropped during a load (missing fields,
+  /// bad hex keys, wrong types, over the entry cap).
+  std::uint64_t loadSkippedEntries = 0;
 };
 
 class ScheduleCache {
@@ -128,7 +134,8 @@ class ScheduleCache {
 
   /// Folds the stats into `registry` as cache.* counters (cache.hits,
   /// cache.misses, cache.insertions, cache.evictions, cache.revalidations,
-  /// cache.warm_starts) — the --obs-summary / RunReport surface.
+  /// cache.warm_starts, cache.load_rejected_files,
+  /// cache.load_skipped_entries) — the --obs-summary / RunReport surface.
   void exportMetrics(obs::MetricsRegistry& registry) const;
 
   /// Writes every live entry as one JSON document. Returns false (with
@@ -136,7 +143,12 @@ class ScheduleCache {
   bool save(const std::string& path, std::string* error = nullptr) const;
   /// Merges entries from `path` into the cache (oldest first, so recency
   /// survives a round trip). Missing file => false with empty error: a
-  /// cold cache directory is the normal first-run state.
+  /// cold cache directory is the normal first-run state. A truncated,
+  /// corrupt, or newer-schema file => false with a descriptive error and
+  /// a loadRejectedFiles count — a structured skip the caller may log and
+  /// continue past; load() itself never throws or aborts. Malformed
+  /// individual entries inside a parseable file are dropped and counted
+  /// in loadSkippedEntries while the healthy remainder still loads.
   bool load(const std::string& path, std::string* error = nullptr);
 
   /// File name used inside a --cache-dir directory.
@@ -171,6 +183,8 @@ class ScheduleCache {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> revalidations_{0};
   std::atomic<std::uint64_t> warmStarts_{0};
+  std::atomic<std::uint64_t> loadRejectedFiles_{0};
+  std::atomic<std::uint64_t> loadSkippedEntries_{0};
 };
 
 }  // namespace paws::cache

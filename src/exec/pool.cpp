@@ -6,7 +6,8 @@
 
 namespace paws::exec {
 
-Pool::Pool(std::size_t threads) {
+Pool::Pool(std::size_t threads, std::size_t maxQueued)
+    : maxQueued_(maxQueued) {
   const std::size_t n = threads > 0 ? threads : defaultJobs();
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -31,9 +32,33 @@ Pool::~Pool() {
 
 void Pool::submit(std::function<void()> fn) {
   PAWS_CHECK_MSG(fn != nullptr, "null task submitted to exec::Pool");
+  queued_.fetch_add(1, std::memory_order_release);
+  enqueueCounted(std::move(fn));
+}
+
+bool Pool::trySubmit(std::function<void()> fn) {
+  PAWS_CHECK_MSG(fn != nullptr, "null task submitted to exec::Pool");
+  if (maxQueued_ == 0) {
+    queued_.fetch_add(1, std::memory_order_release);
+    enqueueCounted(std::move(fn));
+    return true;
+  }
+  // Reserve a queue slot first, back out if the reservation overshot the
+  // bound: concurrent submitters can never lastingly exceed maxQueued_,
+  // and the failure path touches no deque mutex.
+  const std::size_t prior = queued_.fetch_add(1, std::memory_order_acq_rel);
+  if (prior >= maxQueued_) {
+    queued_.fetch_sub(1, std::memory_order_release);
+    tasksRejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  enqueueCounted(std::move(fn));
+  return true;
+}
+
+void Pool::enqueueCounted(std::function<void()> fn) {
   const std::size_t w =
       nextWorker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
-  queued_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lk(workers_[w]->mu);
     workers_[w]->deque.push_back(std::move(fn));
@@ -97,7 +122,8 @@ void Pool::workerLoop(std::size_t self) {
 
 Pool::Stats Pool::stats() const {
   return Stats{tasksRun_.load(std::memory_order_relaxed),
-               tasksStolen_.load(std::memory_order_relaxed)};
+               tasksStolen_.load(std::memory_order_relaxed),
+               tasksRejected_.load(std::memory_order_relaxed)};
 }
 
 void Pool::exportMetrics(obs::MetricsRegistry& registry) const {
@@ -105,6 +131,7 @@ void Pool::exportMetrics(obs::MetricsRegistry& registry) const {
   registry.set("exec.pool_threads", static_cast<double>(numThreads()));
   registry.add("exec.tasks_run", s.tasksRun);
   registry.add("exec.tasks_stolen", s.tasksStolen);
+  registry.add("exec.tasks_rejected", s.tasksRejected);
 }
 
 }  // namespace paws::exec

@@ -40,8 +40,12 @@ Row rowOf(TraceEventKind kind) {
       return {5, "min-power moves"};
     case TraceEventKind::kIteration:
       return {6, "runtime executor"};
+    case TraceEventKind::kServeShed:
+    case TraceEventKind::kServeMode:
+    case TraceEventKind::kServeDrain:
+      return {7, "service"};
   }
-  return {7, "other"};
+  return {8, "other"};
 }
 
 /// Microseconds with nanosecond precision — chrome's ts unit is us.

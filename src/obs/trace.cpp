@@ -26,6 +26,12 @@ const char* toString(TraceEventKind kind) {
       return "scan-pass";
     case TraceEventKind::kIteration:
       return "iteration";
+    case TraceEventKind::kServeShed:
+      return "serve-shed";
+    case TraceEventKind::kServeMode:
+      return "serve-mode";
+    case TraceEventKind::kServeDrain:
+      return "serve-drain";
   }
   return "?";
 }

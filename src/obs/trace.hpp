@@ -36,6 +36,9 @@ enum class TraceEventKind : std::uint8_t {
   kMoveRejected,  ///< instant: min-power move rolled back
   kScanPass,      ///< instant: min-power scan pass started
   kIteration,     ///< span: one runtime-executor iteration
+  kServeShed,     ///< instant: pawsd refused a request (overload/drain)
+  kServeMode,     ///< instant: pawsd overload ladder changed rung
+  kServeDrain,    ///< span: pawsd graceful-drain window
 };
 
 const char* toString(TraceEventKind kind);

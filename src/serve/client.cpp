@@ -1,0 +1,182 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace paws::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool sendAll(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t sent = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Client::connect(const std::string& address, std::string* error) {
+  close();
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    fd_ = fd;
+    return true;
+  }
+  std::string rest = address;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    if (error != nullptr) *error = "address must be tcp:<host>:<port>";
+    return false;
+  }
+  const std::string host = rest.substr(0, colon);
+  const int port = std::atoi(rest.c_str() + colon + 1);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host (IPv4 literal required)";
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool Client::sendRequest(const Request& request) {
+  if (fd_ < 0) return false;
+  const std::string wire =
+      encodeFrame(FrameType::kRequest, formatRequest(request));
+  return sendAll(fd_, wire.data(), wire.size());
+}
+
+bool Client::sendMetricsRequest() {
+  if (fd_ < 0) return false;
+  const std::string wire = encodeFrame(FrameType::kMetricsRequest, "");
+  return sendAll(fd_, wire.data(), wire.size());
+}
+
+bool Client::rawSend(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  return sendAll(fd_, bytes.data(), bytes.size());
+}
+
+bool Client::readFrame(Frame& out, std::int64_t timeoutMs) {
+  if (fd_ < 0) return false;
+  if (decoder_.next(out)) return true;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeoutMs);
+  char buf[16384];
+  while (Clock::now() < deadline) {
+    const auto leftMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+    pollfd p{fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(std::max<long long>(
+                                     1, std::min<long long>(leftMs, 100))));
+    if (rc < 0 && errno != EINTR) return false;
+    if (rc <= 0) continue;
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) return false;  // server closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (!decoder_.feed(buf, static_cast<std::size_t>(n))) return false;
+    if (decoder_.next(out)) return true;
+  }
+  return false;
+}
+
+bool Client::readResponse(Response& out, std::int64_t timeoutMs) {
+  Frame frame;
+  if (!readFrame(frame, timeoutMs)) return false;
+  if (frame.type != FrameType::kResponse) return false;
+  return responseFromJson(frame.payload, out);
+}
+
+bool Client::readMetrics(std::string& out, std::int64_t timeoutMs) {
+  Frame frame;
+  if (!readFrame(frame, timeoutMs)) return false;
+  if (frame.type != FrameType::kMetricsResponse) return false;
+  out = std::move(frame.payload);
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
+}
+
+void Client::abortiveClose() {
+  if (fd_ < 0) return;
+  // SO_LINGER with zero timeout turns close() into a RST on TCP; on unix
+  // sockets it degrades to an ordinary close, which is fine — the point
+  // is "vanish without reading the response".
+  linger lg{1, 0};
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  ::close(fd_);
+  fd_ = -1;
+  decoder_ = FrameDecoder();
+}
+
+bool requestOnce(const std::string& address, const Request& request,
+                 Response& out, std::int64_t timeoutMs, std::string* error) {
+  Client client;
+  if (!client.connect(address, error)) return false;
+  if (!client.sendRequest(request)) {
+    if (error != nullptr) *error = "send failed";
+    return false;
+  }
+  if (!client.readResponse(out, timeoutMs)) {
+    if (error != nullptr) *error = "no response";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace paws::serve

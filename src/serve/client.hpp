@@ -1,0 +1,65 @@
+// Blocking pawsd client — the protocol's other half, shared by
+// tools/pawsd_loadgen, the service tests, and anyone scripting against a
+// daemon. Deliberately low-level: the chaos harness needs to misbehave
+// (send raw garbage, write one byte at a time, vanish mid-request), so
+// every step is its own call and rawSend() bypasses framing entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/frame.hpp"
+#include "serve/protocol.hpp"
+
+namespace paws::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+  /// Connects to "tcp:<host>:<port>" or "unix:<path>" (the daemon's
+  /// boundAddress() format). False with *error on failure.
+  [[nodiscard]] bool connect(const std::string& address,
+                             std::string* error = nullptr);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Frames and sends one request payload.
+  [[nodiscard]] bool sendRequest(const Request& request);
+  /// Frames and sends a metrics scrape request.
+  [[nodiscard]] bool sendMetricsRequest();
+  /// Sends raw bytes with no framing — malformed-frame injection.
+  [[nodiscard]] bool rawSend(std::string_view bytes);
+
+  /// Reads frames until one kResponse arrives and parses it. False on
+  /// disconnect, timeout, or unparseable response JSON.
+  [[nodiscard]] bool readResponse(Response& out, std::int64_t timeoutMs);
+  /// Reads until a kMetricsResponse arrives; `out` gets the OpenMetrics
+  /// text body.
+  [[nodiscard]] bool readMetrics(std::string& out, std::int64_t timeoutMs);
+
+  /// Orderly close (the daemon sees EOF). Safe on a closed client.
+  void close();
+  /// Abortive close: RST instead of FIN where the transport supports it —
+  /// the rudest mid-request disconnect the chaos mix can produce.
+  void abortiveClose();
+
+ private:
+  [[nodiscard]] bool readFrame(Frame& out, std::int64_t timeoutMs);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+/// One-shot convenience: connect, send, await the response.
+[[nodiscard]] bool requestOnce(const std::string& address,
+                               const Request& request, Response& out,
+                               std::int64_t timeoutMs,
+                               std::string* error = nullptr);
+
+}  // namespace paws::serve

@@ -1,0 +1,109 @@
+#include "serve/frame.hpp"
+
+#include <cstring>
+
+#include "base/check.hpp"
+
+namespace paws::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'A', 'W', 'S'};
+
+bool validType(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         t <= static_cast<std::uint8_t>(FrameType::kMetricsResponse);
+}
+
+}  // namespace
+
+std::string encodeFrame(FrameType type, std::string_view payload) {
+  PAWS_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+                 "frame payload exceeds kMaxPayloadBytes");
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back('\0');  // reserved
+  out.push_back('\0');
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+bool FrameDecoder::feed(const char* data, std::size_t n) {
+  if (failed_) return false;
+  // A peer streaming unbounded garbage without ever completing a frame
+  // must not grow the buffer forever: header + max payload is the most
+  // one well-formed frame can occupy.
+  if (buffer_.size() + n > kHeaderBytes + kMaxPayloadBytes + kHeaderBytes) {
+    fail("oversized");
+    return false;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+  drain();
+  return !failed_;
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+void FrameDecoder::fail(const char* reason) {
+  failed_ = true;
+  error_ = reason;
+  buffer_.clear();
+}
+
+void FrameDecoder::drain() {
+  while (buffer_.size() >= kHeaderBytes) {
+    if (std::memcmp(buffer_.data(), kMagic, sizeof kMagic) != 0) {
+      fail("bad_magic");
+      return;
+    }
+    const std::uint8_t version = static_cast<std::uint8_t>(buffer_[4]);
+    const std::uint8_t type = static_cast<std::uint8_t>(buffer_[5]);
+    if (version != kProtocolVersion) {
+      fail("bad_version");
+      return;
+    }
+    if (!validType(type)) {
+      fail("bad_type");
+      return;
+    }
+    if (buffer_[6] != 0 || buffer_[7] != 0) {
+      fail("bad_reserved");
+      return;
+    }
+    const std::uint32_t len =
+        (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[8]))
+         << 24) |
+        (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[9]))
+         << 16) |
+        (static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[10]))
+         << 8) |
+        static_cast<std::uint32_t>(static_cast<std::uint8_t>(buffer_[11]));
+    if (len > kMaxPayloadBytes) {
+      fail("oversized");
+      return;
+    }
+    if (buffer_.size() < kHeaderBytes + len) return;  // wait for more bytes
+    Frame f;
+    f.type = static_cast<FrameType>(type);
+    f.payload.assign(buffer_.data() + kHeaderBytes, len);
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                        kHeaderBytes + len));
+    ready_.push_back(std::move(f));
+  }
+}
+
+}  // namespace paws::serve

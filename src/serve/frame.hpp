@@ -1,0 +1,90 @@
+// pawsd wire frames — the length-prefixed envelope every request and
+// response travels in.
+//
+// Layout (12-byte header, all multi-byte fields big-endian):
+//
+//   offset  size  field
+//        0     4  magic     "PAWS"
+//        4     1  version   1
+//        5     1  type      FrameType
+//        6     2  reserved  must be 0
+//        8     4  length    payload byte count, <= kMaxPayloadBytes
+//       12     N  payload
+//
+// The decoder is incremental and hostile-input-first: bytes arrive in
+// whatever fragments the socket produces, frames are pulled out as they
+// complete, and the first malformed header *latches* the decoder into a
+// failed state (a peer that desynchronized once can never be trusted to
+// re-synchronize — the connection must be dropped with a structured
+// `invalid` response). Payload size is capped at io::kMaxSourceBytes
+// before any allocation happens, so a hostile length field costs 12 bytes
+// of inspection, not 4 GB of memory. This parser is the fuzz surface of
+// fuzz/fuzz_pawsd_frame.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "io/lexer.hpp"
+
+namespace paws::serve {
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,          ///< client -> server: schedule this problem
+  kResponse = 2,         ///< server -> client: response JSON
+  kMetricsRequest = 3,   ///< client -> server: scrape request (no payload)
+  kMetricsResponse = 4,  ///< server -> client: OpenMetrics text
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+inline constexpr std::size_t kHeaderBytes = 12;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Reuses the fuzz-hardened parser ceiling: a frame may carry at most as
+/// many bytes as the .paws parser would accept from a file.
+inline constexpr std::size_t kMaxPayloadBytes = io::kMaxSourceBytes;
+
+/// Serializes one frame (header + payload). The inverse of FrameDecoder.
+std::string encodeFrame(FrameType type, std::string_view payload);
+
+/// Incremental decoder: feed() arbitrary byte fragments, next() pulls
+/// completed frames in arrival order. The first malformed header latches
+/// failed() with a reason; further feed()s are ignored.
+class FrameDecoder {
+ public:
+  /// Appends received bytes. Returns false once the decoder has failed
+  /// (the bytes are discarded).
+  bool feed(const char* data, std::size_t n);
+  bool feed(std::string_view bytes) { return feed(bytes.data(), bytes.size()); }
+
+  /// Pops the oldest completed frame into `out`.
+  [[nodiscard]] bool next(Frame& out);
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// Stable machine-readable reason: bad_magic | bad_version | bad_type |
+  /// bad_reserved | oversized. Empty while healthy.
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet assembled into a frame (partial header or
+  /// partial payload) — the slow-writer watchdog reads this to tell "idle
+  /// between requests" from "stalled mid-frame".
+  [[nodiscard]] std::size_t pendingBytes() const { return buffer_.size(); }
+
+ private:
+  void fail(const char* reason);
+  /// Attempts to peel completed frames off the front of buffer_.
+  void drain();
+
+  std::vector<char> buffer_;
+  std::deque<Frame> ready_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace paws::serve

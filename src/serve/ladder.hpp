@@ -1,0 +1,107 @@
+// ServiceLadder — pawsd's overload-shedding mode ladder.
+//
+// The serving-side analogue of model/mode_policy.hpp: an ordered set of
+// rungs, escalation on pressure triggers, slow de-escalation on sustained
+// calm. Where the runtime executor sheds *tasks* when power collapses,
+// the daemon sheds *work classes* when the queue collapses:
+//
+//   healthy    — serve everything as requested
+//   degraded   — downgrade `optimal` requests to the pipeline heuristic
+//                (answers stay correct, just heuristic-grade); everything
+//                else unchanged
+//   cache_only — serve exact cache hits only; anything needing a solve is
+//                refused with a structured `overloaded`/`shedding`
+//   reject_new — refuse all new requests (in-flight ones finish)
+//
+// Pressure signals, evaluated per request arrival (and on a periodic
+// tick so an idle-but-full daemon still de-escalates): intake queue depth
+// as a fraction of capacity, and the p99 of recent service times against
+// the server's default budget. Escalation jumps straight to the rung the
+// signals demand; de-escalation climbs ONE rung after
+// `deescalateAfterClean` consecutive calm observations — fast in, slow
+// out, the standard anti-flap shape (and the same shape ModePolicy uses).
+//
+// Thread-safe: one mutex, held for nanoseconds; every connection thread
+// consults the ladder on its own.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace paws::serve {
+
+enum class ServiceMode : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kCacheOnly = 2,
+  kRejectNew = 3,
+};
+
+const char* toString(ServiceMode mode);
+
+struct LadderConfig {
+  /// Queue-depth permille of capacity at which each rung engages. A
+  /// depth >= rejectPermille of capacity jumps straight to reject_new.
+  std::uint32_t degradePermille = 500;
+  std::uint32_t cacheOnlyPermille = 800;
+  std::uint32_t rejectPermille = 1000;
+  /// p99 service time beyond this multiple of the default budget also
+  /// forces at least degraded (0 = disable the latency trigger).
+  std::uint32_t p99BudgetMultiple = 2;
+  /// Calm observations required to climb one rung back up.
+  std::uint32_t deescalateAfterClean = 8;
+};
+
+/// One ladder observation: the inputs the rung decision is made from.
+struct LadderSignals {
+  std::size_t queueDepth = 0;
+  std::size_t queueCapacity = 0;  ///< 0 = unbounded (depth triggers off)
+  std::int64_t p99ServiceUs = 0;
+  std::int64_t defaultBudgetUs = 0;
+};
+
+struct ModeChange {
+  bool changed = false;
+  ServiceMode from = ServiceMode::kHealthy;
+  ServiceMode to = ServiceMode::kHealthy;
+};
+
+class ServiceLadder {
+ public:
+  explicit ServiceLadder(LadderConfig config = {}) : config_(config) {}
+
+  /// Feeds one observation; returns the transition, if any. The caller
+  /// (the daemon) turns a `changed` result into a trace event + counter.
+  ModeChange observe(const LadderSignals& signals);
+
+  [[nodiscard]] ServiceMode mode() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return mode_;
+  }
+
+  /// Records one completed request's service time into the p99 window.
+  void recordServiceUs(std::int64_t us);
+  /// Nearest-rank p99 over the sliding window (0 while empty).
+  [[nodiscard]] std::int64_t p99ServiceUs() const;
+
+  [[nodiscard]] const LadderConfig& config() const { return config_; }
+
+ private:
+  /// The rung the signals demand right now, ignoring hysteresis.
+  [[nodiscard]] ServiceMode demandOf(const LadderSignals& s) const;
+
+  LadderConfig config_;
+  mutable std::mutex mu_;
+  ServiceMode mode_ = ServiceMode::kHealthy;
+  std::uint32_t cleanStreak_ = 0;
+
+  /// Fixed-size ring of recent service times for the p99 probe.
+  static constexpr std::size_t kWindow = 256;
+  std::vector<std::int64_t> window_ = std::vector<std::int64_t>(kWindow, 0);
+  std::size_t windowUsed_ = 0;
+  std::size_t windowNext_ = 0;
+};
+
+}  // namespace paws::serve

@@ -1,0 +1,101 @@
+// pawsd request/response payloads — what travels inside the wire frames.
+//
+// A request payload is line-oriented text so it stays hand-writable with
+// netcat and trivially fuzzable:
+//
+//   paws-request/1
+//   scheduler: pipeline          (pipeline | serial | list | optimal)
+//   timeout_ms: 500              (0 or absent = server default)
+//   trials: 4
+//   ---
+//   <.paws problem text>
+//
+// Unknown header keys are ignored (forward compatibility); header count
+// and line length are hard-capped, and the problem text after `---` rides
+// under the same io:: parser limits as a file would. A response payload
+// is one JSON object (schema 1) that always states a machine-readable
+// `outcome` + `reason`, so every rejection — overload, drain, malformed
+// input, deadline — is structured, never a dropped connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace paws::serve {
+
+/// Request header caps: past either, the payload is rejected as a whole
+/// (a header section that big is an attack, not a workload).
+inline constexpr std::size_t kMaxHeaderLines = 32;
+inline constexpr std::size_t kMaxHeaderLineBytes = 256;
+/// Upper bound on a client-supplied timeout: pawsd is a shared service,
+/// one request may not park a worker for an hour.
+inline constexpr std::int64_t kMaxClientTimeoutMs = 60000;
+
+struct Request {
+  std::string scheduler = "pipeline";
+  std::uint32_t trials = 4;
+  /// 0 = use the server default budget.
+  std::int64_t timeoutMs = 0;
+  std::string problemText;
+};
+
+struct ParseRequestResult {
+  bool ok = false;
+  /// Stable reason on failure: bad_preamble | header_too_long |
+  /// too_many_headers | bad_scheduler | bad_timeout | bad_trials |
+  /// missing_separator | empty_problem.
+  std::string error;
+  Request request;
+};
+
+/// Parses a kRequest frame payload. Never throws; hostile input yields
+/// ok=false with a stable reason.
+ParseRequestResult parseRequest(std::string_view payload);
+
+/// Serializes `req` into a payload parseRequest accepts (client side).
+std::string formatRequest(const Request& req);
+
+/// Response outcome vocabulary — the daemon's whole answer surface.
+/// ok        — schedule produced within budget
+/// anytime   — budget/deadline tripped; best incumbent included
+/// infeasible— no valid schedule exists for the problem
+/// invalid   — malformed frame/request/problem; reason says which
+/// overloaded— admission refused; reason: queue_full | shedding | draining
+/// cancelled — client vanished mid-solve (logged, rarely ever seen by one)
+/// error     — internal failure
+struct Response {
+  std::string outcome = "error";
+  std::string reason;
+  /// Overload-ladder rung that served (or refused) the request.
+  std::string mode = "healthy";
+  /// True when the ladder downgraded the requested scheduler.
+  bool degraded = false;
+  bool cacheHit = false;
+  std::int64_t finishTicks = 0;
+  std::int64_t energyCostMwt = 0;
+  /// fnv1a64 of the schedule text, fixed-width hex — the determinism
+  /// handle: pawsd and `pawsc schedule` must produce identical digests.
+  std::string scheduleDigest;
+  /// io::scheduleToText of the result ("" when no schedule).
+  std::string scheduleText;
+  /// Wall-clock service time observed by the daemon, microseconds.
+  std::int64_t serviceUs = 0;
+
+  [[nodiscard]] bool succeeded() const {
+    return outcome == "ok" || outcome == "anytime";
+  }
+};
+
+/// Renders one response JSON document (schema 1).
+std::string toJson(const Response& response);
+
+/// Parses a kResponse payload (client side). False on unparseable JSON or
+/// wrong schema.
+bool responseFromJson(std::string_view payload, Response& out);
+
+/// Fixed-width hex fnv1a64 of schedule text — the cross-binary
+/// determinism digest (also computed by `pawsc schedule --digest`).
+std::string scheduleDigest(std::string_view scheduleText);
+
+}  // namespace paws::serve

@@ -1,0 +1,192 @@
+// Saturation behaviour of the bounded exec::Pool — the backpressure
+// contract pawsd's admission control is built on: trySubmit() refuses
+// immediately at the bound, refusals are counted, the bound holds under
+// concurrent submitters, and a saturated pool still drains cleanly (with
+// or without cancellation racing the drain).
+#include "exec/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "guard/cancel.hpp"
+#include "obs/metrics.hpp"
+
+namespace paws::exec {
+namespace {
+
+// Blocks the pool's single worker until release() so tasks pile up in the
+// deques and trySubmit() hits the bound deterministically.
+class WorkerPlug {
+ public:
+  void block() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return released_; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST(PoolSaturationTest, TrySubmitRefusesAtTheBoundAndCountsIt) {
+  Pool pool(/*threads=*/1, /*maxQueued=*/2);
+  EXPECT_EQ(pool.maxQueued(), 2u);
+  WorkerPlug plug;
+  std::atomic<int> ran{0};
+  // Occupy the worker; the plug task no longer counts as queued once the
+  // worker pops it, so wait for the queue to empty before filling it.
+  pool.submit([&plug, &ran] {
+    plug.block();
+    ran.fetch_add(1);
+  });
+  while (pool.queueDepth() != 0) std::this_thread::yield();
+
+  EXPECT_TRUE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_TRUE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.queueDepth(), 2u);
+  // Queue full: refusals are immediate, repeatable, and counted.
+  EXPECT_FALSE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_FALSE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.stats().tasksRejected, 2u);
+  EXPECT_EQ(pool.queueDepth(), 2u);
+
+  plug.release();
+  while (pool.queueDepth() != 0) std::this_thread::yield();
+  // Rejected tasks must never have run.
+  EXPECT_TRUE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+}
+
+TEST(PoolSaturationTest, UnboundedPoolNeverRefuses) {
+  Pool pool(/*threads=*/2);
+  EXPECT_EQ(pool.maxQueued(), 0u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+  }
+  while (pool.queueDepth() != 0) std::this_thread::yield();
+  EXPECT_EQ(pool.stats().tasksRejected, 0u);
+}
+
+TEST(PoolSaturationTest, ConcurrentSubmittersNeverExceedTheBound) {
+  constexpr std::size_t kBound = 8;
+  constexpr int kSubmitters = 6;
+  constexpr int kPerSubmitter = 300;
+  Pool pool(/*threads=*/1, /*maxQueued=*/kBound);
+  WorkerPlug plug;
+  pool.submit([&plug] { plug.block(); });
+  while (pool.queueDepth() != 0) std::this_thread::yield();
+
+  std::atomic<int> accepted{0};
+  std::atomic<int> refused{0};
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        if (pool.trySubmit([&ran] { ran.fetch_add(1); })) {
+          accepted.fetch_add(1);
+        } else {
+          refused.fetch_add(1);
+          // The bound may only ever be transiently overshot inside
+          // trySubmit's reserve/back-out window, never observably.
+          EXPECT_LE(pool.queueDepth(),
+                    kBound + static_cast<std::size_t>(kSubmitters));
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  // Worker is plugged, so nothing was popped: accepted == depth == bound.
+  EXPECT_EQ(accepted.load(), static_cast<int>(kBound));
+  EXPECT_EQ(pool.queueDepth(), kBound);
+  EXPECT_EQ(refused.load(), kSubmitters * kPerSubmitter - accepted.load());
+  EXPECT_EQ(pool.stats().tasksRejected,
+            static_cast<std::uint64_t>(refused.load()));
+
+  plug.release();
+  while (pool.queueDepth() != 0) std::this_thread::yield();
+  while (ran.load() < accepted.load()) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), accepted.load());
+}
+
+TEST(PoolSaturationTest, CancelDrainWhileSaturatedRunsEveryAcceptedTask) {
+  // A saturated pool being cancelled mid-drain (the pawsd SIGTERM path):
+  // every accepted task still runs — cancellation makes them cheap, it
+  // never drops them — and the destructor's drain-then-join holds.
+  guard::CancelSource cancel;
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  std::atomic<int> observedCancel{0};
+  {
+    Pool pool(/*threads=*/2, /*maxQueued=*/64);
+    WorkerPlug plug;
+    pool.submit([&plug] { plug.block(); });
+    pool.submit([&plug] { plug.block(); });
+    // Both plug tasks must be *running* (popped, no longer queued) before
+    // the fill, or they eat into the 64-slot bound.
+    while (pool.queueDepth() != 0) std::this_thread::yield();
+    int accepted = 0;
+    for (int i = 0; i < 64; ++i) {
+      const bool ok = pool.trySubmit([&, token = cancel.token()] {
+        started.fetch_add(1);
+        if (token.cancelled()) {
+          observedCancel.fetch_add(1);
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        finished.fetch_add(1);
+      });
+      if (ok) ++accepted;
+    }
+    ASSERT_GT(accepted, 0);
+    cancel.cancel();
+    plug.release();
+    // Pool destructor: drain everything queued, then join.
+    EXPECT_EQ(accepted, 64);
+  }
+  EXPECT_EQ(started.load(), 64);
+  EXPECT_EQ(finished.load(), 64);
+  EXPECT_GT(observedCancel.load(), 0);
+}
+
+TEST(PoolSaturationTest, MetricsStayConsistentAfterRejection) {
+  obs::MetricsRegistry registry;
+  std::atomic<int> ran{0};
+  {
+    Pool pool(/*threads=*/1, /*maxQueued=*/1);
+    WorkerPlug plug;
+    pool.submit([&plug] { plug.block(); });
+    while (pool.queueDepth() != 0) std::this_thread::yield();
+    EXPECT_TRUE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+    EXPECT_FALSE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+    EXPECT_FALSE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+    plug.release();
+    while (pool.queueDepth() != 0) std::this_thread::yield();
+    while (ran.load() < 1) std::this_thread::yield();
+    pool.exportMetrics(registry);
+  }
+  // run = plug + the one accepted task; rejected = exactly the refusals;
+  // a rejected task contributes to no other counter.
+  EXPECT_EQ(registry.counter("exec.tasks_rejected"), 2u);
+  EXPECT_EQ(registry.counter("exec.tasks_run"), 2u);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace paws::exec

@@ -1,0 +1,217 @@
+// Wire-level units: frame codec hostility and request/response payloads.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/frame.hpp"
+#include "serve/protocol.hpp"
+
+namespace paws::serve {
+namespace {
+
+TEST(FrameCodec, RoundTripsEveryType) {
+  for (const FrameType type :
+       {FrameType::kRequest, FrameType::kResponse, FrameType::kMetricsRequest,
+        FrameType::kMetricsResponse}) {
+    const std::string wire = encodeFrame(type, "hello");
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+    Frame frame;
+    ASSERT_TRUE(decoder.next(frame));
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, "hello");
+    EXPECT_FALSE(decoder.next(frame));
+  }
+}
+
+TEST(FrameCodec, EmptyPayloadIsLegal) {
+  const std::string wire = encodeFrame(FrameType::kMetricsRequest, "");
+  EXPECT_EQ(wire.size(), kHeaderBytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+  Frame frame;
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameCodec, ByteAtATimeFeedReassembles) {
+  const std::string wire = encodeFrame(FrameType::kRequest, "split me");
+  FrameDecoder decoder;
+  Frame frame;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(decoder.feed(&wire[i], 1));
+    if (i + 1 < wire.size()) {
+      EXPECT_FALSE(decoder.next(frame)) << "frame complete too early at " << i;
+    }
+  }
+  ASSERT_TRUE(decoder.next(frame));
+  EXPECT_EQ(frame.payload, "split me");
+}
+
+TEST(FrameCodec, TwoFramesInOneFeed) {
+  const std::string wire = encodeFrame(FrameType::kRequest, "one") +
+                           encodeFrame(FrameType::kRequest, "two");
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(wire.data(), wire.size()));
+  Frame a;
+  Frame b;
+  ASSERT_TRUE(decoder.next(a));
+  ASSERT_TRUE(decoder.next(b));
+  EXPECT_EQ(a.payload, "one");
+  EXPECT_EQ(b.payload, "two");
+}
+
+TEST(FrameCodec, BadMagicLatchesFailure) {
+  std::string wire = encodeFrame(FrameType::kRequest, "x");
+  wire[0] = 'Q';
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(wire.data(), wire.size()));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.error(), "bad_magic");
+  // Latching: even a pristine frame is refused after poison.
+  const std::string good = encodeFrame(FrameType::kRequest, "y");
+  EXPECT_FALSE(decoder.feed(good.data(), good.size()));
+}
+
+TEST(FrameCodec, BadVersionBadTypeBadReserved) {
+  {
+    std::string wire = encodeFrame(FrameType::kRequest, "x");
+    wire[4] = '\x02';
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.feed(wire.data(), wire.size()));
+    EXPECT_EQ(decoder.error(), "bad_version");
+  }
+  {
+    std::string wire = encodeFrame(FrameType::kRequest, "x");
+    wire[5] = '\x09';
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.feed(wire.data(), wire.size()));
+    EXPECT_EQ(decoder.error(), "bad_type");
+  }
+  {
+    std::string wire = encodeFrame(FrameType::kRequest, "x");
+    wire[6] = '\x01';
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.feed(wire.data(), wire.size()));
+    EXPECT_EQ(decoder.error(), "bad_reserved");
+  }
+}
+
+TEST(FrameCodec, OversizedLengthRefusedBeforeAllocation) {
+  std::string wire = encodeFrame(FrameType::kRequest, "x");
+  // Declared length 2 GiB — must be refused on the header alone.
+  wire[8] = '\x7f';
+  wire[9] = '\xff';
+  wire[10] = '\xff';
+  wire[11] = '\xff';
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(wire.data(), wire.size()));
+  EXPECT_EQ(decoder.error(), "oversized");
+}
+
+TEST(RequestPayload, FormatParsesBackIdentically) {
+  Request request;
+  request.scheduler = "optimal";
+  request.trials = 9;
+  request.timeoutMs = 750;
+  request.problemText = "problem \"p\" {\n  pmax 10W\n}\n";
+  const ParseRequestResult parsed = parseRequest(formatRequest(request));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.scheduler, "optimal");
+  EXPECT_EQ(parsed.request.trials, 9u);
+  EXPECT_EQ(parsed.request.timeoutMs, 750);
+  EXPECT_EQ(parsed.request.problemText, request.problemText);
+}
+
+TEST(RequestPayload, DefaultsApplyWhenHeadersAbsent) {
+  const ParseRequestResult parsed =
+      parseRequest("paws-request/1\n---\nproblem \"p\" {}\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.scheduler, "pipeline");
+  EXPECT_EQ(parsed.request.timeoutMs, 0);
+}
+
+TEST(RequestPayload, EveryRejectionHasItsStableReason) {
+  EXPECT_EQ(parseRequest("nope/1\n---\nx").error, "bad_preamble");
+  EXPECT_EQ(parseRequest("paws-request/1\nscheduler: dijkstra\n---\nx").error,
+            "bad_scheduler");
+  EXPECT_EQ(parseRequest("paws-request/1\ntimeout_ms: -5\n---\nx").error,
+            "bad_timeout");
+  EXPECT_EQ(parseRequest("paws-request/1\ntrials: 0\n---\nx").error,
+            "bad_trials");
+  EXPECT_EQ(parseRequest("paws-request/1\ntrials: 65\n---\nx").error,
+            "bad_trials");
+  EXPECT_EQ(parseRequest("paws-request/1\nscheduler: pipeline\n").error,
+            "missing_separator");
+  EXPECT_EQ(parseRequest("paws-request/1\n---\n").error, "empty_problem");
+  const std::string longLine(kMaxHeaderLineBytes + 1, 'a');
+  EXPECT_EQ(parseRequest("paws-request/1\n" + longLine + "\n---\nx").error,
+            "header_too_long");
+  std::string many = "paws-request/1\n";
+  for (std::size_t i = 0; i < kMaxHeaderLines + 1; ++i) many += "k: v\n";
+  EXPECT_EQ(parseRequest(many + "---\nx").error, "too_many_headers");
+}
+
+TEST(RequestPayload, UnknownHeadersAreIgnored) {
+  const ParseRequestResult parsed = parseRequest(
+      "paws-request/1\nx-future-key: whatever\n---\nproblem \"p\" {}\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+}
+
+TEST(RequestPayload, ClientTimeoutCeilingIsAHardEdge) {
+  const std::string atCeiling =
+      "paws-request/1\ntimeout_ms: " + std::to_string(kMaxClientTimeoutMs) +
+      "\n---\nproblem \"p\" {}\n";
+  const ParseRequestResult ok = parseRequest(atCeiling);
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.request.timeoutMs, kMaxClientTimeoutMs);
+  const std::string over =
+      "paws-request/1\ntimeout_ms: " +
+      std::to_string(kMaxClientTimeoutMs + 1) + "\n---\nproblem \"p\" {}\n";
+  EXPECT_EQ(parseRequest(over).error, "bad_timeout");
+}
+
+TEST(ResponsePayload, JsonRoundTrip) {
+  Response response;
+  response.outcome = "ok";
+  response.reason = "";
+  response.mode = "degraded";
+  response.degraded = true;
+  response.cacheHit = true;
+  response.finishTicks = 42;
+  response.energyCostMwt = 1234;
+  response.scheduleDigest = "00deadbeef001122";
+  response.scheduleText = "schedule \"p\" {\n  task a @ 0\n}\n";
+  response.serviceUs = 777;
+  Response parsed;
+  ASSERT_TRUE(responseFromJson(toJson(response), parsed));
+  EXPECT_EQ(parsed.outcome, "ok");
+  EXPECT_EQ(parsed.mode, "degraded");
+  EXPECT_TRUE(parsed.degraded);
+  EXPECT_TRUE(parsed.cacheHit);
+  EXPECT_EQ(parsed.finishTicks, 42);
+  EXPECT_EQ(parsed.energyCostMwt, 1234);
+  EXPECT_EQ(parsed.scheduleDigest, "00deadbeef001122");
+  EXPECT_EQ(parsed.scheduleText, response.scheduleText);
+  EXPECT_EQ(parsed.serviceUs, 777);
+  EXPECT_TRUE(parsed.succeeded());
+}
+
+TEST(ResponsePayload, RefusesGarbageAndWrongSchema) {
+  Response out;
+  EXPECT_FALSE(responseFromJson("not json", out));
+  EXPECT_FALSE(responseFromJson("{\"schema\": 99, \"outcome\": \"ok\"}", out));
+}
+
+TEST(ResponsePayload, DigestIsFixedWidthHexAndStable) {
+  const std::string a = scheduleDigest("schedule text");
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a, scheduleDigest("schedule text"));
+  EXPECT_NE(a, scheduleDigest("schedule text "));
+  for (const char c : a) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+}  // namespace
+}  // namespace paws::serve

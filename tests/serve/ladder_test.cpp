@@ -1,0 +1,111 @@
+// ServiceLadder rung mechanics: fast escalation, slow de-escalation.
+#include <gtest/gtest.h>
+
+#include "serve/ladder.hpp"
+
+namespace paws::serve {
+namespace {
+
+LadderSignals depth(std::size_t used, std::size_t capacity) {
+  LadderSignals s;
+  s.queueDepth = used;
+  s.queueCapacity = capacity;
+  return s;
+}
+
+TEST(ServiceLadder, StartsHealthyAndStaysCalm) {
+  ServiceLadder ladder;
+  EXPECT_EQ(ladder.mode(), ServiceMode::kHealthy);
+  for (int i = 0; i < 100; ++i) {
+    const ModeChange change = ladder.observe(depth(0, 16));
+    EXPECT_FALSE(change.changed);
+  }
+  EXPECT_EQ(ladder.mode(), ServiceMode::kHealthy);
+}
+
+TEST(ServiceLadder, EscalatesStraightToTheDemandedRung) {
+  ServiceLadder ladder;
+  // 16/16 full — straight past degraded and cache_only to reject_new.
+  const ModeChange change = ladder.observe(depth(16, 16));
+  ASSERT_TRUE(change.changed);
+  EXPECT_EQ(change.from, ServiceMode::kHealthy);
+  EXPECT_EQ(change.to, ServiceMode::kRejectNew);
+  EXPECT_EQ(ladder.mode(), ServiceMode::kRejectNew);
+}
+
+TEST(ServiceLadder, EachThresholdMapsToItsRung) {
+  {
+    ServiceLadder ladder;
+    ladder.observe(depth(8, 16));  // 500 permille
+    EXPECT_EQ(ladder.mode(), ServiceMode::kDegraded);
+  }
+  {
+    ServiceLadder ladder;
+    ladder.observe(depth(13, 16));  // 812 permille
+    EXPECT_EQ(ladder.mode(), ServiceMode::kCacheOnly);
+  }
+  {
+    ServiceLadder ladder;
+    ladder.observe(depth(7, 16));  // 437 permille — still healthy
+    EXPECT_EQ(ladder.mode(), ServiceMode::kHealthy);
+  }
+}
+
+TEST(ServiceLadder, DeescalatesOneRungAfterCleanStreak) {
+  LadderConfig config;
+  config.deescalateAfterClean = 4;
+  ServiceLadder ladder(config);
+  ladder.observe(depth(16, 16));
+  ASSERT_EQ(ladder.mode(), ServiceMode::kRejectNew);
+  // Three calm observations: not enough.
+  for (int i = 0; i < 3; ++i) ladder.observe(depth(0, 16));
+  EXPECT_EQ(ladder.mode(), ServiceMode::kRejectNew);
+  // Fourth completes the streak — exactly ONE rung down.
+  const ModeChange change = ladder.observe(depth(0, 16));
+  ASSERT_TRUE(change.changed);
+  EXPECT_EQ(change.to, ServiceMode::kCacheOnly);
+  // A pressure blip resets the streak.
+  for (int i = 0; i < 3; ++i) ladder.observe(depth(0, 16));
+  ladder.observe(depth(16, 16));
+  EXPECT_EQ(ladder.mode(), ServiceMode::kRejectNew);
+}
+
+TEST(ServiceLadder, FullRecoveryWalksEveryRungDown) {
+  LadderConfig config;
+  config.deescalateAfterClean = 2;
+  ServiceLadder ladder(config);
+  ladder.observe(depth(16, 16));
+  ASSERT_EQ(ladder.mode(), ServiceMode::kRejectNew);
+  int transitions = 0;
+  for (int i = 0; i < 20 && ladder.mode() != ServiceMode::kHealthy; ++i) {
+    if (ladder.observe(depth(0, 16)).changed) ++transitions;
+  }
+  EXPECT_EQ(ladder.mode(), ServiceMode::kHealthy);
+  EXPECT_EQ(transitions, 3);  // reject_new -> cache_only -> degraded -> healthy
+}
+
+TEST(ServiceLadder, P99TriggerForcesAtLeastDegraded) {
+  ServiceLadder ladder;
+  for (int i = 0; i < 256; ++i) ladder.recordServiceUs(5'000'000);
+  LadderSignals s = depth(0, 16);  // queue empty — depth says healthy
+  s.p99ServiceUs = ladder.p99ServiceUs();
+  s.defaultBudgetUs = 2'000'000;   // p99 = 2.5x budget > 2x trigger
+  ladder.observe(s);
+  EXPECT_EQ(ladder.mode(), ServiceMode::kDegraded);
+}
+
+TEST(ServiceLadder, UnboundedQueueDisablesDepthTrigger) {
+  ServiceLadder ladder;
+  ladder.observe(depth(1000, 0));  // capacity 0 = unbounded
+  EXPECT_EQ(ladder.mode(), ServiceMode::kHealthy);
+}
+
+TEST(ServiceLadder, P99IsNearestRankOverTheWindow) {
+  ServiceLadder ladder;
+  EXPECT_EQ(ladder.p99ServiceUs(), 0);
+  for (int i = 1; i <= 100; ++i) ladder.recordServiceUs(i * 10);
+  EXPECT_EQ(ladder.p99ServiceUs(), 990);
+}
+
+}  // namespace
+}  // namespace paws::serve

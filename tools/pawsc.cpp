@@ -158,7 +158,7 @@ int usage() {
                "           [--gantt] [--svg out.svg] [--csv out.csv]\n"
                "           [--search-trace out.json] [--search-jsonl "
                "out.jsonl]\n"
-               "           [--metrics out.csv] [--obs-summary]\n"
+               "           [--metrics out.csv] [--obs-summary] [--digest]\n"
                "           [--report out.json|-] [--openmetrics out.txt|-]\n"
                "           [--cache-dir DIR]  (reuse solved schedules "
                "across invocations)\n"
@@ -276,6 +276,9 @@ struct ScheduleExports {
   bool gantt = false;
   bool breakdown = false;
   bool obsSummary = false;
+  /// Print the fnv1a64 of the schedule text — the same digest pawsd puts
+  /// in its responses, so CI can assert daemon/CLI determinism.
+  bool digest = false;
   std::string svgOut, csvOut, htmlOut, traceOut, saveOut;
   std::string searchTraceOut, searchJsonlOut, metricsOut;
   std::string reportOut, openMetricsOut;
@@ -291,7 +294,7 @@ struct ScheduleExports {
   /// True when any render/export was requested at all. Batch mode refuses
   /// them: one output file can't serve many inputs.
   [[nodiscard]] bool any() const {
-    return gantt || breakdown || wantsObs() || !svgOut.empty() ||
+    return gantt || breakdown || digest || wantsObs() || !svgOut.empty() ||
            !csvOut.empty() || !htmlOut.empty() || !traceOut.empty() ||
            !saveOut.empty();
   }
@@ -598,6 +601,11 @@ int cmdSchedule(const std::string& path, const std::string& scheduler,
   std::printf("peak      : %.3fW (schedule valid for any Pmax >= this)\n",
               ScheduleAnalysis::minimalValidPmax(s).watts());
   std::printf("valid     : %s\n", validation.valid() ? "yes" : "NO");
+  if (out.digest) {
+    std::printf("digest    : %016llx\n",
+                static_cast<unsigned long long>(
+                    obs::fnv1a64(io::scheduleToText(s, scheduler))));
+  }
   printEffort(stdout, r.stats);
   for (const Violation& v : validation.violations) {
     std::ostringstream os;
@@ -1289,6 +1297,8 @@ int runCli(int argc, char** argv) {
       exports.openMetricsOut = value("--openmetrics");
     } else if (arg == "--obs-summary") {
       exports.obsSummary = true;
+    } else if (arg == "--digest") {
+      exports.digest = true;
     } else if (arg == "--pmax-from") {
       pmaxFrom = std::atof(value("--pmax-from"));
     } else if (arg == "--pmax-to") {

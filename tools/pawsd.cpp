@@ -1,0 +1,162 @@
+// pawsd — the paws scheduling daemon.
+//
+//   pawsd --listen tcp:127.0.0.1:0 | unix:/path/sock
+//         [--threads N]             solver workers (default 2)
+//         [--max-queued N]          intake queue bound (default 16)
+//         [--default-timeout-ms N]  per-request budget default (2000)
+//         [--drain-budget-ms N]     SIGTERM drain window (2000)
+//         [--frame-stall-ms N]      slow-writer watchdog (5000)
+//         [--cache-dir DIR]         persist the schedule cache
+//         [--cache-capacity N]      cache entries (4096)
+//         [--degrade-permille N]    ladder thresholds as queue-depth
+//         [--cache-only-permille N] permille of --max-queued
+//         [--reject-permille N]
+//         [--deescalate-after N]    calm ticks before climbing back up
+//
+// On startup the resolved address is announced on stdout:
+//
+//   pawsd: listening on tcp:127.0.0.1:41873
+//
+// (port 0 binds an ephemeral port — supervisors parse this line). SIGTERM
+// and SIGINT begin a graceful drain: stop accepting, answer queued/new
+// requests with `overloaded`/`draining`, let in-flight solves finish
+// within the drain budget, cancel stragglers (anytime results still go
+// out), flush the cache, exit 0. docs/service.md has the protocol.
+//
+// Exit status: 0 clean drain, 1 usage error, 2 bind/listen failure.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/daemon.hpp"
+
+namespace {
+
+paws::serve::Daemon* g_daemon = nullptr;
+
+void onSignal(int) {
+  // Async-signal-safe: one relaxed atomic store.
+  if (g_daemon != nullptr) g_daemon->requestStop();
+}
+
+int usage(const char* msg) {
+  std::fprintf(stderr, "pawsd: %s\nsee pawsd.cpp header or docs/service.md\n",
+               msg);
+  return 1;
+}
+
+bool parseSize(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parseI64(const char* text, std::int64_t& out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  paws::serve::DaemonConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return usage("--listen needs an address");
+      config.address = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr || !parseSize(v, config.solverThreads)) {
+        return usage("--threads needs a number");
+      }
+    } else if (arg == "--max-queued") {
+      const char* v = next();
+      if (v == nullptr || !parseSize(v, config.maxQueued) ||
+          config.maxQueued == 0) {
+        return usage("--max-queued needs a number >= 1");
+      }
+    } else if (arg == "--default-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr || !parseI64(v, config.defaultTimeoutMs) ||
+          config.defaultTimeoutMs <= 0) {
+        return usage("--default-timeout-ms needs a positive number");
+      }
+    } else if (arg == "--drain-budget-ms") {
+      const char* v = next();
+      if (v == nullptr || !parseI64(v, config.drainBudgetMs) ||
+          config.drainBudgetMs < 0) {
+        return usage("--drain-budget-ms needs a number");
+      }
+    } else if (arg == "--frame-stall-ms") {
+      const char* v = next();
+      if (v == nullptr || !parseI64(v, config.frameStallMs) ||
+          config.frameStallMs <= 0) {
+        return usage("--frame-stall-ms needs a positive number");
+      }
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage("--cache-dir needs a directory");
+      config.cacheDir = v;
+    } else if (arg == "--cache-capacity") {
+      const char* v = next();
+      if (v == nullptr || !parseSize(v, config.cacheCapacity) ||
+          config.cacheCapacity == 0) {
+        return usage("--cache-capacity needs a number >= 1");
+      }
+    } else if (arg == "--degrade-permille") {
+      std::size_t v = 0;
+      const char* t = next();
+      if (t == nullptr || !parseSize(t, v)) return usage("bad permille");
+      config.ladder.degradePermille = static_cast<std::uint32_t>(v);
+    } else if (arg == "--cache-only-permille") {
+      std::size_t v = 0;
+      const char* t = next();
+      if (t == nullptr || !parseSize(t, v)) return usage("bad permille");
+      config.ladder.cacheOnlyPermille = static_cast<std::uint32_t>(v);
+    } else if (arg == "--reject-permille") {
+      std::size_t v = 0;
+      const char* t = next();
+      if (t == nullptr || !parseSize(t, v)) return usage("bad permille");
+      config.ladder.rejectPermille = static_cast<std::uint32_t>(v);
+    } else if (arg == "--deescalate-after") {
+      std::size_t v = 0;
+      const char* t = next();
+      if (t == nullptr || !parseSize(t, v)) return usage("bad count");
+      config.ladder.deescalateAfterClean = static_cast<std::uint32_t>(v);
+    } else {
+      return usage(("unknown flag: " + arg).c_str());
+    }
+  }
+
+  paws::serve::Daemon daemon(config);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "pawsd: cannot listen on %s: %s\n",
+                 config.address.c_str(), error.c_str());
+    return 2;
+  }
+  g_daemon = &daemon;
+  struct sigaction sa {};
+  sa.sa_handler = onSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::printf("pawsd: listening on %s\n", daemon.boundAddress().c_str());
+  std::fflush(stdout);
+
+  const int rc = daemon.run();
+  std::fprintf(stderr, "pawsd: drained, exiting %d\n", rc);
+  return rc;
+}
